@@ -1,0 +1,74 @@
+// Command dcpbench regenerates the paper's tables and figures.
+//
+//	dcpbench -list                 # show available experiments
+//	dcpbench -run fig10            # one experiment
+//	dcpbench -run all -scale 0.25  # everything, scaled
+//	dcpbench -run quick            # everything except the heavy CLOS runs
+//
+// Output is the same rows/series the paper reports; absolute values differ
+// from the authors' testbed (this substrate is a simulator) but the shapes
+// and orderings are the reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcpsim/internal/exp"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments")
+		run   = flag.String("run", "", "experiment id, 'all', or 'quick'")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+		scale = flag.Float64("scale", 0.25, "workload scale (1.0 ≈ paper-sized)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range exp.All() {
+			heavy := ""
+			if e.Heavy {
+				heavy = " [heavy]"
+			}
+			fmt.Printf("  %-10s %s%s\n", e.ID, e.Desc, heavy)
+		}
+		if *run == "" {
+			fmt.Println("\nusage: dcpbench -run <id>|all|quick [-scale 0.25] [-seed 42]")
+		}
+		return
+	}
+
+	cfg := exp.Config{Seed: *seed, Scale: *scale}
+	var todo []exp.Experiment
+	switch *run {
+	case "all":
+		todo = exp.All()
+	case "quick":
+		for _, e := range exp.All() {
+			if !e.Heavy {
+				todo = append(todo, e)
+			}
+		}
+	default:
+		e := exp.ByID(*run)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		todo = []exp.Experiment{*e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("### %s — %s (seed=%d scale=%.2f)\n\n", e.ID, e.Desc, *seed, *scale)
+		for _, t := range e.Run(cfg) {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("(%s wall-clock)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,203 @@
+package dcpsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestPairTransfer(t *testing.T) {
+	c := NewCluster(ClusterSpec{Topology: Pair, Transport: DCP})
+	h := c.Send(0, 1, 8<<20)
+	if left := c.Run(); left != 0 {
+		t.Fatalf("%d unfinished", left)
+	}
+	if !h.Done() {
+		t.Fatal("handle not done")
+	}
+	if h.Goodput() < 80 {
+		t.Fatalf("goodput %.1f", h.Goodput())
+	}
+	if h.FCTMicros() <= 0 {
+		t.Fatal("fct")
+	}
+	if h.Retransmissions() != 0 || h.Timeouts() != 0 {
+		t.Fatal("clean transfer")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := NewCluster(ClusterSpec{})
+	if c.Hosts() != 16 {
+		t.Fatalf("default dumbbell hosts = %d", c.Hosts())
+	}
+}
+
+func TestAllTransportsComplete(t *testing.T) {
+	for _, tr := range []Transport{DCP, DCPWithCC, IRN, GBN, PFC, MPRDMA, RACKTLP, TimeoutOnly, TCP, NDP} {
+		c := NewCluster(ClusterSpec{Topology: Pair, Transport: tr})
+		h := c.Send(0, 1, 2<<20)
+		if left := c.Run(); left != 0 {
+			t.Fatalf("%s: unfinished", tr)
+		}
+		if !h.Done() {
+			t.Fatalf("%s: not done", tr)
+		}
+	}
+}
+
+func TestLossRateTriggersTrimsForDCP(t *testing.T) {
+	c := NewCluster(ClusterSpec{Topology: Dumbbell, Hosts: 2, Transport: DCP, LossRate: 0.01})
+	h := c.Send(0, 1, 16<<20)
+	c.Run()
+	fs := c.Fabric()
+	if fs.TrimmedPackets == 0 || fs.HOPackets == 0 {
+		t.Fatalf("expected trims: %+v", fs)
+	}
+	if h.Retransmissions() == 0 {
+		t.Fatal("expected retransmissions")
+	}
+	if h.Timeouts() != 0 {
+		t.Fatal("HO path should avoid timeouts")
+	}
+}
+
+func TestClosCluster(t *testing.T) {
+	c := NewCluster(ClusterSpec{Topology: Clos, Hosts: 32, Transport: DCP})
+	if c.Hosts() != 32 {
+		t.Fatalf("hosts = %d", c.Hosts())
+	}
+	h := c.Send(0, 31, 4<<20) // cross-rack
+	if c.Run() != 0 {
+		t.Fatal("unfinished")
+	}
+	if !h.Done() {
+		t.Fatal("not done")
+	}
+}
+
+func TestInvalidSpecsPanic(t *testing.T) {
+	cases := []ClusterSpec{
+		{Transport: "bogus"},
+		{Topology: "ring"},
+		{Topology: Clos, Hosts: 17},
+	}
+	for i, spec := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			NewCluster(spec)
+		}()
+	}
+}
+
+func TestSendAtSchedulesLater(t *testing.T) {
+	c := NewCluster(ClusterSpec{Topology: Pair, Transport: DCP})
+	h := c.SendAt(0, 1, 1000, 5000) // start at 5 µs
+	c.Run()
+	if !h.Done() {
+		t.Fatal("not done")
+	}
+	if c.NowNanos() < 5000 {
+		t.Fatal("clock should pass the scheduled start")
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	c := NewCluster(ClusterSpec{Topology: Pair, Transport: DCP})
+	c.Send(0, 1, 64<<20)
+	left := c.RunFor(10_000) // 10 µs: nowhere near enough
+	if left == 0 {
+		t.Fatal("should not complete in 10us")
+	}
+	if c.Run() != 0 {
+		t.Fatal("completion")
+	}
+}
+
+func TestCollectives(t *testing.T) {
+	c := NewCluster(ClusterSpec{Topology: Dumbbell, Hosts: 8, Transport: DCP})
+	res := c.RunAllReduce([]int{0, 2, 4, 6}, 8<<20)
+	if res.JCTMillis <= 0 {
+		t.Fatalf("JCT %v", res.JCTMillis)
+	}
+	if res.Flows != 2*3*4 {
+		t.Fatalf("ring flows = %d", res.Flows)
+	}
+	c2 := NewCluster(ClusterSpec{Topology: Dumbbell, Hosts: 8, Transport: DCP})
+	res2 := c2.RunAllToAll([]int{0, 2, 4, 6}, 8<<20)
+	if res2.Flows != 4*3 {
+		t.Fatalf("alltoall flows = %d", res2.Flows)
+	}
+}
+
+func TestLongHaulSpec(t *testing.T) {
+	c := NewCluster(ClusterSpec{Topology: Dumbbell, Hosts: 2, Transport: DCP, LongHaulKm: 10})
+	h := c.Send(0, 1, 64<<20)
+	c.Run()
+	if h.Goodput() < 60 {
+		t.Fatalf("long-haul goodput %.1f", h.Goodput())
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 20 {
+		t.Fatalf("only %d experiments", len(exps))
+	}
+	out, err := RunExperiment("table1", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || !strings.Contains(out[0], "Tomahawk") {
+		t.Fatalf("table1 output: %v", out)
+	}
+	if _, err := RunExperiment("nope", 1, 1); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() float64 {
+		c := NewCluster(ClusterSpec{Topology: Dumbbell, Hosts: 2, Transport: DCP, LossRate: 0.02, Seed: 9})
+		h := c.Send(0, 1, 8<<20)
+		c.Run()
+		return h.FCTMicros()
+	}
+	if run() != run() {
+		t.Fatal("same seed must reproduce exactly")
+	}
+}
+
+func TestCaptureWritesPcap(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCluster(ClusterSpec{Topology: Dumbbell, Hosts: 2, Transport: DCP, LossRate: 0.02})
+	if err := c.Capture(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c.Send(0, 1, 1<<20)
+	c.Run()
+	if buf.Len() < 24+16+57 {
+		t.Fatalf("capture too small: %d bytes", buf.Len())
+	}
+	if binary.LittleEndian.Uint32(buf.Bytes()) != 0xa1b2c3d4 {
+		t.Fatal("bad pcap magic")
+	}
+}
+
+func TestRunWebSearchFacade(t *testing.T) {
+	res := RunWebSearch(WebSearchSpec{Transport: DCP, Flows: 50, Load: 0.2, Seed: 5})
+	if res.Unfinished != 0 {
+		t.Fatalf("%d unfinished", res.Unfinished)
+	}
+	if res.P50Slowdown < 1 || res.P95Slowdown < res.P50Slowdown {
+		t.Fatalf("slowdowns implausible: %+v", res)
+	}
+	if res.Timeouts != 0 {
+		t.Fatalf("DCP at load 0.2 should not time out: %+v", res)
+	}
+}

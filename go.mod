@@ -1,0 +1,3 @@
+module dcpsim
+
+go 1.22

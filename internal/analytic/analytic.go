@@ -1,0 +1,277 @@
+// Package analytic reproduces the paper's closed-form results: the PFC
+// lossless-distance budget (Table 1), the requirement matrix (Table 2), the
+// packet-tracking memory comparison (Table 3), the FPGA resource model
+// (Table 4 — a documented estimate, since the FPGA itself is hardware-
+// gated), and the theoretical packet-rate-vs-OOO-degree curves (Fig. 7).
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"dcpsim/internal/stats"
+	"dcpsim/internal/units"
+)
+
+// ASIC describes one commodity switching chip from Table 1.
+type ASIC struct {
+	Name        string
+	Ports       int
+	PortRate    units.Rate
+	BufferBytes int64
+}
+
+// Table1ASICs lists the chips of Table 1.
+func Table1ASICs() []ASIC {
+	const MB = 1 << 20 // vendor buffer sizes are quoted in MiB
+	return []ASIC{
+		{"Tomahawk 3", 32, 400 * units.Gbps, 64 * MB},
+		{"Tomahawk 5", 64, 800 * units.Gbps, 165 * MB},
+		{"Tofino 1", 32, 100 * units.Gbps, 20 * MB},
+		{"Tofino 2", 32, 400 * units.Gbps, 64 * MB},
+		{"Spectrum", 32, 100 * units.Gbps, 16 * MB},
+		{"Spectrum-4", 64, 800 * units.Gbps, 160 * MB},
+	}
+}
+
+// fiberDelayPerKm is the one-hop propagation delay of 1 km of fiber
+// (light at 2×10^8 m/s).
+const fiberDelayPerKm = 5 * units.Microsecond
+
+// BufferPer100G returns the buffer available per port per 100 Gbps in
+// bytes.
+func (a ASIC) BufferPer100G() float64 {
+	units100G := float64(a.Ports) * float64(a.PortRate) / float64(100*units.Gbps)
+	return float64(a.BufferBytes) / units100G
+}
+
+// LosslessKm evaluates Eq. 1: the maximum distance at which PFC headroom
+// still covers 2× the in-flight bytes, with the per-port buffer split
+// across queues.
+func (a ASIC) LosslessKm(queues int) float64 {
+	buf := a.BufferPer100G() / float64(queues)
+	// L = buffer / (bandwidth × delay-per-km × 2); bandwidth is the
+	// normalized 100 Gbps.
+	bytesPerKm := float64(units.BytesIn(fiberDelayPerKm, 100*units.Gbps))
+	return buf / (bytesPerKm * 2)
+}
+
+// Table1 renders Table 1.
+func Table1() *stats.Table {
+	t := &stats.Table{
+		Name:    "Table 1: max lossless distance with PFC",
+		Columns: []string{"ASIC", "capacity", "buffer", "buf/port/100G", "max km (1q)", "max m (8q)"},
+	}
+	for _, a := range Table1ASICs() {
+		t.AddRow(
+			a.Name,
+			fmt.Sprintf("%dx%s", a.Ports, a.PortRate),
+			fmt.Sprintf("%dMB", a.BufferBytes>>20),
+			fmt.Sprintf("%.2fMB", a.BufferPer100G()/(1<<20)),
+			fmt.Sprintf("%.2f", a.LosslessKm(1)),
+			fmt.Sprintf("%.0f", a.LosslessKm(8)*1000),
+		)
+	}
+	return t
+}
+
+// Scheme capability flags for Table 2.
+type Scheme struct {
+	Name                            string
+	PFCFree, PktLB, FastRetx, HWFit bool
+}
+
+// Table2Schemes returns the requirement matrix of Table 2.
+func Table2Schemes() []Scheme {
+	return []Scheme{
+		{"RNIC-GBN", false, false, false, true},
+		{"RNIC-SR (IRN)", true, false, false, true},
+		{"MPTCP", true, true, false, false},
+		{"NDP", true, true, true, false},
+		{"CP", true, true, true, false},
+		{"MP-RDMA", false, true, false, true},
+		{"DCP", true, true, true, true},
+	}
+}
+
+// Table2 renders Table 2.
+func Table2() *stats.Table {
+	t := &stats.Table{
+		Name:    "Table 2: DCP vs closely related works (R1 PFC-free, R2 packet-LB, R3 fast retx, R4 HW)",
+		Columns: []string{"scheme", "R1", "R2", "R3", "R4"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, s := range Table2Schemes() {
+		t.AddRow(s.Name, mark(s.PFCFree), mark(s.PktLB), mark(s.FastRetx), mark(s.HWFit))
+	}
+	return t
+}
+
+// TrackingParams fixes the Table 3 / Fig. 7 scenario.
+type TrackingParams struct {
+	Bandwidth units.Rate
+	RTT       units.Time
+	MTU       int
+	// Bitmaps is how many per-QP bitmaps an SR RNIC keeps (SRNIC-style
+	// designs track acked/sacked/retransmitted/... separately).
+	Bitmaps int
+	// ChunkBits is the linked-chunk granularity.
+	ChunkBits int
+	// Messages and CounterBits size DCP's per-message tracking.
+	Messages    int
+	CounterBits int
+	QPs         int
+}
+
+// DefaultTracking matches §4.5: 400 Gbps, 10 µs RTT, 1 KB MTU, 5 bitmaps,
+// 128-bit chunks, 8 messages × 14-bit counters (+2 flag bits), 10k QPs.
+func DefaultTracking() TrackingParams {
+	return TrackingParams{
+		Bandwidth:   400 * units.Gbps,
+		RTT:         10 * units.Microsecond,
+		MTU:         1000,
+		Bitmaps:     5,
+		ChunkBits:   128,
+		Messages:    8,
+		CounterBits: 14,
+		QPs:         10000,
+	}
+}
+
+// BDPPackets returns the bandwidth-delay product in packets.
+func (p TrackingParams) BDPPackets() int {
+	return units.BDP(p.Bandwidth, p.RTT) / p.MTU
+}
+
+// BitmapBytesPerQP returns the BDP-sized bitmap footprint per QP, rounded
+// up to 64-byte SRAM lines.
+func (p TrackingParams) BitmapBytesPerQP() int {
+	bits := p.BDPPackets() * p.Bitmaps
+	return (bits/8 + 63) / 64 * 64
+}
+
+// ChunkBytesPerQP returns the linked-chunk footprint range [min, max] per
+// QP: one chunk when in order, up to the BDP-sized footprint under heavy
+// reordering.
+func (p TrackingParams) ChunkBytesPerQP() (int, int) {
+	min := p.ChunkBits / 8 * p.Bitmaps
+	return min, p.BitmapBytesPerQP()
+}
+
+// DCPBytesPerQP returns the bitmap-free footprint per QP: per-message
+// counter + mcf + cf, plus QPC-resident eMSN/rRetryNo bytes.
+func (p TrackingParams) DCPBytesPerQP() int {
+	perMsg := (p.CounterBits + 2 + 7) / 8 // counter + mcf + cf bits
+	const qpcExtra = 16                   // eMSN, rRetryNo, unaMSN, timers
+	return p.Messages*perMsg + qpcExtra
+}
+
+// Table3 renders Table 3.
+func Table3(p TrackingParams) *stats.Table {
+	t := &stats.Table{
+		Name:    "Table 3: memory overhead for packet tracking",
+		Columns: []string{"scheme", "per-QP", "10k QPs"},
+	}
+	mb := func(b int) string { return fmt.Sprintf("%.2fMB", float64(b)*float64(p.QPs)/1e6) }
+	bd := p.BitmapBytesPerQP()
+	cmin, cmax := p.ChunkBytesPerQP()
+	dcp := p.DCPBytesPerQP()
+	t.AddRow("BDP-sized bitmap", fmt.Sprintf("%dB", bd), mb(bd))
+	t.AddRow("Linked chunk", fmt.Sprintf("%dB~%dB", cmin, cmax), mb(cmin)+"~"+mb(cmax))
+	t.AddRow("DCP (bitmap-free)", fmt.Sprintf("%dB", dcp), mb(dcp))
+	return t
+}
+
+// PPSParams fixes the Fig. 7 pipeline model.
+type PPSParams struct {
+	ClockHz float64
+	// Cycles per packet for each scheme; the linked chunk adds
+	// ChainCycles per traversed chunk.
+	DCPCycles, BitmapCycles, ChainBase, ChainCycles float64
+	ChunkBits                                       int
+}
+
+// DefaultPPS matches the 300 MHz prototype clock.
+func DefaultPPS() PPSParams {
+	return PPSParams{
+		ClockHz:      300e6,
+		DCPCycles:    5, // address the counter, increment, compare
+		BitmapCycles: 6, // compute slot address, read-modify-write
+		ChainBase:    3,
+		ChainCycles:  3,
+		ChunkBits:    128,
+	}
+}
+
+// PPS returns the theoretical packet rate (Mpps) of each scheme at the
+// given out-of-order degree.
+func (p PPSParams) PPS(oooDegree int) (dcp, bitmap, chunk float64) {
+	dcp = p.ClockHz / p.DCPCycles / 1e6
+	bitmap = p.ClockHz / p.BitmapCycles / 1e6
+	chains := math.Ceil(float64(oooDegree+1) / float64(p.ChunkBits))
+	chunk = p.ClockHz / (p.ChainBase + p.ChainCycles*chains) / 1e6
+	return
+}
+
+// Fig7 renders the packet-rate series.
+func Fig7(p PPSParams, degrees []int) *stats.Table {
+	if degrees == nil {
+		degrees = []int{0, 64, 128, 192, 256, 320, 384, 448}
+	}
+	t := &stats.Table{
+		Name:    "Fig 7: theoretical packet rate vs OOO degree (Mpps)",
+		Columns: []string{"ooo", "BDP-sized", "DCP", "linked-chunk"},
+	}
+	for _, d := range degrees {
+		dcp, bm, ch := p.PPS(d)
+		t.AddRow(d, bm, dcp, ch)
+	}
+	return t
+}
+
+// ResourceModel estimates FPGA resource usage (Table 4). The baseline
+// numbers are the paper's RNIC-GBN measurements; DCP deltas come from a
+// per-module cost model of what §4 adds (RetransQ DMA engine, per-message
+// counters, header extension mux). This is a substitution for the
+// hardware-gated measurement, documented in DESIGN.md.
+type ResourceModel struct {
+	BaseLUT, BaseReg, BaseBRAM, BaseURAM     int
+	TotalLUT, TotalReg, TotalBRAM, TotalURAM int
+	DeltaLUT, DeltaReg, DeltaBRAM, DeltaURAM int
+}
+
+// DefaultResources returns the Table 4 model.
+func DefaultResources() ResourceModel {
+	return ResourceModel{
+		BaseLUT: 66000, BaseReg: 102000, BaseBRAM: 408, BaseURAM: 38,
+		TotalLUT: 1216000, TotalReg: 2880000, TotalBRAM: 2016, TotalURAM: 960,
+		// DCP adds: HO parse/bounce path (+400 LUT), RetransQ DMA +
+		// batching (+500 LUT, +800 reg), message counters in BRAM (+4),
+		// and removes the BDP bitmap URAM bank (−1 URAM).
+		DeltaLUT: 1000, DeltaReg: 1000, DeltaBRAM: 4, DeltaURAM: -1,
+	}
+}
+
+// Table4 renders Table 4.
+func Table4(m ResourceModel) *stats.Table {
+	t := &stats.Table{
+		Name:    "Table 4: prototype resource usage (model)",
+		Columns: []string{"scheme", "LUT", "Registers", "BRAM", "URAM"},
+	}
+	row := func(name string, lut, reg, bram, uram int) {
+		t.AddRow(name,
+			fmt.Sprintf("%dk (%.1f%%)", lut/1000, 100*float64(lut)/float64(m.TotalLUT)),
+			fmt.Sprintf("%dk (%.1f%%)", reg/1000, 100*float64(reg)/float64(m.TotalReg)),
+			fmt.Sprintf("%d (%.0f%%)", bram, 100*float64(bram)/float64(m.TotalBRAM)),
+			fmt.Sprintf("%d (%.1f%%)", uram, 100*float64(uram)/float64(m.TotalURAM)),
+		)
+	}
+	row("RNIC-GBN", m.BaseLUT, m.BaseReg, m.BaseBRAM, m.BaseURAM)
+	row("DCP-RNIC", m.BaseLUT+m.DeltaLUT, m.BaseReg+m.DeltaReg, m.BaseBRAM+m.DeltaBRAM, m.BaseURAM+m.DeltaURAM)
+	return t
+}

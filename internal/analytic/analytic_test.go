@@ -1,0 +1,148 @@
+package analytic
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// The paper's Table 1 values (km at 1 queue / m at 8 queues), allowing
+	// rounding slack from MB conventions.
+	want := map[string]float64{
+		"Tomahawk 3": 4.1, "Tomahawk 5": 2.62, "Tofino 1": 5.08,
+		"Tofino 2": 4.1, "Spectrum": 4.1, "Spectrum-4": 2.56,
+	}
+	for _, a := range Table1ASICs() {
+		got := a.LosslessKm(1)
+		if math.Abs(got-want[a.Name])/want[a.Name] > 0.05 {
+			t.Errorf("%s: %0.2f km, paper says %.2f", a.Name, got, want[a.Name])
+		}
+		// 8 queues divide the distance by 8.
+		if math.Abs(a.LosslessKm(8)*8-got) > 1e-9 {
+			t.Errorf("%s: queue division broken", a.Name)
+		}
+	}
+}
+
+func TestBufferPer100G(t *testing.T) {
+	// Tomahawk 3: 64 MiB over 32x400G = 128 units of 100G -> 0.5 MiB.
+	a := Table1ASICs()[0]
+	if math.Abs(a.BufferPer100G()-0.5*(1<<20)) > 1 {
+		t.Fatalf("buf/100G = %v", a.BufferPer100G())
+	}
+}
+
+func TestTable2Matrix(t *testing.T) {
+	byName := map[string]Scheme{}
+	for _, s := range Table2Schemes() {
+		byName[s.Name] = s
+	}
+	dcp := byName["DCP"]
+	if !(dcp.PFCFree && dcp.PktLB && dcp.FastRetx && dcp.HWFit) {
+		t.Fatal("DCP must satisfy all four requirements")
+	}
+	gbn := byName["RNIC-GBN"]
+	if gbn.PFCFree || gbn.PktLB || gbn.FastRetx || !gbn.HWFit {
+		t.Fatal("RNIC-GBN row wrong")
+	}
+	mp := byName["MP-RDMA"]
+	if mp.PFCFree || !mp.PktLB || mp.FastRetx || !mp.HWFit {
+		t.Fatal("MP-RDMA row wrong")
+	}
+	ndp := byName["NDP"]
+	if !ndp.PFCFree || !ndp.PktLB || !ndp.FastRetx || ndp.HWFit {
+		t.Fatal("NDP row wrong")
+	}
+	// Only DCP satisfies everything.
+	for _, s := range Table2Schemes() {
+		if s.Name != "DCP" && s.PFCFree && s.PktLB && s.FastRetx && s.HWFit {
+			t.Fatalf("%s must not satisfy all requirements", s.Name)
+		}
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	p := DefaultTracking()
+	if p.BDPPackets() != 500 {
+		t.Fatalf("BDP packets = %d, want 500", p.BDPPackets())
+	}
+	if got := p.BitmapBytesPerQP(); got != 320 {
+		t.Fatalf("BDP-sized bitmap per QP = %dB, paper says 320B", got)
+	}
+	min, max := p.ChunkBytesPerQP()
+	if min != 80 || max != 320 {
+		t.Fatalf("linked chunk = %d~%dB, paper says 80~320B", min, max)
+	}
+	if got := p.DCPBytesPerQP(); got != 32 {
+		t.Fatalf("DCP per QP = %dB, paper says 32B", got)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	p := DefaultPPS()
+	dcp0, bm0, ch0 := p.PPS(0)
+	// DCP and BDP-sized bitmaps are constant in OOO degree; DCP is faster.
+	dcp448, bm448, ch448 := p.PPS(448)
+	if dcp0 != dcp448 || bm0 != bm448 {
+		t.Fatal("constant-time schemes must not vary with OOO degree")
+	}
+	if dcp0 <= bm0 {
+		t.Fatal("DCP counting must beat bitmap access")
+	}
+	// Linked chunk decays monotonically.
+	prev := ch0
+	for d := 64; d <= 448; d += 64 {
+		_, _, ch := p.PPS(d)
+		if ch > prev {
+			t.Fatalf("linked-chunk pps must decay, rose at %d", d)
+		}
+		prev = ch
+	}
+	if ch448 >= ch0/2 {
+		t.Fatalf("expected ≥2x degradation at 448 OOO: %v vs %v", ch448, ch0)
+	}
+	// 300 MHz / 5 cycles = 60 Mpps for DCP.
+	if math.Abs(dcp0-60) > 1e-9 {
+		t.Fatalf("DCP pps = %v", dcp0)
+	}
+}
+
+func TestTable4Deltas(t *testing.T) {
+	m := DefaultResources()
+	// The paper: DCP adds ~1.7% LUT, ~1.1% BRAM over GBN and slightly
+	// fewer URAM.
+	lutPct := float64(m.DeltaLUT) / float64(m.BaseLUT)
+	if lutPct < 0.005 || lutPct > 0.03 {
+		t.Fatalf("LUT delta %.3f%% out of the paper's ballpark", lutPct*100)
+	}
+	if m.DeltaURAM >= 0 {
+		t.Fatal("DCP should shed URAM (bitmap bank removed)")
+	}
+	tbl := Table4(m)
+	if len(tbl.Rows) != 2 {
+		t.Fatal("two schemes")
+	}
+	if !strings.Contains(tbl.Rows[0][0], "GBN") || !strings.Contains(tbl.Rows[1][0], "DCP") {
+		t.Fatal("row names")
+	}
+}
+
+func TestRenderedTables(t *testing.T) {
+	for name, s := range map[string]string{
+		"t1":   Table1().String(),
+		"t2":   Table2().String(),
+		"t3":   Table3(DefaultTracking()).String(),
+		"t4":   Table4(DefaultResources()).String(),
+		"fig7": Fig7(DefaultPPS(), nil).String(),
+	} {
+		if len(s) < 50 || !strings.Contains(s, "##") {
+			t.Errorf("%s renders poorly:\n%s", name, s)
+		}
+	}
+	// Fig 7 with custom degrees.
+	tbl := Fig7(DefaultPPS(), []int{0, 1})
+	if len(tbl.Rows) != 2 {
+		t.Fatal("custom degrees")
+	}
+}

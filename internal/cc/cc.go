@@ -1,0 +1,187 @@
+// Package cc implements congestion control for the simulated RNICs. DCP's
+// retransmission logic is decoupled from CC (§4.3); transports consult a
+// Controller for send eligibility only. Provided controllers: a BDP-based
+// flow-control window (IRN's and DCP's default), DCQCN (the paper's CC
+// integration), a static rate, and composition.
+package cc
+
+import (
+	"dcpsim/internal/sim"
+	"dcpsim/internal/units"
+)
+
+// Controller gates packet transmission for one QP.
+type Controller interface {
+	// CanSend reports whether pktBytes may be sent now with inflight
+	// unacknowledged bytes outstanding. If not, eligibleAt hints when to
+	// retry (0 means "wait for an acknowledgment or other event").
+	CanSend(now units.Time, inflight, pktBytes int) (ok bool, eligibleAt units.Time)
+	// OnSent informs the controller a packet left the NIC.
+	OnSent(now units.Time, bytes int)
+	// OnAck informs the controller of acknowledged bytes and a measured
+	// RTT (0 if unknown).
+	OnAck(now units.Time, bytes int, rtt units.Time)
+	// OnCongestion delivers a congestion signal (CNP arrival).
+	OnCongestion(now units.Time)
+	// Rate reports the current sending rate for diagnostics.
+	Rate() units.Rate
+	// Close stops any internal timers.
+	Close()
+}
+
+// Factory builds a Controller for a QP whose bottleneck link runs at rate
+// with base round-trip time rtt.
+type Factory func(eng *sim.Engine, link units.Rate, rtt units.Time) Controller
+
+// Window caps unacknowledged bytes, the "BDP-based flow control" both IRN
+// and DCP employ when no CC is integrated.
+type Window struct {
+	Limit int
+}
+
+// NewBDPFactory returns a Factory producing a window of mult×BDP (+1 MTU so
+// a full window still admits the next packet).
+func NewBDPFactory(mult float64) Factory {
+	return func(eng *sim.Engine, link units.Rate, rtt units.Time) Controller {
+		w := int(float64(units.BDP(link, rtt)) * mult)
+		return &Window{Limit: w + 2000}
+	}
+}
+
+// CanSend implements Controller.
+func (w *Window) CanSend(_ units.Time, inflight, pktBytes int) (bool, units.Time) {
+	if inflight+pktBytes <= w.Limit || inflight == 0 {
+		return true, 0
+	}
+	return false, 0
+}
+
+// OnSent implements Controller.
+func (w *Window) OnSent(units.Time, int) {}
+
+// OnAck implements Controller.
+func (w *Window) OnAck(units.Time, int, units.Time) {}
+
+// OnCongestion implements Controller.
+func (w *Window) OnCongestion(units.Time) {}
+
+// Rate implements Controller.
+func (w *Window) Rate() units.Rate { return 0 }
+
+// Close implements Controller.
+func (w *Window) Close() {}
+
+// StaticRate paces packets at a fixed rate with no window (line-rate RoCE
+// under PFC).
+type StaticRate struct {
+	R        units.Rate
+	nextSend units.Time
+}
+
+// NewLineRateFactory returns a Factory pacing at the link rate.
+func NewLineRateFactory() Factory {
+	return func(eng *sim.Engine, link units.Rate, rtt units.Time) Controller {
+		return &StaticRate{R: link}
+	}
+}
+
+// CanSend implements Controller.
+func (s *StaticRate) CanSend(now units.Time, _, _ int) (bool, units.Time) {
+	if now >= s.nextSend {
+		return true, 0
+	}
+	return false, s.nextSend
+}
+
+// OnSent implements Controller.
+func (s *StaticRate) OnSent(now units.Time, bytes int) {
+	start := s.nextSend
+	if now > start {
+		start = now
+	}
+	s.nextSend = start + units.TxTime(bytes, s.R)
+}
+
+// OnAck implements Controller.
+func (s *StaticRate) OnAck(units.Time, int, units.Time) {}
+
+// OnCongestion implements Controller.
+func (s *StaticRate) OnCongestion(units.Time) {}
+
+// Rate implements Controller.
+func (s *StaticRate) Rate() units.Rate { return s.R }
+
+// Close implements Controller.
+func (s *StaticRate) Close() {}
+
+// Combined requires every sub-controller to admit a packet (e.g. DCQCN rate
+// + BDP window).
+type Combined struct {
+	Ctls []Controller
+}
+
+// Combine composes factories.
+func Combine(fs ...Factory) Factory {
+	return func(eng *sim.Engine, link units.Rate, rtt units.Time) Controller {
+		c := &Combined{}
+		for _, f := range fs {
+			c.Ctls = append(c.Ctls, f(eng, link, rtt))
+		}
+		return c
+	}
+}
+
+// CanSend implements Controller.
+func (c *Combined) CanSend(now units.Time, inflight, pktBytes int) (bool, units.Time) {
+	var when units.Time
+	ok := true
+	for _, ctl := range c.Ctls {
+		o, at := ctl.CanSend(now, inflight, pktBytes)
+		if !o {
+			ok = false
+			if at > when {
+				when = at
+			}
+		}
+	}
+	return ok, when
+}
+
+// OnSent implements Controller.
+func (c *Combined) OnSent(now units.Time, bytes int) {
+	for _, ctl := range c.Ctls {
+		ctl.OnSent(now, bytes)
+	}
+}
+
+// OnAck implements Controller.
+func (c *Combined) OnAck(now units.Time, bytes int, rtt units.Time) {
+	for _, ctl := range c.Ctls {
+		ctl.OnAck(now, bytes, rtt)
+	}
+}
+
+// OnCongestion implements Controller.
+func (c *Combined) OnCongestion(now units.Time) {
+	for _, ctl := range c.Ctls {
+		ctl.OnCongestion(now)
+	}
+}
+
+// Rate implements Controller.
+func (c *Combined) Rate() units.Rate {
+	var r units.Rate
+	for _, ctl := range c.Ctls {
+		if cr := ctl.Rate(); r == 0 || (cr > 0 && cr < r) {
+			r = cr
+		}
+	}
+	return r
+}
+
+// Close implements Controller.
+func (c *Combined) Close() {
+	for _, ctl := range c.Ctls {
+		ctl.Close()
+	}
+}

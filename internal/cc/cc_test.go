@@ -1,0 +1,187 @@
+package cc
+
+import (
+	"testing"
+
+	"dcpsim/internal/sim"
+	"dcpsim/internal/units"
+)
+
+func TestWindowAdmitsUpToLimit(t *testing.T) {
+	w := &Window{Limit: 10000}
+	if ok, _ := w.CanSend(0, 0, 1000); !ok {
+		t.Fatal("empty window must admit")
+	}
+	if ok, _ := w.CanSend(0, 9000, 1000); !ok {
+		t.Fatal("exactly at limit must admit")
+	}
+	if ok, _ := w.CanSend(0, 9500, 1000); ok {
+		t.Fatal("over limit must refuse")
+	}
+	// A stalled QP with zero inflight must always be allowed to make
+	// progress, even with a pathological limit.
+	w2 := &Window{Limit: 10}
+	if ok, _ := w2.CanSend(0, 0, 1000); !ok {
+		t.Fatal("zero inflight must always admit one packet")
+	}
+}
+
+func TestBDPFactorySizesWindow(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ctl := NewBDPFactory(1)(eng, 100*units.Gbps, 10*units.Microsecond)
+	w := ctl.(*Window)
+	// BDP = 125 KB plus one-MTU slack.
+	if w.Limit != 125000+2000 {
+		t.Fatalf("window = %d", w.Limit)
+	}
+	ctl2 := NewBDPFactory(2)(eng, 100*units.Gbps, 10*units.Microsecond)
+	if ctl2.(*Window).Limit != 250000+2000 {
+		t.Fatal("multiplier not applied")
+	}
+}
+
+func TestStaticRatePaces(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ctl := NewLineRateFactory()(eng, 100*units.Gbps, 0)
+	if ok, _ := ctl.CanSend(0, 0, 1000); !ok {
+		t.Fatal("first packet immediate")
+	}
+	ctl.OnSent(0, 1000)
+	ok, at := ctl.CanSend(0, 0, 1000)
+	if ok {
+		t.Fatal("must pace")
+	}
+	want := units.TxTime(1000, 100*units.Gbps)
+	if at != want {
+		t.Fatalf("eligible at %v, want %v", at, want)
+	}
+	if ok, _ := ctl.CanSend(want, 0, 1000); !ok {
+		t.Fatal("eligible after pacing gap")
+	}
+	if ctl.Rate() != 100*units.Gbps {
+		t.Fatal("rate")
+	}
+}
+
+func TestDCQCNDecreaseOnCNP(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ctl := NewDCQCNFactory(DefaultDCQCNConfig())(eng, 100*units.Gbps, 10*units.Microsecond)
+	d := ctl.(*DCQCN)
+	if d.Rate() != 100*units.Gbps {
+		t.Fatal("starts at line rate")
+	}
+	d.OnCongestion(0)
+	// alpha starts at 1: first cut halves the rate.
+	if d.Rate() != 50*units.Gbps {
+		t.Fatalf("rate after first CNP = %v", d.Rate())
+	}
+	r1 := d.Rate()
+	d.OnCongestion(0)
+	if d.Rate() >= r1 {
+		t.Fatal("rate must keep decreasing under CNPs")
+	}
+	if d.Rate() < DefaultDCQCNConfig().MinRate {
+		t.Fatal("rate must respect the floor")
+	}
+}
+
+func TestDCQCNRecoversTowardLineRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultDCQCNConfig()
+	ctl := NewDCQCNFactory(cfg)(eng, 100*units.Gbps, 10*units.Microsecond)
+	d := ctl.(*DCQCN)
+	d.OnCongestion(eng.Now())
+	low := d.Rate()
+	// Let the increase timers run for a while with no further congestion.
+	eng.Run(5 * units.Millisecond)
+	if d.Rate() <= low {
+		t.Fatalf("rate did not recover: %v -> %v", low, d.Rate())
+	}
+	if d.Rate() > 100*units.Gbps {
+		t.Fatal("rate must not exceed line rate")
+	}
+	d.Close()
+	if eng.Run(0); d.Rate() > 100*units.Gbps {
+		t.Fatal("close must stop growth")
+	}
+}
+
+func TestDCQCNAlphaDecays(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultDCQCNConfig()
+	ctl := NewDCQCNFactory(cfg)(eng, 100*units.Gbps, 10*units.Microsecond)
+	d := ctl.(*DCQCN)
+	d.OnCongestion(eng.Now())
+	a0 := d.alpha
+	eng.Run(eng.Now() + 10*cfg.AlphaTimer)
+	if d.alpha >= a0 {
+		t.Fatalf("alpha did not decay: %v -> %v", a0, d.alpha)
+	}
+	d.Close()
+}
+
+func TestDCQCNByteCounterTriggersIncrease(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultDCQCNConfig()
+	cfg.ByteCounter = 10000
+	ctl := NewDCQCNFactory(cfg)(eng, 100*units.Gbps, 10*units.Microsecond)
+	d := ctl.(*DCQCN)
+	d.OnCongestion(0)
+	low := d.Rate()
+	for i := 0; i < 20; i++ {
+		d.OnSent(eng.Now(), 1000)
+	}
+	if d.Rate() <= low {
+		t.Fatal("byte-counter stages must raise the rate")
+	}
+	d.Close()
+}
+
+func TestDCQCNPacing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ctl := NewDCQCNFactory(DefaultDCQCNConfig())(eng, 100*units.Gbps, 10*units.Microsecond)
+	ctl.OnSent(0, 1000)
+	ok, at := ctl.CanSend(0, 0, 1000)
+	if ok || at == 0 {
+		t.Fatal("DCQCN must pace at Rc")
+	}
+	ctl.Close()
+}
+
+func TestCombinedRequiresAll(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := Combine(NewLineRateFactory(), NewBDPFactory(1))
+	ctl := f(eng, 100*units.Gbps, 10*units.Microsecond)
+	// Window open, rate busy:
+	ctl.OnSent(0, 1000)
+	if ok, at := ctl.CanSend(0, 0, 1000); ok || at == 0 {
+		t.Fatal("rate member must gate")
+	}
+	// Rate free, window full:
+	later := units.TxTime(1000, 100*units.Gbps)
+	if ok, _ := ctl.CanSend(later, 1<<20, 1000); ok {
+		t.Fatal("window member must gate")
+	}
+	if ok, _ := ctl.CanSend(later, 0, 1000); !ok {
+		t.Fatal("both open must admit")
+	}
+	ctl.OnAck(later, 1000, 0)
+	ctl.OnCongestion(later)
+	if ctl.Rate() != 100*units.Gbps {
+		t.Fatalf("combined rate = %v", ctl.Rate())
+	}
+	ctl.Close()
+}
+
+func TestDCQCNWindowFactoryComposes(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ctl := NewDCQCNWindowFactory(DefaultDCQCNConfig(), 1)(eng, 100*units.Gbps, 10*units.Microsecond)
+	c, ok := ctl.(*Combined)
+	if !ok || len(c.Ctls) != 2 {
+		t.Fatal("expected two members")
+	}
+	if ok2, _ := ctl.CanSend(0, 1<<20, 1000); ok2 {
+		t.Fatal("window cap must hold inside composition")
+	}
+	ctl.Close()
+}

@@ -1,0 +1,167 @@
+package cc
+
+import (
+	"dcpsim/internal/sim"
+	"dcpsim/internal/units"
+)
+
+// DCQCNConfig holds the reaction-point parameters of DCQCN (Zhu et al.,
+// SIGCOMM'15), with the defaults used by public RDMA simulators at 100 Gbps.
+type DCQCNConfig struct {
+	G             float64    // alpha EWMA gain
+	AlphaTimer    units.Time // alpha decay interval when no CNP arrives
+	IncreaseTimer units.Time // rate-increase timer period
+	ByteCounter   int        // rate-increase byte threshold
+	RateAI        units.Rate // additive increase step
+	RateHAI       units.Rate // hyper increase step
+	FastStages    int        // stages of fast recovery before additive increase
+	MinRate       units.Rate
+	// CNPInterval is the notification-point minimum gap between CNPs per
+	// flow; receivers use it (exported here so both ends share config).
+	CNPInterval units.Time
+}
+
+// DefaultDCQCNConfig returns parameters scaled for 100 Gbps fabrics.
+func DefaultDCQCNConfig() DCQCNConfig {
+	return DCQCNConfig{
+		G:             1.0 / 256,
+		AlphaTimer:    55 * units.Microsecond,
+		IncreaseTimer: 55 * units.Microsecond,
+		ByteCounter:   10 * units.MB,
+		RateAI:        400 * units.Mbps,
+		RateHAI:       4 * units.Gbps,
+		FastStages:    5,
+		MinRate:       100 * units.Mbps,
+		CNPInterval:   50 * units.Microsecond,
+	}
+}
+
+// DCQCN is the reaction-point state machine: the current rate Rc is cut
+// multiplicatively on each CNP (scaled by alpha) and recovered through fast
+// recovery, additive increase and hyper increase phases driven by a timer
+// and a byte counter.
+type DCQCN struct {
+	cfg  DCQCNConfig
+	eng  *sim.Engine
+	link units.Rate
+
+	rc, rt   units.Rate
+	alpha    float64
+	nextSend units.Time
+
+	bytes      int // byte counter since last stage bump
+	timerStage int // increase events from the timer
+	byteStage  int // increase events from the byte counter
+
+	alphaT *sim.Timer
+	incT   *sim.Timer
+	closed bool
+}
+
+// NewDCQCNFactory returns a Factory producing DCQCN controllers starting at
+// line rate.
+func NewDCQCNFactory(cfg DCQCNConfig) Factory {
+	return func(eng *sim.Engine, link units.Rate, rtt units.Time) Controller {
+		d := &DCQCN{cfg: cfg, eng: eng, link: link, rc: link, rt: link, alpha: 1}
+		d.alphaT = sim.NewTimer(eng, d.alphaTick)
+		d.incT = sim.NewTimer(eng, d.timerTick)
+		return d
+	}
+}
+
+// NewDCQCNWindowFactory composes DCQCN with a BDP window cap, the
+// configuration the paper calls "DCP+CC" / "IRN+CC".
+func NewDCQCNWindowFactory(cfg DCQCNConfig, windowMult float64) Factory {
+	return Combine(NewDCQCNFactory(cfg), NewBDPFactory(windowMult))
+}
+
+// CanSend implements Controller: pure rate pacing.
+func (d *DCQCN) CanSend(now units.Time, _, _ int) (bool, units.Time) {
+	if now >= d.nextSend {
+		return true, 0
+	}
+	return false, d.nextSend
+}
+
+// OnSent implements Controller.
+func (d *DCQCN) OnSent(now units.Time, bytes int) {
+	start := d.nextSend
+	if now > start {
+		start = now
+	}
+	d.nextSend = start + units.TxTime(bytes, d.rc)
+	d.bytes += bytes
+	if d.bytes >= d.cfg.ByteCounter {
+		d.bytes = 0
+		d.byteStage++
+		d.increase()
+	}
+}
+
+// OnAck implements Controller.
+func (d *DCQCN) OnAck(units.Time, int, units.Time) {}
+
+// OnCongestion implements Controller: the multiplicative decrease on CNP.
+func (d *DCQCN) OnCongestion(now units.Time) {
+	if d.closed {
+		return
+	}
+	d.rt = d.rc
+	d.rc = units.Rate(float64(d.rc) * (1 - d.alpha/2))
+	if d.rc < d.cfg.MinRate {
+		d.rc = d.cfg.MinRate
+	}
+	d.alpha = (1-d.cfg.G)*d.alpha + d.cfg.G
+	d.bytes = 0
+	d.timerStage = 0
+	d.byteStage = 0
+	d.alphaT.Reset(d.cfg.AlphaTimer)
+	d.incT.Reset(d.cfg.IncreaseTimer)
+}
+
+func (d *DCQCN) alphaTick() {
+	d.alpha *= 1 - d.cfg.G
+	if !d.closed {
+		d.alphaT.Reset(d.cfg.AlphaTimer)
+	}
+}
+
+func (d *DCQCN) timerTick() {
+	d.timerStage++
+	d.increase()
+	if !d.closed {
+		d.incT.Reset(d.cfg.IncreaseTimer)
+	}
+}
+
+// increase advances one stage of rate recovery. The stage counters follow
+// the DCQCN paper: fast recovery while both counters are below FastStages,
+// then additive increase, then hyper increase once both exceed it.
+func (d *DCQCN) increase() {
+	f := d.cfg.FastStages
+	switch {
+	case d.timerStage < f && d.byteStage < f:
+		// Fast recovery: halve toward target.
+	case d.timerStage > f && d.byteStage > f:
+		d.rt += d.cfg.RateHAI
+	default:
+		d.rt += d.cfg.RateAI
+	}
+	if d.rt > d.link {
+		d.rt = d.link
+	}
+	d.rc = (d.rc + d.rt) / 2
+	if d.rc < d.cfg.MinRate {
+		d.rc = d.cfg.MinRate
+	}
+}
+
+// Rate implements Controller.
+func (d *DCQCN) Rate() units.Rate { return d.rc }
+
+// Close implements Controller.
+func (d *DCQCN) Close() {
+	d.closed = true
+	d.alphaT.Stop()
+	d.incT.Stop()
+}

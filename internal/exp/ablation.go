@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/topo"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// AblationWRRWeight sweeps the WRR control-queue weight under heavy incast,
+// validating the §4.2 weight law: small weights leak HO packets, larger
+// weights keep the control plane lossless.
+func AblationWRRWeight(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Ablation: WRR weight vs HO loss (255-to-1 incast + WebSearch 0.3, 128 KB control queue)",
+		Columns: []string{"wrr_weight", "HO_loss", "trimmed", "bg_P95_slowdown"},
+	}
+	for _, w := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+		o := closOpts{
+			load: 0.3, flows: cfg.flows(500),
+			incastFanin: 255, incastLoad: 0.1, incastSize: 64 << 10,
+			incastCount: cfg.events(6),
+			wrrWeight:   w,
+			// A shallow control queue makes the drain-rate law visible:
+			// below the §4.2 weight the HO arrival rate outruns the
+			// control queue's bandwidth share and headers drop.
+			ctrlCap: 128 << 10,
+		}
+		s := runClos(cfg, SchemeDCP(false), o)
+		c := s.Net.Counters()
+		loss := 0.0
+		if tot := c.DroppedHO + c.HOEnqueued; tot > 0 {
+			loss = float64(c.DroppedHO) / float64(tot)
+		}
+		var slows []float64
+		for _, f := range s.Col.FinishedFlows("bg") {
+			slows = append(slows, f.Slowdown())
+		}
+		t.AddRow(fmt.Sprintf("%.2f", w), fmt.Sprintf("%.4f%%", loss*100), c.TrimmedPkts, stats.Percentile(slows, 95))
+	}
+	return []*stats.Table{t}
+}
+
+// AblationRetransBatch compares the batched RetransQ fetch against the
+// per-HO strawman (challenge #1 of §4.3: two PCIe transactions per HO cap
+// recovery throughput).
+func AblationRetransBatch(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Ablation: RetransQ batched fetch vs per-HO fetch (goodput, Gbps)",
+		Columns: []string{"loss_rate", "batched", "per-HO"},
+	}
+	size := cfg.bytes(40 << 20)
+	for _, lr := range []float64{0.01, 0.02, 0.05, 0.1} {
+		sch := SchemeDCP(false)
+		batched, _ := runSingleFlow(cfg, sch, size, onePathNet(sch, lr))
+		per := sch
+		per.Tweak = func(e *envT) { e.DCP.PerHOFetch = true }
+		perHO, _ := runSingleFlow(cfg, per, size, onePathNet(per, lr))
+		t.AddRow(fmt.Sprintf("%.1f%%", lr*100), batched, perHO)
+	}
+	return []*stats.Table{t}
+}
+
+// AblationTracking verifies the orthogonality claim of §4.5: replacing the
+// bitmap-free counters with a conventional receiver bitmap leaves behaviour
+// unchanged (identical FCT under loss), while the memory model differs
+// (Table 3).
+func AblationTracking(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Ablation: bitmap-free counters vs receiver bitmap (FCT, ms)",
+		Columns: []string{"loss_rate", "counters_fct", "bitmap_fct"},
+	}
+	size := cfg.bytes(20 << 20)
+	for _, lr := range []float64{0, 0.01, 0.05} {
+		sch := SchemeDCP(false)
+		_, rec1 := runSingleFlow(cfg, sch, size, onePathNet(sch, lr))
+		bm := sch
+		bm.Tweak = func(e *envT) { e.DCP.ReceiverBitmap = true }
+		_, rec2 := runSingleFlow(cfg, bm, size, onePathNet(bm, lr))
+		t.AddRow(fmt.Sprintf("%.1f%%", lr*100),
+			float64(rec1.FCT())/float64(units.Millisecond),
+			float64(rec2.FCT())/float64(units.Millisecond))
+	}
+	return []*stats.Table{t}
+}
+
+// AblationTrimThreshold sweeps the egress trimming threshold under the
+// WebSearch workload.
+func AblationTrimThreshold(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Ablation: trimming threshold (WebSearch 0.5, DCP)",
+		Columns: []string{"threshold_KB", "trimmed", "bg_P50", "bg_P95"},
+	}
+	for _, th := range []int{50, 100, 200, 400, 800} {
+		o := closOpts{load: 0.5, flows: cfg.flows(800), trimThreshold: th * units.KB}
+		s := runClos(cfg, SchemeDCP(false), o)
+		var slows []float64
+		for _, f := range s.Col.FinishedFlows("bg") {
+			slows = append(slows, f.Slowdown())
+		}
+		c := s.Net.Counters()
+		t.AddRow(th, c.TrimmedPkts, stats.Percentile(slows, 50), stats.Percentile(slows, 95))
+	}
+	return []*stats.Table{t}
+}
+
+// AblationUncontrolledRetrans shows why retransmissions must be
+// CC-regulated (challenge #2): under incast, HO-rate-driven retransmission
+// aggravates congestion.
+func AblationUncontrolledRetrans(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Ablation: CC-regulated vs HO-rate retransmission (incast, DCP+CC)",
+		Columns: []string{"variant", "bg_P50", "bg_P99", "trimmed"},
+	}
+	o := closOpts{
+		load: 0.5, flows: cfg.flows(600),
+		incastFanin: 128, incastLoad: 0.05, incastSize: 64 << 10,
+		incastCount: cfg.events(6),
+	}
+	for _, unc := range []bool{false, true} {
+		sch := SchemeDCP(true)
+		name := "CC-regulated"
+		if unc {
+			name = "uncontrolled"
+			sch.Tweak = func(e *envT) { e.DCP.UncontrolledRetrans = true }
+		}
+		s := runClos(cfg, sch, o)
+		var slows []float64
+		for _, f := range s.Col.FinishedFlows("") {
+			slows = append(slows, f.Slowdown())
+		}
+		c := s.Net.Counters()
+		t.AddRow(name, stats.Percentile(slows, 50), stats.Percentile(slows, 99), c.TrimmedPkts)
+	}
+	return []*stats.Table{t}
+}
+
+// AblationBackToSender evaluates §7's rejected alternative: the switch
+// bounces HO packets directly back to the sender (saving up to half an RTT
+// of loss notification) at the cost of per-connection switch state.
+func AblationBackToSender(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Ablation: HO via receiver vs direct back-to-sender (§7)",
+		Columns: []string{"loss_rate", "via_receiver_Gbps", "back_to_sender_Gbps", "via_recv_fct_ms", "b2s_fct_ms"},
+	}
+	size := cfg.bytes(20 << 20)
+	for _, lr := range []float64{0.01, 0.05} {
+		sch := SchemeDCP(false)
+		viaGp, viaRec := runSingleFlow(cfg, sch, size, onePathNet(sch, lr))
+		b2s := sch
+		b2sNet := func(e *sim.Engine) *topo.Network {
+			c := topo.DefaultDumbbell()
+			c.HostsPerSwitch = 1
+			c.CrossLinks = 1
+			c.Switch = SwitchConfigFor(b2s)
+			c.Switch.LossRate = lr
+			c.Switch.DirectHOReturn = true
+			return topo.Dumbbell(e, c)
+		}
+		b2sGp, b2sRec := runSingleFlow(cfg, b2s, size, b2sNet)
+		t.AddRow(fmt.Sprintf("%.0f%%", lr*100), viaGp, b2sGp,
+			float64(viaRec.FCT())/float64(units.Millisecond),
+			float64(b2sRec.FCT())/float64(units.Millisecond))
+	}
+	return []*stats.Table{t}
+}
+
+// ExtensionNDP compares DCP against the receiver-driven NDP endpoint over
+// the identical trimming fabric (§7's design-space contrast). NDP repairs
+// losses in about one RTT too, but its receiver pacing throttles every flow
+// to pull-clock speed, while DCP recovers at CC speed — and only DCP fits
+// in an RNIC (Table 2, R4).
+func ExtensionNDP(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Extension: DCP vs receiver-driven NDP on the same trimming fabric (goodput, Gbps)",
+		Columns: []string{"loss_rate", "DCP", "NDP"},
+	}
+	size := cfg.bytes(20 << 20)
+	for _, lr := range []float64{0, 0.01, 0.05} {
+		dcpGp, _ := runSingleFlow(cfg, SchemeDCP(false), size, onePathNet(SchemeDCP(false), lr))
+		ndpGp, _ := runSingleFlow(cfg, SchemeNDP(), size, onePathNet(SchemeNDP(), lr))
+		t.AddRow(fmt.Sprintf("%.0f%%", lr*100), dcpGp, ndpGp)
+	}
+	inc := &stats.Table{
+		Name:    "Extension: 15-to-1 incast, last-flow completion (us)",
+		Columns: []string{"scheme", "last_flow_us", "timeouts", "trims"},
+	}
+	for _, sch := range []Scheme{SchemeDCP(true), SchemeNDP()} {
+		s := NewSim(cfg.Seed, sch, func(eng *sim.Engine) *topo.Network {
+			c := topo.DefaultDumbbell()
+			c.Switch = SwitchConfigFor(sch)
+			return topo.Dumbbell(eng, c)
+		})
+		var flows []*workload.Flow
+		for i := uint64(0); i < 15; i++ {
+			flows = append(flows, &workload.Flow{ID: i + 1, Src: packet.NodeID(i), Dst: 15, Size: cfg.bytes(4 << 20)})
+		}
+		s.ScheduleFlows(flows)
+		s.Run(20 * units.Second)
+		var last units.Time
+		var timeouts int64
+		for _, f := range s.Col.Flows() {
+			if f.End > last {
+				last = f.End
+			}
+			timeouts += f.Timeouts
+		}
+		inc.AddRow(sch.Name, last.Micros(), timeouts, s.Net.Counters().TrimmedPkts)
+	}
+	return []*stats.Table{t, inc}
+}

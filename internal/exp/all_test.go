@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRunsTiny executes every registered experiment at a
+// minimal scale and validates the output tables: every exhibit must
+// produce named tables with consistent, non-empty rows. This is the
+// end-to-end guard that cmd/dcpbench -run all cannot break silently.
+func TestEveryExperimentRunsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; minutes of CPU")
+	}
+	cfg := Config{Seed: 11, Scale: 0.02}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if tb.Name == "" || len(tb.Columns) == 0 {
+					t.Fatalf("malformed table %+v", tb)
+				}
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tb.Name)
+				}
+				for _, r := range tb.Rows {
+					if len(r) != len(tb.Columns) {
+						t.Fatalf("table %q: row width %d vs %d columns", tb.Name, len(r), len(tb.Columns))
+					}
+				}
+				if !strings.Contains(tb.String(), tb.Name) {
+					t.Fatal("render")
+				}
+			}
+		})
+	}
+}

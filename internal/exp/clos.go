@@ -1,0 +1,426 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dcpsim/internal/fabric"
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/topo"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// closOpts parameterizes one CLOS run.
+type closOpts struct {
+	load          float64
+	flows         int
+	incastFanin   int
+	incastLoad    float64
+	incastSize    int64
+	incastCount   int
+	spineDelay    units.Time
+	buffer        int // lossless-scheme buffer override (cross-DC)
+	wrrWeight     float64
+	ctrlCap       int
+	trimThreshold int
+	msgSize       int
+	maxTime       units.Time
+}
+
+// runClos executes one scheme over the CLOS with a WebSearch (+ optional
+// incast) workload. The workload is drawn from a dedicated RNG seeded only
+// by cfg.Seed so every scheme sees the identical flow set.
+func runClos(cfg Config, sch Scheme, o closOpts) *Sim {
+	s := NewSim(cfg.Seed, sch, func(eng *sim.Engine) *topo.Network {
+		c := topo.DefaultClos()
+		c.Switch = SwitchConfigFor(sch)
+		if o.spineDelay > 0 {
+			c.SpineDelay = o.spineDelay
+		}
+		if o.buffer > 0 && sch.Lossless {
+			c.Switch.BufferBytes = o.buffer
+		}
+		if o.wrrWeight > 0 {
+			c.Switch.WRRWeight = o.wrrWeight
+		}
+		if o.trimThreshold > 0 {
+			c.Switch.TrimThreshold = o.trimThreshold
+		}
+		if o.ctrlCap > 0 {
+			c.Switch.CtrlQueueCap = o.ctrlCap
+		}
+		return topo.Clos(eng, c)
+	})
+	if o.msgSize > 0 {
+		s.Env.MessageSize = o.msgSize
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
+	hosts := s.HostIDs()
+	var flows []*workload.Flow
+	if o.load > 0 {
+		flows = workload.GeneratePoisson(rng, workload.PoissonConfig{
+			Load: o.load, Hosts: hosts, HostRate: s.Net.HostRate,
+			Dist: workload.WebSearch(), Count: o.flows, Class: "bg", BaseID: 1,
+		})
+	}
+	if o.incastFanin > 0 {
+		inc := workload.GenerateIncast(rng, workload.IncastConfig{
+			Load: o.incastLoad, Fanin: o.incastFanin, FlowSize: o.incastSize,
+			Hosts: hosts, HostRate: s.Net.HostRate, Events: o.incastCount,
+			Class: "incast", BaseID: 1 << 32,
+		})
+		flows = append(flows, inc...)
+	}
+	s.ScheduleFlows(flows)
+	maxT := o.maxTime
+	if maxT == 0 {
+		maxT = 2 * units.Second
+	}
+	s.Run(maxT)
+	return s
+}
+
+// Fig1 reproduces the spurious-retransmission motivation: IRN vs DCP under
+// adaptive routing with no real packet loss.
+func Fig1(cfg Config) []*stats.Table {
+	o := closOpts{load: 0.3, flows: cfg.flows(2000)}
+	schemes := []Scheme{SchemeIRN(1, false), SchemeDCP(false)} // LBAdaptive == 1
+	ratio := &stats.Table{
+		Name:    "Fig 1a: retransmission ratio vs flow size (AR, no loss)",
+		Columns: []string{"avg_size_KB", "IRN_mean", "IRN_max", "DCP_mean", "DCP_max"},
+	}
+	cdf := &stats.Table{
+		Name:    "Fig 1b: share of flows with spurious retransmissions, by size class",
+		Columns: []string{"class", "IRN", "DCP"},
+	}
+	type classStat struct{ irn, dcp float64 }
+	classes := []string{"small(<50KB)", "medium(50KB-2MB)", "large(>2MB)"}
+	frac := map[string]*classStat{}
+	for _, c := range classes {
+		frac[c] = &classStat{}
+	}
+	var buckets [][]stats.SizeBucket
+	var drops []int64
+	for i, sch := range schemes {
+		s := runClos(cfg, sch, o)
+		flows := s.Col.FinishedFlows("bg")
+		buckets = append(buckets, stats.BucketizeBySize(flows, 12, (*stats.FlowRecord).RetransRatio))
+		c := s.Net.Counters()
+		drops = append(drops, c.DroppedData+c.TrimmedPkts+c.ForcedLosses)
+		for _, f := range flows {
+			cls := classes[0]
+			if f.Size > 2<<20 {
+				cls = classes[2]
+			} else if f.Size >= 50<<10 {
+				cls = classes[1]
+			}
+			hit := 0.0
+			if f.RetransPkts > 0 {
+				hit = 1
+			}
+			if i == 0 {
+				frac[cls].irn += hit
+			} else {
+				frac[cls].dcp += hit
+			}
+		}
+		// Normalize per class.
+		counts := map[string]float64{}
+		for _, f := range flows {
+			cls := classes[0]
+			if f.Size > 2<<20 {
+				cls = classes[2]
+			} else if f.Size >= 50<<10 {
+				cls = classes[1]
+			}
+			counts[cls]++
+		}
+		for _, cls := range classes {
+			if counts[cls] == 0 {
+				continue
+			}
+			if i == 0 {
+				frac[cls].irn /= counts[cls]
+			} else {
+				frac[cls].dcp /= counts[cls]
+			}
+		}
+	}
+	// Max-based series: recompute max per bucket via metric over buckets.
+	for i := 0; i < len(buckets[0]) && i < len(buckets[1]); i++ {
+		b0, b1 := buckets[0][i], buckets[1][i]
+		ratio.AddRow(fmt.Sprintf("%.1f", b0.AvgSizeKB), b0.Mean, b0.P99, b1.Mean, b1.P99)
+	}
+	for _, cls := range classes {
+		cdf.AddRow(cls, frac[cls].irn, frac[cls].dcp)
+	}
+	note := &stats.Table{
+		Name:    "Fig 1 note: real packet drops observed (should be ~0 for IRN's run)",
+		Columns: []string{"scheme", "drops+trims"},
+	}
+	note.AddRow("IRN(AR)", drops[0])
+	note.AddRow("DCP(AR)", drops[1])
+	return []*stats.Table{ratio, cdf, note}
+}
+
+// Fig2 reproduces the excessive-RTO motivation: timeout counts for
+// background and incast flows under IRN-ECMP, IRN-AR and DCP.
+func Fig2(cfg Config) []*stats.Table {
+	o := closOpts{
+		load: 0.3, flows: cfg.flows(1500),
+		incastFanin: 128, incastLoad: 0.1, incastSize: 64 << 10,
+		incastCount: cfg.events(10),
+	}
+	t := &stats.Table{
+		Name:    "Fig 2: number of timeouts (mean per flow / % flows with RTO)",
+		Columns: []string{"scheme", "bg_mean", "bg_pct", "bg_max", "incast_mean", "incast_pct", "incast_max"},
+	}
+	for _, sch := range []Scheme{SchemeIRN(0, false), SchemeIRN(1, false), SchemeDCP(false)} {
+		s := runClos(cfg, sch, o)
+		row := []any{sch.Name}
+		for _, class := range []string{"bg", "incast"} {
+			flows := s.Col.FinishedFlows(class)
+			var sum, hit, max float64
+			for _, f := range flows {
+				v := float64(f.Timeouts)
+				sum += v
+				if v > 0 {
+					hit++
+				}
+				if v > max {
+					max = v
+				}
+			}
+			n := float64(len(flows))
+			if n == 0 {
+				n = 1
+			}
+			row = append(row, sum/n, 100*hit/n, max)
+		}
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}
+}
+
+// fig13Schemes is the §6.2 lineup.
+func fig13Schemes(withCC bool) []Scheme {
+	return []Scheme{SchemePFC(), SchemeIRN(1, withCC), SchemeMPRDMA(), SchemeDCP(withCC)}
+}
+
+// Fig13 reproduces the WebSearch FCT-slowdown comparison at loads 0.3 and
+// 0.5.
+func Fig13(cfg Config) []*stats.Table {
+	var tables []*stats.Table
+	for _, load := range []float64{0.3, 0.5} {
+		o := closOpts{load: load, flows: cfg.flows(2000)}
+		results := map[string][]*stats.FlowRecord{}
+		var order []string
+		for _, sch := range fig13Schemes(false) {
+			s := runClos(cfg, sch, o)
+			results[sch.Name] = s.Col.FinishedFlows("bg")
+			order = append(order, sch.Name)
+		}
+		tables = append(tables, slowdownSeries(
+			fmt.Sprintf("Fig 13: WebSearch load %.1f FCT slowdown", load), 20, results, order))
+	}
+	return tables
+}
+
+// Fig14 reproduces the CLOS AI workloads: 16 groups of 16 hosts (one per
+// rack) running AllReduce / AllToAll; JCT per group plus the FCT
+// distribution, against an analytic ideal.
+func Fig14(cfg Config) []*stats.Table {
+	var tables []*stats.Table
+	total := cfg.bytes(60 << 20) // paper: 300 MB; scaled for wall-clock
+	const groups, members = 16, 16
+	for _, coll := range []string{"AllReduce", "AllToAll"} {
+		jct := &stats.Table{
+			Name:    "Fig 14 (" + coll + "): JCT per group (ms)",
+			Columns: []string{"group"},
+		}
+		cdfT := &stats.Table{
+			Name:    "Fig 14 (" + coll + "): FCT distribution (ms)",
+			Columns: []string{"scheme", "P25", "P50", "P75", "P95", "P99"},
+		}
+		rows := make([][]any, groups)
+		for g := range rows {
+			rows[g] = []any{g + 1}
+		}
+		for _, sch := range fig13Schemes(false) {
+			jct.Columns = append(jct.Columns, sch.Name)
+			s := NewSim(cfg.Seed, sch, func(eng *sim.Engine) *topo.Network {
+				c := topo.DefaultClos()
+				c.Switch = SwitchConfigFor(sch)
+				return topo.Clos(eng, c)
+			})
+			done := make([]units.Time, groups)
+			var id uint64 = 1
+			for g := 0; g < groups; g++ {
+				var mem []packet.NodeID
+				for l := 0; l < members; l++ {
+					mem = append(mem, packet.NodeID(l*16+g))
+				}
+				var cf *workload.Coflow
+				if coll == "AllReduce" {
+					cf = workload.RingAllReduce(mem, total, g, id)
+				} else {
+					cf = workload.AllToAll(mem, total, g, id)
+				}
+				id += uint64(cf.NumFlows())
+				g := g
+				s.RunCoflow(cf, 0, func(at units.Time) { done[g] = at })
+			}
+			s.Run(30 * units.Second)
+			var fcts []float64
+			for _, f := range s.Col.FinishedFlows("coll") {
+				fcts = append(fcts, float64(f.FCT())/float64(units.Millisecond))
+			}
+			for g := 0; g < groups; g++ {
+				rows[g] = append(rows[g], float64(done[g])/float64(units.Millisecond))
+			}
+			cdfT.AddRow(sch.Name,
+				stats.Percentile(fcts, 25), stats.Percentile(fcts, 50),
+				stats.Percentile(fcts, 75), stats.Percentile(fcts, 95), stats.Percentile(fcts, 99))
+		}
+		// Analytic ideal JCT.
+		jct.Columns = append(jct.Columns, "Ideal")
+		ideal := idealJCT(coll, total, members, 100*units.Gbps)
+		for g := 0; g < groups; g++ {
+			rows[g] = append(rows[g], float64(ideal)/float64(units.Millisecond))
+			jct.AddRow(rows[g]...)
+		}
+		tables = append(tables, jct, cdfT)
+	}
+	return tables
+}
+
+// idealJCT is the zero-contention completion time of one collective.
+func idealJCT(coll string, total int64, members int, rate units.Rate) units.Time {
+	slice := total / int64(members)
+	wire := slice + int64(pktsFor(slice))*(packet.DataHeaderSize+packet.RETHSize)
+	per := units.TxTime(int(wire), rate)
+	if coll == "AllReduce" {
+		return units.Time(2*(members-1)) * per
+	}
+	// AllToAll: every host sends (members-1) slices out of one NIC.
+	return units.Time(members-1) * per
+}
+
+func pktsFor(size int64) uint32 {
+	n := (size + packet.DefaultMTU - 1) / packet.DefaultMTU
+	return uint32(n)
+}
+
+// Fig15 reproduces the cross-DC comparison: 100 km (500 µs) and 1000 km
+// (5 ms) leaf-spine links; lossless schemes get enlarged buffers for PFC
+// headroom, IRN and DCP keep 32 MB.
+func Fig15(cfg Config) []*stats.Table {
+	var tables []*stats.Table
+	cases := []struct {
+		name   string
+		delay  units.Time
+		buffer int
+	}{
+		{"100km (500us)", 500 * units.Microsecond, 600 * units.MB},
+		{"1000km (5ms)", 5 * units.Millisecond, 6 * units.GB},
+	}
+	for _, c := range cases {
+		o := closOpts{
+			load: 0.5, flows: cfg.flows(800),
+			spineDelay: c.delay, buffer: c.buffer,
+			msgSize: 4 * units.MB,
+			maxTime: 60 * units.Second,
+		}
+		results := map[string][]*stats.FlowRecord{}
+		var order []string
+		for _, sch := range fig13Schemes(false) {
+			s := runClos(cfg, sch, o)
+			results[sch.Name] = s.Col.FinishedFlows("bg")
+			order = append(order, sch.Name)
+		}
+		tables = append(tables, slowdownSeries("Fig 15: cross-DC "+c.name+" FCT slowdown", 12, results, order))
+	}
+	return tables
+}
+
+// Fig16 reproduces the deep-dive incast study: WebSearch 0.5 plus 128-to-1
+// incast at 5% load, with and without DCQCN.
+func Fig16(cfg Config) []*stats.Table {
+	var tables []*stats.Table
+	for _, withCC := range []bool{false, true} {
+		o := closOpts{
+			load: 0.5, flows: cfg.flows(1200),
+			incastFanin: 128, incastLoad: 0.05, incastSize: 64 << 10,
+			incastCount: cfg.events(8),
+		}
+		schemes := []Scheme{SchemeIRN(1, withCC), SchemeMPRDMA(), SchemeDCP(withCC)}
+		results := map[string][]*stats.FlowRecord{}
+		var order []string
+		for _, sch := range schemes {
+			s := runClos(cfg, sch, o)
+			results[sch.Name] = append(s.Col.FinishedFlows("bg"), s.Col.FinishedFlows("incast")...)
+			order = append(order, sch.Name)
+		}
+		label := "w/o CC"
+		if withCC {
+			label = "with CC"
+		}
+		tables = append(tables, slowdownSeries("Fig 16: incast deep-dive ("+label+") FCT slowdown", 12, results, order))
+	}
+	return tables
+}
+
+// Table5 measures the robustness of the lossless control plane: HO packet
+// loss ratio under extreme incast with the WRR weight derived from N=22 and
+// N=16.
+func Table5(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Table 5: HO packet loss rate under severe incast",
+		Columns: []string{"setting", "HO_loss_w/o_CC", "HO_loss_w/_CC"},
+	}
+	// r: data-packet to HO size ratio.
+	r := float64(packet.DataHeaderSize+packet.RETHSize+packet.DefaultMTU) / float64(packet.HOSize)
+	for _, n := range []int{22, 16} {
+		for _, fanin := range []int{128, 255} {
+			var cells []any
+			cells = append(cells, fmt.Sprintf("N=%d; %d-to-1", n, fanin))
+			for _, withCC := range []bool{false, true} {
+				sch := SchemeDCP(withCC)
+				o := closOpts{
+					load: 0.3, flows: cfg.flows(600),
+					incastFanin: fanin, incastLoad: 0.1, incastSize: 64 << 10,
+					incastCount: cfg.events(6),
+					wrrWeight:   wrrWeightFor(n, r),
+				}
+				s := runClos(cfg, sch, o)
+				c := s.Net.Counters()
+				loss := 0.0
+				if tot := c.DroppedHO + c.HOEnqueued; tot > 0 {
+					loss = float64(c.DroppedHO) / float64(tot)
+				}
+				cells = append(cells, fmt.Sprintf("%.4f%%", loss*100))
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+func wrrWeightFor(n int, r float64) float64 {
+	// Delegate to the fabric law with the paper's fallback clamp.
+	return fabricWRRWeight(n, r)
+}
+
+// fabricWRRWeight adapts fabric.WRRWeight with the default clamp.
+func fabricWRRWeight(n int, r float64) float64 {
+	return fabric.WRRWeight(n, r, 8)
+}
+
+// RunWebSearch is the exported entry for facade users: one scheme over the
+// 256-host CLOS with a WebSearch workload.
+func RunWebSearch(cfg Config, sch Scheme, load float64, flows int) *Sim {
+	return runClos(cfg, sch, closOpts{load: load, flows: flows})
+}

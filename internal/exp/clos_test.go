@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"testing"
+
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/topo"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// TestClosIntegrationTiny runs a miniature WebSearch workload over the full
+// 256-host CLOS for the three main scheme families and checks the
+// invariants each one promises. Scale is small to keep the suite fast; the
+// orderings themselves are asserted by the shape tests and EXPERIMENTS.md.
+func TestClosIntegrationTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLOS integration is seconds-long")
+	}
+	cfg := Config{Seed: 42, Scale: 0.02}
+	o := closOpts{load: 0.3, flows: 60}
+
+	t.Run("DCP", func(t *testing.T) {
+		s := runClos(cfg, SchemeDCP(false), o)
+		if u := s.Col.CountUnfinished(); u != 0 {
+			t.Fatalf("%d flows unfinished", u)
+		}
+		var timeouts int64
+		for _, f := range s.Col.FinishedFlows("bg") {
+			timeouts += f.Timeouts
+		}
+		if timeouts != 0 {
+			t.Fatalf("DCP should not time out at load 0.3 (Fig 2), saw %d", timeouts)
+		}
+		c := s.Net.Counters()
+		if c.DroppedHO != 0 {
+			t.Fatalf("lossless control plane violated: %d HO drops", c.DroppedHO)
+		}
+	})
+
+	t.Run("PFC", func(t *testing.T) {
+		s := runClos(cfg, SchemePFC(), o)
+		if u := s.Col.CountUnfinished(); u != 0 {
+			t.Fatalf("%d flows unfinished", u)
+		}
+		c := s.Net.Counters()
+		if c.DroppedData != 0 {
+			t.Fatalf("PFC fabric dropped %d packets", c.DroppedData)
+		}
+		for _, f := range s.Col.FinishedFlows("bg") {
+			if f.RetransPkts != 0 {
+				t.Fatal("lossless GBN must not retransmit")
+			}
+		}
+	})
+
+	t.Run("IRN", func(t *testing.T) {
+		s := runClos(cfg, SchemeIRN(1, false), o)
+		if u := s.Col.CountUnfinished(); u != 0 {
+			t.Fatalf("%d flows unfinished", u)
+		}
+	})
+
+	t.Run("MP-RDMA", func(t *testing.T) {
+		s := runClos(cfg, SchemeMPRDMA(), o)
+		if u := s.Col.CountUnfinished(); u != 0 {
+			t.Fatalf("%d flows unfinished", u)
+		}
+		if s.Net.Counters().DroppedData != 0 {
+			t.Fatal("MP-RDMA runs over a lossless fabric")
+		}
+	})
+}
+
+// TestIdenticalWorkloadAcrossSchemes guards the experimental methodology:
+// every scheme must be offered byte-identical flow sets.
+func TestIdenticalWorkloadAcrossSchemes(t *testing.T) {
+	cfg := Config{Seed: 7, Scale: 0.02}
+	o := closOpts{load: 0.3, flows: 50}
+	sig := func(flows []*stats.FlowRecord) []int64 {
+		var out []int64
+		for _, f := range flows {
+			out = append(out, f.Size, int64(f.Src), int64(f.Dst), int64(f.Start))
+		}
+		return out
+	}
+	a := runClos(cfg, SchemeDCP(false), o)
+	b := runClos(cfg, SchemePFC(), o)
+	sa, sb := sig(a.Col.Flows()), sig(b.Col.Flows())
+	if len(sa) != len(sb) {
+		t.Fatal("different flow counts")
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("workloads diverge at %d", i)
+		}
+	}
+}
+
+// TestIdealFCTSane checks the slowdown denominator: at 100 Gbps, a 1 MB
+// transfer's ideal FCT is ~86 µs (serialization + overhead + half RTT).
+func TestIdealFCTSane(t *testing.T) {
+	cfg := Config{Seed: 1, Scale: 0.02}
+	s := runClos(cfg, SchemeDCP(false), closOpts{load: 0.1, flows: 40})
+	for _, f := range s.Col.Flows() {
+		if f.IdealFCT <= 0 {
+			t.Fatal("ideal FCT must be positive")
+		}
+		if f.Done && f.FCT() < f.IdealFCT/2 {
+			t.Fatalf("flow %d finished at %v, below half-ideal %v — denominator wrong",
+				f.ID, f.FCT(), f.IdealFCT)
+		}
+	}
+}
+
+// TestRunCoflowDependencies checks the collective scheduler: step k+1 must
+// not start before every flow of step k completed.
+func TestRunCoflowDependencies(t *testing.T) {
+	sch := SchemeDCP(false)
+	s := NewSim(3, sch, func(eng *sim.Engine) *topo.Network {
+		c := topo.DefaultDumbbell()
+		c.Switch = SwitchConfigFor(sch)
+		return topo.Dumbbell(eng, c)
+	})
+	members := []packet.NodeID{0, 4, 8, 12}
+	cf := workload.RingAllReduce(members, 8<<20, 0, 1)
+	var jct units.Time
+	s.RunCoflow(cf, 0, func(at units.Time) { jct = at })
+	if left := s.Run(10 * units.Second); left != 0 {
+		t.Fatalf("%d flows unfinished", left)
+	}
+	if jct == 0 {
+		t.Fatal("completion callback not invoked")
+	}
+	// Verify the barrier: the earliest start of step k+1 equals the latest
+	// end of step k.
+	for i := 1; i < len(cf.Steps); i++ {
+		var prevEnd, thisStart units.Time
+		for _, f := range cf.Steps[i-1] {
+			if r := s.Col.Flow(f.ID); r.End > prevEnd {
+				prevEnd = r.End
+			}
+		}
+		thisStart = units.Time(1) << 62
+		for _, f := range cf.Steps[i] {
+			if r := s.Col.Flow(f.ID); r.Start < thisStart {
+				thisStart = r.Start
+			}
+		}
+		if thisStart < prevEnd {
+			t.Fatalf("step %d started at %v before step %d finished at %v",
+				i, thisStart, i-1, prevEnd)
+		}
+	}
+}

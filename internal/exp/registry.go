@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"dcpsim/internal/analytic"
+	"dcpsim/internal/stats"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID   string
+	Desc string
+	// Heavy marks experiments needing minutes at full scale.
+	Heavy bool
+	Run   func(Config) []*stats.Table
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Max lossless distance with PFC per switching ASIC", false,
+			func(Config) []*stats.Table { return []*stats.Table{analytic.Table1()} }},
+		{"fig1", "IRN spurious retransmissions vs DCP under AR", true, Fig1},
+		{"fig2", "Excessive RTOs: IRN-ECMP / IRN-AR / DCP", true, Fig2},
+		{"table2", "Requirement matrix of DCP and related work", false,
+			func(Config) []*stats.Table { return []*stats.Table{analytic.Table2()} }},
+		{"fig7", "Theoretical packet rate vs OOO degree", false,
+			func(Config) []*stats.Table { return []*stats.Table{analytic.Fig7(analytic.DefaultPPS(), nil)} }},
+		{"table3", "Memory overhead of packet tracking schemes", false,
+			func(Config) []*stats.Table { return []*stats.Table{analytic.Table3(analytic.DefaultTracking())} }},
+		{"table4", "Prototype FPGA resource usage (model)", false,
+			func(Config) []*stats.Table { return []*stats.Table{analytic.Table4(analytic.DefaultResources())} }},
+		{"fig8", "Back-to-back validation: throughput and latency", false, Fig8},
+		{"fig10", "Loss recovery efficiency: DCP vs CX5", false, Fig10},
+		{"fig11", "Adaptive routing over unequal paths", false, Fig11},
+		{"fig12", "Testbed AI workloads (AllReduce/AllToAll)", true, Fig12},
+		{"longhaul", "10 km long-haul single-flow throughput", false, LongHaul},
+		{"fig13", "CLOS WebSearch FCT slowdown (loads 0.3/0.5)", true, Fig13},
+		{"fig14", "CLOS AI workloads JCT + FCT CDF", true, Fig14},
+		{"fig15", "Cross-DC (100 km / 1000 km) FCT slowdown", true, Fig15},
+		{"fig16", "Incast deep-dive with and without CC", true, Fig16},
+		{"table5", "HO loss rate under severe incast", true, Table5},
+		{"fig17", "Loss recovery: DCP / RACK-TLP / IRN / Timeout", false, Fig17},
+		{"ab-wrr", "Ablation: WRR weight law", true, AblationWRRWeight},
+		{"ab-batch", "Ablation: RetransQ batching vs per-HO fetch", false, AblationRetransBatch},
+		{"ab-track", "Ablation: counters vs receiver bitmap", false, AblationTracking},
+		{"ab-trim", "Ablation: trimming threshold sweep", true, AblationTrimThreshold},
+		{"ab-ccretx", "Ablation: CC-regulated retransmission", true, AblationUncontrolledRetrans},
+		{"ab-b2s", "Ablation: direct back-to-sender HO return (§7)", false, AblationBackToSender},
+		{"ext-ndp", "Extension: DCP vs receiver-driven NDP on trimming fabric", false, ExtensionNDP},
+	}
+}
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}

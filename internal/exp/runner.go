@@ -1,0 +1,325 @@
+// Package exp defines one reproducible experiment per table and figure of
+// the paper's evaluation, built on the simulator substrate. Each experiment
+// returns printable tables; cmd/dcpbench and the root bench_test.go drive
+// them.
+package exp
+
+import (
+	"fmt"
+
+	"dcpsim/internal/cc"
+	"dcpsim/internal/fabric"
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/topo"
+	"dcpsim/internal/transport/base"
+	"dcpsim/internal/transport/dcp"
+	"dcpsim/internal/transport/gbn"
+	"dcpsim/internal/transport/irn"
+	"dcpsim/internal/transport/mprdma"
+	"dcpsim/internal/transport/ndp"
+	"dcpsim/internal/transport/racktlp"
+	"dcpsim/internal/transport/tcpish"
+	"dcpsim/internal/transport/timeoutonly"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// Config scales experiments. Scale 1.0 approximates paper-sized runs; the
+// default benchmarks use smaller scales for wall-clock sanity. Every
+// stochastic choice derives from Seed.
+type Config struct {
+	Seed  int64
+	Scale float64
+}
+
+// DefaultConfig returns a medium-scale configuration.
+func DefaultConfig() Config { return Config{Seed: 42, Scale: 0.25} }
+
+func (c Config) flows(base int) int {
+	n := int(float64(base) * c.Scale)
+	if n < 40 {
+		n = 40
+	}
+	return n
+}
+
+// events scales discrete event counts (e.g. incast bursts) without the
+// 40-flow floor that background workloads use.
+func (c Config) events(base int) int {
+	n := int(float64(base) * c.Scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (c Config) bytes(base int64) int64 {
+	b := int64(float64(base) * c.Scale)
+	if b < 1<<20 {
+		b = 1 << 20
+	}
+	return b
+}
+
+// Scheme bundles a transport with the fabric configuration it assumes.
+type Scheme struct {
+	Name     string
+	Factory  base.Factory
+	Lossless bool            // PFC fabric (no drops, pause instead)
+	Trimming bool            // DCP switch behaviour
+	LB       fabric.LBPolicy // load balancing in the fabric
+	CC       cc.Factory      // nil → BDP window
+	ECN      bool            // the transport consumes ECN marks itself
+	// Tweak optionally adjusts the transport environment.
+	Tweak func(*base.Env)
+}
+
+// The paper's scheme lineup.
+func SchemeDCP(withCC bool) Scheme {
+	s := Scheme{Name: "DCP(AR)", Factory: dcp.New, Trimming: true, LB: fabric.LBAdaptive}
+	if withCC {
+		s.Name = "DCP+CC(AR)"
+		s.CC = cc.NewDCQCNWindowFactory(cc.DefaultDCQCNConfig(), 1)
+	}
+	return s
+}
+
+func SchemeIRN(lb fabric.LBPolicy, withCC bool) Scheme {
+	s := Scheme{Name: "IRN(" + lb.String() + ")", Factory: irn.New, LB: lb}
+	if withCC {
+		s.Name = "IRN+CC(" + lb.String() + ")"
+		s.CC = cc.NewDCQCNWindowFactory(cc.DefaultDCQCNConfig(), 1)
+	}
+	return s
+}
+
+// SchemePFC is traditional lossless RoCE: GBN NICs sending at line rate
+// (no window — PFC backpressure is the only brake, which is exactly what
+// produces HoL blocking and congestion spreading) over a PFC fabric with
+// ECMP.
+func SchemePFC() Scheme {
+	return Scheme{Name: "PFC(ECMP)", Factory: gbn.New, Lossless: true, LB: fabric.LBECMP,
+		CC: cc.NewLineRateFactory()}
+}
+
+// SchemeGBNLossy is a CX5-style NIC on a lossy fabric (the §6.1 testbed
+// comparisons).
+func SchemeGBNLossy(lb fabric.LBPolicy) Scheme {
+	return Scheme{Name: "CX5(" + lb.String() + ")", Factory: gbn.New, LB: lb}
+}
+
+// SchemeMPRDMA runs over a PFC fabric (Table 2: R1 unmet) with ECMP hashing
+// that its per-packet PathKey turns into multipath.
+func SchemeMPRDMA() Scheme {
+	return Scheme{Name: "MP-RDMA", Factory: mprdma.New, Lossless: true, LB: fabric.LBECMP, ECN: true}
+}
+
+func SchemeRACK() Scheme {
+	return Scheme{Name: "RACK-TLP", Factory: racktlp.New, LB: fabric.LBECMP}
+}
+
+func SchemeTimeout() Scheme {
+	return Scheme{Name: "Timeout", Factory: timeoutonly.New, LB: fabric.LBECMP}
+}
+
+func SchemeTCP() Scheme {
+	return Scheme{Name: "TCP", Factory: tcpish.New, LB: fabric.LBECMP}
+}
+
+// SchemeNDP is the receiver-driven extension (§7 / Table 2): NDP endpoints
+// over the same trimming fabric DCP uses, with per-packet spraying.
+func SchemeNDP() Scheme {
+	return Scheme{Name: "NDP", Factory: ndp.New, Trimming: true, LB: fabric.LBAdaptive}
+}
+
+// envT aliases the transport environment for concise Tweak closures.
+type envT = base.Env
+
+// Sim owns one simulation run: engine, network, collector, environment.
+type Sim struct {
+	Eng *sim.Engine
+	Net *topo.Network
+	Col *stats.Collector
+	Env *base.Env
+
+	listeners map[uint64]func(*stats.FlowRecord)
+}
+
+// NewSim wires a network built by build with the scheme's transport.
+func NewSim(seed int64, sch Scheme, build func(*sim.Engine) *topo.Network) *Sim {
+	eng := sim.NewEngine(seed)
+	net := build(eng)
+	col := stats.NewCollector()
+	env := &base.Env{Collector: col, BaseRTT: net.BaseRTT}
+	if sch.CC != nil {
+		env.CC = sch.CC
+	}
+	if sch.Tweak != nil {
+		env.Defaults()
+		sch.Tweak(env)
+	}
+	net.Install(sch.Factory, env)
+	s := &Sim{Eng: eng, Net: net, Col: col, Env: env, listeners: make(map[uint64]func(*stats.FlowRecord))}
+	col.OnDone = func(f *stats.FlowRecord) {
+		if cb := s.listeners[f.ID]; cb != nil {
+			delete(s.listeners, f.ID)
+			cb(f)
+		}
+	}
+	return s
+}
+
+// SwitchConfigFor returns the fabric config matching a scheme.
+func SwitchConfigFor(sch Scheme) fabric.SwitchConfig {
+	cfg := fabric.DefaultSwitchConfig()
+	cfg.LB = sch.LB
+	cfg.Trimming = sch.Trimming
+	if sch.Lossless {
+		cfg.Lossless = true
+		cfg.Trimming = false
+	}
+	if sch.CC == nil && !sch.ECN {
+		// Without DCQCN nobody consumes ECN marks.
+		cfg.ECNKmax = 0
+	}
+	return cfg
+}
+
+// IdealFCT estimates the unloaded completion time of a flow: full-rate
+// serialization with per-packet header overhead plus one-way base delay.
+func (s *Sim) IdealFCT(f *workload.Flow) units.Time {
+	n := int64(base.NumPackets(f.Size, packet.DefaultMTU))
+	wire := f.Size + n*(packet.DataHeaderSize+packet.RETHSize)
+	return units.TxTime(int(wire), s.Net.HostRate) + s.Net.BaseRTT/2
+}
+
+// ScheduleFlows registers records and schedules StartFlow calls.
+func (s *Sim) ScheduleFlows(flows []*workload.Flow) {
+	for _, f := range flows {
+		f := f
+		rec := s.Col.Add(f.ID, f.Src, f.Dst, f.Size, f.Start)
+		rec.Class = f.Class
+		rec.Group = f.Group
+		rec.IdealFCT = s.IdealFCT(f)
+		s.Eng.At(f.Start, func() {
+			s.Net.Transports[f.Src].StartFlow(f)
+		})
+	}
+}
+
+// OnFlowDone registers a one-shot completion listener.
+func (s *Sim) OnFlowDone(id uint64, cb func(*stats.FlowRecord)) {
+	s.listeners[id] = cb
+}
+
+// RunCoflow schedules a dependency-structured coflow starting at start and
+// invokes done with the completion time of the last flow.
+func (s *Sim) RunCoflow(cf *workload.Coflow, start units.Time, done func(at units.Time)) {
+	var startStep func(i int, at units.Time)
+	startStep = func(i int, at units.Time) {
+		if i >= len(cf.Steps) {
+			if done != nil {
+				done(at)
+			}
+			return
+		}
+		step := cf.Steps[i]
+		remaining := len(step)
+		var last units.Time
+		for _, f := range step {
+			f := f
+			f.Start = at
+			rec := s.Col.Add(f.ID, f.Src, f.Dst, f.Size, at)
+			rec.Class = f.Class
+			rec.Group = f.Group
+			rec.IdealFCT = s.IdealFCT(f)
+			s.OnFlowDone(f.ID, func(r *stats.FlowRecord) {
+				remaining--
+				if r.End > last {
+					last = r.End
+				}
+				if remaining == 0 {
+					startStep(i+1, last)
+				}
+			})
+			s.Eng.At(at, func() { s.Net.Transports[f.Src].StartFlow(f) })
+		}
+	}
+	startStep(0, start)
+}
+
+// Run executes until all registered flows finish or maxTime elapses;
+// returns the number of unfinished flows.
+func (s *Sim) Run(maxTime units.Time) int {
+	for {
+		s.Eng.Run(maxTime)
+		if s.Col.AllDone() {
+			return 0
+		}
+		if maxTime > 0 && s.Eng.Now() >= maxTime {
+			return s.Col.CountUnfinished()
+		}
+		if s.Eng.Pending() == 0 {
+			return s.Col.CountUnfinished()
+		}
+	}
+}
+
+// HostIDs returns the node ids of all hosts.
+func (s *Sim) HostIDs() []packet.NodeID {
+	ids := make([]packet.NodeID, len(s.Net.Hosts))
+	for i, h := range s.Net.Hosts {
+		ids[i] = h.ID()
+	}
+	return ids
+}
+
+// slowdownSeries renders P50/P95/P99 slowdowns per size bucket for a set of
+// scheme results over identical workloads.
+func slowdownSeries(name string, buckets int, results map[string][]*stats.FlowRecord, order []string) *stats.Table {
+	t := &stats.Table{Name: name}
+	t.Columns = []string{"avg_size_KB"}
+	for _, s := range order {
+		t.Columns = append(t.Columns, s+"_P50", s+"_P95", s+"_P99")
+	}
+	series := make(map[string][]stats.SizeBucket)
+	var n int
+	for _, sname := range order {
+		b := stats.BucketizeBySize(results[sname], buckets, (*stats.FlowRecord).Slowdown)
+		series[sname] = b
+		if len(b) > n {
+			n = len(b)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := []any{""}
+		for _, sname := range order {
+			b := series[sname]
+			if i >= len(b) {
+				row = append(row, "", "", "")
+				continue
+			}
+			if row[0] == "" {
+				row[0] = fmt.Sprintf("%.1f", b[i].AvgSizeKB)
+			}
+			row = append(row, b[i].P50, b[i].P95, b[i].P99)
+		}
+		t.Rows = append(t.Rows, toStrings(row))
+	}
+	return t
+}
+
+func toStrings(cells []any) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.3g", v)
+		default:
+			out[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// shapeCfg is small enough for test time but large enough for stable
+// orderings.
+func shapeCfg() Config { return Config{Seed: 42, Scale: 0.05} }
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// TestFig10Shape asserts the paper's headline result: DCP's loss recovery
+// dominates CX5 and the advantage grows with the loss rate (1.6×–72× in
+// the paper).
+func TestFig10Shape(t *testing.T) {
+	tables := Fig10(shapeCfg())
+	rows := tables[0].Rows
+	if len(rows) != 7 {
+		t.Fatalf("%d loss rates", len(rows))
+	}
+	var prevSpeed float64
+	for i, r := range rows {
+		cx5, dcp := parseF(t, r[1]), parseF(t, r[2])
+		if dcp < cx5-1 {
+			t.Fatalf("row %v: DCP below CX5", r)
+		}
+		if i >= 3 { // ≥0.5% loss
+			speed := dcp / cx5
+			if speed < 1.3 {
+				t.Fatalf("row %v: speedup %.2f too small", r, speed)
+			}
+			if speed+0.2 < prevSpeed {
+				t.Fatalf("speedup should grow with loss: %v", rows)
+			}
+			prevSpeed = speed
+		}
+		// DCP must stay within ~25% of line rate across all loss rates.
+		if dcp < 70 {
+			t.Fatalf("row %v: DCP goodput %.1f collapsed", r, dcp)
+		}
+	}
+	// The paper's extreme: ≥10× at 5% loss.
+	last := rows[len(rows)-1]
+	if parseF(t, last[2])/parseF(t, last[1]) < 10 {
+		t.Fatalf("5%% loss speedup too small: %v", last)
+	}
+}
+
+// TestFig17Shape asserts the §6.3 ordering: DCP ≥ RACK-TLP ≥ IRN ≥ Timeout
+// under loss.
+func TestFig17Shape(t *testing.T) {
+	tables := Fig17(shapeCfg())
+	rows := tables[0].Rows
+	for _, r := range rows[3:] { // ≥0.5% loss
+		dcp, rack, irn, tmo := parseF(t, r[1]), parseF(t, r[2]), parseF(t, r[3]), parseF(t, r[4])
+		if !(dcp >= rack-2) {
+			t.Fatalf("DCP (%.1f) must lead RACK (%.1f): %v", dcp, rack, r)
+		}
+		if !(rack >= irn-2) {
+			t.Fatalf("RACK (%.1f) must lead IRN (%.1f): %v", rack, irn, r)
+		}
+		if !(irn >= tmo-2) {
+			t.Fatalf("IRN (%.1f) must lead Timeout (%.1f): %v", irn, tmo, r)
+		}
+	}
+	last := rows[len(rows)-1]
+	if parseF(t, last[1]) < 5*parseF(t, last[4]) {
+		t.Fatalf("DCP must dominate the timeout scheme at 5%% loss: %v", last)
+	}
+}
+
+// TestFig8Shape asserts offloaded ≈ line rate ≫ software TCP, with the
+// inverse for latency.
+func TestFig8Shape(t *testing.T) {
+	tables := Fig8(shapeCfg())
+	rows := tables[0].Rows
+	vals := map[string][2]float64{}
+	for _, r := range rows {
+		vals[r[0]] = [2]float64{parseF(t, r[1]), parseF(t, r[2])}
+	}
+	gbn, dcp, tcp := vals["RNIC-GBN"], vals["DCP-RNIC"], vals["TCP"]
+	if dcp[0] < 85 || gbn[0] < 85 {
+		t.Fatalf("offloaded transports must reach line rate: %v", vals)
+	}
+	if dcp[0] < gbn[0]*0.95 || dcp[0] > gbn[0]*1.05 {
+		t.Fatalf("DCP must match GBN throughput: %v", vals)
+	}
+	if tcp[0] > 50 {
+		t.Fatalf("TCP must be CPU-bound: %v", vals)
+	}
+	if tcp[1] < 5*dcp[1] {
+		t.Fatalf("TCP latency must dwarf RDMA latency: %v", vals)
+	}
+}
+
+// TestFig11Shape asserts AR adapts to unequal paths while ECMP does not.
+func TestFig11Shape(t *testing.T) {
+	tables := Fig11(shapeCfg())
+	rows := tables[0].Rows
+	// At 1:1 both schemes are fine.
+	if parseF(t, rows[0][2]) < 60 {
+		t.Fatalf("DCP at 1:1 too slow: %v", rows[0])
+	}
+	// At 1:10 the two flows share 100+10 Gbps of cross capacity (≤55 avg);
+	// DCP(AR) must stay near that bound while the colliding CX5(ECMP)
+	// flows collapse on the degraded path.
+	last := rows[len(rows)-1]
+	cx5, dcp := parseF(t, last[1]), parseF(t, last[2])
+	if dcp < 40 {
+		t.Fatalf("DCP must adapt to 1:10 paths: %v", last)
+	}
+	if cx5 > dcp/4 {
+		t.Fatalf("colliding ECMP flows should collapse: %v", last)
+	}
+}
+
+// TestLongHaulShape asserts the 10 km validation: DCP holds high goodput.
+func TestLongHaulShape(t *testing.T) {
+	tables := LongHaul(shapeCfg())
+	dcp := parseF(t, tables[0].Rows[0][1])
+	if dcp < 70 {
+		t.Fatalf("DCP long-haul goodput %.1f", dcp)
+	}
+}
+
+// TestAblationBatchShape asserts batched RetransQ fetches beat the per-HO
+// strawman.
+func TestAblationBatchShape(t *testing.T) {
+	tables := AblationRetransBatch(shapeCfg())
+	for _, r := range tables[0].Rows {
+		batched, per := parseF(t, r[1]), parseF(t, r[2])
+		if batched < per {
+			t.Fatalf("batched must beat per-HO at %s: %v", r[0], r)
+		}
+	}
+	// At 10% loss the gap must be decisive (footnote 9's 4 Gbps ceiling).
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	if parseF(t, last[1]) < 1.5*parseF(t, last[2]) {
+		t.Fatalf("per-HO fetch should bottleneck recovery: %v", last)
+	}
+}
+
+// TestAblationTrackingShape asserts the §4.5 orthogonality: identical FCTs.
+func TestAblationTrackingShape(t *testing.T) {
+	tables := AblationTracking(shapeCfg())
+	for _, r := range tables[0].Rows {
+		a, b := parseF(t, r[1]), parseF(t, r[2])
+		if a != b {
+			t.Fatalf("tracking modes diverge at %s: %v", r[0], r)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Desc == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	// Every table and figure of the evaluation is present.
+	for _, id := range []string{"table1", "table2", "table3", "table4", "table5",
+		"fig1", "fig2", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "longhaul"} {
+		if !seen[id] {
+			t.Fatalf("missing exhibit %s", id)
+		}
+	}
+	if ByID("fig10") == nil || ByID("nope") != nil {
+		t.Fatal("ByID")
+	}
+}
+
+// TestAnalyticExperimentsRender runs all non-simulation experiments.
+func TestAnalyticExperimentsRender(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3", "table4", "fig7"} {
+		e := ByID(id)
+		tables := e.Run(shapeCfg())
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			t.Fatalf("%s produced nothing", id)
+		}
+	}
+}
+
+// TestAblationBackToSenderShape asserts the §7 trade-off direction: direct
+// return can only help (it shortens the notification path by up to half an
+// RTT) and both variants recover fully.
+func TestAblationBackToSenderShape(t *testing.T) {
+	tables := AblationBackToSender(shapeCfg())
+	for _, r := range tables[0].Rows {
+		via, b2s := parseF(t, r[1]), parseF(t, r[2])
+		if via < 50 || b2s < 50 {
+			t.Fatalf("both variants must recover well: %v", r)
+		}
+		if b2s < via*0.95 {
+			t.Fatalf("back-to-sender should not be slower: %v", r)
+		}
+	}
+}

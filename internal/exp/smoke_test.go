@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"testing"
+
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/topo"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// TestSmokeDirect sends one flow between two back-to-back hosts for every
+// scheme and verifies completion.
+func TestSmokeDirect(t *testing.T) {
+	schemes := []Scheme{SchemeDCP(false), SchemeDCP(true), SchemeIRN(0, false),
+		SchemeGBNLossy(0), SchemeMPRDMA(), SchemeRACK(), SchemeTimeout(), SchemeTCP()}
+	for _, sch := range schemes {
+		sch := sch
+		t.Run(sch.Name, func(t *testing.T) {
+			s := NewSim(1, sch, func(eng *sim.Engine) *topo.Network {
+				return topo.Direct(eng, 100*units.Gbps, units.Microsecond)
+			})
+			f := &workload.Flow{ID: 1, Src: 0, Dst: 1, Size: 3 << 20, Start: 0}
+			s.ScheduleFlows([]*workload.Flow{f})
+			if left := s.Run(units.Second); left != 0 {
+				t.Fatalf("%d flows unfinished at %v", left, s.Eng.Now())
+			}
+			rec := s.Col.Flow(1)
+			gp := stats.Goodput(rec.Size, rec.FCT())
+			min := 50.0
+			if sch.Name == "TCP" {
+				min = 20 // CPU-bound by the stack-cost model
+			}
+			if gp < min {
+				t.Fatalf("goodput %.1f Gbps too low (fct=%v)", gp, rec.FCT())
+			}
+		})
+	}
+}
+
+// TestSmokeSwitchTrim drives DCP through a congested single switch with
+// forced loss and verifies the HO path recovers everything without
+// timeouts.
+func TestSmokeSwitchTrim(t *testing.T) {
+	sch := SchemeDCP(false)
+	s := NewSim(2, sch, func(eng *sim.Engine) *topo.Network {
+		cfg := topo.DefaultDumbbell()
+		cfg.HostsPerSwitch = 1
+		cfg.CrossLinks = 1
+		cfg.Switch = SwitchConfigFor(sch)
+		cfg.Switch.LossRate = 0.01
+		return topo.Dumbbell(eng, cfg)
+	})
+	f := &workload.Flow{ID: 1, Src: 0, Dst: 1, Size: 20 << 20, Start: 0}
+	s.ScheduleFlows([]*workload.Flow{f})
+	if left := s.Run(units.Second); left != 0 {
+		t.Fatalf("%d flows unfinished at %v", left, s.Eng.Now())
+	}
+	rec := s.Col.Flow(1)
+	if rec.RetransPkts == 0 {
+		t.Fatal("expected retransmissions under 1% forced loss")
+	}
+	if rec.Timeouts != 0 {
+		t.Fatalf("DCP should recover via HO packets, saw %d timeouts", rec.Timeouts)
+	}
+	c := s.Net.Counters()
+	if c.TrimmedPkts == 0 {
+		t.Fatal("expected trims")
+	}
+	t.Logf("fct=%v retrans=%d trims=%d ho=%d goodput=%.1fGbps",
+		rec.FCT(), rec.RetransPkts, c.TrimmedPkts, rec.HOTriggers, stats.Goodput(rec.Size, rec.FCT()))
+}

@@ -1,0 +1,249 @@
+package exp
+
+import (
+	"fmt"
+
+	"dcpsim/internal/fabric"
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/topo"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// onePathNet builds host—switch—switch—host with a single cross link, the
+// Fig. 10/17 forced-loss pipeline.
+func onePathNet(sch Scheme, lossRate float64) func(*sim.Engine) *topo.Network {
+	return func(eng *sim.Engine) *topo.Network {
+		cfg := topo.DefaultDumbbell()
+		cfg.HostsPerSwitch = 1
+		cfg.CrossLinks = 1
+		cfg.Switch = SwitchConfigFor(sch)
+		cfg.Switch.LossRate = lossRate
+		return topo.Dumbbell(eng, cfg)
+	}
+}
+
+// runSingleFlow measures the goodput of one size-byte flow under a scheme.
+func runSingleFlow(cfg Config, sch Scheme, size int64, build func(*sim.Engine) *topo.Network) (float64, *stats.FlowRecord) {
+	s := NewSim(cfg.Seed, sch, build)
+	f := &workload.Flow{ID: 1, Src: 0, Dst: 1, Size: size}
+	s.ScheduleFlows([]*workload.Flow{f})
+	s.Run(0)
+	rec := s.Col.Flow(1)
+	if !rec.Done {
+		return 0, rec
+	}
+	return stats.Goodput(rec.Size, rec.FCT()), rec
+}
+
+// Fig8 reproduces the basic prototype validation: back-to-back throughput
+// (long flow of 512 KB messages) and small-message latency for RNIC-GBN,
+// DCP-RNIC and software TCP.
+func Fig8(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Fig 8: basic validation of DCP-RNIC (back-to-back)",
+		Columns: []string{"scheme", "throughput_Gbps", "latency_us"},
+	}
+	size := cfg.bytes(64 << 20)
+	for _, sch := range []Scheme{SchemeGBNLossy(0), SchemeDCP(false), SchemeTCP()} {
+		direct := func(eng *sim.Engine) *topo.Network {
+			return topo.Direct(eng, 100*units.Gbps, units.Microsecond)
+		}
+		// Throughput: one long flow posted as 512 KB messages.
+		sch := sch
+		s := NewSim(cfg.Seed, sch, direct)
+		s.Env.MessageSize = 512 * units.KB
+		f := &workload.Flow{ID: 1, Src: 0, Dst: 1, Size: size}
+		s.ScheduleFlows([]*workload.Flow{f})
+		s.Run(0)
+		gp := 0.0
+		if rec := s.Col.Flow(1); rec.Done {
+			gp = stats.Goodput(rec.Size, rec.FCT())
+		}
+		// Latency: a 64 B message on an idle pair.
+		s2 := NewSim(cfg.Seed, sch, direct)
+		f2 := &workload.Flow{ID: 1, Src: 0, Dst: 1, Size: 64}
+		s2.ScheduleFlows([]*workload.Flow{f2})
+		s2.Run(0)
+		lat := 0.0
+		if rec := s2.Col.Flow(1); rec.Done {
+			lat = rec.FCT().Micros()
+		}
+		name := map[string]string{"CX5(ECMP)": "RNIC-GBN", "DCP(AR)": "DCP-RNIC", "TCP": "TCP"}[sch.Name]
+		t.AddRow(name, gp, lat)
+	}
+	return []*stats.Table{t}
+}
+
+// fig10LossRates are the enforced loss rates of Figs. 10 and 17.
+var fig10LossRates = []float64{0, 0.0001, 0.001, 0.005, 0.01, 0.02, 0.05}
+
+// Fig10 reproduces the loss recovery efficiency comparison: goodput of a
+// long flow under enforced loss, DCP (switch trims) vs CX5 (switch drops).
+func Fig10(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Fig 10: loss recovery efficiency (goodput, Gbps)",
+		Columns: []string{"loss_rate", "CX5", "DCP", "speedup"},
+	}
+	size := cfg.bytes(40 << 20)
+	for _, lr := range fig10LossRates {
+		cx5, _ := runSingleFlow(cfg, SchemeGBNLossy(0), size, onePathNet(SchemeGBNLossy(0), lr))
+		d, rec := runSingleFlow(cfg, SchemeDCP(false), size, onePathNet(SchemeDCP(false), lr))
+		speed := 0.0
+		if cx5 > 0 {
+			speed = d / cx5
+		}
+		_ = rec
+		t.AddRow(fmt.Sprintf("%.2f%%", lr*100), cx5, d, speed)
+	}
+	return []*stats.Table{t}
+}
+
+// Fig11 reproduces the unequal-path adaptive-routing experiment: two
+// cross-switch flows over two parallel paths with capacity ratios 1:1, 1:4,
+// 1:10; DCP+AR adapts, CX5+ECMP does not.
+func Fig11(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Fig 11: goodput under unequal parallel paths (avg of 2 flows, Gbps)",
+		Columns: []string{"capacity_ratio", "CX5(ECMP)", "DCP(AR)"},
+	}
+	size := cfg.bytes(40 << 20)
+	// ECMP collisions are inevitable at scale (§2.2); reproduce the
+	// worst case deterministically: both flows hash onto the second
+	// (degraded) cross link. Cross egress index 1 on the first switch is
+	// that link (index 0 is the host-facing port... candidates exclude it).
+	var ids []uint64
+	for id := uint64(1); len(ids) < 2; id++ {
+		if fabric.ECMPIndex(id, 0, 2) == 1 {
+			ids = append(ids, id)
+		}
+	}
+	for _, ratio := range []int{1, 4, 10} {
+		row := []float64{}
+		for _, sch := range []Scheme{SchemeGBNLossy(0), SchemeDCP(false)} {
+			sch := sch
+			build := func(eng *sim.Engine) *topo.Network {
+				c := topo.DefaultDumbbell()
+				c.HostsPerSwitch = 2
+				c.CrossLinks = 2
+				c.Switch = SwitchConfigFor(sch)
+				c.CrossRates = []units.Rate{100 * units.Gbps, 100 * units.Gbps / units.Rate(ratio)}
+				return topo.Dumbbell(eng, c)
+			}
+			s := NewSim(cfg.Seed, sch, build)
+			flows := []*workload.Flow{
+				{ID: ids[0], Src: 0, Dst: 2, Size: size},
+				{ID: ids[1], Src: 1, Dst: 3, Size: size},
+			}
+			s.ScheduleFlows(flows)
+			s.Run(0)
+			var sum float64
+			for _, f := range flows {
+				if rec := s.Col.Flow(f.ID); rec.Done {
+					sum += stats.Goodput(rec.Size, rec.FCT())
+				}
+			}
+			row = append(row, sum/2)
+		}
+		t.AddRow(fmt.Sprintf("1:%d", ratio), row[0], row[1])
+	}
+	return []*stats.Table{t}
+}
+
+// Fig12 reproduces the testbed AI workload: 16 NICs in 4 groups of 4 (each
+// group spanning both switches), each group running an AllReduce or
+// AllToAll; JCT per group for DCP+AR vs CX5+ECMP.
+func Fig12(cfg Config) []*stats.Table {
+	var tables []*stats.Table
+	total := cfg.bytes(300 << 20)
+	for _, coll := range []string{"AllReduce", "AllToAll"} {
+		t := &stats.Table{
+			Name:    "Fig 12 (" + coll + "): testbed JCT per group (ms)",
+			Columns: []string{"group", "CX5(ECMP)", "DCP(AR)"},
+		}
+		jcts := map[string][]float64{}
+		var order []string
+		for _, sch := range []Scheme{SchemeGBNLossy(0), SchemeDCP(false)} {
+			sch := sch
+			order = append(order, sch.Name)
+			build := func(eng *sim.Engine) *topo.Network {
+				c := topo.DefaultDumbbell()
+				c.Switch = SwitchConfigFor(sch)
+				return topo.Dumbbell(eng, c)
+			}
+			s := NewSim(cfg.Seed, sch, build)
+			done := make([]units.Time, 4)
+			var id uint64 = 1
+			for g := 0; g < 4; g++ {
+				members := []packet.NodeID{}
+				for k := 0; k < 4; k++ {
+					members = append(members, packet.NodeID(g+4*k))
+				}
+				var cf *workload.Coflow
+				if coll == "AllReduce" {
+					cf = workload.RingAllReduce(members, total, g, id)
+				} else {
+					cf = workload.AllToAll(members, total, g, id)
+				}
+				id += uint64(cf.NumFlows())
+				g := g
+				s.RunCoflow(cf, 0, func(at units.Time) { done[g] = at })
+			}
+			s.Run(0)
+			for _, d := range done {
+				jcts[sch.Name] = append(jcts[sch.Name], float64(d)/float64(units.Millisecond))
+			}
+		}
+		for g := 0; g < 4; g++ {
+			t.AddRow(g+1, jcts[order[0]][g], jcts[order[1]][g])
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// LongHaul reproduces the §6.1 long-haul validation: one flow across a
+// 10 km (50 µs) link; DCP should hold a high stable goodput with 32 MB
+// switch buffers.
+func LongHaul(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Long-haul: 10 km cross link, single flow goodput (Gbps)",
+		Columns: []string{"scheme", "goodput_Gbps"},
+	}
+	size := cfg.bytes(200 << 20)
+	for _, sch := range []Scheme{SchemeDCP(false), SchemeGBNLossy(0)} {
+		sch := sch
+		build := func(eng *sim.Engine) *topo.Network {
+			c := topo.DefaultDumbbell()
+			c.HostsPerSwitch = 1
+			c.CrossLinks = 1
+			c.CrossDelays = []units.Time{50 * units.Microsecond}
+			c.Switch = SwitchConfigFor(sch)
+			return topo.Dumbbell(eng, c)
+		}
+		gp, _ := runSingleFlow(cfg, sch, size, build)
+		t.AddRow(sch.Name, gp)
+	}
+	return []*stats.Table{t}
+}
+
+// Fig17 compares loss recovery schemes under enforced loss on a single
+// ECMP path: DCP, RACK-TLP, IRN, and timeout-only.
+func Fig17(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name:    "Fig 17: loss recovery efficiency of DCP/RACK-TLP/IRN/Timeout (goodput, Gbps)",
+		Columns: []string{"loss_rate", "DCP", "RACK-TLP", "IRN", "Timeout"},
+	}
+	size := cfg.bytes(40 << 20)
+	for _, lr := range fig10LossRates {
+		row := []any{fmt.Sprintf("%.2f%%", lr*100)}
+		for _, sch := range []Scheme{SchemeDCP(false), SchemeRACK(), SchemeIRN(0, false), SchemeTimeout()} {
+			gp, _ := runSingleFlow(cfg, sch, size, onePathNet(sch, lr))
+			row = append(row, gp)
+		}
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}
+}

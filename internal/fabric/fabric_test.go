@@ -1,0 +1,671 @@
+package fabric
+
+import (
+	"testing"
+
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/units"
+)
+
+// collector gathers delivered packets.
+type collector struct {
+	pkts []*packet.Packet
+	at   []units.Time
+	eng  *sim.Engine
+}
+
+func (c *collector) Receive(p *packet.Packet, _ int) {
+	c.pkts = append(c.pkts, p)
+	c.at = append(c.at, c.eng.Now())
+}
+
+func (c *collector) AddIngress(w *Wire) int { return 0 }
+
+func dataPkt(size int) *packet.Packet {
+	p := packet.DataPacket(1, 0, 1, 0, 0, size-packet.DataHeaderSize-packet.RETHSize)
+	return p
+}
+
+func TestPortSerializesAtRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	dst := &collector{eng: eng}
+	w := NewWire(eng, units.Microsecond, dst, 0)
+	fifo := &FIFOScheduler{}
+	port := NewPort(eng, 100*units.Gbps, w, fifo)
+	for i := 0; i < 3; i++ {
+		fifo.Enqueue(dataPkt(1000))
+	}
+	port.Kick()
+	eng.Run(0)
+	if len(dst.pkts) != 3 {
+		t.Fatalf("delivered %d", len(dst.pkts))
+	}
+	// Packet i arrives at (i+1)*tx + prop.
+	tx := units.TxTime(1000, 100*units.Gbps)
+	for i, at := range dst.at {
+		want := units.Time(i+1)*tx + units.Microsecond
+		if at != want {
+			t.Fatalf("pkt %d at %v, want %v", i, at, want)
+		}
+	}
+	if port.TxPackets != 3 || port.TxBytes != 3000 {
+		t.Fatalf("counters: %d pkts %d bytes", port.TxPackets, port.TxBytes)
+	}
+}
+
+func TestPortPauseFinishesCurrentPacket(t *testing.T) {
+	eng := sim.NewEngine(1)
+	dst := &collector{eng: eng}
+	w := NewWire(eng, 0, dst, 0)
+	fifo := &FIFOScheduler{}
+	port := NewPort(eng, 100*units.Gbps, w, fifo)
+	fifo.Enqueue(dataPkt(1000))
+	fifo.Enqueue(dataPkt(1000))
+	port.Kick()
+	// Pause mid-first-packet: first completes, second held.
+	eng.After(10*units.Nanosecond, func() { port.SetDataPaused(true) })
+	eng.Run(units.Microsecond)
+	if len(dst.pkts) != 1 {
+		t.Fatalf("delivered %d under pause, want 1", len(dst.pkts))
+	}
+	if !port.DataPaused() {
+		t.Fatal("pause flag")
+	}
+	port.SetDataPaused(false)
+	eng.Run(0)
+	if len(dst.pkts) != 2 {
+		t.Fatal("resume must drain the queue")
+	}
+	if port.PausedTime == 0 {
+		t.Fatal("paused time must accumulate")
+	}
+}
+
+func TestFIFOPauseHoldsDataPassesControl(t *testing.T) {
+	s := &FIFOScheduler{}
+	d := dataPkt(1000)
+	s.Enqueue(d)
+	if got := s.Next(true); got != nil {
+		t.Fatal("paused FIFO must hold data at head")
+	}
+	if got := s.Next(false); got != d {
+		t.Fatal("unpaused FIFO serves data")
+	}
+	ack := packet.AckPacket(1, 0, 1, 0)
+	s.Enqueue(ack)
+	if got := s.Next(true); got != ack {
+		t.Fatal("control at head passes under pause")
+	}
+	if s.Len() != 0 || s.Backlog() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestDRRSharesBandwidthByWeight(t *testing.T) {
+	// With weight w, a backlogged control queue must receive ≈ w/(1+w) of
+	// the served bytes.
+	for _, w := range []float64{0.5, 1, 4} {
+		s := newDRRScheduler(w)
+		// Backlog both queues heavily (enough that neither runs dry while
+		// we sample 500 KB of service).
+		for i := 0; i < 20000; i++ {
+			s.pushCtrl(&packet.Packet{Kind: packet.KindHO, Size: 57})
+		}
+		for i := 0; i < 1000; i++ {
+			s.pushData(dataPkt(1073))
+		}
+		var ctrlBytes, dataBytes int
+		for {
+			p := s.Next(false)
+			if p == nil || ctrlBytes+dataBytes > 500000 {
+				break
+			}
+			if p.Kind == packet.KindHO {
+				ctrlBytes += p.Size
+			} else {
+				dataBytes += p.Size
+			}
+		}
+		share := float64(ctrlBytes) / float64(ctrlBytes+dataBytes)
+		want := w / (1 + w)
+		if share < want-0.05 || share > want+0.05 {
+			t.Errorf("w=%v: control share %.3f, want ≈ %.3f", w, share, want)
+		}
+	}
+}
+
+func TestDRRServesSoleBackloggedQueue(t *testing.T) {
+	s := newDRRScheduler(4)
+	for i := 0; i < 10; i++ {
+		s.pushData(dataPkt(1000))
+	}
+	for i := 0; i < 10; i++ {
+		if s.Next(false) == nil {
+			t.Fatal("data-only backlog must be served at full rate")
+		}
+	}
+	if s.Next(false) != nil {
+		t.Fatal("queue should be empty")
+	}
+	for i := 0; i < 10; i++ {
+		s.pushCtrl(&packet.Packet{Kind: packet.KindHO, Size: 57})
+	}
+	for i := 0; i < 10; i++ {
+		if s.Next(false) == nil {
+			t.Fatal("control-only backlog must be served")
+		}
+	}
+}
+
+func TestDRRPauseServesControlOnly(t *testing.T) {
+	s := newDRRScheduler(1)
+	s.pushData(dataPkt(1000))
+	s.pushCtrl(&packet.Packet{Kind: packet.KindHO, Size: 57})
+	if p := s.Next(true); p == nil || p.Kind != packet.KindHO {
+		t.Fatal("pause must still serve control")
+	}
+	if p := s.Next(true); p != nil {
+		t.Fatal("paused data must be held")
+	}
+}
+
+func TestPrioSchedulerStrictPriority(t *testing.T) {
+	s := &prioScheduler{}
+	s.pushData(dataPkt(1000))
+	s.pushCtrl(packet.AckPacket(1, 0, 1, 0))
+	if p := s.Next(false); p.Kind != packet.KindAck {
+		t.Fatal("control first")
+	}
+	if p := s.Next(true); p != nil {
+		t.Fatal("paused data held")
+	}
+	if p := s.Next(false); p.Kind != packet.KindData {
+		t.Fatal("then data")
+	}
+}
+
+func TestWRRWeightLaw(t *testing.T) {
+	// §4.2: w = (N-1)/(r-N+1) when r > N-1.
+	r := 1073.0 / 57.0 // ≈ 18.8
+	w := WRRWeight(16, r, 8)
+	want := 15.0 / (r - 15)
+	if w < want-1e-9 || w > want+1e-9 {
+		t.Fatalf("WRRWeight(16) = %v, want %v", w, want)
+	}
+	// Beyond validity (r < N-1) the weight clamps.
+	if got := WRRWeight(22, r, 8); got != 8 {
+		t.Fatalf("clamp: got %v", got)
+	}
+	// Tiny weights floor at 0.1.
+	if got := WRRWeight(2, 1000, 8); got != 0.1 {
+		t.Fatalf("floor: got %v", got)
+	}
+}
+
+// buildSwitch wires src collector -> switch -> dst collector.
+func buildSwitch(eng *sim.Engine, cfg SwitchConfig) (*Switch, *collector, func(*packet.Packet)) {
+	dst := &collector{eng: eng}
+	sw := NewSwitch(eng, 100, cfg)
+	out := sw.AddEgress(100*units.Gbps, NewWire(eng, 0, dst, 0))
+	routes := make([][]int, 2)
+	routes[1] = []int{out}
+	sw.SetRoutes(routes)
+	in := sw.AddIngress(nil)
+	inject := func(p *packet.Packet) { sw.Receive(p, in) }
+	return sw, dst, inject
+}
+
+func TestSwitchForwards(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	sw, dst, inject := buildSwitch(eng, cfg)
+	inject(dataPkt(1000))
+	eng.Run(0)
+	if len(dst.pkts) != 1 {
+		t.Fatal("packet not forwarded")
+	}
+	if sw.Counters.RxPackets != 1 {
+		t.Fatal("rx counter")
+	}
+	if dst.pkts[0].Hops != 1 {
+		t.Fatal("hop count")
+	}
+}
+
+func TestSwitchTrimsDCPOverThreshold(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.TrimThreshold = 3000
+	sw, dst, inject := buildSwitch(eng, cfg)
+	for i := 0; i < 10; i++ {
+		inject(dataPkt(1073))
+	}
+	eng.Run(0)
+	if sw.Counters.TrimmedPkts == 0 {
+		t.Fatal("expected trims over threshold")
+	}
+	var ho, data int
+	for _, p := range dst.pkts {
+		if p.Kind == packet.KindHO {
+			ho++
+			if p.Size != packet.HOSize {
+				t.Fatalf("HO size %d", p.Size)
+			}
+			if p.Tag != packet.TagHO {
+				t.Fatal("HO tag")
+			}
+		} else {
+			data++
+		}
+	}
+	if ho != int(sw.Counters.TrimmedPkts) || ho+data != 10 {
+		t.Fatalf("ho=%d data=%d trims=%d", ho, data, sw.Counters.TrimmedPkts)
+	}
+}
+
+func TestSwitchDropsNonDCPOverThreshold(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.TrimThreshold = 3000
+	sw, dst, inject := buildSwitch(eng, cfg)
+	for i := 0; i < 10; i++ {
+		p := dataPkt(1073)
+		p.Tag = packet.TagNonDCP
+		inject(p)
+	}
+	eng.Run(0)
+	if sw.Counters.DroppedData == 0 {
+		t.Fatal("non-DCP traffic must be dropped, not trimmed")
+	}
+	if sw.Counters.TrimmedPkts != 0 {
+		t.Fatal("no trims for non-DCP")
+	}
+	if len(dst.pkts)+int(sw.Counters.DroppedData) != 10 {
+		t.Fatal("conservation")
+	}
+}
+
+func TestSwitchHOGoesToControlQueue(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.TrimThreshold = 500 // immediately congested for data
+	sw, dst, inject := buildSwitch(eng, cfg)
+	// Pre-fill data queue over threshold.
+	inject(dataPkt(1073))
+	// An HO packet must pass even though data is over threshold.
+	ho := dataPkt(1073)
+	ho.Trim()
+	inject(ho)
+	eng.Run(0)
+	found := false
+	for _, p := range dst.pkts {
+		if p.Kind == packet.KindHO && !p.Trimmed == false {
+			found = true
+		}
+	}
+	_ = found
+	if sw.Counters.DroppedHO != 0 {
+		t.Fatal("HO must not drop below control cap")
+	}
+	if len(dst.pkts) < 2 {
+		t.Fatalf("delivered %d", len(dst.pkts))
+	}
+}
+
+func TestSwitchControlQueueCapDropsHO(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.CtrlQueueCap = 100 // effectively one HO packet
+	sw, _, inject := buildSwitch(eng, cfg)
+	for i := 0; i < 5; i++ {
+		ho := dataPkt(1073)
+		ho.Trim()
+		inject(ho)
+	}
+	eng.Run(0)
+	if sw.Counters.DroppedHO == 0 {
+		t.Fatal("overflowing control queue must drop HO (Table 5 mode)")
+	}
+}
+
+func TestSwitchAckDroppedOverThreshold(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.TrimThreshold = 500
+	sw, _, inject := buildSwitch(eng, cfg)
+	// Fill past the threshold; the first packet starts serializing
+	// immediately, so inject several to keep the queue occupied.
+	for i := 0; i < 3; i++ {
+		inject(dataPkt(1073))
+	}
+	inject(packet.AckPacket(1, 0, 1, 5))
+	eng.Run(0)
+	if sw.Counters.DroppedAck != 1 {
+		t.Fatalf("ACK over threshold must drop (§4.2), got %d", sw.Counters.DroppedAck)
+	}
+}
+
+func TestSwitchECNMarking(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.ECNKmin = 1000
+	cfg.ECNKmax = 3000
+	cfg.ECNPmax = 1.0
+	cfg.TrimThreshold = 1 << 30
+	sw, dst, inject := buildSwitch(eng, cfg)
+	for i := 0; i < 20; i++ {
+		inject(dataPkt(1073))
+	}
+	eng.Run(0)
+	if sw.Counters.ECNMarked == 0 {
+		t.Fatal("expected ECN marks above Kmin")
+	}
+	marked := 0
+	for _, p := range dst.pkts {
+		if p.ECN {
+			marked++
+		}
+	}
+	if marked != int(sw.Counters.ECNMarked) {
+		t.Fatal("mark accounting")
+	}
+	// Deep queue (≥ Kmax) must always mark: the last enqueued packets saw
+	// ≥ 3000 queued bytes.
+	if !dst.pkts[len(dst.pkts)-1].ECN {
+		t.Fatal("packet enqueued above Kmax must be marked")
+	}
+}
+
+func TestSwitchForcedLossTrimsDCPDropsOthers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.LossRate = 1.0 // drop/trim everything
+	sw, dst, inject := buildSwitch(eng, cfg)
+	inject(dataPkt(1073)) // DCP data -> trim
+	p := dataPkt(1073)
+	p.Tag = packet.TagNonDCP
+	inject(p) // non-DCP -> drop
+	eng.Run(0)
+	if sw.Counters.ForcedLosses != 2 {
+		t.Fatalf("forced losses = %d", sw.Counters.ForcedLosses)
+	}
+	if sw.Counters.TrimmedPkts != 1 || sw.Counters.DroppedData != 1 {
+		t.Fatalf("trim/drop split wrong: %+v", sw.Counters)
+	}
+	if len(dst.pkts) != 1 || dst.pkts[0].Kind != packet.KindHO {
+		t.Fatal("only the HO survivor should arrive")
+	}
+}
+
+func TestECMPDeterministicPerFlow(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.LB = LBECMP
+	dst := &collector{eng: eng}
+	sw := NewSwitch(eng, 100, cfg)
+	var outs []int
+	for i := 0; i < 4; i++ {
+		outs = append(outs, sw.AddEgress(100*units.Gbps, NewWire(eng, 0, dst, 0)))
+	}
+	routes := make([][]int, 2)
+	routes[1] = outs
+	sw.SetRoutes(routes)
+	in := sw.AddIngress(nil)
+
+	// Same flow → same egress; different PathKey → possibly different.
+	pick := make(map[uint64]int64)
+	for trial := 0; trial < 3; trial++ {
+		for f := uint64(1); f <= 8; f++ {
+			p := dataPkt(1000)
+			p.FlowID = f
+			sw.Receive(p, in)
+			key := f
+			tx := sw.EgressAt(0).Port.TxPackets // not meaningful; rely on queue inspection below
+			_ = tx
+			_ = key
+		}
+	}
+	eng.Run(0)
+	_ = pick
+	// Distribution check: with 8 flows and 4 ports, at least 2 ports used.
+	used := 0
+	for _, o := range outs {
+		if sw.EgressAt(o).Port.TxPackets > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("ECMP used %d ports for 8 flows", used)
+	}
+}
+
+func TestAdaptiveRoutingPicksShortestQueue(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.LB = LBAdaptive
+	dst := &collector{eng: eng}
+	sw := NewSwitch(eng, 100, cfg)
+	slow := sw.AddEgress(1*units.Gbps, NewWire(eng, 0, dst, 0))
+	fast := sw.AddEgress(100*units.Gbps, NewWire(eng, 0, dst, 0))
+	routes := make([][]int, 2)
+	routes[1] = []int{slow, fast}
+	sw.SetRoutes(routes)
+	in := sw.AddIngress(nil)
+	// Offer packets over time: queue-length-based AR steers traffic away
+	// from the slow port as its queue persists.
+	for i := 0; i < 200; i++ {
+		i := i
+		eng.At(units.Time(i)*100*units.Nanosecond, func() {
+			sw.Receive(dataPkt(1000), in)
+		})
+	}
+	eng.Run(0)
+	fastTx := sw.EgressAt(fast).Port.TxPackets
+	slowTx := sw.EgressAt(slow).Port.TxPackets
+	if fastTx <= slowTx*5 {
+		t.Fatalf("AR should prefer the fast port: fast=%d slow=%d", fastTx, slowTx)
+	}
+}
+
+func TestUnknownDestinationPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw := NewSwitch(eng, 100, DefaultSwitchConfig())
+	sw.SetRoutes(make([][]int, 1))
+	in := sw.AddIngress(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unroutable packet")
+		}
+	}()
+	p := dataPkt(100)
+	p.Dst = 0
+	sw.Receive(p, in)
+}
+
+func TestLosslessPFCPausesUpstream(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.Lossless = true
+	cfg.Trimming = false
+	cfg.PFCXoff = 5000
+	cfg.PFCXon = 2000
+
+	dst := &collector{eng: eng}
+	sw := NewSwitch(eng, 100, cfg)
+	out := sw.AddEgress(1*units.Gbps, NewWire(eng, 0, dst, 0)) // slow drain
+	routes := make([][]int, 2)
+	routes[1] = []int{out}
+	sw.SetRoutes(routes)
+
+	// Upstream port feeding the switch.
+	upFifo := &FIFOScheduler{}
+	upWire := Attach(eng, units.Microsecond, sw)
+	up := NewPort(eng, 100*units.Gbps, upWire, upFifo)
+	for i := 0; i < 40; i++ {
+		upFifo.Enqueue(dataPkt(1000))
+	}
+	up.Kick()
+	eng.Run(200 * units.Microsecond)
+	if sw.Counters.PauseOn == 0 {
+		t.Fatal("ingress over XOFF must pause upstream")
+	}
+	if sw.Counters.DroppedData != 0 {
+		t.Fatal("lossless fabric must not drop")
+	}
+	if !up.DataPaused() && up.PausedTime == 0 {
+		t.Fatal("upstream port never paused")
+	}
+	// Draining must eventually resume and deliver everything.
+	eng.Run(0)
+	if len(dst.pkts) != 40 {
+		t.Fatalf("delivered %d/40 after resume", len(dst.pkts))
+	}
+}
+
+func TestLosslessBufferAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.Lossless = true
+	cfg.PFCXoff = 1 << 30 // never pause; we only check accounting
+	cfg.PFCXon = 1 << 29
+	sw, _, inject := buildSwitch(eng, cfg)
+	for i := 0; i < 5; i++ {
+		inject(dataPkt(1000))
+	}
+	if sw.BufUsed() == 0 {
+		t.Fatal("buffer must be charged while queued")
+	}
+	eng.Run(0)
+	if sw.BufUsed() != 0 {
+		t.Fatalf("buffer leak: %d bytes", sw.BufUsed())
+	}
+	if sw.Counters.MaxBufUsed < 4000 {
+		t.Fatalf("max buffer %d", sw.Counters.MaxBufUsed)
+	}
+}
+
+func TestSprayUsesAllPorts(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.LB = LBSpray
+	dst := &collector{eng: eng}
+	sw := NewSwitch(eng, 100, cfg)
+	var outs []int
+	for i := 0; i < 4; i++ {
+		outs = append(outs, sw.AddEgress(100*units.Gbps, NewWire(eng, 0, dst, 0)))
+	}
+	routes := make([][]int, 2)
+	routes[1] = outs
+	sw.SetRoutes(routes)
+	in := sw.AddIngress(nil)
+	for i := 0; i < 200; i++ {
+		p := dataPkt(1000)
+		p.FlowID = 1 // single flow still sprays
+		sw.Receive(p, in)
+	}
+	eng.Run(0)
+	for _, o := range outs {
+		if sw.EgressAt(o).Port.TxPackets == 0 {
+			t.Fatal("spray must use every port")
+		}
+	}
+}
+
+func TestBufferFullDropsEvenDCP(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.BufferBytes = 2500
+	cfg.TrimThreshold = 1 << 30
+	cfg.CtrlQueueCap = 1 << 30
+	sw, _, inject := buildSwitch(eng, cfg)
+	for i := 0; i < 10; i++ {
+		inject(dataPkt(1073))
+	}
+	eng.Run(0)
+	// Over-buffer DCP data is trimmed; the resulting HOs fit (57 B each).
+	if sw.Counters.TrimmedPkts == 0 {
+		t.Fatal("full shared buffer must trigger trims for DCP data")
+	}
+}
+
+func TestDirectHOReturn(t *testing.T) {
+	// §7 back-to-sender: with DirectHOReturn the trimmed header leaves via
+	// the route to the *sender*, already marked Echoed.
+	eng := sim.NewEngine(1)
+	cfg := DefaultSwitchConfig()
+	cfg.TrimThreshold = 500
+	cfg.DirectHOReturn = true
+
+	toDst := &collector{eng: eng}
+	toSrc := &collector{eng: eng}
+	sw := NewSwitch(eng, 100, cfg)
+	outDst := sw.AddEgress(100*units.Gbps, NewWire(eng, 0, toDst, 0))
+	outSrc := sw.AddEgress(100*units.Gbps, NewWire(eng, 0, toSrc, 0))
+	routes := make([][]int, 2)
+	routes[1] = []int{outDst} // toward the receiver
+	routes[0] = []int{outSrc} // back toward the sender
+	sw.SetRoutes(routes)
+	in := sw.AddIngress(nil)
+
+	// Saturate: the first packet serializes immediately, the second
+	// queues past the 500 B threshold, the third trims.
+	sw.Receive(dataPkt(1073), in)
+	sw.Receive(dataPkt(1073), in)
+	sw.Receive(dataPkt(1073), in)
+	eng.Run(0)
+	if sw.Counters.TrimmedPkts == 0 {
+		t.Fatalf("trims = %d", sw.Counters.TrimmedPkts)
+	}
+	var echoed int64
+	for _, p := range toSrc.pkts {
+		if p.Kind == packet.KindHO && p.Echoed {
+			echoed++
+		}
+	}
+	if echoed != sw.Counters.TrimmedPkts {
+		t.Fatalf("HO must return directly to the sender: %d of %d", echoed, sw.Counters.TrimmedPkts)
+	}
+	for _, p := range toDst.pkts {
+		if p.Kind == packet.KindHO {
+			t.Fatal("no HO should travel to the receiver in back-to-sender mode")
+		}
+	}
+}
+
+func TestPortTapObservesTransmissions(t *testing.T) {
+	eng := sim.NewEngine(1)
+	dst := &collector{eng: eng}
+	fifo := &FIFOScheduler{}
+	port := NewPort(eng, 100*units.Gbps, NewWire(eng, 0, dst, 0), fifo)
+	var tapped int
+	port.Tap = func(p *packet.Packet) { tapped++ }
+	for i := 0; i < 5; i++ {
+		fifo.Enqueue(dataPkt(500))
+	}
+	port.Kick()
+	eng.Run(0)
+	if tapped != 5 {
+		t.Fatalf("tap saw %d of 5 packets", tapped)
+	}
+}
+
+func TestECMPIndexDeterministic(t *testing.T) {
+	for f := uint64(0); f < 100; f++ {
+		a := ECMPIndex(f, 0, 4)
+		b := ECMPIndex(f, 0, 4)
+		if a != b || a < 0 || a >= 4 {
+			t.Fatalf("flow %d: %d/%d", f, a, b)
+		}
+	}
+	// PathKey perturbs the choice for at least some flows.
+	diff := 0
+	for f := uint64(0); f < 100; f++ {
+		if ECMPIndex(f, 1, 4) != ECMPIndex(f, 0, 4) {
+			diff++
+		}
+	}
+	if diff < 30 {
+		t.Fatalf("path key barely changes hashing: %d/100", diff)
+	}
+}

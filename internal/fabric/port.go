@@ -1,0 +1,247 @@
+// Package fabric models the network data plane: wires (propagation),
+// ports (serialization, PFC pause), queue schedulers (FIFO,
+// strict-priority, the DCP byte-weighted WRR), and the switch itself
+// (shared buffer, packet trimming, ECN marking, PFC, load balancing).
+package fabric
+
+import (
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/units"
+)
+
+// Receiver consumes packets delivered by a wire. Switches and NICs
+// implement it.
+type Receiver interface {
+	Receive(p *packet.Packet, ingress int)
+}
+
+// Wire is one direction of a link: after the source port finishes
+// serializing a packet, the wire delivers it to the destination's ingress
+// after the propagation delay. Wires also carry PFC pause indications back
+// to their source port (modeled without serialization, as PFC frames are
+// link-local and tiny).
+type Wire struct {
+	eng     *sim.Engine
+	delay   units.Time
+	dst     Receiver
+	ingress int   // ingress index at dst
+	src     *Port // the port that transmits onto this wire
+
+	// Delivered counts packets carried, for tests.
+	Delivered uint64
+}
+
+// NewWire creates a wire with the given propagation delay, terminating at
+// dst's ingress index.
+func NewWire(eng *sim.Engine, delay units.Time, dst Receiver, ingress int) *Wire {
+	return &Wire{eng: eng, delay: delay, dst: dst, ingress: ingress}
+}
+
+// IngressNode is a receiver that tracks its arriving wires (switches need
+// the wire to send PFC pause upstream).
+type IngressNode interface {
+	Receiver
+	AddIngress(w *Wire) int
+}
+
+// Attach creates a wire into dst and registers it as an ingress, returning
+// the wire ready to be used as a port's output.
+func Attach(eng *sim.Engine, delay units.Time, dst IngressNode) *Wire {
+	w := &Wire{eng: eng, delay: delay, dst: dst}
+	w.ingress = dst.AddIngress(w)
+	return w
+}
+
+// Delay returns the propagation delay.
+func (w *Wire) Delay() units.Time { return w.delay }
+
+// Deliver schedules the packet's arrival at the destination.
+func (w *Wire) Deliver(p *packet.Packet) {
+	w.Delivered++
+	w.eng.After(w.delay, func() { w.dst.Receive(p, w.ingress) })
+}
+
+// PauseSource asserts or clears PFC pause on the port feeding this wire,
+// after one propagation delay (the time a real PAUSE frame would take to
+// travel upstream on the reverse wire).
+func (w *Wire) PauseSource(on bool) {
+	if w.src == nil {
+		return
+	}
+	w.eng.After(w.delay, func() { w.src.SetDataPaused(on) })
+}
+
+// Scheduler is a port's queue discipline. Next returns the next packet to
+// transmit or nil. When dataPaused is true (PFC PAUSE asserted by the
+// downstream ingress) only control-plane packets (ACK/CNP/HO, which ride a
+// separate priority in real deployments) may be returned.
+type Scheduler interface {
+	Next(dataPaused bool) *packet.Packet
+	// Backlog returns the queued bytes (all queues), used by tests and
+	// adaptive routing on NIC-less ports.
+	Backlog() int
+}
+
+// Port serializes packets from its scheduler onto its wire at a fixed rate.
+// It is work-conserving: Kick must be called whenever new work may be
+// available (after an enqueue, unpause, or pacing deadline).
+type Port struct {
+	eng   *sim.Engine
+	rate  units.Rate
+	wire  *Wire
+	sched Scheduler
+
+	busy       bool
+	dataPaused bool
+
+	// OnDequeue, if set, is invoked when a packet starts transmission
+	// (switches use it to credit buffer accounting).
+	OnDequeue func(p *packet.Packet)
+
+	// Tap, if set, observes every packet as it begins serialization —
+	// the hook packet capture and tracing attach to.
+	Tap func(p *packet.Packet)
+
+	// TxBytes and TxPackets count transmitted traffic.
+	TxBytes   int64
+	TxPackets int64
+	// PausedTime accumulates time spent paused, for PFC statistics.
+	PausedTime  units.Time
+	pausedSince units.Time
+}
+
+// NewPort creates a port transmitting at rate onto wire, fed by sched.
+func NewPort(eng *sim.Engine, rate units.Rate, wire *Wire, sched Scheduler) *Port {
+	p := &Port{eng: eng, rate: rate, wire: wire, sched: sched}
+	if wire != nil {
+		wire.src = p
+	}
+	return p
+}
+
+// Rate returns the port's line rate.
+func (p *Port) Rate() units.Rate { return p.rate }
+
+// SetRate changes the line rate (used to model unequal parallel paths).
+func (p *Port) SetRate(r units.Rate) { p.rate = r }
+
+// DataPaused reports whether PFC pause is asserted.
+func (p *Port) DataPaused() bool { return p.dataPaused }
+
+// SetDataPaused asserts or clears PFC pause for data traffic. The packet
+// currently being serialized (if any) completes, as with real PFC.
+func (p *Port) SetDataPaused(on bool) {
+	if p.dataPaused == on {
+		return
+	}
+	p.dataPaused = on
+	if on {
+		p.pausedSince = p.eng.Now()
+	} else {
+		p.PausedTime += p.eng.Now() - p.pausedSince
+		p.Kick()
+	}
+}
+
+// Kick attempts to start transmitting the next packet. Idempotent.
+func (p *Port) Kick() {
+	if p.busy {
+		return
+	}
+	pkt := p.sched.Next(p.dataPaused)
+	if pkt == nil {
+		return
+	}
+	if p.OnDequeue != nil {
+		p.OnDequeue(pkt)
+	}
+	if p.Tap != nil {
+		p.Tap(pkt)
+	}
+	p.busy = true
+	tx := units.TxTime(pkt.Size, p.rate)
+	p.TxBytes += int64(pkt.Size)
+	p.TxPackets++
+	p.eng.After(tx, func() {
+		p.busy = false
+		p.wire.Deliver(pkt)
+		p.Kick()
+	})
+}
+
+// Busy reports whether a packet is currently being serialized.
+func (p *Port) Busy() bool { return p.busy }
+
+// fifoQueue is a simple byte-counted FIFO of packets.
+type fifoQueue struct {
+	pkts  []*packet.Packet
+	head  int
+	bytes int
+}
+
+func (q *fifoQueue) push(p *packet.Packet) {
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
+}
+
+func (q *fifoQueue) pop() *packet.Packet {
+	if q.head >= len(q.pkts) {
+		return nil
+	}
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= p.Size
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	}
+	return p
+}
+
+func (q *fifoQueue) len() int     { return len(q.pkts) - q.head }
+func (q *fifoQueue) byteLen() int { return q.bytes }
+func (q *fifoQueue) empty() bool  { return q.len() == 0 }
+
+// FIFOScheduler is a single FIFO queue; pause holds everything but
+// control-plane packets at the head (sufficient for host-facing ports in
+// tests).
+type FIFOScheduler struct {
+	q fifoQueue
+}
+
+// Enqueue adds a packet.
+func (s *FIFOScheduler) Enqueue(p *packet.Packet) { s.q.push(p) }
+
+// Next implements Scheduler.
+func (s *FIFOScheduler) Next(dataPaused bool) *packet.Packet {
+	if s.q.empty() {
+		return nil
+	}
+	if dataPaused {
+		// Only a control packet at the head may pass; we do not reorder.
+		if head := s.q.pkts[s.q.head]; head.Kind == packet.KindData {
+			return nil
+		}
+	}
+	return s.q.pop()
+}
+
+// Backlog implements Scheduler.
+func (s *FIFOScheduler) Backlog() int { return s.q.byteLen() }
+
+// Len returns queued packets.
+func (s *FIFOScheduler) Len() int { return s.q.len() }
+
+// PullScheduler adapts a pull function (a NIC asking its transport for the
+// next packet) to the Scheduler interface.
+type PullScheduler struct {
+	Pull func(dataPaused bool) *packet.Packet
+}
+
+// Next implements Scheduler.
+func (s *PullScheduler) Next(dataPaused bool) *packet.Packet { return s.Pull(dataPaused) }
+
+// Backlog implements Scheduler; pull sources have no local queue.
+func (s *PullScheduler) Backlog() int { return 0 }

@@ -1,0 +1,143 @@
+// Package pcap renders simulated DCP traffic as standard libpcap capture
+// files, using the real on-the-wire encodings from package wire. Attach a
+// Writer to any fabric.Port tap and open the result in Wireshark: DCP tags
+// ride the IP ToS bits, HO packets appear as 57-byte RoCEv2 headers, and
+// sRetryNo occupies the BTH reserved byte exactly as Fig. 4 specifies.
+package pcap
+
+import (
+	"encoding/binary"
+	"io"
+
+	"dcpsim/internal/packet"
+	"dcpsim/internal/units"
+	"dcpsim/internal/wire"
+)
+
+// Classic pcap file constants.
+const (
+	magicMicros  = 0xa1b2c3d4
+	versionMajor = 2
+	versionMinor = 4
+	linkEthernet = 1
+	// SnapLen caps how many bytes of each packet are stored.
+	SnapLen = 256
+)
+
+// Writer emits a pcap stream. It is not safe for concurrent use — the
+// simulator is single-threaded, so it never needs to be.
+type Writer struct {
+	w       io.Writer
+	err     error
+	Packets int64
+}
+
+// NewWriter writes the pcap global header and returns the writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
+	// thiszone=0, sigfigs=0
+	binary.LittleEndian.PutUint32(hdr[16:], SnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], linkEthernet)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w}, nil
+}
+
+// Record writes one simulated packet observed at simulated time at.
+func (pw *Writer) Record(p *packet.Packet, at units.Time) {
+	if pw.err != nil {
+		return
+	}
+	frame := Encode(p)
+	capLen := len(frame)
+	if capLen > SnapLen {
+		capLen = SnapLen
+	}
+	rec := make([]byte, 16, 16+capLen)
+	us := int64(at) / int64(units.Microsecond)
+	binary.LittleEndian.PutUint32(rec[0:], uint32(us/1_000_000))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(us%1_000_000))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(capLen))
+	binary.LittleEndian.PutUint32(rec[12:], uint32(len(frame)))
+	rec = append(rec, frame[:capLen]...)
+	if _, err := pw.w.Write(rec); err != nil {
+		pw.err = err
+		return
+	}
+	pw.Packets++
+}
+
+// Err returns the first write error, if any.
+func (pw *Writer) Err() error { return pw.err }
+
+// Encode renders a simulated packet into its on-the-wire bytes. Payloads
+// are zero-filled (the simulator carries sizes, not contents); every header
+// field is real.
+func Encode(p *packet.Packet) []byte {
+	switch p.Kind {
+	case packet.KindAck, packet.KindCNP:
+		a := &wire.AckPacket{
+			Eth: ethFor(p),
+			IP: wire.IPv4{
+				Tag: wire.DCPTag(p.Tag), TTL: 64,
+				Src: addrFor(p.Src), Dst: addrFor(p.Dst),
+			},
+			UDP:  wire.UDP{SrcPort: srcPortFor(p)},
+			BTH:  wire.BTH{DestQP: p.DstQP & 0xFFFFFF, PSN: p.EPSN & 0xFFFFFF},
+			AETH: wire.AETH{MSN: p.EMSN & 0xFFFFFF},
+		}
+		return a.Marshal()
+	default:
+		d := &wire.DataPacket{
+			Eth: ethFor(p),
+			IP: wire.IPv4{
+				Tag: wire.DCPTag(p.Tag), TTL: 64,
+				Src: addrFor(p.Src), Dst: addrFor(p.Dst),
+			},
+			UDP: wire.UDP{SrcPort: srcPortFor(p)},
+			BTH: wire.BTH{
+				OpCode:   wire.OpWriteMiddle,
+				DestQP:   p.DstQP & 0xFFFFFF,
+				PSN:      p.PSN & 0xFFFFFF,
+				SRetryNo: p.SRetryNo,
+			},
+			MSN: p.MSN & 0xFFFFFF,
+		}
+		if p.ECN {
+			d.IP.ECN = wire.ECNCE
+		}
+		if p.Kind == packet.KindHO {
+			// Header-only: exactly the 57-byte prefix (no RETH, no payload).
+			return d.Marshal()
+		}
+		d.HasRETH = true
+		d.RETH = wire.RETH{
+			VA:     uint64(p.MSN)<<32 | uint64(p.MsgOffset)*uint64(p.PayloadBytes),
+			RKey:   uint32(p.FlowID),
+			Length: p.MsgLen * uint32(packet.DefaultMTU),
+		}
+		d.Payload = make([]byte, p.PayloadBytes)
+		return d.Marshal()
+	}
+}
+
+func addrFor(n packet.NodeID) [4]byte {
+	return [4]byte{10, 0, byte(uint32(n) >> 8), byte(n)}
+}
+
+func ethFor(p *packet.Packet) wire.Ethernet {
+	var e wire.Ethernet
+	e.Src = [6]byte{0x02, 0, 0, 0, byte(uint32(p.Src) >> 8), byte(p.Src)}
+	e.Dst = [6]byte{0x02, 0, 0, 0, byte(uint32(p.Dst) >> 8), byte(p.Dst)}
+	return e
+}
+
+// srcPortFor derives a stable UDP source port from the flow (and the
+// MP-RDMA virtual path), the entropy field real fabrics hash on.
+func srcPortFor(p *packet.Packet) uint16 {
+	return uint16(49152 + (p.FlowID^uint64(p.PathKey)*2654435761)%16384)
+}

@@ -1,0 +1,184 @@
+// Package sim implements the discrete-event simulation engine: an event
+// queue ordered by simulated time, cancellable timers, and a deterministic
+// random source. Every experiment in this repository is driven by one
+// Engine; ties in event time are broken by insertion order so that a given
+// seed always produces the same run.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"dcpsim/internal/units"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        units.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+		e.fn = nil
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e == nil || e.cancelled }
+
+// Time returns the simulated time the event is scheduled for.
+func (e *Event) Time() units.Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+type Engine struct {
+	now     units.Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// Executed counts events that have fired, for progress reporting.
+	Executed uint64
+}
+
+// NewEngine returns an engine with its clock at zero and a deterministic
+// random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Rand returns the engine's random source. All stochastic choices in a
+// simulation must come from here so runs are reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently reorder causality.
+func (e *Engine) At(t units.Time, fn func()) *Event {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d units.Time, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue is empty, until the
+// clock would pass `until` (if until > 0), or until Stop is called. It
+// returns the time of the last executed event.
+func (e *Engine) Run(until units.Time) units.Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events[0]
+		if ev.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if until > 0 && ev.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.Executed++
+		fn()
+	}
+	return e.now
+}
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Timer is a restartable one-shot timer, the building block for transport
+// retransmission timeouts. The zero value is an unarmed timer; set Fn before
+// arming it.
+type Timer struct {
+	eng *Engine
+	ev  *Event
+	// Fn runs when the timer expires.
+	Fn func()
+}
+
+// NewTimer returns a timer bound to the engine.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	return &Timer{eng: eng, Fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, cancelling any earlier
+// deadline.
+func (t *Timer) Reset(d units.Time) {
+	t.Stop()
+	t.ev = t.eng.After(d, func() {
+		t.ev = nil
+		t.Fn()
+	})
+}
+
+// Stop disarms the timer if it is armed.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending deadline.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+// Deadline returns the absolute expiry time; valid only if Armed.
+func (t *Timer) Deadline() units.Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.Time()
+}

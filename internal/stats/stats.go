@@ -1,0 +1,301 @@
+// Package stats collects per-flow results and turns them into the series
+// the paper's figures report: FCT slowdown percentiles per flow-size
+// bucket, CDFs, job completion times, and counter summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dcpsim/internal/packet"
+	"dcpsim/internal/units"
+)
+
+// FlowRecord accumulates everything measured about one flow.
+type FlowRecord struct {
+	ID       uint64
+	Src, Dst packet.NodeID
+	Size     int64 // application bytes
+	Class    string
+	Group    int
+
+	Start units.Time
+	End   units.Time
+	Done  bool
+
+	// IdealFCT is the unloaded completion time used as the slowdown
+	// denominator.
+	IdealFCT units.Time
+
+	DataPkts    int64 // first-transmission data packets sent
+	RetransPkts int64 // retransmitted data packets sent
+	Timeouts    int64 // retransmission timeout events
+	HOTriggers  int64 // HO packets received back at the sender (DCP)
+}
+
+// FCT returns the flow completion time (valid once Done).
+func (f *FlowRecord) FCT() units.Time { return f.End - f.Start }
+
+// Slowdown returns FCT normalized by the ideal FCT.
+func (f *FlowRecord) Slowdown() float64 {
+	if f.IdealFCT <= 0 {
+		return 1
+	}
+	return float64(f.FCT()) / float64(f.IdealFCT)
+}
+
+// RetransRatio returns retransmitted packets over total first-transmission
+// packets, the Fig. 1 metric.
+func (f *FlowRecord) RetransRatio() float64 {
+	if f.DataPkts == 0 {
+		return 0
+	}
+	return float64(f.RetransPkts) / float64(f.DataPkts)
+}
+
+// Collector owns the flow records of one simulation run.
+type Collector struct {
+	flows map[uint64]*FlowRecord
+	order []uint64
+
+	// OnDone, if set, is invoked when a flow completes (collective
+	// schedulers use it to release dependent flows).
+	OnDone func(f *FlowRecord)
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{flows: make(map[uint64]*FlowRecord)}
+}
+
+// Add registers a flow and returns its record.
+func (c *Collector) Add(id uint64, src, dst packet.NodeID, size int64, start units.Time) *FlowRecord {
+	f := &FlowRecord{ID: id, Src: src, Dst: dst, Size: size, Start: start}
+	c.flows[id] = f
+	c.order = append(c.order, id)
+	return f
+}
+
+// Flow returns the record for id, or nil.
+func (c *Collector) Flow(id uint64) *FlowRecord { return c.flows[id] }
+
+// Done marks the flow complete at time t. Repeated calls are ignored.
+func (c *Collector) Done(id uint64, t units.Time) {
+	f := c.flows[id]
+	if f == nil || f.Done {
+		return
+	}
+	f.Done = true
+	f.End = t
+	if c.OnDone != nil {
+		c.OnDone(f)
+	}
+}
+
+// Flows returns all records in registration order.
+func (c *Collector) Flows() []*FlowRecord {
+	out := make([]*FlowRecord, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.flows[id])
+	}
+	return out
+}
+
+// FinishedFlows returns completed records, optionally filtered by class
+// ("" matches all).
+func (c *Collector) FinishedFlows(class string) []*FlowRecord {
+	var out []*FlowRecord
+	for _, id := range c.order {
+		f := c.flows[id]
+		if f.Done && (class == "" || f.Class == class) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// AllDone reports whether every registered flow has completed.
+func (c *Collector) AllDone() bool {
+	for _, f := range c.flows {
+		if !f.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// CountUnfinished returns the number of incomplete flows.
+func (c *Collector) CountUnfinished() int {
+	n := 0
+	for _, f := range c.flows {
+		if !f.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// Percentile returns the p-th percentile (0..100) of vals using
+// nearest-rank on a sorted copy. Returns NaN for empty input.
+func Percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// SizeBucket is one point of a per-flow-size series (the Fig. 13/15/16
+// x-axis).
+type SizeBucket struct {
+	AvgSizeKB float64
+	Count     int
+	P50, P95  float64
+	P99       float64
+	Mean      float64
+}
+
+// BucketizeBySize sorts completed flows by size, splits them into n
+// equal-count buckets and summarizes metric per bucket. This is how the
+// paper's FCT-slowdown-vs-flow-size plots are constructed.
+func BucketizeBySize(flows []*FlowRecord, n int, metric func(*FlowRecord) float64) []SizeBucket {
+	if len(flows) == 0 || n <= 0 {
+		return nil
+	}
+	s := append([]*FlowRecord(nil), flows...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Size < s[j].Size })
+	if n > len(s) {
+		n = len(s)
+	}
+	out := make([]SizeBucket, 0, n)
+	for b := 0; b < n; b++ {
+		lo := b * len(s) / n
+		hi := (b + 1) * len(s) / n
+		if hi <= lo {
+			continue
+		}
+		var sizeSum float64
+		vals := make([]float64, 0, hi-lo)
+		for _, f := range s[lo:hi] {
+			sizeSum += float64(f.Size)
+			vals = append(vals, metric(f))
+		}
+		out = append(out, SizeBucket{
+			AvgSizeKB: sizeSum / float64(hi-lo) / 1000,
+			Count:     hi - lo,
+			P50:       Percentile(vals, 50),
+			P95:       Percentile(vals, 95),
+			P99:       Percentile(vals, 99),
+			Mean:      Mean(vals),
+		})
+	}
+	return out
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	Value float64
+	Cum   float64
+}
+
+// CDF returns up to n evenly spaced points of the empirical CDF of vals.
+func CDF(vals []float64, n int) []CDFPoint {
+	if len(vals) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	if n <= 0 || n > len(s) {
+		n = len(s)
+	}
+	out := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := i*len(s)/n - 1
+		out = append(out, CDFPoint{Value: s[idx], Cum: float64(idx+1) / float64(len(s))})
+	}
+	return out
+}
+
+// Goodput returns application goodput in Gbps for size bytes delivered over
+// d.
+func Goodput(size int64, d units.Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(size) * 8 / d.Seconds() / 1e9
+}
+
+// Table is a printable result table: a name, column headers, and rows.
+type Table struct {
+	Name    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := "## " + t.Name + "\n"
+	line := ""
+	for i, c := range t.Columns {
+		line += fmt.Sprintf("%-*s  ", widths[i], c)
+	}
+	out += line + "\n"
+	for _, r := range t.Rows {
+		line = ""
+		for i, c := range r {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			line += fmt.Sprintf("%-*s  ", w, c)
+		}
+		out += line + "\n"
+	}
+	return out
+}

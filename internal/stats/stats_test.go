@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dcpsim/internal/units"
+)
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	if Percentile(vals, 50) != 3 {
+		t.Fatalf("P50 = %v", Percentile(vals, 50))
+	}
+	if Percentile(vals, 100) != 5 || Percentile(vals, 1) != 1 {
+		t.Fatal("extremes")
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty must be NaN")
+	}
+	// The input must not be mutated.
+	if vals[0] != 5 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentileQuickBounds(t *testing.T) {
+	f := func(raw []float64, p uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		pp := float64(p % 101)
+		got := Percentile(raw, pp)
+		s := append([]float64(nil), raw...)
+		sort.Float64s(s)
+		return got >= s[0] && got <= s[len(s)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean NaN")
+	}
+}
+
+func TestCollectorLifecycle(t *testing.T) {
+	c := NewCollector()
+	f := c.Add(1, 0, 1, 1000, 10)
+	f.Class = "bg"
+	c.Add(2, 0, 1, 2000, 20)
+	if c.AllDone() {
+		t.Fatal("nothing done yet")
+	}
+	if c.CountUnfinished() != 2 {
+		t.Fatal("unfinished")
+	}
+	var notified *FlowRecord
+	c.OnDone = func(r *FlowRecord) { notified = r }
+	c.Done(1, 110)
+	if notified == nil || notified.ID != 1 {
+		t.Fatal("OnDone hook")
+	}
+	if f.FCT() != 100 {
+		t.Fatalf("fct = %v", f.FCT())
+	}
+	// Duplicate Done must be ignored.
+	c.Done(1, 999)
+	if f.End != 110 {
+		t.Fatal("duplicate Done changed the record")
+	}
+	c.Done(3, 50) // unknown flow: no-op
+	c.Done(2, 120)
+	if !c.AllDone() || c.CountUnfinished() != 0 {
+		t.Fatal("done accounting")
+	}
+	if len(c.Flows()) != 2 {
+		t.Fatal("flows order")
+	}
+	if got := c.FinishedFlows("bg"); len(got) != 1 || got[0].ID != 1 {
+		t.Fatal("class filter")
+	}
+	if got := c.FinishedFlows(""); len(got) != 2 {
+		t.Fatal("wildcard filter")
+	}
+}
+
+func TestSlowdownAndRatios(t *testing.T) {
+	f := &FlowRecord{Size: 1000, Start: 0, End: 200, Done: true, IdealFCT: 100}
+	if f.Slowdown() != 2 {
+		t.Fatal("slowdown")
+	}
+	f.IdealFCT = 0
+	if f.Slowdown() != 1 {
+		t.Fatal("degenerate ideal -> 1")
+	}
+	f.DataPkts = 10
+	f.RetransPkts = 5
+	if f.RetransRatio() != 0.5 {
+		t.Fatal("retrans ratio")
+	}
+	f.DataPkts = 0
+	if f.RetransRatio() != 0 {
+		t.Fatal("no data -> 0")
+	}
+}
+
+func TestBucketizeBySize(t *testing.T) {
+	var flows []*FlowRecord
+	for i := 1; i <= 100; i++ {
+		flows = append(flows, &FlowRecord{
+			Size: int64(i * 1000), Done: true,
+			Start: 0, End: units.Time(i), IdealFCT: 1,
+		})
+	}
+	b := BucketizeBySize(flows, 10, (*FlowRecord).Slowdown)
+	if len(b) != 10 {
+		t.Fatalf("%d buckets", len(b))
+	}
+	// Buckets ordered by size; each has 10 flows.
+	for i, bk := range b {
+		if bk.Count != 10 {
+			t.Fatalf("bucket %d count %d", i, bk.Count)
+		}
+		if i > 0 && bk.AvgSizeKB <= b[i-1].AvgSizeKB {
+			t.Fatal("buckets must ascend in size")
+		}
+		if bk.P50 > bk.P95 || bk.P95 > bk.P99 {
+			t.Fatal("percentile ordering inside bucket")
+		}
+	}
+	if BucketizeBySize(nil, 10, (*FlowRecord).Slowdown) != nil {
+		t.Fatal("empty -> nil")
+	}
+	// More buckets than flows collapses gracefully.
+	small := flows[:3]
+	if got := BucketizeBySize(small, 10, (*FlowRecord).Slowdown); len(got) != 3 {
+		t.Fatalf("small set: %d buckets", len(got))
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vals := []float64{4, 1, 3, 2}
+	pts := CDF(vals, 4)
+	if len(pts) != 4 {
+		t.Fatal("points")
+	}
+	if pts[0].Value != 1 || pts[0].Cum != 0.25 {
+		t.Fatalf("first point %+v", pts[0])
+	}
+	if pts[3].Value != 4 || pts[3].Cum != 1 {
+		t.Fatalf("last point %+v", pts[3])
+	}
+	if CDF(nil, 5) != nil {
+		t.Fatal("empty")
+	}
+	if got := CDF(vals, 0); len(got) != 4 {
+		t.Fatal("n<=0 means all points")
+	}
+}
+
+func TestGoodput(t *testing.T) {
+	// 125 MB in 10 ms = 100 Gbps.
+	g := Goodput(125_000_000, 10*units.Millisecond)
+	if math.Abs(g-100) > 1e-9 {
+		t.Fatalf("goodput = %v", g)
+	}
+	if Goodput(100, 0) != 0 {
+		t.Fatal("zero duration")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Name: "demo", Columns: []string{"a", "long_column"}}
+	tb.AddRow(1, 2.34567)
+	tb.AddRow("xyz", "w")
+	out := tb.String()
+	if !strings.Contains(out, "## demo") || !strings.Contains(out, "long_column") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "2.346") {
+		t.Fatalf("float formatting:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("%d lines", len(lines))
+	}
+}

@@ -1,0 +1,227 @@
+package base
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcpsim/internal/fabric"
+	"dcpsim/internal/nic"
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/units"
+)
+
+func TestNumPackets(t *testing.T) {
+	cases := []struct {
+		size int64
+		want uint32
+	}{
+		{0, 0}, {1, 1}, {999, 1}, {1000, 1}, {1001, 2}, {30_000_000, 30000},
+	}
+	for _, c := range cases {
+		if got := NumPackets(c.size, 1000); got != c.want {
+			t.Errorf("NumPackets(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestPayloadAt(t *testing.T) {
+	// 2500 bytes at MTU 1000: payloads 1000, 1000, 500.
+	if PayloadAt(2500, 1000, 0) != 1000 || PayloadAt(2500, 1000, 1) != 1000 {
+		t.Fatal("full packets")
+	}
+	if PayloadAt(2500, 1000, 2) != 500 {
+		t.Fatal("tail packet")
+	}
+	if PayloadAt(2500, 1000, 3) != 0 {
+		t.Fatal("out of range")
+	}
+}
+
+func TestPayloadsSumToSizeQuick(t *testing.T) {
+	f := func(sz uint32) bool {
+		size := int64(sz%10_000_000) + 1
+		n := NumPackets(size, 1000)
+		var sum int64
+		for i := uint32(0); i < n; i++ {
+			p := PayloadAt(size, 1000, i)
+			if p <= 0 || p > 1000 {
+				return false
+			}
+			sum += int64(p)
+		}
+		return sum == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessages(t *testing.T) {
+	msgs := Messages(10<<20, 4<<20)
+	if len(msgs) != 3 {
+		t.Fatalf("%d messages", len(msgs))
+	}
+	if msgs[0] != 4<<20 || msgs[2] != 2<<20 {
+		t.Fatalf("sizes %v", msgs)
+	}
+	var sum int64
+	for _, m := range msgs {
+		sum += m
+	}
+	if sum != 10<<20 {
+		t.Fatal("conservation")
+	}
+	if Messages(0, 1<<20) != nil {
+		t.Fatal("empty")
+	}
+}
+
+func TestEnvDefaults(t *testing.T) {
+	e := &Env{}
+	e.Defaults()
+	if e.MTU != packet.DefaultMTU || e.MessageSize != 4*units.MB {
+		t.Fatal("mtu/message defaults")
+	}
+	if e.RTOLow == 0 || e.RTOHigh != 4*e.RTOLow {
+		t.Fatal("RTO defaults")
+	}
+	if e.CC == nil || e.DCP.PCIe.RTT == 0 || e.DCP.Timeout == 0 {
+		t.Fatal("controller/DCP defaults")
+	}
+	if e.DCP.MaxOutstandingMsgs != 8 || e.MP.Paths != 4 || e.MP.OOOWindow != 64 {
+		t.Fatal("scheme defaults")
+	}
+	// Explicit values survive.
+	e2 := &Env{MTU: 500, MessageSize: 1 << 20}
+	e2.Defaults()
+	if e2.MTU != 500 || e2.MessageSize != 1<<20 {
+		t.Fatal("explicit values overridden")
+	}
+}
+
+// scriptedQP returns packets from a list.
+type scriptedQP struct {
+	pkts []*packet.Packet
+	fin  bool
+	at   units.Time
+}
+
+func (q *scriptedQP) Next(now units.Time) (*packet.Packet, units.Time) {
+	if len(q.pkts) == 0 {
+		return nil, q.at
+	}
+	p := q.pkts[0]
+	q.pkts = q.pkts[1:]
+	return p, 0
+}
+func (q *scriptedQP) Finished() bool { return q.fin }
+
+type sinkNode struct{}
+
+func (s *sinkNode) Receive(p *packet.Packet, _ int) {}
+func (s *sinkNode) AddIngress(w *fabric.Wire) int   { return 0 }
+
+func newHost(eng *sim.Engine) *Host {
+	n := nic.New(eng, 0, 100*units.Gbps)
+	n.SetUplink(fabric.Attach(eng, 0, &sinkNode{}))
+	env := &Env{}
+	env.Defaults()
+	h := NewHost(n, env)
+	return &h
+}
+
+func TestCtrlQueueFIFOAndPriority(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := newHost(eng)
+	data := packet.DataPacket(1, 0, 1, 0, 0, 100)
+	h.AddQP(&scriptedQP{pkts: []*packet.Packet{data}})
+	a1 := packet.AckPacket(1, 0, 1, 1)
+	a2 := packet.AckPacket(1, 0, 1, 2)
+	h.QueueCtrl(a1)
+	h.QueueCtrl(a2)
+	if got := h.Dequeue(0, false); got != a1 {
+		t.Fatal("ctrl served first, FIFO")
+	}
+	if got := h.Dequeue(0, false); got != a2 {
+		t.Fatal("ctrl FIFO order")
+	}
+	if got := h.Dequeue(0, false); got != data {
+		t.Fatal("then data")
+	}
+}
+
+func TestPauseHoldsDataNotCtrl(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := newHost(eng)
+	h.AddQP(&scriptedQP{pkts: []*packet.Packet{packet.DataPacket(1, 0, 1, 0, 0, 100)}})
+	ack := packet.AckPacket(1, 0, 1, 1)
+	h.QueueCtrl(ack)
+	if got := h.Dequeue(0, true); got != ack {
+		t.Fatal("PFC pause must not hold ACKs")
+	}
+	if got := h.Dequeue(0, true); got != nil {
+		t.Fatal("PFC pause must hold data")
+	}
+	if got := h.Dequeue(0, false); got == nil {
+		t.Fatal("unpaused serves data")
+	}
+}
+
+func TestRoundRobinAcrossQPs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := newHost(eng)
+	mk := func(flow uint64, n int) *scriptedQP {
+		q := &scriptedQP{}
+		for i := 0; i < n; i++ {
+			q.pkts = append(q.pkts, packet.DataPacket(flow, 0, 1, uint32(i), 0, 100))
+		}
+		return q
+	}
+	h.AddQP(mk(1, 3))
+	h.AddQP(mk(2, 3))
+	var order []uint64
+	for {
+		p := h.Dequeue(0, false)
+		if p == nil {
+			break
+		}
+		order = append(order, p.FlowID)
+	}
+	want := []uint64{1, 2, 1, 2, 1, 2}
+	for i, f := range want {
+		if order[i] != f {
+			t.Fatalf("RR order %v", order)
+		}
+	}
+}
+
+func TestPacingWakeScheduled(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := newHost(eng)
+	h.AddQP(&scriptedQP{at: 10 * units.Microsecond})
+	if h.Dequeue(0, false) != nil {
+		t.Fatal("nothing eligible")
+	}
+	// The host must have scheduled a wake-up kick at the pacing hint.
+	if eng.Pending() == 0 {
+		t.Fatal("no wake-up scheduled")
+	}
+}
+
+func TestCompactDropsFinishedQPs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := newHost(eng)
+	for i := 0; i < 100; i++ {
+		h.AddQP(&scriptedQP{fin: true})
+	}
+	live := &scriptedQP{pkts: []*packet.Packet{packet.DataPacket(9, 0, 1, 0, 0, 10)}}
+	h.AddQP(live)
+	if h.Dequeue(0, false) == nil {
+		t.Fatal("live QP must be served")
+	}
+	h.Dequeue(0, false) // triggers compaction sweep
+	if len(h.qps) > 2 {
+		t.Fatalf("compact left %d QPs", len(h.qps))
+	}
+}

@@ -1,0 +1,520 @@
+// Package dcp implements the paper's DCP-RNIC transport (§4): HO-based
+// retransmission fed by the fabric's lossless control plane, order-tolerant
+// packet reception, bitmap-free packet tracking with per-message counters
+// and eMSN acknowledgments, and a coarse-grained timeout fallback with
+// sRetryNo/rRetryNo retry epochs.
+package dcp
+
+import (
+	"dcpsim/internal/cc"
+	"dcpsim/internal/nic"
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/transport/base"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// Host is a DCP endpoint on one NIC.
+type Host struct {
+	base.Host
+
+	send map[uint64]*senderQP
+	recv map[uint64]*recvQP
+}
+
+// New builds a DCP endpoint.
+func New(n *nic.NIC, env *base.Env) base.Transport {
+	return &Host{
+		Host: base.NewHost(n, env),
+		send: make(map[uint64]*senderQP),
+		recv: make(map[uint64]*recvQP),
+	}
+}
+
+// Name implements base.Transport.
+func (h *Host) Name() string { return "dcp" }
+
+// StartFlow implements base.Transport.
+func (h *Host) StartFlow(f *workload.Flow) {
+	qp := newSenderQP(h, f)
+	h.send[f.ID] = qp
+	h.AddQP(qp)
+}
+
+// Handle implements nic.Transport.
+func (h *Host) Handle(p *packet.Packet) {
+	switch p.Kind {
+	case packet.KindData:
+		h.recvData(p)
+	case packet.KindHO:
+		if p.Echoed {
+			// An HO packet bounced back to us: we are the sender.
+			if qp := h.send[p.FlowID]; qp != nil {
+				qp.onHO(p)
+			}
+			return
+		}
+		// Receiver side: swap source and destination and forward the HO
+		// packet to the sender (§4.1 step 2).
+		p.Bounce()
+		h.QueueCtrl(p)
+	case packet.KindAck:
+		if qp := h.send[p.FlowID]; qp != nil {
+			qp.onAck(p)
+		}
+	case packet.KindCNP:
+		if qp := h.send[p.FlowID]; qp != nil && !qp.done {
+			qp.ctl.OnCongestion(h.Eng.Now())
+		}
+	}
+}
+
+// Dequeue implements nic.Transport via the base skeleton.
+func (h *Host) Dequeue(now units.Time, dataPaused bool) *packet.Packet {
+	return h.Host.Dequeue(now, dataPaused)
+}
+
+// ---------- sender ----------
+
+type senderMsg struct {
+	size    int64
+	basePSN uint32
+	npkts   uint32
+	retryNo uint8
+	acked   bool
+}
+
+type senderQP struct {
+	h    *Host
+	flow *workload.Flow
+	rec  *stats.FlowRecord
+	ctl  cc.Controller
+
+	msgs      []*senderMsg
+	totalPkts uint32
+
+	nextPSN  uint32 // next new-data PSN
+	unaMSN   uint32 // oldest unacknowledged message
+	inflight int    // payload bytes believed in flight
+
+	sentBytes  int64
+	ackedBytes int64
+
+	// RetransQ machinery (§4.3): entries live in host memory; the Tx path
+	// fetches batches across PCIe.
+	rq         nic.RetransQ
+	fetched    []nic.RetransEntry
+	fetching   bool
+	resend     []uint32 // PSNs queued by the coarse timeout fallback
+	resendHead int
+
+	timer   *sim.Timer
+	backoff uint // consecutive coarse timeouts (exponential backoff)
+	done    bool
+}
+
+func newSenderQP(h *Host, f *workload.Flow) *senderQP {
+	env := h.Env
+	qp := &senderQP{h: h, flow: f}
+	qp.rec = env.Collector.Flow(f.ID)
+	if qp.rec == nil {
+		qp.rec = env.Collector.Add(f.ID, f.Src, f.Dst, f.Size, h.Eng.Now())
+	}
+	qp.ctl = env.CC(h.Eng, h.NIC.Rate(), env.BaseRTT)
+	var psn uint32
+	for _, sz := range base.Messages(f.Size, env.MessageSize) {
+		n := base.NumPackets(sz, env.MTU)
+		qp.msgs = append(qp.msgs, &senderMsg{size: sz, basePSN: psn, npkts: n})
+		psn += n
+	}
+	qp.totalPkts = psn
+	qp.timer = sim.NewTimer(h.Eng, qp.onTimeout)
+	qp.timer.Reset(env.DCP.Timeout)
+	return qp
+}
+
+// msgForPSN locates the message containing psn by binary search.
+func (qp *senderQP) msgForPSN(psn uint32) (uint32, *senderMsg) {
+	lo, hi := 0, len(qp.msgs)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if qp.msgs[mid].basePSN <= psn {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return uint32(lo), qp.msgs[lo]
+}
+
+// Finished implements base.QP.
+func (qp *senderQP) Finished() bool { return qp.done }
+
+// Next implements base.QP: fetched retransmissions first, then
+// timeout-fallback resends, then new data, all gated by the CC module.
+func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
+	if qp.done {
+		return nil, 0
+	}
+	env := qp.h.Env
+
+	// 1. HO-triggered retransmissions from the fetched batch.
+	for len(qp.fetched) > 0 {
+		e := qp.fetched[0]
+		msn := e.MSN
+		m := qp.msgs[msn]
+		if m.acked || e.Epoch != m.retryNo {
+			qp.fetched = qp.fetched[1:]
+			continue
+		}
+		size := base.PayloadAt(m.size, env.MTU, e.Offset)
+		if !env.DCP.UncontrolledRetrans {
+			ok, at := qp.ctl.CanSend(now, qp.inflight, size)
+			if !ok {
+				return nil, at
+			}
+		}
+		qp.fetched = qp.fetched[1:]
+		return qp.emit(now, e.PSN, msn, m, e.Offset, true), 0
+	}
+	qp.maybeFetch()
+
+	// 2. Coarse-timeout resends.
+	for qp.resendHead < len(qp.resend) {
+		psn := qp.resend[qp.resendHead]
+		msn, m := qp.msgForPSN(psn)
+		if m.acked {
+			qp.resendHead++
+			continue
+		}
+		size := base.PayloadAt(m.size, env.MTU, psn-m.basePSN)
+		ok, at := qp.ctl.CanSend(now, qp.inflight, size)
+		if !ok {
+			return nil, at
+		}
+		qp.resendHead++
+		return qp.emit(now, psn, msn, m, psn-m.basePSN, true), 0
+	}
+	if qp.resendHead > 0 && qp.resendHead == len(qp.resend) {
+		qp.resend = qp.resend[:0]
+		qp.resendHead = 0
+	}
+
+	// 3. New data, bounded by the outstanding-message cap.
+	if qp.nextPSN < qp.totalPkts {
+		msn, m := qp.msgForPSN(qp.nextPSN)
+		if msn >= qp.unaMSN+uint32(env.DCP.MaxOutstandingMsgs) {
+			return nil, 0 // wait for eMSN to advance
+		}
+		off := qp.nextPSN - m.basePSN
+		size := base.PayloadAt(m.size, env.MTU, off)
+		ok, at := qp.ctl.CanSend(now, qp.inflight, size)
+		if !ok {
+			return nil, at
+		}
+		psn := qp.nextPSN
+		qp.nextPSN++
+		qp.rec.DataPkts++
+		p := qp.emit(now, psn, msn, m, off, false)
+		p.Retransmitted = false
+		return p, 0
+	}
+	return nil, 0
+}
+
+func (qp *senderQP) emit(now units.Time, psn, msn uint32, m *senderMsg, off uint32, retrans bool) *packet.Packet {
+	env := qp.h.Env
+	size := base.PayloadAt(m.size, env.MTU, off)
+	p := packet.DataPacket(qp.flow.ID, qp.flow.Src, qp.flow.Dst, psn, msn, size)
+	p.MsgLen = m.npkts
+	p.MsgOffset = off
+	p.SSN = msn
+	p.SRetryNo = m.retryNo
+	p.SentAt = now
+	p.Retransmitted = retrans
+	if retrans {
+		qp.rec.RetransPkts++
+	}
+	qp.inflight += size
+	qp.sentBytes += int64(size)
+	qp.ctl.OnSent(now, p.Size)
+	return p
+}
+
+// maybeFetch starts a PCIe batch fetch from the RetransQ when the RNIC has
+// no fetched entries in hand (§4.3 steps 1–3).
+func (qp *senderQP) maybeFetch() {
+	if qp.fetching || len(qp.fetched) > 0 || qp.rq.Len() == 0 || qp.done {
+		return
+	}
+	qp.fetching = true
+	env := qp.h.Env
+	if env.DCP.PerHOFetch {
+		// Strawman: one entry per WQE fetch + data fetch (two PCIe RTTs).
+		qp.h.Eng.After(2*env.DCP.PCIe.RTT, func() {
+			qp.fetching = false
+			qp.fetched = append(qp.fetched, qp.rq.FetchBatch(1)...)
+			qp.h.NIC.Kick()
+		})
+		return
+	}
+	qp.h.Eng.After(env.DCP.PCIe.RTT, func() {
+		qp.fetching = false
+		qp.fetched = append(qp.fetched, qp.rq.FetchBatch(nic.BatchLimit)...)
+		qp.h.NIC.Kick()
+	})
+}
+
+// onHO receives a bounced HO packet: push a retransmission entry (the
+// Rx-path DMA write) and kick the Tx path.
+func (qp *senderQP) onHO(p *packet.Packet) {
+	if qp.done {
+		return
+	}
+	msn, m := qp.msgForPSN(p.PSN)
+	if m.acked || msn < qp.unaMSN {
+		return // stale: the message already completed
+	}
+	qp.rec.HOTriggers++
+	// The HO packet is an explicit loss notification: the named packet is
+	// no longer in flight, so release its window share before the
+	// (CC-regulated) retransmission claims it again.
+	off := p.PSN - m.basePSN
+	qp.inflight -= base.PayloadAt(m.size, qp.h.Env.MTU, off)
+	if qp.inflight < 0 {
+		qp.inflight = 0
+	}
+	qp.rq.Push(nic.RetransEntry{MSN: msn, PSN: p.PSN, Offset: off, Epoch: m.retryNo})
+	qp.maybeFetch()
+	qp.h.NIC.Kick()
+}
+
+// onAck processes a DCP ACK: advance unaMSN to the carried eMSN, refresh
+// the coarse timer, update flow control, and complete the flow when every
+// message is acknowledged.
+func (qp *senderQP) onAck(p *packet.Packet) {
+	if qp.done {
+		return
+	}
+	now := qp.h.Eng.Now()
+	if p.AckBytes > qp.ackedBytes {
+		delta := p.AckBytes - qp.ackedBytes
+		qp.ackedBytes = p.AckBytes
+		qp.inflight -= int(delta)
+		if qp.inflight < 0 {
+			qp.inflight = 0
+		}
+		var rtt units.Time
+		if p.SentAt > 0 {
+			rtt = now - p.SentAt
+		}
+		qp.ctl.OnAck(now, int(delta), rtt)
+	}
+	if p.EMSN > qp.unaMSN {
+		for i := qp.unaMSN; i < p.EMSN && i < uint32(len(qp.msgs)); i++ {
+			qp.msgs[i].acked = true
+		}
+		qp.unaMSN = p.EMSN
+		qp.backoff = 0
+		qp.timer.Reset(qp.h.Env.DCP.Timeout)
+		if qp.unaMSN >= uint32(len(qp.msgs)) {
+			qp.complete(now)
+			return
+		}
+	}
+	qp.h.NIC.Kick()
+}
+
+func (qp *senderQP) complete(now units.Time) {
+	qp.done = true
+	qp.timer.Stop()
+	qp.ctl.Close()
+	qp.h.Env.Collector.Done(qp.flow.ID, now)
+}
+
+// onTimeout is the coarse-grained fallback (§4.5): bump the unaMSN-th
+// message's retry epoch and resend all of its packets through the normal
+// (CC-regulated) send path.
+func (qp *senderQP) onTimeout() {
+	if qp.done {
+		return
+	}
+	if qp.nextPSN == 0 {
+		// Nothing sent yet (flow starved by CC): just re-arm.
+		qp.timer.Reset(qp.h.Env.DCP.Timeout)
+		return
+	}
+	m := qp.msgs[qp.unaMSN]
+	m.retryNo++
+	qp.rec.Timeouts++
+	// Conservative restart: consider the window empty.
+	qp.inflight = 0
+	// Queue every already-sent packet of the message for resending.
+	qp.resend = qp.resend[:0]
+	qp.resendHead = 0
+	end := m.basePSN + m.npkts
+	if end > qp.nextPSN {
+		end = qp.nextPSN
+	}
+	for psn := m.basePSN; psn < end; psn++ {
+		qp.resend = append(qp.resend, psn)
+	}
+	// Exponential backoff: under sustained congestion each epoch bump
+	// discards the receiver's partial count for the message, so retrying
+	// at a fixed cadence can livelock. Back off until progress resumes.
+	if qp.backoff < 5 {
+		qp.backoff++
+	}
+	qp.timer.Reset(qp.h.Env.DCP.Timeout << qp.backoff)
+	qp.h.NIC.Kick()
+}
+
+// ---------- receiver ----------
+
+type recvMsg struct {
+	total    uint32
+	counter  uint32
+	retryNo  uint8
+	complete bool
+	// bitmap is only allocated in the ReceiverBitmap ablation.
+	bitmap []uint64
+}
+
+type recvQP struct {
+	sender  packet.NodeID
+	eMSN    uint32
+	msgs    map[uint32]*recvMsg
+	rxBytes int64
+
+	sinceAck int
+	lastCNP  units.Time
+	cnpSet   bool
+}
+
+// ackEvery is the ACK coalescing factor: one ACK per this many data
+// packets, plus an immediate ACK whenever eMSN advances.
+const ackEvery = 4
+
+func (h *Host) recvData(p *packet.Packet) {
+	qp := h.recv[p.FlowID]
+	if qp == nil {
+		qp = &recvQP{sender: p.Src, msgs: make(map[uint32]*recvMsg)}
+		h.recv[p.FlowID] = qp
+	}
+	now := h.Eng.Now()
+
+	if p.ECN {
+		h.maybeCNP(qp, p, now)
+	}
+
+	if p.MSN < qp.eMSN {
+		// Duplicate of a completed message (late timeout retransmission):
+		// refresh the sender with the current state.
+		h.sendAck(qp, p, now)
+		return
+	}
+	m := qp.msgs[p.MSN]
+	if m == nil {
+		m = &recvMsg{total: p.MsgLen}
+		if h.Env.DCP.ReceiverBitmap {
+			m.bitmap = make([]uint64, (p.MsgLen+63)/64)
+		}
+		qp.msgs[p.MSN] = m
+	}
+	// Retry-epoch check (§4.5). Note rxBytes stays cumulative across the
+	// reset: packets of the discarded epoch remain counted, which can
+	// over-credit the sender's window slightly after a timeout — the
+	// sender compensates by conservatively zeroing its inflight estimate
+	// when the timer fires.
+	switch {
+	case p.SRetryNo > m.retryNo:
+		m.retryNo = p.SRetryNo
+		m.counter = 0
+		for i := range m.bitmap {
+			m.bitmap[i] = 0
+		}
+	case p.SRetryNo < m.retryNo:
+		return // stale epoch
+	}
+	if m.complete {
+		return
+	}
+
+	if h.Env.DCP.ReceiverBitmap {
+		w, b := p.MsgOffset/64, p.MsgOffset%64
+		if m.bitmap[w]&(1<<b) != 0 {
+			return // duplicate within epoch (only possible in ablations)
+		}
+		m.bitmap[w] |= 1 << b
+	}
+	m.counter++
+	qp.rxBytes += int64(p.PayloadBytes)
+	qp.sinceAck++
+
+	advanced := false
+	if m.counter >= m.total {
+		m.complete = true
+		// Advance eMSN over consecutively completed messages, releasing
+		// their tracking state (the CQE generation point).
+		for {
+			cm := qp.msgs[qp.eMSN]
+			if cm == nil || !cm.complete {
+				break
+			}
+			delete(qp.msgs, qp.eMSN)
+			qp.eMSN++
+			advanced = true
+		}
+	}
+	if advanced || qp.sinceAck >= ackEvery {
+		h.sendAck(qp, p, now)
+	}
+}
+
+func (h *Host) sendAck(qp *recvQP, data *packet.Packet, now units.Time) {
+	qp.sinceAck = 0
+	ack := packet.AckPacket(data.FlowID, data.Dst, data.Src, 0)
+	ack.EMSN = qp.eMSN
+	ack.AckBytes = qp.rxBytes
+	ack.SentAt = data.SentAt // echo the data timestamp for RTT estimation
+	h.QueueCtrl(ack)
+}
+
+// maybeCNP sends a DCQCN congestion notification, rate-limited per QP.
+func (h *Host) maybeCNP(qp *recvQP, data *packet.Packet, now units.Time) {
+	if qp.cnpSet && now-qp.lastCNP < h.Env.CNPInterval {
+		return
+	}
+	qp.cnpSet = true
+	qp.lastCNP = now
+	cnp := &packet.Packet{
+		Kind:   packet.KindCNP,
+		Tag:    packet.TagAck,
+		FlowID: data.FlowID,
+		Src:    data.Dst,
+		Dst:    data.Src,
+		Size:   packet.CNPSize,
+	}
+	h.QueueCtrl(cnp)
+}
+
+// RecvState exposes receiver-side tracking for tests: returns the expected
+// MSN and number of tracked (outstanding) messages for a flow.
+func (h *Host) RecvState(flowID uint64) (eMSN uint32, tracked int, ok bool) {
+	qp := h.recv[flowID]
+	if qp == nil {
+		return 0, 0, false
+	}
+	return qp.eMSN, len(qp.msgs), true
+}
+
+// SenderState exposes sender-side state for tests.
+func (h *Host) SenderState(flowID uint64) (unaMSN uint32, retransQLen int, ok bool) {
+	qp := h.send[flowID]
+	if qp == nil {
+		return 0, 0, false
+	}
+	return qp.unaMSN, qp.rq.Len(), true
+}

@@ -1,0 +1,342 @@
+// Package ndp implements a simplified NDP endpoint (Handley et al.,
+// SIGCOMM'17) over the same trimming fabric DCP uses — the paper's closest
+// software relative (Table 2, §7). The sender blasts one initial window
+// blind; afterwards every transmission is granted by a receiver-paced PULL
+// credit. Trimmed headers arriving at the receiver become immediate NACKs
+// plus high-priority pulls, so losses repair in about one RTT without
+// sender timers.
+//
+// DCP's §7 contrast: NDP is receiver-driven *congestion control* built on
+// trimming, whereas DCP keeps sender-driven CC and uses trimming purely as
+// a reliability signal, which is what makes it implementable in an RNIC.
+// This package exists to make that comparison executable.
+package ndp
+
+import (
+	"dcpsim/internal/nic"
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/transport/base"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// Host is an NDP endpoint on one NIC.
+type Host struct {
+	base.Host
+	send map[uint64]*senderQP
+	recv map[uint64]*recvQP
+
+	// The pull pacer is shared by every receiving QP on this NIC: NDP
+	// grants exactly one packet's worth of credit per MTU-time at the
+	// receiver's line rate, round-robin across flows that are owed pulls.
+	pullRR   []*recvQP
+	pacer    *sim.Timer
+	pacerOn  bool
+	lastPull units.Time
+}
+
+// New builds an NDP endpoint.
+func New(n *nic.NIC, env *base.Env) base.Transport {
+	h := &Host{
+		Host: base.NewHost(n, env),
+		send: make(map[uint64]*senderQP),
+		recv: make(map[uint64]*recvQP),
+	}
+	h.pacer = sim.NewTimer(n.Engine(), h.pullTick)
+	return h
+}
+
+// Name implements base.Transport.
+func (h *Host) Name() string { return "ndp" }
+
+// StartFlow implements base.Transport.
+func (h *Host) StartFlow(f *workload.Flow) {
+	qp := newSenderQP(h, f)
+	h.send[f.ID] = qp
+	h.AddQP(qp)
+}
+
+// Handle implements nic.Transport.
+func (h *Host) Handle(p *packet.Packet) {
+	switch p.Kind {
+	case packet.KindData:
+		h.recvData(p, false)
+	case packet.KindHO:
+		// A trimmed header reaching the receiver is NDP's loss signal.
+		h.recvData(p, true)
+	case packet.KindAck:
+		if qp := h.send[p.FlowID]; qp != nil {
+			qp.onCtrl(p)
+		}
+	}
+}
+
+// Dequeue implements nic.Transport.
+func (h *Host) Dequeue(now units.Time, dataPaused bool) *packet.Packet {
+	return h.Host.Dequeue(now, dataPaused)
+}
+
+// ---------- sender ----------
+
+type senderQP struct {
+	h    *Host
+	flow *workload.Flow
+	rec  *stats.FlowRecord
+
+	totalPkts uint32
+	lastPay   int
+
+	nextPSN uint32 // next never-sent packet
+	window  uint32 // initial blind window (packets)
+	sent    uint32 // packets sent blind so far
+	pulls   int    // unspent pull credits
+
+	retx     []uint32 // NACKed packets awaiting a pull
+	retxHead int
+
+	acked   *bitset
+	done    bool
+	rtoSafe *sim.Timer // last-resort safety timer (pull loss)
+}
+
+type bitset struct {
+	words []uint64
+	count int
+}
+
+func newBitset(n uint32) *bitset { return &bitset{words: make([]uint64, (n+63)/64)} }
+
+func (b *bitset) set(i uint32) bool {
+	w, m := i/64, uint64(1)<<(i%64)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.count++
+	return true
+}
+
+func newSenderQP(h *Host, f *workload.Flow) *senderQP {
+	env := h.Env
+	qp := &senderQP{h: h, flow: f}
+	qp.rec = env.Collector.Flow(f.ID)
+	if qp.rec == nil {
+		qp.rec = env.Collector.Add(f.ID, f.Src, f.Dst, f.Size, h.Eng.Now())
+	}
+	qp.totalPkts = base.NumPackets(f.Size, env.MTU)
+	qp.lastPay = base.PayloadAt(f.Size, env.MTU, qp.totalPkts-1)
+	qp.acked = newBitset(qp.totalPkts)
+	iw := uint32(units.BDP(h.NIC.Rate(), env.BaseRTT) / env.MTU)
+	if iw < 2 {
+		iw = 2
+	}
+	qp.window = iw
+	qp.rtoSafe = sim.NewTimer(h.Eng, qp.onSafety)
+	qp.rtoSafe.Reset(env.RTOHigh)
+	return qp
+}
+
+func (qp *senderQP) payloadAt(psn uint32) int {
+	if psn == qp.totalPkts-1 {
+		return qp.lastPay
+	}
+	return qp.h.Env.MTU
+}
+
+// Finished implements base.QP.
+func (qp *senderQP) Finished() bool { return qp.done }
+
+// Next implements base.QP: blind initial window first, then strictly
+// pull-clocked (retransmissions before new data).
+func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
+	if qp.done {
+		return nil, 0
+	}
+	// Initial window: fire-and-forget up to one BDP.
+	if qp.sent < qp.window && qp.nextPSN < qp.totalPkts {
+		return qp.emitNew(now), 0
+	}
+	if qp.pulls == 0 {
+		return nil, 0
+	}
+	for qp.retxHead < len(qp.retx) {
+		psn := qp.retx[qp.retxHead]
+		if qp.acked.words[psn/64]&(1<<(psn%64)) != 0 {
+			qp.retxHead++
+			continue
+		}
+		qp.retxHead++
+		qp.pulls--
+		qp.rec.RetransPkts++
+		p := qp.emit(now, psn, true)
+		return p, 0
+	}
+	if qp.retxHead > 0 && qp.retxHead == len(qp.retx) {
+		qp.retx = qp.retx[:0]
+		qp.retxHead = 0
+	}
+	if qp.nextPSN < qp.totalPkts {
+		qp.pulls--
+		return qp.emitNew(now), 0
+	}
+	return nil, 0
+}
+
+func (qp *senderQP) emitNew(now units.Time) *packet.Packet {
+	psn := qp.nextPSN
+	qp.nextPSN++
+	qp.sent++
+	qp.rec.DataPkts++
+	return qp.emit(now, psn, false)
+}
+
+func (qp *senderQP) emit(now units.Time, psn uint32, retrans bool) *packet.Packet {
+	p := packet.DataPacket(qp.flow.ID, qp.flow.Src, qp.flow.Dst, psn, 0, qp.payloadAt(psn))
+	p.MsgLen = qp.totalPkts
+	p.SentAt = now
+	p.Retransmitted = retrans
+	return p
+}
+
+// onCtrl handles ACK / NACK / PULL control packets.
+func (qp *senderQP) onCtrl(p *packet.Packet) {
+	if qp.done {
+		return
+	}
+	now := qp.h.Eng.Now()
+	switch p.Ack {
+	case packet.AckPull:
+		qp.pulls++
+	case packet.AckNak:
+		// A trimmed header was seen: queue the named packet for the next
+		// pull.
+		if p.SackPSN < qp.totalPkts {
+			qp.retx = append(qp.retx, p.SackPSN)
+		}
+	default:
+		if p.SackPSN < qp.totalPkts {
+			qp.acked.set(p.SackPSN)
+		}
+	}
+	qp.rtoSafe.Reset(qp.h.Env.RTOHigh)
+	if uint32(qp.acked.count) >= qp.totalPkts {
+		qp.done = true
+		qp.rtoSafe.Stop()
+		qp.h.Env.Collector.Done(qp.flow.ID, now)
+		return
+	}
+	qp.h.NIC.Kick()
+}
+
+// onSafety covers total control-plane loss (pulls and NACKs all gone):
+// resend the lowest unacked packet to restart the pull clock.
+func (qp *senderQP) onSafety() {
+	if qp.done {
+		return
+	}
+	qp.rec.Timeouts++
+	for psn := uint32(0); psn < qp.nextPSN; psn++ {
+		if qp.acked.words[psn/64]&(1<<(psn%64)) == 0 {
+			qp.retx = append(qp.retx, psn)
+			qp.pulls++ // self-granted credit: the pull clock was lost
+			break
+		}
+	}
+	qp.rtoSafe.Reset(qp.h.Env.RTOHigh)
+	qp.h.NIC.Kick()
+}
+
+// ---------- receiver ----------
+
+type recvQP struct {
+	sender   packet.NodeID
+	flowID   uint64
+	total    uint32
+	received *bitset
+
+	pullDue int // pulls owed (one per data/header arrival)
+	queued  bool
+}
+
+func (h *Host) recvData(p *packet.Packet, trimmed bool) {
+	qp := h.recv[p.FlowID]
+	if qp == nil {
+		qp = &recvQP{sender: p.Src, flowID: p.FlowID, total: p.MsgLen}
+		qp.received = newBitset(p.MsgLen)
+		h.recv[p.FlowID] = qp
+	}
+	if trimmed {
+		// NACK right away so the retransmission is queued, and owe a pull
+		// for the lost payload.
+		nack := packet.AckPacket(p.FlowID, p.Dst, p.Src, 0)
+		nack.Ack = packet.AckNak
+		nack.SackPSN = p.PSN
+		h.QueueCtrl(nack)
+		qp.pullDue++
+	} else {
+		if qp.received.set(p.PSN) {
+			ack := packet.AckPacket(p.FlowID, p.Dst, p.Src, 0)
+			ack.Ack = packet.AckSelective
+			ack.SackPSN = p.PSN
+			ack.SentAt = p.SentAt
+			h.QueueCtrl(ack)
+		}
+		if uint32(qp.received.count) < qp.total {
+			qp.pullDue++
+		}
+	}
+	h.enqueuePull(qp)
+}
+
+// enqueuePull registers that qp is owed pulls and arms the shared pacer.
+func (h *Host) enqueuePull(qp *recvQP) {
+	if qp.pullDue > 0 && !qp.queued {
+		qp.queued = true
+		h.pullRR = append(h.pullRR, qp)
+	}
+	h.startPacer()
+}
+
+// startPacer arms the NIC-wide pull clock: one pull per MTU-time at the
+// receiver's line rate, the NDP pacing rule that keeps the access link
+// exactly full regardless of how many flows converge on it.
+func (h *Host) startPacer() {
+	if h.pacerOn || len(h.pullRR) == 0 {
+		return
+	}
+	h.pacerOn = true
+	interval := units.TxTime(h.Env.MTU+packet.DataHeaderSize, h.NIC.Rate())
+	next := h.lastPull + interval
+	now := h.Eng.Now()
+	if next < now {
+		next = now
+	}
+	h.pacer.Reset(next - now)
+}
+
+func (h *Host) pullTick() {
+	h.pacerOn = false
+	for len(h.pullRR) > 0 {
+		qp := h.pullRR[0]
+		h.pullRR = h.pullRR[1:]
+		if qp.pullDue == 0 || uint32(qp.received.count) >= qp.total {
+			qp.queued = false
+			continue
+		}
+		qp.pullDue--
+		if qp.pullDue > 0 {
+			h.pullRR = append(h.pullRR, qp) // stay in the rotation
+		} else {
+			qp.queued = false
+		}
+		h.lastPull = h.Eng.Now()
+		pull := packet.AckPacket(qp.flowID, 0, qp.sender, 0)
+		pull.Src = h.NIC.ID()
+		pull.Ack = packet.AckPull
+		h.QueueCtrl(pull)
+		break
+	}
+	h.startPacer()
+}

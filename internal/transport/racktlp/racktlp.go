@@ -1,0 +1,367 @@
+// Package racktlp implements the RACK-TLP loss detection baseline (RFC
+// 8985), compared in Fig. 17: per-packet send timestamps, a reordering
+// window of min-RTT/4 before declaring loss, a tail loss probe after two
+// SRTTs of ACK silence, and an RTO fallback. It tolerates reordering but
+// delays every retransmission by about one RTT and needs per-packet
+// timestamp state — the trade-off §6.3 discusses.
+package racktlp
+
+import (
+	"dcpsim/internal/cc"
+	"dcpsim/internal/nic"
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/transport/base"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// Host is a RACK-TLP endpoint on one NIC.
+type Host struct {
+	base.Host
+	send map[uint64]*senderQP
+	recv map[uint64]*recvQP
+}
+
+// New builds a RACK-TLP endpoint.
+func New(n *nic.NIC, env *base.Env) base.Transport {
+	return &Host{
+		Host: base.NewHost(n, env),
+		send: make(map[uint64]*senderQP),
+		recv: make(map[uint64]*recvQP),
+	}
+}
+
+// Name implements base.Transport.
+func (h *Host) Name() string { return "racktlp" }
+
+// StartFlow implements base.Transport.
+func (h *Host) StartFlow(f *workload.Flow) {
+	qp := newSenderQP(h, f)
+	h.send[f.ID] = qp
+	h.AddQP(qp)
+}
+
+// Handle implements nic.Transport.
+func (h *Host) Handle(p *packet.Packet) {
+	switch p.Kind {
+	case packet.KindData:
+		h.recvData(p)
+	case packet.KindAck:
+		if qp := h.send[p.FlowID]; qp != nil {
+			qp.onAck(p)
+		}
+	case packet.KindCNP:
+		if qp := h.send[p.FlowID]; qp != nil && !qp.done {
+			qp.ctl.OnCongestion(h.Eng.Now())
+		}
+	}
+}
+
+// Dequeue implements nic.Transport.
+func (h *Host) Dequeue(now units.Time, dataPaused bool) *packet.Packet {
+	return h.Host.Dequeue(now, dataPaused)
+}
+
+// pktState is the per-packet state RACK requires — the memory overhead the
+// paper contrasts with DCP's constant per-message counters.
+type pktState struct {
+	sentAt  units.Time
+	sacked  bool
+	queued  bool // queued for retransmission
+	retrans bool
+}
+
+type senderQP struct {
+	h    *Host
+	flow *workload.Flow
+	rec  *stats.FlowRecord
+	ctl  cc.Controller
+
+	totalPkts uint32
+	lastPay   int
+
+	una     uint32
+	nextPSN uint32
+	pkts    []pktState
+
+	srtt   units.Time
+	minRTT units.Time
+
+	// rackTime is the send time of the most recently delivered packet;
+	// packets sent reoWnd earlier and still unSACKed are lost.
+	rackTime units.Time
+
+	retxQ     []uint32
+	retxHead  int
+	inflight  int
+	lastAckAt units.Time
+
+	rackTimer *sim.Timer // reorder-window expiry check
+	probe     *sim.Timer // TLP
+	rto       *sim.Timer
+	done      bool
+}
+
+func newSenderQP(h *Host, f *workload.Flow) *senderQP {
+	env := h.Env
+	qp := &senderQP{h: h, flow: f}
+	qp.rec = env.Collector.Flow(f.ID)
+	if qp.rec == nil {
+		qp.rec = env.Collector.Add(f.ID, f.Src, f.Dst, f.Size, h.Eng.Now())
+	}
+	qp.ctl = env.CC(h.Eng, h.NIC.Rate(), env.BaseRTT)
+	qp.totalPkts = base.NumPackets(f.Size, env.MTU)
+	qp.lastPay = base.PayloadAt(f.Size, env.MTU, qp.totalPkts-1)
+	qp.pkts = make([]pktState, qp.totalPkts)
+	qp.srtt = env.BaseRTT
+	qp.minRTT = env.BaseRTT
+	qp.rackTimer = sim.NewTimer(h.Eng, qp.rackCheck)
+	qp.probe = sim.NewTimer(h.Eng, qp.onProbe)
+	qp.rto = sim.NewTimer(h.Eng, qp.onRTO)
+	qp.probe.Reset(2 * qp.srtt)
+	qp.rto.Reset(env.RTOHigh)
+	return qp
+}
+
+func (qp *senderQP) payloadAt(psn uint32) int {
+	if psn == qp.totalPkts-1 {
+		return qp.lastPay
+	}
+	return qp.h.Env.MTU
+}
+
+func (qp *senderQP) reoWnd() units.Time { return qp.minRTT / 4 }
+
+// Finished implements base.QP.
+func (qp *senderQP) Finished() bool { return qp.done }
+
+// Next implements base.QP.
+func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
+	if qp.done {
+		return nil, 0
+	}
+	// Queued (RACK-marked lost) retransmissions first.
+	for qp.retxHead < len(qp.retxQ) {
+		psn := qp.retxQ[qp.retxHead]
+		st := &qp.pkts[psn]
+		if st.sacked || psn < qp.una {
+			qp.retxHead++
+			continue
+		}
+		size := qp.payloadAt(psn)
+		ok, at := qp.ctl.CanSend(now, qp.inflight, size)
+		if !ok {
+			return nil, at
+		}
+		qp.retxHead++
+		st.queued = false
+		st.retrans = true
+		st.sentAt = now
+		qp.rec.RetransPkts++
+		qp.inflight += size
+		qp.ctl.OnSent(now, size)
+		return qp.emit(now, psn, size, true), 0
+	}
+	if qp.retxHead > 0 && qp.retxHead == len(qp.retxQ) {
+		qp.retxQ = qp.retxQ[:0]
+		qp.retxHead = 0
+	}
+	if qp.nextPSN < qp.totalPkts {
+		size := qp.payloadAt(qp.nextPSN)
+		ok, at := qp.ctl.CanSend(now, qp.inflight, size)
+		if !ok {
+			return nil, at
+		}
+		psn := qp.nextPSN
+		qp.nextPSN++
+		qp.pkts[psn].sentAt = now
+		qp.rec.DataPkts++
+		qp.inflight += size
+		qp.ctl.OnSent(now, size)
+		return qp.emit(now, psn, size, false), 0
+	}
+	return nil, 0
+}
+
+func (qp *senderQP) emit(now units.Time, psn uint32, size int, retrans bool) *packet.Packet {
+	p := packet.DataPacket(qp.flow.ID, qp.flow.Src, qp.flow.Dst, psn, 0, size)
+	p.Tag = packet.TagNonDCP
+	p.MsgLen = qp.totalPkts
+	p.SentAt = now
+	p.Retransmitted = retrans
+	return p
+}
+
+func (qp *senderQP) onAck(p *packet.Packet) {
+	if qp.done {
+		return
+	}
+	now := qp.h.Eng.Now()
+	qp.lastAckAt = now
+	if p.SentAt > 0 {
+		rtt := now - p.SentAt
+		if rtt < qp.minRTT {
+			qp.minRTT = rtt
+		}
+		qp.srtt = (7*qp.srtt + rtt) / 8
+	}
+	newly := func(psn uint32) {
+		st := &qp.pkts[psn]
+		if !st.sacked {
+			st.sacked = true
+			size := qp.payloadAt(psn)
+			qp.inflight -= size
+			if qp.inflight < 0 {
+				qp.inflight = 0
+			}
+			qp.ctl.OnAck(now, size, 0)
+			if st.sentAt > qp.rackTime {
+				qp.rackTime = st.sentAt
+			}
+		}
+	}
+	if p.EPSN > qp.una {
+		for psn := qp.una; psn < p.EPSN; psn++ {
+			newly(psn)
+		}
+		qp.una = p.EPSN
+		qp.rto.Reset(qp.h.Env.RTOHigh)
+		if qp.una >= qp.totalPkts {
+			qp.complete(now)
+			return
+		}
+	}
+	if p.Ack == packet.AckSelective && p.SackPSN < qp.totalPkts {
+		newly(p.SackPSN)
+	}
+	qp.probe.Reset(2 * qp.srtt)
+	qp.rackDetect(now)
+	qp.h.NIC.Kick()
+}
+
+// markLost queues psn for retransmission and releases its window share: a
+// packet declared lost is no longer in flight (without this, every real
+// loss would permanently leak window credit and stall the pipe).
+func (qp *senderQP) markLost(psn uint32) {
+	st := &qp.pkts[psn]
+	if st.sacked || st.queued {
+		return
+	}
+	st.queued = true
+	qp.retxQ = append(qp.retxQ, psn)
+	qp.inflight -= qp.payloadAt(psn)
+	if qp.inflight < 0 {
+		qp.inflight = 0
+	}
+}
+
+// rackDetect marks as lost every unSACKed packet sent more than reoWnd
+// before the most recently delivered packet, and arms the reorder timer for
+// packets still inside the window.
+func (qp *senderQP) rackDetect(now units.Time) {
+	reo := qp.reoWnd()
+	var nextDeadline units.Time
+	limit := qp.nextPSN
+	for psn := qp.una; psn < limit; psn++ {
+		st := &qp.pkts[psn]
+		if st.sacked || st.queued || st.sentAt == 0 {
+			continue
+		}
+		if qp.rackTime > st.sentAt+reo {
+			qp.markLost(psn)
+			continue
+		}
+		// Not yet declarable: it may become declarable purely by time.
+		dl := st.sentAt + qp.srtt + reo
+		if dl > now && (nextDeadline == 0 || dl < nextDeadline) {
+			nextDeadline = dl
+		} else if dl <= now && qp.rackTime >= st.sentAt {
+			qp.markLost(psn)
+		}
+	}
+	if nextDeadline > 0 {
+		qp.rackTimer.Reset(nextDeadline - now)
+	}
+}
+
+func (qp *senderQP) rackCheck() {
+	if qp.done {
+		return
+	}
+	qp.rackDetect(qp.h.Eng.Now())
+	qp.h.NIC.Kick()
+}
+
+// onProbe is the tail loss probe: after 2×SRTT without ACKs, retransmit the
+// highest outstanding packet to elicit a SACK.
+func (qp *senderQP) onProbe() {
+	if qp.done || qp.nextPSN == 0 || qp.una >= qp.nextPSN {
+		if !qp.done {
+			qp.probe.Reset(2 * qp.srtt)
+		}
+		return
+	}
+	for psn := qp.nextPSN; psn > qp.una; psn-- {
+		st := &qp.pkts[psn-1]
+		if !st.sacked && !st.queued {
+			qp.markLost(psn - 1)
+			break
+		}
+	}
+	qp.probe.Reset(2 * qp.srtt)
+	qp.h.NIC.Kick()
+}
+
+func (qp *senderQP) onRTO() {
+	if qp.done {
+		return
+	}
+	if qp.nextPSN > qp.una {
+		qp.rec.Timeouts++
+		for psn := qp.una; psn < qp.nextPSN; psn++ {
+			qp.markLost(psn)
+		}
+		qp.inflight = 0
+		qp.h.NIC.Kick()
+	}
+	qp.rto.Reset(qp.h.Env.RTOHigh)
+}
+
+func (qp *senderQP) complete(now units.Time) {
+	qp.done = true
+	qp.rackTimer.Stop()
+	qp.probe.Stop()
+	qp.rto.Stop()
+	qp.ctl.Close()
+	qp.h.Env.Collector.Done(qp.flow.ID, now)
+}
+
+type recvQP struct {
+	ePSN     uint32
+	received []uint64
+	total    uint32
+}
+
+func (h *Host) recvData(p *packet.Packet) {
+	qp := h.recv[p.FlowID]
+	if qp == nil {
+		qp = &recvQP{received: make([]uint64, (p.MsgLen+63)/64), total: p.MsgLen}
+		h.recv[p.FlowID] = qp
+	}
+	w, b := p.PSN/64, p.PSN%64
+	dup := qp.received[w]&(1<<b) != 0
+	if !dup {
+		qp.received[w] |= 1 << b
+		for qp.ePSN < qp.total && qp.received[qp.ePSN/64]&(1<<(qp.ePSN%64)) != 0 {
+			qp.ePSN++
+		}
+	}
+	a := packet.AckPacket(p.FlowID, p.Dst, p.Src, qp.ePSN)
+	a.Tag = packet.TagNonDCP
+	a.Ack = packet.AckSelective
+	a.SackPSN = p.PSN
+	a.SentAt = p.SentAt
+	h.QueueCtrl(a)
+}

@@ -1,0 +1,134 @@
+// Package units defines the base quantities used throughout the simulator:
+// simulated time, link rates, and byte sizes.
+//
+// Time is counted in integer picoseconds. At 100 Gbps a single byte takes
+// 80 ps to serialize, so a picosecond clock represents serialization times
+// of every packet size at every modeled rate exactly, with no floating-point
+// drift. An int64 picosecond clock covers ~106 days of simulated time, far
+// beyond any experiment in this repository.
+package units
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Time is a point in simulated time or a duration, in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Nanos returns the time as floating-point nanoseconds.
+func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", t/Second)
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond || t <= -Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Rate is a link or sending rate in bits per second.
+type Rate int64
+
+// Common rates.
+const (
+	BitPerSecond Rate = 1
+	Kbps              = 1000 * BitPerSecond
+	Mbps              = 1000 * Kbps
+	Gbps              = 1000 * Mbps
+)
+
+// Gigabits returns the rate in Gbps as a float.
+func (r Rate) Gigabits() float64 { return float64(r) / float64(Gbps) }
+
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps && r%Gbps == 0:
+		return fmt.Sprintf("%dGbps", r/Gbps)
+	case r >= Gbps:
+		return fmt.Sprintf("%.2fGbps", float64(r)/float64(Gbps))
+	case r >= Mbps:
+		return fmt.Sprintf("%.2fMbps", float64(r)/float64(Mbps))
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}
+
+// Byte sizes.
+const (
+	Byte = 1
+	KB   = 1000 * Byte
+	MB   = 1000 * KB
+	GB   = 1000 * MB
+	KiB  = 1024 * Byte
+	MiB  = 1024 * KiB
+)
+
+// TxTime returns the serialization time of a packet of the given size at the
+// given rate: bytes*8 bits divided by rate, rounded up to a whole picosecond
+// so that back-to-back packets never overlap.
+func TxTime(bytes int, rate Rate) Time {
+	if rate <= 0 {
+		panic("units: TxTime with non-positive rate")
+	}
+	if bytes <= 0 {
+		return 0
+	}
+	// t = bits × 1e12 / rate picoseconds, computed exactly in 128 bits
+	// (the naive product overflows int64 beyond ~1 MB).
+	hi, lo := bits.Mul64(uint64(bytes)*8, uint64(Second))
+	q, rem := bits.Div64(hi, lo, uint64(rate))
+	if rem != 0 {
+		q++ // round up so back-to-back packets never overlap
+	}
+	return Time(q)
+}
+
+// BytesIn returns how many whole bytes the given rate delivers in d.
+func BytesIn(d Time, rate Rate) int64 {
+	if d <= 0 {
+		return 0
+	}
+	// bytes = rate * d / 8e12. The naive product overflows int64 for
+	// millisecond-scale durations at 100 Gbps, so split d into whole and
+	// fractional seconds.
+	bytesPerSec := int64(rate) / 8
+	secs := int64(d) / int64(Second)
+	frac := int64(d) % int64(Second)
+	// bytesPerSec ≤ 1.25e11 and frac < 1e12: the product can still
+	// overflow int64, so the fractional second goes through float64
+	// (exact to well under one byte at these magnitudes).
+	fracBytes := int64(float64(bytesPerSec) * float64(frac) / 1e12)
+	return bytesPerSec*secs + fracBytes
+}
+
+// BDP returns the bandwidth-delay product in bytes for rate r and round-trip
+// time rtt.
+func BDP(r Rate, rtt Time) int {
+	return int(BytesIn(rtt, r))
+}

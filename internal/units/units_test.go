@@ -1,0 +1,187 @@
+package units
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTxTimeExact(t *testing.T) {
+	cases := []struct {
+		bytes int
+		rate  Rate
+		want  Time
+	}{
+		{1, 100 * Gbps, 80 * Picosecond},
+		{1000, 100 * Gbps, 80 * Nanosecond},
+		{1000, 400 * Gbps, 20 * Nanosecond},
+		{1500, 10 * Gbps, 1200 * Nanosecond},
+		{57, 100 * Gbps, 4560 * Picosecond},
+		{0, 100 * Gbps, 0},
+	}
+	for _, c := range cases {
+		if got := TxTime(c.bytes, c.rate); got != c.want {
+			t.Errorf("TxTime(%d, %v) = %v, want %v", c.bytes, c.rate, got, c.want)
+		}
+	}
+}
+
+func TestTxTimeRoundsUp(t *testing.T) {
+	// 1 byte at 3 bps = 8/3 s -> must round up to a whole picosecond.
+	got := TxTime(1, 3)
+	want := Time(8*int64(Second)/3 + 1)
+	if got != want {
+		t.Fatalf("TxTime(1, 3bps) = %d, want %d", got, want)
+	}
+}
+
+func TestTxTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TxTime(1, 0)
+}
+
+func TestTxTimeMonotonic(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return TxTime(x, 100*Gbps) <= TxTime(y, 100*Gbps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesInInvertsTxTime(t *testing.T) {
+	// Serializing n bytes then asking how many bytes fit in that time must
+	// return at least n-1 (TxTime rounds up, BytesIn truncates).
+	f := func(n uint16, rsel uint8) bool {
+		rates := []Rate{10 * Gbps, 25 * Gbps, 100 * Gbps, 400 * Gbps}
+		r := rates[int(rsel)%len(rates)]
+		n64 := int64(n) + 1
+		got := BytesIn(TxTime(int(n64), r), r)
+		return got >= n64-1 && got <= n64+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesInLargeDurationsNoOverflow(t *testing.T) {
+	// The regression behind the cross-DC bug: millisecond-scale durations
+	// at 100 Gbps overflowed the naive product.
+	cases := []struct {
+		d    Time
+		r    Rate
+		want int64
+	}{
+		{Millisecond, 100 * Gbps, 12_500_000},
+		{10 * Millisecond, 100 * Gbps, 125_000_000},
+		{Second, 400 * Gbps, 50_000_000_000},
+		{10 * Second, 800 * Gbps, 1_000_000_000_000},
+	}
+	for _, c := range cases {
+		got := BytesIn(c.d, c.r)
+		if got != c.want {
+			t.Errorf("BytesIn(%v, %v) = %d, want %d", c.d, c.r, got, c.want)
+		}
+		if got < 0 {
+			t.Errorf("BytesIn(%v, %v) overflowed", c.d, c.r)
+		}
+	}
+}
+
+func TestBytesInNonPositive(t *testing.T) {
+	if BytesIn(0, 100*Gbps) != 0 || BytesIn(-Second, 100*Gbps) != 0 {
+		t.Fatal("non-positive durations must yield 0 bytes")
+	}
+}
+
+func TestBDP(t *testing.T) {
+	// 100 Gbps × 10 µs = 125 KB.
+	if got := BDP(100*Gbps, 10*Microsecond); got != 125000 {
+		t.Fatalf("BDP = %d, want 125000", got)
+	}
+	// The paper's Table 3 scenario: 400 Gbps × 10 µs = 500 KB.
+	if got := BDP(400*Gbps, 10*Microsecond); got != 500000 {
+		t.Fatalf("BDP = %d, want 500000", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		0:                  "0",
+		500 * Picosecond:   "500ps",
+		80 * Nanosecond:    "80.000ns",
+		1500 * Nanosecond:  "1.500us",
+		2500 * Microsecond: "2.500ms",
+		3 * Second:         "3s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := map[Rate]string{
+		100 * Gbps:  "100Gbps",
+		2500 * Mbps: "2.50Gbps",
+		40 * Mbps:   "40.00Mbps",
+		5:           "5bps",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%v: got %q want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestSecondsMicrosNanos(t *testing.T) {
+	d := 1500 * Microsecond
+	if d.Seconds() != 0.0015 {
+		t.Errorf("Seconds() = %v", d.Seconds())
+	}
+	if d.Micros() != 1500 {
+		t.Errorf("Micros() = %v", d.Micros())
+	}
+	if d.Nanos() != 1.5e6 {
+		t.Errorf("Nanos() = %v", d.Nanos())
+	}
+}
+
+func TestTxTimeAdditive(t *testing.T) {
+	// Serializing a+b bytes takes no less than serializing them separately
+	// minus rounding, and no more than the sum.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		a, b := rng.Intn(9000)+1, rng.Intn(9000)+1
+		r := Rate(rng.Intn(40)+1) * 10 * Gbps
+		sum := TxTime(a, r) + TxTime(b, r)
+		both := TxTime(a+b, r)
+		if both > sum {
+			t.Fatalf("TxTime(%d+%d) = %v > split %v", a, b, both, sum)
+		}
+		if sum-both > 2*Picosecond {
+			t.Fatalf("rounding drift too large: split %v vs joint %v", sum, both)
+		}
+	}
+}
+
+func TestTxTimeLargeSizesNoOverflow(t *testing.T) {
+	// Whole-flow serialization times (the slowdown denominator) must not
+	// overflow: 30 MB at 100 Gbps is 2.4 ms.
+	got := TxTime(30_000_000, 100*Gbps)
+	if got != 2400*Microsecond {
+		t.Fatalf("TxTime(30MB, 100G) = %v", got)
+	}
+	if TxTime(1<<31, 10*Gbps) <= 0 {
+		t.Fatal("overflowed")
+	}
+}

@@ -1,0 +1,454 @@
+// Package wire implements the on-the-wire binary layout of DCP packets as
+// extended RoCEv2 (Fig. 4 of the paper): Ethernet / IPv4 (DCP tag in two ToS
+// bits) / UDP / BTH / MSN / optional SSN / optional RETH for data packets,
+// and Ethernet / IPv4 / UDP / BTH / AETH (eMSN in the MSN field) for ACKs.
+// A header-only (HO) packet is exactly the first 57 bytes of a data packet:
+// Ethernet(14) + IPv4(20) + UDP(8) + BTH(12) + MSN(3).
+//
+// The simulator itself moves packet structs around (package packet); this
+// package exists so the header design is executable and testable: every
+// field the paper adds has a concrete offset, and encode/decode round-trip
+// is property-tested.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Layer sizes in bytes.
+const (
+	EthernetSize = 14
+	IPv4Size     = 20
+	UDPSize      = 8
+	BTHSize      = 12
+	MSNSize      = 3 // 3-byte MSN extension carried by every DCP packet
+	SSNSize      = 3 // send sequence number, two-sided ops only
+	RETHSize     = 16
+	AETHSize     = 4
+
+	// HOSize is the size of a header-only packet: everything up to and
+	// including the MSN field (57 bytes, footnote 6 of the paper).
+	HOSize = EthernetSize + IPv4Size + UDPSize + BTHSize + MSNSize
+)
+
+// RoCEv2UDPPort is the IANA UDP destination port for RoCEv2.
+const RoCEv2UDPPort = 4791
+
+// DCPTag is the 2-bit packet class carried in bits 1:0 of the IP ToS field.
+type DCPTag uint8
+
+// DCP tag values (§4.2).
+const (
+	TagNonDCP DCPTag = 0b00
+	TagAck    DCPTag = 0b01
+	TagData   DCPTag = 0b10
+	TagHO     DCPTag = 0b11
+)
+
+// ECN codepoints (ToS bits 7:6 in this encoding).
+const (
+	ECNNotECT uint8 = 0b00
+	ECNECT0   uint8 = 0b10
+	ECNCE     uint8 = 0b11
+)
+
+// OpCode is the BTH opcode. Only the operations DCP extends are modeled.
+type OpCode uint8
+
+// BTH opcodes (InfiniBand RC values).
+const (
+	OpSendFirst        OpCode = 0x00
+	OpSendMiddle       OpCode = 0x01
+	OpSendLast         OpCode = 0x02
+	OpSendOnly         OpCode = 0x04
+	OpWriteFirst       OpCode = 0x06
+	OpWriteMiddle      OpCode = 0x07
+	OpWriteLast        OpCode = 0x08
+	OpWriteOnly        OpCode = 0x0A
+	OpAcknowledge      OpCode = 0x11
+	OpWriteLastWithImm OpCode = 0x09
+	OpWriteOnlyWithImm OpCode = 0x0B
+)
+
+// IsWrite reports whether the opcode belongs to the RDMA Write family.
+func (o OpCode) IsWrite() bool {
+	switch o {
+	case OpWriteFirst, OpWriteMiddle, OpWriteLast, OpWriteOnly, OpWriteLastWithImm, OpWriteOnlyWithImm:
+		return true
+	}
+	return false
+}
+
+// IsSend reports whether the opcode belongs to the Send family.
+func (o OpCode) IsSend() bool {
+	switch o {
+	case OpSendFirst, OpSendMiddle, OpSendLast, OpSendOnly:
+		return true
+	}
+	return false
+}
+
+// Ethernet is the L2 header.
+type Ethernet struct {
+	Dst, Src  [6]byte
+	EtherType uint16
+}
+
+// EtherTypeIPv4 is the IPv4 ethertype.
+const EtherTypeIPv4 = 0x0800
+
+func (h *Ethernet) marshal(b []byte) {
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.EtherType)
+}
+
+func (h *Ethernet) unmarshal(b []byte) {
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = binary.BigEndian.Uint16(b[12:14])
+}
+
+// IPv4 is a 20-byte IPv4 header (no options). The DCP tag occupies ToS bits
+// 1:0 and the ECN codepoint bits 7:6.
+type IPv4 struct {
+	Tag      DCPTag
+	ECN      uint8
+	TotalLen uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst [4]byte
+}
+
+// ProtocolUDP is the IP protocol number for UDP.
+const ProtocolUDP = 17
+
+func (h *IPv4) marshal(b []byte) {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = (h.ECN << 6) | uint8(h.Tag&0b11)
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], 0) // identification
+	binary.BigEndian.PutUint16(b[6:8], 0) // flags/frag
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	binary.BigEndian.PutUint16(b[10:12], 0) // checksum: computed below
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(b[10:12], ipChecksum(b[:IPv4Size]))
+}
+
+func (h *IPv4) unmarshal(b []byte) error {
+	if b[0] != 0x45 {
+		return fmt.Errorf("wire: unsupported IP version/IHL %#x", b[0])
+	}
+	h.ECN = b[1] >> 6
+	h.Tag = DCPTag(b[1] & 0b11)
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	return nil
+}
+
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// UDP is the 8-byte UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+}
+
+func (h *UDP) marshal(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], h.Length)
+	binary.BigEndian.PutUint16(b[6:8], 0) // checksum optional over IPv4
+}
+
+func (h *UDP) unmarshal(b []byte) {
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Length = binary.BigEndian.Uint16(b[4:6])
+}
+
+// BTH is the 12-byte InfiniBand base transport header. The 24-bit PSN rides
+// in the last 3 bytes; DCP additionally stores the sender retry number
+// (sRetryNo, §4.5) in the reserved byte at offset 5.
+type BTH struct {
+	OpCode   OpCode
+	DestQP   uint32 // 24 bits
+	PSN      uint32 // 24 bits
+	AckReq   bool
+	SRetryNo uint8 // DCP extension in the reserved byte
+}
+
+// BTH byte layout (12 bytes): opcode(1), SE/M/Pad/TVer(1), P_Key(2),
+// reserved(1) — DCP reuses it for sRetryNo —, DestQP(3), AckReq|reserved(1),
+// PSN(3).
+func (h *BTH) marshal(b []byte) {
+	b[0] = byte(h.OpCode)
+	b[1] = 0                                   // SE/M/Pad/TVer
+	binary.BigEndian.PutUint16(b[2:4], 0xffff) // P_Key
+	b[4] = h.SRetryNo
+	put24at(b, 5, h.DestQP)
+	if h.AckReq {
+		b[8] = 0x80
+	} else {
+		b[8] = 0
+	}
+	put24at(b, 9, h.PSN)
+}
+
+func (h *BTH) unmarshal(b []byte) {
+	h.OpCode = OpCode(b[0])
+	h.SRetryNo = b[4]
+	h.DestQP = get24at(b, 5)
+	h.AckReq = b[8]&0x80 != 0
+	h.PSN = get24at(b, 9)
+}
+
+func put24at(b []byte, off int, v uint32) {
+	b[off] = byte(v >> 16)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v)
+}
+
+func get24at(b []byte, off int) uint32 {
+	return uint32(b[off])<<16 | uint32(b[off+1])<<8 | uint32(b[off+2])
+}
+
+// RETH is the RDMA extended transport header: remote VA, rkey, DMA length.
+// DCP includes it in every packet of a Write message (not just the first) so
+// out-of-order packets can be placed directly (§4.4).
+type RETH struct {
+	VA     uint64
+	RKey   uint32
+	Length uint32
+}
+
+func (h *RETH) marshal(b []byte) {
+	binary.BigEndian.PutUint64(b[0:8], h.VA)
+	binary.BigEndian.PutUint32(b[8:12], h.RKey)
+	binary.BigEndian.PutUint32(b[12:16], h.Length)
+}
+
+func (h *RETH) unmarshal(b []byte) {
+	h.VA = binary.BigEndian.Uint64(b[0:8])
+	h.RKey = binary.BigEndian.Uint32(b[8:12])
+	h.Length = binary.BigEndian.Uint32(b[12:16])
+}
+
+// AETH is the 4-byte ACK extended transport header.
+type AETH struct {
+	Syndrome uint8
+	MSN      uint32 // 24 bits; DCP carries eMSN here (Fig. 4b)
+}
+
+func (h *AETH) marshal(b []byte) {
+	b[0] = h.Syndrome
+	put24at(b, 1, h.MSN)
+}
+
+func (h *AETH) unmarshal(b []byte) {
+	h.Syndrome = b[0]
+	h.MSN = get24at(b, 1)
+}
+
+// DataPacket is the decoded form of a full DCP data packet.
+type DataPacket struct {
+	Eth     Ethernet
+	IP      IPv4
+	UDP     UDP
+	BTH     BTH
+	MSN     uint32 // 24-bit message sequence number (posting order)
+	HasSSN  bool   // two-sided operations carry the SSN
+	SSN     uint32 // 24 bits
+	HasRETH bool   // one-sided operations carry the RETH in every packet
+	RETH    RETH
+	Payload []byte
+}
+
+// errTooShort reports a truncated buffer.
+var errTooShort = errors.New("wire: buffer too short")
+
+// HeaderSize returns the encoded header length for this packet's options.
+func (p *DataPacket) HeaderSize() int {
+	n := HOSize
+	if p.HasSSN {
+		n += SSNSize
+	}
+	if p.HasRETH {
+		n += RETHSize
+	}
+	return n
+}
+
+// Marshal encodes the packet. The returned slice length is HeaderSize() +
+// len(Payload).
+func (p *DataPacket) Marshal() []byte {
+	total := p.HeaderSize() + len(p.Payload)
+	b := make([]byte, total)
+	p.Eth.EtherType = EtherTypeIPv4
+	p.Eth.marshal(b[0:])
+	p.IP.Protocol = ProtocolUDP
+	p.IP.TotalLen = uint16(total - EthernetSize)
+	p.IP.marshal(b[EthernetSize:])
+	p.UDP.DstPort = RoCEv2UDPPort
+	p.UDP.Length = uint16(total - EthernetSize - IPv4Size)
+	p.UDP.marshal(b[EthernetSize+IPv4Size:])
+	off := EthernetSize + IPv4Size + UDPSize
+	p.BTH.marshal(b[off:])
+	off += BTHSize
+	put24at(b, off, p.MSN)
+	off += MSNSize
+	if p.HasSSN {
+		put24at(b, off, p.SSN)
+		off += SSNSize
+	}
+	if p.HasRETH {
+		p.RETH.marshal(b[off:])
+		off += RETHSize
+	}
+	copy(b[off:], p.Payload)
+	return b
+}
+
+// UnmarshalDataPacket decodes a data or header-only packet. Whether SSN and
+// RETH are present is inferred from the BTH opcode, exactly as an RNIC
+// parser would. A 57-byte buffer decodes as a header-only packet.
+func UnmarshalDataPacket(b []byte) (*DataPacket, error) {
+	if len(b) < HOSize {
+		return nil, errTooShort
+	}
+	var p DataPacket
+	p.Eth.unmarshal(b)
+	if err := p.IP.unmarshal(b[EthernetSize:]); err != nil {
+		return nil, err
+	}
+	p.UDP.unmarshal(b[EthernetSize+IPv4Size:])
+	off := EthernetSize + IPv4Size + UDPSize
+	p.BTH.unmarshal(b[off:])
+	off += BTHSize
+	p.MSN = get24at(b, off)
+	off += MSNSize
+	if len(b) == HOSize {
+		return &p, nil // header-only packet: extensions were trimmed away
+	}
+	if p.BTH.OpCode.IsSend() || p.BTH.OpCode == OpWriteLastWithImm || p.BTH.OpCode == OpWriteOnlyWithImm {
+		if len(b) < off+SSNSize {
+			return nil, errTooShort
+		}
+		p.HasSSN = true
+		p.SSN = get24at(b, off)
+		off += SSNSize
+	}
+	if p.BTH.OpCode.IsWrite() {
+		if len(b) < off+RETHSize {
+			return nil, errTooShort
+		}
+		p.HasRETH = true
+		p.RETH.unmarshal(b[off:])
+		off += RETHSize
+	}
+	p.Payload = b[off:]
+	return &p, nil
+}
+
+// IsHO reports whether the decoded packet is header-only (trimmed).
+func (p *DataPacket) IsHO() bool { return p.IP.Tag == TagHO }
+
+// TrimToHO returns the first 57 bytes of an encoded data packet with the
+// DCP tag rewritten to 11 and the IP length fixed up — the exact switch
+// trimming operation of §5 (mirror header, set packet_len, retag, re-enqueue).
+func TrimToHO(encoded []byte) ([]byte, error) {
+	if len(encoded) < HOSize {
+		return nil, errTooShort
+	}
+	ho := make([]byte, HOSize)
+	copy(ho, encoded[:HOSize])
+	// Rewrite tag bits in ToS and fix the IP total length + checksum.
+	ho[EthernetSize+1] = ho[EthernetSize+1]&^byte(0b11) | byte(TagHO)
+	binary.BigEndian.PutUint16(ho[EthernetSize+2:], uint16(HOSize-EthernetSize))
+	binary.BigEndian.PutUint16(ho[EthernetSize+10:], 0)
+	binary.BigEndian.PutUint16(ho[EthernetSize+10:], ipChecksum(ho[EthernetSize:EthernetSize+IPv4Size]))
+	return ho, nil
+}
+
+// BounceHO swaps the IP addresses and QPNs of an encoded HO packet in place,
+// producing the packet the receiver forwards back to the sender (§4.1 step 2).
+// The caller supplies the sender-side QPN (the receiver knows it from its QP
+// context; the switch could not, which is why HO packets go to the receiver
+// first — §7 "Back-to-sender").
+func BounceHO(ho []byte, senderQPN uint32) error {
+	if len(ho) < HOSize {
+		return errTooShort
+	}
+	ip := ho[EthernetSize:]
+	for i := 0; i < 4; i++ {
+		ip[12+i], ip[16+i] = ip[16+i], ip[12+i]
+	}
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:IPv4Size]))
+	put24at(ho, EthernetSize+IPv4Size+UDPSize+5, senderQPN)
+	return nil
+}
+
+// AckPacket is the decoded form of a DCP ACK (Fig. 4b).
+type AckPacket struct {
+	Eth  Ethernet
+	IP   IPv4
+	UDP  UDP
+	BTH  BTH
+	AETH AETH // AETH.MSN carries the eMSN
+}
+
+// AckPacketSize is the encoded size of an ACK.
+const AckPacketSize = EthernetSize + IPv4Size + UDPSize + BTHSize + AETHSize
+
+// Marshal encodes the ACK.
+func (p *AckPacket) Marshal() []byte {
+	b := make([]byte, AckPacketSize)
+	p.Eth.EtherType = EtherTypeIPv4
+	p.Eth.marshal(b)
+	p.IP.Protocol = ProtocolUDP
+	p.IP.Tag = TagAck
+	p.IP.TotalLen = uint16(AckPacketSize - EthernetSize)
+	p.IP.marshal(b[EthernetSize:])
+	p.UDP.DstPort = RoCEv2UDPPort
+	p.UDP.Length = uint16(AckPacketSize - EthernetSize - IPv4Size)
+	p.UDP.marshal(b[EthernetSize+IPv4Size:])
+	off := EthernetSize + IPv4Size + UDPSize
+	p.BTH.OpCode = OpAcknowledge
+	p.BTH.marshal(b[off:])
+	p.AETH.marshal(b[off+BTHSize:])
+	return b
+}
+
+// UnmarshalAckPacket decodes an ACK.
+func UnmarshalAckPacket(b []byte) (*AckPacket, error) {
+	if len(b) < AckPacketSize {
+		return nil, errTooShort
+	}
+	var p AckPacket
+	p.Eth.unmarshal(b)
+	if err := p.IP.unmarshal(b[EthernetSize:]); err != nil {
+		return nil, err
+	}
+	p.UDP.unmarshal(b[EthernetSize+IPv4Size:])
+	off := EthernetSize + IPv4Size + UDPSize
+	p.BTH.unmarshal(b[off:])
+	p.AETH.unmarshal(b[off+BTHSize:])
+	return &p, nil
+}

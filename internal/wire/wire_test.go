@@ -1,0 +1,312 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() *DataPacket {
+	return &DataPacket{
+		Eth: Ethernet{Dst: [6]byte{1, 2, 3, 4, 5, 6}, Src: [6]byte{7, 8, 9, 10, 11, 12}},
+		IP: IPv4{Tag: TagData, ECN: ECNECT0, TTL: 64,
+			Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}},
+		UDP:     UDP{SrcPort: 49152},
+		BTH:     BTH{OpCode: OpWriteMiddle, DestQP: 0x123456, PSN: 0xABCDEF, SRetryNo: 3},
+		MSN:     0x010203,
+		HasRETH: true,
+		RETH:    RETH{VA: 0xDEADBEEF00, RKey: 42, Length: 1 << 20},
+		Payload: []byte("0123456789abcdef"),
+	}
+}
+
+func TestHOSizeIs57(t *testing.T) {
+	// Footnote 6: 14 + 20 + 8 + 12 + 3 = 57 bytes.
+	if HOSize != 57 {
+		t.Fatalf("HOSize = %d", HOSize)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	p := samplePacket()
+	enc := p.Marshal()
+	if len(enc) != p.HeaderSize()+len(p.Payload) {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), p.HeaderSize()+len(p.Payload))
+	}
+	got, err := UnmarshalDataPacket(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BTH != p.BTH || got.MSN != p.MSN || got.RETH != p.RETH {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, p)
+	}
+	if got.IP.Tag != TagData || got.IP.Src != p.IP.Src || got.IP.Dst != p.IP.Dst {
+		t.Fatal("IP fields mismatch")
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestSendCarriesSSN(t *testing.T) {
+	p := samplePacket()
+	p.BTH.OpCode = OpSendMiddle
+	p.HasRETH = false
+	p.HasSSN = true
+	p.SSN = 0x0A0B0C
+	enc := p.Marshal()
+	got, err := UnmarshalDataPacket(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasSSN || got.SSN != p.SSN {
+		t.Fatalf("SSN lost: %+v", got)
+	}
+	if got.HasRETH {
+		t.Fatal("Send ops carry no RETH")
+	}
+}
+
+func TestWriteWithImmCarriesBoth(t *testing.T) {
+	p := samplePacket()
+	p.BTH.OpCode = OpWriteLastWithImm
+	p.HasSSN = true
+	p.SSN = 9
+	enc := p.Marshal()
+	got, err := UnmarshalDataPacket(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasSSN || !got.HasRETH || got.SSN != 9 || got.RETH != p.RETH {
+		t.Fatalf("Write-with-Imm must carry SSN and RETH: %+v", got)
+	}
+}
+
+func TestTrimToHO(t *testing.T) {
+	p := samplePacket()
+	enc := p.Marshal()
+	ho, err := TrimToHO(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ho) != 57 {
+		t.Fatalf("HO is %d bytes, want 57", len(ho))
+	}
+	got, err := UnmarshalDataPacket(ho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsHO() || got.IP.Tag != TagHO {
+		t.Fatal("trim must retag to 11")
+	}
+	// The fields DCP-RNIC needs for retransmission must survive.
+	if got.BTH.PSN != p.BTH.PSN || got.MSN != p.MSN || got.BTH.DestQP != p.BTH.DestQP {
+		t.Fatal("PSN/MSN/QPN must survive trimming")
+	}
+	if got.BTH.SRetryNo != p.BTH.SRetryNo {
+		t.Fatal("sRetryNo must survive trimming")
+	}
+	// IP total length must describe the trimmed packet.
+	if got.IP.TotalLen != uint16(HOSize-EthernetSize) {
+		t.Fatalf("IP length not fixed up: %d", got.IP.TotalLen)
+	}
+	// Checksum must be valid after the rewrite.
+	if ipChecksum(ho[EthernetSize:EthernetSize+IPv4Size]) != 0 {
+		t.Fatal("IP checksum invalid after trim")
+	}
+}
+
+func TestTrimTooShort(t *testing.T) {
+	if _, err := TrimToHO(make([]byte, 10)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBounceHO(t *testing.T) {
+	p := samplePacket()
+	enc := p.Marshal()
+	ho, _ := TrimToHO(enc)
+	if err := BounceHO(ho, 0x654321); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalDataPacket(ho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IP.Src != p.IP.Dst || got.IP.Dst != p.IP.Src {
+		t.Fatal("bounce must swap IP addresses")
+	}
+	if got.BTH.DestQP != 0x654321 {
+		t.Fatalf("bounce must install sender QPN, got %#x", got.BTH.DestQP)
+	}
+	if got.BTH.PSN != p.BTH.PSN {
+		t.Fatal("PSN must survive the bounce")
+	}
+	if ipChecksum(ho[EthernetSize:EthernetSize+IPv4Size]) != 0 {
+		t.Fatal("IP checksum invalid after bounce")
+	}
+	if err := BounceHO(make([]byte, 3), 1); err == nil {
+		t.Fatal("short bounce should error")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	a := &AckPacket{
+		IP:   IPv4{TTL: 64, Src: [4]byte{1, 1, 1, 1}, Dst: [4]byte{2, 2, 2, 2}},
+		BTH:  BTH{DestQP: 5, PSN: 100},
+		AETH: AETH{Syndrome: 0, MSN: 0x00BEEF},
+	}
+	enc := a.Marshal()
+	if len(enc) != AckPacketSize {
+		t.Fatalf("ack size %d", len(enc))
+	}
+	got, err := UnmarshalAckPacket(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AETH.MSN != 0x00BEEF {
+		t.Fatalf("eMSN lost: %#x", got.AETH.MSN)
+	}
+	if got.BTH.OpCode != OpAcknowledge {
+		t.Fatal("ACK opcode")
+	}
+	if got.IP.Tag != TagAck {
+		t.Fatal("ACK must carry DCP tag 01")
+	}
+	if _, err := UnmarshalAckPacket(enc[:10]); err == nil {
+		t.Fatal("short ack should error")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalDataPacket(make([]byte, 20)); err == nil {
+		t.Fatal("short buffer must error")
+	}
+	p := samplePacket()
+	enc := p.Marshal()
+	enc[EthernetSize] = 0x46 // bad version/IHL
+	if _, err := UnmarshalDataPacket(enc); err == nil {
+		t.Fatal("bad IP version must error")
+	}
+	// Write opcode but truncated RETH.
+	p2 := samplePacket()
+	enc2 := p2.Marshal()
+	if _, err := UnmarshalDataPacket(enc2[:HOSize+4]); err == nil {
+		t.Fatal("truncated RETH must error")
+	}
+}
+
+func TestOpCodeFamilies(t *testing.T) {
+	writes := []OpCode{OpWriteFirst, OpWriteMiddle, OpWriteLast, OpWriteOnly, OpWriteLastWithImm, OpWriteOnlyWithImm}
+	sends := []OpCode{OpSendFirst, OpSendMiddle, OpSendLast, OpSendOnly}
+	for _, o := range writes {
+		if !o.IsWrite() {
+			t.Errorf("%#x should be Write", o)
+		}
+		if o.IsSend() {
+			t.Errorf("%#x should not be Send", o)
+		}
+	}
+	for _, o := range sends {
+		if !o.IsSend() || o.IsWrite() {
+			t.Errorf("%#x family wrong", o)
+		}
+	}
+	if OpAcknowledge.IsWrite() || OpAcknowledge.IsSend() {
+		t.Error("ACK is neither family")
+	}
+}
+
+func TestIPChecksumVerifies(t *testing.T) {
+	p := samplePacket()
+	enc := p.Marshal()
+	if ipChecksum(enc[EthernetSize:EthernetSize+IPv4Size]) != 0 {
+		t.Fatal("checksum of valid header must fold to 0")
+	}
+	enc[EthernetSize+8] ^= 0xFF // corrupt TTL
+	if ipChecksum(enc[EthernetSize:EthernetSize+IPv4Size]) == 0 {
+		t.Fatal("corruption must break the checksum")
+	}
+}
+
+// TestQuickRoundTrip property-tests the header codec across random field
+// values.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(destQP, psn, msn, ssn uint32, retry uint8, opSel uint8, va uint64, rkey, length uint32, payLen uint16, tag uint8) bool {
+		ops := []OpCode{OpWriteFirst, OpWriteMiddle, OpWriteLast, OpWriteOnly, OpSendFirst, OpSendOnly, OpWriteLastWithImm}
+		op := ops[int(opSel)%len(ops)]
+		p := &DataPacket{
+			IP:  IPv4{Tag: DCPTag(tag & 3), TTL: 64},
+			BTH: BTH{OpCode: op, DestQP: destQP & 0xFFFFFF, PSN: psn & 0xFFFFFF, SRetryNo: retry},
+			MSN: msn & 0xFFFFFF,
+		}
+		if op.IsSend() || op == OpWriteLastWithImm {
+			p.HasSSN = true
+			p.SSN = ssn & 0xFFFFFF
+		}
+		if op.IsWrite() {
+			p.HasRETH = true
+			p.RETH = RETH{VA: va, RKey: rkey, Length: length}
+		}
+		p.Payload = make([]byte, int(payLen)%2048)
+		got, err := UnmarshalDataPacket(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.BTH == p.BTH && got.MSN == p.MSN && got.SSN == p.SSN &&
+			got.RETH == p.RETH && got.HasSSN == p.HasSSN && got.HasRETH == p.HasRETH &&
+			len(got.Payload) == len(p.Payload)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTrimIdempotentFields property-tests that trimming preserves
+// exactly the first 57 bytes except the ToS tag and IP length/checksum.
+func TestQuickTrimPreservesPrefix(t *testing.T) {
+	f := func(psn, msn uint32, pay uint16) bool {
+		p := samplePacket()
+		p.BTH.PSN = psn & 0xFFFFFF
+		p.MSN = msn & 0xFFFFFF
+		p.Payload = make([]byte, int(pay)%1500+1)
+		enc := p.Marshal()
+		ho, err := TrimToHO(enc)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < HOSize; i++ {
+			switch {
+			case i == EthernetSize+1: // ToS (tag rewritten)
+			case i == EthernetSize+2, i == EthernetSize+3: // IP length
+			case i == EthernetSize+10, i == EthernetSize+11: // checksum
+			default:
+				if ho[i] != enc[i] {
+					return false
+				}
+			}
+		}
+		return binary.BigEndian.Uint16(ho[EthernetSize+2:]) == uint16(HOSize-EthernetSize)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderSize(t *testing.T) {
+	p := &DataPacket{}
+	if p.HeaderSize() != HOSize {
+		t.Fatal("bare header is the HO size")
+	}
+	p.HasSSN = true
+	if p.HeaderSize() != HOSize+SSNSize {
+		t.Fatal("SSN adds 3")
+	}
+	p.HasRETH = true
+	if p.HeaderSize() != HOSize+SSNSize+RETHSize {
+		t.Fatal("RETH adds 16")
+	}
+}

@@ -1,0 +1,21 @@
+// Package workload generates the paper's traffic: WebSearch-distributed
+// Poisson arrivals, M-to-1 incast, and the AI collectives (Ring-AllReduce,
+// AllToAll) modeled as dependent coflows.
+package workload
+
+import (
+	"dcpsim/internal/packet"
+	"dcpsim/internal/units"
+)
+
+// Flow is one application message stream between two hosts.
+type Flow struct {
+	ID       uint64
+	Src, Dst packet.NodeID
+	Size     int64
+	Start    units.Time
+	// Class tags the flow for statistics ("bg", "incast", "coll", ...).
+	Class string
+	// Group identifies the collective group (AI workloads).
+	Group int
+}

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"dcpsim/internal/packet"
+	"dcpsim/internal/units"
+)
+
+// SizeDist is a flow-size distribution described by CDF points with linear
+// interpolation between them.
+type SizeDist struct {
+	sizes []float64
+	cum   []float64
+}
+
+// NewSizeDist builds a distribution from (size, cumulative-probability)
+// pairs; the pairs must be sorted and end at probability 1.
+func NewSizeDist(sizes, cum []float64) *SizeDist {
+	if len(sizes) != len(cum) || len(sizes) < 2 {
+		panic("workload: malformed CDF")
+	}
+	return &SizeDist{sizes: sizes, cum: cum}
+}
+
+// WebSearch returns the DCTCP web-search flow size distribution used by the
+// paper (§6.2): 60% of flows below 200 KB, 37% between 200 KB and 10 MB, 3%
+// above 10 MB, max 30 MB.
+func WebSearch() *SizeDist {
+	return NewSizeDist(
+		[]float64{1e3, 1e4, 2e4, 3e4, 5e4, 8e4, 2e5, 1e6, 2e6, 5e6, 1e7, 3e7},
+		[]float64{0, 0.15, 0.20, 0.30, 0.40, 0.53, 0.60, 0.70, 0.80, 0.90, 0.97, 1.0},
+	)
+}
+
+// Sample draws a flow size.
+func (d *SizeDist) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(d.cum, u)
+	if i == 0 {
+		return int64(d.sizes[0])
+	}
+	if i >= len(d.cum) {
+		return int64(d.sizes[len(d.sizes)-1])
+	}
+	lo, hi := d.cum[i-1], d.cum[i]
+	frac := 0.0
+	if hi > lo {
+		frac = (u - lo) / (hi - lo)
+	}
+	return int64(d.sizes[i-1] + frac*(d.sizes[i]-d.sizes[i-1]))
+}
+
+// Mean returns the distribution mean in bytes (trapezoidal over the CDF).
+func (d *SizeDist) Mean() float64 {
+	var m float64
+	for i := 1; i < len(d.sizes); i++ {
+		m += (d.cum[i] - d.cum[i-1]) * (d.sizes[i] + d.sizes[i-1]) / 2
+	}
+	return m
+}
+
+// PoissonConfig parameterizes an open-loop background workload.
+type PoissonConfig struct {
+	Load     float64 // fraction of aggregate host bandwidth
+	Hosts    []packet.NodeID
+	HostRate units.Rate
+	Dist     *SizeDist
+	Count    int        // number of flows to generate
+	Start    units.Time // first possible arrival
+	Class    string
+	BaseID   uint64
+}
+
+// GeneratePoisson pre-draws Count flows with exponential inter-arrivals at
+// the aggregate rate implied by Load, with uniformly random distinct
+// src/dst pairs.
+func GeneratePoisson(rng *rand.Rand, cfg PoissonConfig) []*Flow {
+	mean := cfg.Dist.Mean()
+	// Aggregate arrival rate (flows/sec): load × Σ host bandwidth / mean size.
+	lambda := cfg.Load * float64(len(cfg.Hosts)) * float64(cfg.HostRate) / (mean * 8)
+	t := float64(cfg.Start)
+	flows := make([]*Flow, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		t += rng.ExpFloat64() / lambda * float64(units.Second)
+		src := cfg.Hosts[rng.Intn(len(cfg.Hosts))]
+		dst := cfg.Hosts[rng.Intn(len(cfg.Hosts))]
+		for dst == src {
+			dst = cfg.Hosts[rng.Intn(len(cfg.Hosts))]
+		}
+		flows = append(flows, &Flow{
+			ID:    cfg.BaseID + uint64(i),
+			Src:   src,
+			Dst:   dst,
+			Size:  cfg.Dist.Sample(rng),
+			Start: units.Time(t),
+			Class: cfg.Class,
+		})
+	}
+	return flows
+}
+
+// IncastConfig parameterizes M-to-1 incast events.
+type IncastConfig struct {
+	Load     float64 // fraction of aggregate bandwidth
+	Fanin    int     // senders per event (128 or 255 in the paper)
+	FlowSize int64   // bytes per sender
+	Hosts    []packet.NodeID
+	HostRate units.Rate
+	Events   int
+	Start    units.Time
+	Class    string
+	BaseID   uint64
+}
+
+// GenerateIncast pre-draws incast events: each event picks a victim and
+// Fanin distinct senders that all start a FlowSize flow to it
+// simultaneously.
+func GenerateIncast(rng *rand.Rand, cfg IncastConfig) []*Flow {
+	bytesPerEvent := float64(cfg.Fanin) * float64(cfg.FlowSize)
+	lambda := cfg.Load * float64(len(cfg.Hosts)) * float64(cfg.HostRate) / (bytesPerEvent * 8)
+	t := float64(cfg.Start)
+	var flows []*Flow
+	id := cfg.BaseID
+	for e := 0; e < cfg.Events; e++ {
+		t += rng.ExpFloat64() / lambda * float64(units.Second)
+		victim := cfg.Hosts[rng.Intn(len(cfg.Hosts))]
+		perm := rng.Perm(len(cfg.Hosts))
+		picked := 0
+		for _, pi := range perm {
+			src := cfg.Hosts[pi]
+			if src == victim {
+				continue
+			}
+			flows = append(flows, &Flow{
+				ID: id, Src: src, Dst: victim, Size: cfg.FlowSize,
+				Start: units.Time(t), Class: cfg.Class, Group: e,
+			})
+			id++
+			picked++
+			if picked == cfg.Fanin {
+				break
+			}
+		}
+	}
+	return flows
+}
+
+// Coflow is a dependency-structured set of flows: all flows of step s start
+// when every flow of step s-1 has completed (the synchronized collectives
+// of §6.1/§6.2).
+type Coflow struct {
+	Group int
+	Steps [][]*Flow
+}
+
+// NumFlows returns the total flow count.
+func (c *Coflow) NumFlows() int {
+	n := 0
+	for _, s := range c.Steps {
+		n += len(s)
+	}
+	return n
+}
+
+// RingAllReduce models one AllReduce over the group: the total traffic is
+// split into len(members) slices and circulated 2×(N−1) steps around the
+// ring, each step sending one slice from every member to its successor.
+func RingAllReduce(members []packet.NodeID, total int64, group int, baseID uint64) *Coflow {
+	n := len(members)
+	slice := total / int64(n)
+	if slice < 1 {
+		slice = 1
+	}
+	cf := &Coflow{Group: group}
+	id := baseID
+	for step := 0; step < 2*(n-1); step++ {
+		var fs []*Flow
+		for i, src := range members {
+			fs = append(fs, &Flow{
+				ID: id, Src: src, Dst: members[(i+1)%n], Size: slice,
+				Class: "coll", Group: group,
+			})
+			id++
+		}
+		cf.Steps = append(cf.Steps, fs)
+	}
+	return cf
+}
+
+// AllToAll models one AllToAll over the group: the total traffic is split
+// into len(members) slices and every member sends one slice to every other
+// member concurrently.
+func AllToAll(members []packet.NodeID, total int64, group int, baseID uint64) *Coflow {
+	n := len(members)
+	slice := total / int64(n)
+	if slice < 1 {
+		slice = 1
+	}
+	cf := &Coflow{Group: group}
+	var fs []*Flow
+	id := baseID
+	for _, src := range members {
+		for _, dst := range members {
+			if src == dst {
+				continue
+			}
+			fs = append(fs, &Flow{
+				ID: id, Src: src, Dst: dst, Size: slice,
+				Class: "coll", Group: group,
+			})
+			id++
+		}
+	}
+	cf.Steps = [][]*Flow{fs}
+	return cf
+}

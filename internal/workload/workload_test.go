@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dcpsim/internal/packet"
+	"dcpsim/internal/units"
+)
+
+func TestWebSearchShape(t *testing.T) {
+	// The paper's §6.2 description: 60% < 200 KB, 37% in 200 KB–10 MB, 3%
+	// above 10 MB.
+	d := WebSearch()
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	var small, mid, big int
+	var max int64
+	for i := 0; i < n; i++ {
+		s := d.Sample(rng)
+		switch {
+		case s < 200_000:
+			small++
+		case s <= 10_000_000:
+			mid++
+		default:
+			big++
+		}
+		if s > max {
+			max = s
+		}
+	}
+	check := func(name string, got int, want float64) {
+		frac := float64(got) / n
+		if math.Abs(frac-want) > 0.02 {
+			t.Errorf("%s fraction = %.3f, want ≈ %.2f", name, frac, want)
+		}
+	}
+	check("small", small, 0.60)
+	check("mid", mid, 0.37)
+	check("big", big, 0.03)
+	if max > 30_000_000 {
+		t.Fatalf("max sample %d exceeds the 30 MB cap", max)
+	}
+}
+
+func TestSizeDistMeanMatchesSamples(t *testing.T) {
+	d := WebSearch()
+	rng := rand.New(rand.NewSource(2))
+	var sum float64
+	const n = 300000
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(rng))
+	}
+	empirical := sum / n
+	analytic := d.Mean()
+	if math.Abs(empirical-analytic)/analytic > 0.03 {
+		t.Fatalf("mean mismatch: empirical %.0f vs analytic %.0f", empirical, analytic)
+	}
+}
+
+func TestNewSizeDistValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for malformed CDF")
+		}
+	}()
+	NewSizeDist([]float64{1}, []float64{1})
+}
+
+func hostIDs(n int) []packet.NodeID {
+	ids := make([]packet.NodeID, n)
+	for i := range ids {
+		ids[i] = packet.NodeID(i)
+	}
+	return ids
+}
+
+func TestGeneratePoissonLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hosts := hostIDs(64)
+	cfg := PoissonConfig{
+		Load: 0.5, Hosts: hosts, HostRate: 100 * units.Gbps,
+		Dist: WebSearch(), Count: 5000, Class: "bg", BaseID: 100,
+	}
+	flows := GeneratePoisson(rng, cfg)
+	if len(flows) != 5000 {
+		t.Fatal("count")
+	}
+	var bytes int64
+	last := units.Time(0)
+	for i, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatal("src == dst")
+		}
+		if f.ID != 100+uint64(i) {
+			t.Fatal("ids must be sequential from BaseID")
+		}
+		if f.Start < last {
+			t.Fatal("arrivals must be ordered")
+		}
+		last = f.Start
+		bytes += f.Size
+	}
+	// Offered load over the generation horizon ≈ 0.5 of aggregate.
+	horizon := flows[len(flows)-1].Start.Seconds()
+	offered := float64(bytes) * 8 / horizon
+	agg := float64(64) * 100e9
+	if math.Abs(offered/agg-0.5) > 0.08 {
+		t.Fatalf("offered load %.3f of aggregate, want ≈ 0.5", offered/agg)
+	}
+}
+
+func TestGenerateIncastStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	hosts := hostIDs(256)
+	flows := GenerateIncast(rng, IncastConfig{
+		Load: 0.1, Fanin: 128, FlowSize: 64 << 10,
+		Hosts: hosts, HostRate: 100 * units.Gbps, Events: 5,
+		Class: "incast", BaseID: 1000,
+	})
+	if len(flows) != 5*128 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	byEvent := map[int][]*Flow{}
+	for _, f := range flows {
+		byEvent[f.Group] = append(byEvent[f.Group], f)
+	}
+	for g, fs := range byEvent {
+		victim := fs[0].Dst
+		seen := map[packet.NodeID]bool{}
+		for _, f := range fs {
+			if f.Dst != victim {
+				t.Fatalf("event %d has multiple victims", g)
+			}
+			if f.Src == victim {
+				t.Fatal("victim cannot send to itself")
+			}
+			if seen[f.Src] {
+				t.Fatal("duplicate sender in one event")
+			}
+			seen[f.Src] = true
+			if f.Start != fs[0].Start {
+				t.Fatal("incast flows must start simultaneously")
+			}
+			if f.Size != 64<<10 {
+				t.Fatal("flow size")
+			}
+		}
+	}
+}
+
+func TestRingAllReduceStructure(t *testing.T) {
+	members := hostIDs(16)
+	cf := RingAllReduce(members, 320<<20, 3, 500)
+	if len(cf.Steps) != 2*(16-1) {
+		t.Fatalf("steps = %d, want 30", len(cf.Steps))
+	}
+	if cf.NumFlows() != 30*16 {
+		t.Fatalf("flows = %d", cf.NumFlows())
+	}
+	slice := int64(320<<20) / 16
+	ids := map[uint64]bool{}
+	for _, step := range cf.Steps {
+		if len(step) != 16 {
+			t.Fatal("each step sends from every member")
+		}
+		for i, f := range step {
+			if f.Size != slice {
+				t.Fatalf("slice size %d", f.Size)
+			}
+			if f.Dst != members[(i+1)%16] || f.Src != members[i] {
+				t.Fatal("ring neighbor relation broken")
+			}
+			if ids[f.ID] {
+				t.Fatal("duplicate flow id")
+			}
+			ids[f.ID] = true
+			if f.Group != 3 {
+				t.Fatal("group tag")
+			}
+		}
+	}
+}
+
+func TestAllToAllStructure(t *testing.T) {
+	members := hostIDs(16)
+	cf := AllToAll(members, 320<<20, 1, 0)
+	if len(cf.Steps) != 1 {
+		t.Fatal("AllToAll is one concurrent step")
+	}
+	if cf.NumFlows() != 16*15 {
+		t.Fatalf("flows = %d", cf.NumFlows())
+	}
+	pair := map[[2]packet.NodeID]bool{}
+	for _, f := range cf.Steps[0] {
+		if f.Src == f.Dst {
+			t.Fatal("self flow")
+		}
+		k := [2]packet.NodeID{f.Src, f.Dst}
+		if pair[k] {
+			t.Fatal("duplicate pair")
+		}
+		pair[k] = true
+	}
+}
+
+func TestCollectiveTinyTotal(t *testing.T) {
+	// Slices never collapse to zero bytes.
+	cf := RingAllReduce(hostIDs(16), 5, 0, 0)
+	for _, step := range cf.Steps {
+		for _, f := range step {
+			if f.Size < 1 {
+				t.Fatal("zero-size slice")
+			}
+		}
+	}
+}
