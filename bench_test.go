@@ -157,3 +157,8 @@ func BenchmarkPercentile(b *testing.B) {
 func BenchmarkAblationBackToSender(b *testing.B) { runExp(b, "ab-b2s") }
 
 func BenchmarkExtensionNDP(b *testing.B) { runExp(b, "ext-ndp") }
+
+// Failure-recovery experiment family (internal/faults).
+func BenchmarkFaultRecovery(b *testing.B)   { runExp(b, "fault-flap") }
+func BenchmarkFaultDegrade(b *testing.B)    { runExp(b, "fault-degrade") }
+func BenchmarkFaultPauseStorm(b *testing.B) { runExp(b, "fault-pause") }

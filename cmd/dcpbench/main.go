@@ -21,14 +21,16 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments")
-		run   = flag.String("run", "", "experiment id, 'all', or 'quick'")
-		seed  = flag.Int64("seed", 42, "simulation seed")
-		scale = flag.Float64("scale", 0.25, "workload scale (1.0 ≈ paper-sized)")
+		list     = flag.Bool("list", false, "list experiments")
+		run      = flag.String("run", "", "experiment id, 'all', or 'quick'")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		scale    = flag.Float64("scale", 0.25, "workload scale (1.0 ≈ paper-sized)")
+		fault    = flag.Bool("fault", false, "run the failure-recovery experiment family")
+		severity = flag.Float64("fault-severity", 0, "pin fault experiments to one severity multiplier (0 = built-in sweep)")
 	)
 	flag.Parse()
 
-	if *list || *run == "" {
+	if *list || (*run == "" && !*fault) {
 		fmt.Println("experiments:")
 		for _, e := range exp.All() {
 			heavy := ""
@@ -39,16 +41,23 @@ func main() {
 		}
 		if *run == "" {
 			fmt.Println("\nusage: dcpbench -run <id>|all|quick [-scale 0.25] [-seed 42]")
+			fmt.Println("       dcpbench -fault [-fault-severity 1] [-scale 0.25]")
 		}
 		return
 	}
 
-	cfg := exp.Config{Seed: *seed, Scale: *scale}
+	cfg := exp.Config{Seed: *seed, Scale: *scale, FaultSeverity: *severity}
 	var todo []exp.Experiment
-	switch *run {
-	case "all":
+	switch {
+	case *fault && *run == "":
+		for _, e := range exp.All() {
+			if len(e.ID) > 6 && e.ID[:6] == "fault-" {
+				todo = append(todo, e)
+			}
+		}
+	case *run == "all":
 		todo = exp.All()
-	case "quick":
+	case *run == "quick":
 		for _, e := range exp.All() {
 			if !e.Heavy {
 				todo = append(todo, e)

@@ -18,6 +18,7 @@ import (
 
 func main() {
 	pcapPath := flag.String("pcap", "", "write a Wireshark-readable capture of the simulation to this file")
+	flap := flag.Bool("flap", false, "also demo fault injection: flap the cross link mid-transfer")
 	flag.Parse()
 	fmt.Println("=== DCP wire formats (Fig. 4) ===")
 	data := &wire.DataPacket{
@@ -75,4 +76,23 @@ func main() {
 		fs.TrimmedPackets, fs.HOPackets, fs.DroppedHO, fs.DroppedData)
 	fmt.Printf("sender: retransmissions=%d (each named by a bounced HO packet), timeouts=%d\n",
 		h.Retransmissions(), h.Timeouts())
+
+	if *flap {
+		fmt.Println("\n=== fault injection: 200us cross-link flap mid-transfer ===")
+		fc := dcpsim.NewCluster(dcpsim.ClusterSpec{
+			Topology: dcpsim.Dumbbell, Hosts: 2, Transport: dcpsim.DCP,
+		})
+		fmt.Printf("injectable links: %v\n", fc.LinkNames())
+		plan := dcpsim.NewFaultPlan(1).LinkDown("cross0", 100_000, 200_000)
+		if err := fc.Inject(plan); err != nil {
+			panic(err)
+		}
+		fh := fc.Send(0, 1, 32<<20)
+		fc.Run()
+		ffs := fc.Fabric()
+		fmt.Printf("32 MB transfer across the outage: fct=%.1fus goodput=%.1fGbps done=%v\n",
+			fh.FCTMicros(), fh.Goodput(), fh.Done())
+		fmt.Printf("switch: trimmed=%d link-down flushes=%d; sender: retrans=%d timeouts=%d\n",
+			ffs.TrimmedPackets, ffs.LinkDownDrops, fh.Retransmissions(), fh.Timeouts())
+	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"dcpsim/internal/exp"
 	"dcpsim/internal/fabric"
+	"dcpsim/internal/faults"
 	"dcpsim/internal/packet"
 	"dcpsim/internal/pcap"
 	"dcpsim/internal/sim"
@@ -226,6 +227,11 @@ type FabricStats struct {
 	ECNMarked      int64
 	PFCPauses      int64
 	MaxBufferBytes int
+	// BlackoutDrops counts packets lost inside blacked-out switches,
+	// LinkDownDrops packets flushed from egress queues when a link died
+	// (both zero unless a FaultPlan was injected).
+	BlackoutDrops int64
+	LinkDownDrops int64
 }
 
 // Fabric returns aggregate switch counters.
@@ -239,7 +245,74 @@ func (c *Cluster) Fabric() FabricStats {
 		ECNMarked:      sc.ECNMarked,
 		PFCPauses:      sc.PauseOn,
 		MaxBufferBytes: sc.MaxBufUsed,
+		BlackoutDrops:  sc.BlackoutDrops,
+		LinkDownDrops:  sc.LinkDownDrops,
 	}
+}
+
+// --- fault injection ---
+
+// LinkNames lists the injectable link names of the cluster's topology:
+// "host<i>" for host attachments, "cross<i>" for dumbbell cross links,
+// "leaf<l>-spine<s>" for CLOS fabric links, "pair" for a back-to-back pair.
+func (c *Cluster) LinkNames() []string { return c.sim.Net.LinkNames() }
+
+// FaultPlan is a seeded, deterministic schedule of fault events. Build one
+// with NewFaultPlan, chain builder calls (times in simulated nanoseconds),
+// then apply it with Cluster.Inject before Run.
+type FaultPlan struct{ p *faults.Plan }
+
+// NewFaultPlan returns an empty plan; all stochastic choices (burst
+// placement) derive from seed.
+func NewFaultPlan(seed int64) *FaultPlan { return &FaultPlan{p: faults.NewPlan(seed)} }
+
+func ns(x int64) units.Time { return units.Time(x) * units.Nanosecond }
+
+// LinkDown takes the named link down at atNs and restores it after durNs.
+func (fp *FaultPlan) LinkDown(link string, atNs, durNs int64) *FaultPlan {
+	fp.p.LinkDownFor(link, ns(atNs), ns(durNs))
+	return fp
+}
+
+// LinkFlap schedules count down/up cycles: each periodNs the link spends
+// duty×period down.
+func (fp *FaultPlan) LinkFlap(link string, startNs, periodNs int64, duty float64, count int) *FaultPlan {
+	fp.p.LinkFlap(link, ns(startNs), ns(periodNs), duty, count)
+	return fp
+}
+
+// LossRamp ramps the link's silent (BER-style) loss probability from 0 up
+// to peak and back down over durNs.
+func (fp *FaultPlan) LossRamp(link string, startNs, durNs int64, peak float64) *FaultPlan {
+	fp.p.LossRamp(link, ns(startNs), ns(durNs), peak, 8)
+	return fp
+}
+
+// LossBursts schedules n correlated drop bursts of minPkts..maxPkts packets
+// at plan-seeded random times within [startNs, startNs+durNs).
+func (fp *FaultPlan) LossBursts(link string, startNs, durNs int64, n, minPkts, maxPkts int) *FaultPlan {
+	fp.p.LossBursts(link, ns(startNs), ns(durNs), n, minPkts, maxPkts)
+	return fp
+}
+
+// PauseStorm forces PFC pause on the ports feeding the link for durNs.
+func (fp *FaultPlan) PauseStorm(link string, startNs, durNs int64) *FaultPlan {
+	fp.p.PauseStorm(link, ns(startNs), ns(durNs), 0, 1)
+	return fp
+}
+
+// SwitchBlackout crashes switch sw at atNs (buffers flushed, all traffic
+// through it lost) and reboots it after durNs.
+func (fp *FaultPlan) SwitchBlackout(sw int, atNs, durNs int64) *FaultPlan {
+	fp.p.Blackout(sw, ns(atNs), ns(durNs))
+	return fp
+}
+
+// Inject validates the plan against the cluster's topology and schedules
+// its events. Call before Run (events must lie in the simulated future).
+func (c *Cluster) Inject(fp *FaultPlan) error {
+	_, err := c.sim.Net.Inject(fp.p)
+	return err
 }
 
 // Done reports whether the transfer completed.

@@ -189,6 +189,39 @@ func TestCaptureWritesPcap(t *testing.T) {
 	}
 }
 
+func TestFaultPlanFacade(t *testing.T) {
+	c := NewCluster(ClusterSpec{Topology: Dumbbell, Hosts: 2, Transport: DCP})
+	names := c.LinkNames()
+	found := false
+	for _, n := range names {
+		if n == "cross0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cross0 missing from %v", names)
+	}
+	// Kill the cross link 20 µs in, restore 100 µs later: the transfer must
+	// survive the outage and finish.
+	fp := NewFaultPlan(1).LinkDown("cross0", 20_000, 100_000)
+	if err := c.Inject(fp); err != nil {
+		t.Fatal(err)
+	}
+	h := c.Send(0, 1, 4<<20)
+	if left := c.Run(); left != 0 {
+		t.Fatal("unfinished after link restored")
+	}
+	if !h.Done() {
+		t.Fatal("not done")
+	}
+	if h.Retransmissions() == 0 && h.Timeouts() == 0 {
+		t.Fatal("a mid-transfer outage should force recovery work")
+	}
+	if err := c.Inject(NewFaultPlan(1).LinkDown("nope", 1000, 1000)); err == nil {
+		t.Fatal("unknown link must error")
+	}
+}
+
 func TestRunWebSearchFacade(t *testing.T) {
 	res := RunWebSearch(WebSearchSpec{Transport: DCP, Flows: 50, Load: 0.2, Seed: 5})
 	if res.Unfinished != 0 {

@@ -1,0 +1,139 @@
+package cc
+
+import (
+	"testing"
+
+	"dcpsim/internal/sim"
+	"dcpsim/internal/units"
+)
+
+const dcqcnLink = 100 * units.Gbps
+
+func newDCQCN(eng *sim.Engine) *DCQCN {
+	return NewDCQCNFactory(DefaultDCQCNConfig())(eng, dcqcnLink, 10*units.Microsecond).(*DCQCN)
+}
+
+// tick fires one increase-timer period (the alpha timer shares the period;
+// alpha changes do not affect rc between CNPs).
+func tick(eng *sim.Engine, d *DCQCN) {
+	eng.Run(eng.Now() + d.cfg.IncreaseTimer)
+}
+
+func TestDCQCNCutPreservesTargetRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newDCQCN(eng)
+	d.OnCongestion(0)
+	// alpha starts at 1: the first cut is exactly half, and the target
+	// remembers the pre-cut rate.
+	if d.rc != dcqcnLink/2 {
+		t.Fatalf("rc after first CNP = %v, want %v", d.rc, dcqcnLink/2)
+	}
+	if d.rt != dcqcnLink {
+		t.Fatalf("rt after first CNP = %v, want pre-cut %v", d.rt, dcqcnLink)
+	}
+	if d.timerStage != 0 || d.byteStage != 0 || d.bytes != 0 {
+		t.Fatal("CNP must reset increase stages and the byte counter")
+	}
+}
+
+func TestDCQCNSecondCutScaledByAlpha(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newDCQCN(eng)
+	d.OnCongestion(0)
+	alpha := d.alpha
+	rc := d.rc
+	d.OnCongestion(0)
+	want := units.Rate(float64(rc) * (1 - alpha/2))
+	if d.rc != want {
+		t.Fatalf("rc after second CNP = %v, want %v (alpha-scaled cut)", d.rc, want)
+	}
+	if d.rt != rc {
+		t.Fatalf("rt = %v, want previous rc %v", d.rt, rc)
+	}
+}
+
+func TestDCQCNFastRecoveryHalvesTowardTarget(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newDCQCN(eng)
+	d.OnCongestion(0)
+	rt := d.rt
+	gap := rt - d.rc
+	for i := 0; i < d.cfg.FastStages-1; i++ {
+		tick(eng, d)
+		gap /= 2
+		if d.rt != rt {
+			t.Fatalf("stage %d: fast recovery moved the target (rt=%v)", i+1, d.rt)
+		}
+		if diff := (rt - d.rc) - gap; diff < -1 || diff > 1 {
+			t.Fatalf("stage %d: rc=%v, want target-gap %v", i+1, d.rc, rt-gap)
+		}
+	}
+}
+
+func TestDCQCNAdditiveIncreaseStage(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newDCQCN(eng)
+	// Two CNPs push rc and rt well below the link so the cap cannot mask
+	// the increase steps.
+	d.OnCongestion(0)
+	d.OnCongestion(0)
+	for d.timerStage < d.cfg.FastStages {
+		tick(eng, d)
+	}
+	// Timer stage has left fast recovery while the byte stage has not:
+	// each further tick is additive increase on the target.
+	rt := d.rt
+	tick(eng, d)
+	if got := d.rt - rt; got != d.cfg.RateAI {
+		t.Fatalf("AI step moved rt by %v, want RateAI %v", got, d.cfg.RateAI)
+	}
+	if d.rc >= d.rt {
+		t.Fatalf("rc %v should still trail the target %v", d.rc, d.rt)
+	}
+}
+
+func TestDCQCNHyperIncreaseStage(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newDCQCN(eng)
+	d.OnCongestion(0)
+	d.OnCongestion(0)
+	// Drive both stage counters past FastStages: timer ticks plus enough
+	// sent bytes to trip the byte counter each round.
+	for d.timerStage <= d.cfg.FastStages {
+		tick(eng, d)
+	}
+	for d.byteStage <= d.cfg.FastStages {
+		d.OnSent(eng.Now(), d.cfg.ByteCounter)
+	}
+	rt := d.rt
+	tick(eng, d)
+	if got := d.rt - rt; got != d.cfg.RateHAI {
+		t.Fatalf("HAI step moved rt by %v, want RateHAI %v", got, d.cfg.RateHAI)
+	}
+}
+
+func TestDCQCNMinRateFloor(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newDCQCN(eng)
+	for i := 0; i < 20; i++ {
+		d.OnCongestion(0)
+	}
+	if d.rc != d.cfg.MinRate {
+		t.Fatalf("rc = %v after repeated CNPs, want MinRate floor %v", d.rc, d.cfg.MinRate)
+	}
+}
+
+func TestDCQCNTargetCappedAtLink(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newDCQCN(eng)
+	d.OnCongestion(0)
+	for i := 0; i < 100; i++ {
+		tick(eng, d)
+	}
+	if d.rt > dcqcnLink || d.rc > dcqcnLink {
+		t.Fatalf("rates exceed link: rt=%v rc=%v", d.rt, d.rc)
+	}
+	if d.rc < dcqcnLink*99/100 {
+		t.Fatalf("rc = %v, want recovery back to ~line rate", d.rc)
+	}
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"testing"
+
+	"dcpsim/internal/fabric"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/topo"
+	"dcpsim/internal/workload"
+)
+
+// runDetSim runs a small multi-flow dumbbell under a scheme and returns the
+// fabric counters plus a per-flow fingerprint.
+func runDetSim(seed int64, sch Scheme) (fabric.SwitchCounters, []stats.FlowRecord) {
+	s := NewSim(seed, sch, func(eng *sim.Engine) *topo.Network {
+		c := topo.DefaultDumbbell()
+		c.HostsPerSwitch = 2
+		c.CrossLinks = 2
+		c.Switch = SwitchConfigFor(sch)
+		return topo.Dumbbell(eng, c)
+	})
+	s.ScheduleFlows([]*workload.Flow{
+		{ID: 1, Src: 0, Dst: 2, Size: 2 << 20},
+		{ID: 2, Src: 1, Dst: 3, Size: 2 << 20},
+		{ID: 3, Src: 2, Dst: 0, Size: 1 << 20},
+	})
+	s.Run(0)
+	var flows []stats.FlowRecord
+	for _, f := range s.Col.Flows() {
+		flows = append(flows, *f)
+	}
+	return s.Net.Counters(), flows
+}
+
+// TestSeedDeterminism asserts that two runs with the same seed produce
+// identical switch counters and identical per-flow results — the property
+// every experiment table (and the fault-injection subsystem) relies on.
+func TestSeedDeterminism(t *testing.T) {
+	for _, sch := range []Scheme{SchemeDCP(true), SchemePFC(), SchemeIRN(fabric.LBSpray, false)} {
+		c1, f1 := runDetSim(7, sch)
+		c2, f2 := runDetSim(7, sch)
+		if c1 != c2 {
+			t.Fatalf("%s: switch counters differ across same-seed runs:\n%+v\n%+v", sch.Name, c1, c2)
+		}
+		if len(f1) != len(f2) {
+			t.Fatalf("%s: flow count differs", sch.Name)
+		}
+		for i := range f1 {
+			if f1[i] != f2[i] {
+				t.Fatalf("%s: flow %d differs across same-seed runs:\n%+v\n%+v", sch.Name, f1[i].ID, f1[i], f2[i])
+			}
+		}
+	}
+}
+
+// TestFig10Reproducible renders a cheap experiment twice with the same
+// config and asserts bit-for-bit identical tables.
+func TestFig10Reproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{Seed: 11, Scale: 0.02}
+	render := func() string {
+		out := ""
+		for _, tb := range Fig10(cfg) {
+			out += tb.String()
+		}
+		return out
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("Fig10 tables differ between same-seed runs:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}

@@ -1,0 +1,286 @@
+package exp
+
+import (
+	"fmt"
+
+	"dcpsim/internal/fabric"
+	"dcpsim/internal/faults"
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/topo"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// The failure-recovery experiments run on a 2×4 dumbbell with 8 parallel
+// cross links: enough spare cross capacity that a data-plane load balancer
+// can route around a single failed link without congestion, which is
+// exactly the recovery headroom the paper's trimming fabric assumes.
+const (
+	faultHosts = 4
+	faultCross = 8
+)
+
+// faultSeverities is the default severity ladder: each experiment scales
+// its fault duration (or peak loss) by these multipliers.
+var faultSeverities = []float64{0.5, 1, 2}
+
+func severities(cfg Config) []float64 {
+	if cfg.FaultSeverity > 0 {
+		return []float64{cfg.FaultSeverity}
+	}
+	return faultSeverities
+}
+
+// nominalT is the unloaded serialization time of size bytes at the testbed
+// line rate (~8% header overhead), the yardstick fault timings scale from
+// so experiments stay meaningful at any Config.Scale.
+func nominalT(size int64) units.Time {
+	return units.TxTime(int(float64(size)*1.08), 100*units.Gbps)
+}
+
+func mustInject(n *topo.Network, p *faults.Plan) *faults.Injector {
+	in, err := n.Inject(p)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// faultRun is one scheme's run of a fault scenario: the sim, the bound
+// injector, and one goodput trace per flow (flow i terminates at dst host
+// faultHosts+i, the only flow delivering to that NIC).
+type faultRun struct {
+	Sim    *Sim
+	Inj    *faults.Injector
+	Traces []*stats.GoodputTrace
+	// Unfinished is the number of flows still incomplete at the horizon.
+	Unfinished int
+}
+
+// runFaultScenario runs faultHosts cross-switch flows (i → faultHosts+i,
+// IDs 1..faultHosts) of size bytes each under sch, injects the plan built
+// by mkPlan, and samples per-destination goodput every bin until horizon.
+func runFaultScenario(cfg Config, sch Scheme, size int64, bin, horizon units.Time, mkPlan func(*topo.Network) *faults.Plan) *faultRun {
+	s := NewSim(cfg.Seed, sch, func(eng *sim.Engine) *topo.Network {
+		c := topo.DefaultDumbbell()
+		c.HostsPerSwitch = faultHosts
+		c.CrossLinks = faultCross
+		c.Switch = SwitchConfigFor(sch)
+		return topo.Dumbbell(eng, c)
+	})
+	flows := make([]*workload.Flow, faultHosts)
+	for i := range flows {
+		flows[i] = &workload.Flow{
+			ID:  uint64(i + 1),
+			Src: packet.NodeID(i), Dst: packet.NodeID(faultHosts + i),
+			Size: size,
+		}
+	}
+	s.ScheduleFlows(flows)
+	inj := mustInject(s.Net, mkPlan(s.Net))
+	traces := make([]*stats.GoodputTrace, faultHosts)
+	for i := range traces {
+		traces[i] = stats.NewGoodputTrace(bin)
+	}
+	var sample func()
+	sample = func() {
+		for i, tr := range traces {
+			tr.Sample(s.Net.Hosts[faultHosts+i].DeliveredBytes)
+		}
+		if s.Eng.Now() < horizon {
+			s.Eng.After(bin, sample)
+		}
+	}
+	s.Eng.After(bin, sample)
+	unfinished := s.Run(horizon)
+	return &faultRun{Sim: s, Inj: inj, Traces: traces, Unfinished: unfinished}
+}
+
+// faultBin picks the trace bin width: T/64 resolution, floored at 10 µs so
+// tiny-scale runs stay cheap.
+func faultBin(t units.Time) units.Time {
+	bin := t / 64
+	if bin < 10*units.Microsecond {
+		bin = 10 * units.Microsecond
+	}
+	return bin
+}
+
+// worstRecovery reduces the per-flow traces to the fault-response summary
+// the result tables report: mean pre-fault goodput, the worst (max) blackout
+// and time-to-recover across flows, the worst post-fault goodput fraction,
+// and whether every flow recovered to 90% of its pre-fault rate.
+func worstRecovery(r *faultRun, faultAt, faultEnd units.Time) (pre float64, blackout, recov units.Time, postPct float64, allRecovered bool) {
+	allRecovered = true
+	postPct = -1
+	var preSum float64
+	for i, tr := range r.Traces {
+		rec := r.Sim.Col.Flow(uint64(i + 1))
+		done := rec != nil && rec.Done
+		var rep stats.RecoveryReport
+		// The final delivering bin of a finished flow is partial (the flow
+		// ends mid-bin); leave it out of the post-fault mean.
+		last := tr.LastActiveBin() - 1
+		if done {
+			rep = tr.Recovery(faultAt, 0.1, 0.9)
+		} else {
+			// Trailing silence of an unfinished flow is starvation.
+			rep = tr.RecoveryUnfinished(faultAt, 0.1, 0.9)
+			last = tr.NumBins()
+		}
+		preSum += rep.PreGbps
+		if rep.BlackoutDur > blackout {
+			blackout = rep.BlackoutDur
+		}
+		if rep.RecoverDur > recov {
+			recov = rep.RecoverDur
+		}
+		if !rep.Recovered {
+			allRecovered = false
+		}
+		// Post-fault goodput relative to this flow's own pre-fault rate,
+		// over the bins between fault end and the flow's last delivery.
+		from := int(faultEnd/tr.Bin()) + 1
+		pct := 100.0
+		if from < last && rep.PreGbps > 0 {
+			pct = 100 * tr.MeanRate(from, last) / rep.PreGbps
+		}
+		if postPct < 0 || pct < postPct {
+			postPct = pct
+		}
+	}
+	if postPct < 0 {
+		postPct = 0
+	}
+	return preSum / float64(len(r.Traces)), blackout, recov, postPct, allRecovered
+}
+
+// faultFlapSchemes is the recovery lineup: DCP over the trimming fabric
+// with adaptive routing, classic lossless RoCE (GBN at line rate over
+// PFC+ECMP), IRN over lossy ECMP, and RACK-TLP.
+func faultFlapSchemes() []Scheme {
+	return []Scheme{SchemeDCP(false), SchemePFC(), SchemeIRN(fabric.LBECMP, false), SchemeRACK()}
+}
+
+// FaultFlap injects a mid-transfer link flap on the cross link the ECMP
+// hash assigns to flow 1, then measures blackout duration and
+// time-to-recover per scheme. DCP's switch rescues the dead link's queued
+// data as HO notifications and adaptive routing steers around the failure,
+// so its flows barely notice; static-ECMP schemes blackhole the victim flow
+// until the link returns and an RTO fires.
+func FaultFlap(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name: "Fault flap: single cross-link down/up mid-transfer (worst flow per scheme)",
+		Columns: []string{"severity", "down_us", "scheme", "pre_Gbps",
+			"blackout_us", "recover_us", "post_pct", "victims", "unfinished"},
+	}
+	size := cfg.bytes(32 << 20)
+	T := nominalT(size)
+	bin := faultBin(T)
+	victim := fmt.Sprintf("cross%d", fabric.ECMPIndex(1, 0, faultCross))
+	for _, sev := range severities(cfg) {
+		faultAt := T / 4
+		dur := units.Time(float64(T) / 3 * sev)
+		horizon := faultAt + dur + 25*units.Millisecond
+		for _, sch := range faultFlapSchemes() {
+			r := runFaultScenario(cfg, sch, size, bin, horizon, func(*topo.Network) *faults.Plan {
+				return faults.NewPlan(cfg.Seed).LinkDownFor(victim, faultAt, dur)
+			})
+			pre, blackout, recov, postPct, _ := worstRecovery(r, faultAt, faultAt+dur)
+			t.AddRow(fmt.Sprintf("%.2g", sev), dur.Micros(), sch.Name, pre,
+				blackout.Micros(), recov.Micros(), postPct,
+				stats.VictimFlows(r.Sim.Col.Flows()), r.Unfinished)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// FaultDegrade compares silent wire-level loss (a degrading optic: BER the
+// switch cannot see) against the same loss ramp enforced visibly at the
+// switch (where a trimming switch converts every victim into an HO
+// notification). It is the subsystem's honest experiment: visible loss is
+// where DCP's fast recovery shines; silent loss relegates everyone — DCP
+// included — to coarse timeouts.
+func FaultDegrade(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name: "Fault degrade: triangular loss ramp, silent wire BER vs visible switch loss (goodput, Gbps)",
+		Columns: []string{"severity", "peak_loss", "mode",
+			"DCP", "CX5", "IRN", "RACK-TLP"},
+	}
+	size := cfg.bytes(24 << 20)
+	T := nominalT(size)
+	start, dur := T/4, T/2
+	horizon := 4*T + 200*units.Millisecond
+	schemes := []Scheme{SchemeDCP(false), SchemeGBNLossy(0), SchemeIRN(0, false), SchemeRACK()}
+	for _, sev := range severities(cfg) {
+		peak := 0.02 * sev
+		for _, mode := range []string{"silent-wire", "visible-switch"} {
+			row := []any{fmt.Sprintf("%.2g", sev), fmt.Sprintf("%.2f%%", peak*100), mode}
+			for _, sch := range schemes {
+				s := NewSim(cfg.Seed, sch, onePathNet(sch, 0))
+				s.ScheduleFlows([]*workload.Flow{{ID: 1, Src: 0, Dst: 1, Size: size}})
+				plan := faults.NewPlan(cfg.Seed)
+				if mode == "silent-wire" {
+					plan.LossRamp("cross0", start, dur, peak, 8)
+				} else {
+					plan.SwitchLossRamp(0, start, dur, peak, 8)
+					plan.SwitchLossRamp(1, start, dur, peak, 8)
+				}
+				mustInject(s.Net, plan)
+				s.Run(horizon)
+				gp := 0.0
+				if rec := s.Col.Flow(1); rec.Done {
+					gp = stats.Goodput(rec.Size, rec.FCT())
+				} else {
+					gp = stats.Goodput(s.Net.Hosts[1].DeliveredBytes, horizon)
+				}
+				row = append(row, gp)
+			}
+			t.AddRow(row...)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// FaultPauseStorm forces a continuous PFC pause storm on two adjacent cross
+// links. On a PFC fabric the storm propagates: the paused egresses back up
+// the switch buffer until ingress thresholds pause innocent hosts (HoL
+// blocking / congestion spreading, §2.1). DCP's switch instead trims the
+// backlog into HO notifications and adaptive routing steers new packets
+// onto unpaused links.
+func FaultPauseStorm(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name: "Fault pause storm: forced PFC pause on 2 cross links (worst flow per scheme)",
+		Columns: []string{"severity", "storm_us", "scheme", "pre_Gbps",
+			"blackout_us", "recover_us", "post_pct", "victims", "unfinished"},
+	}
+	size := cfg.bytes(32 << 20)
+	T := nominalT(size)
+	bin := faultBin(T)
+	k := fabric.ECMPIndex(1, 0, faultCross)
+	links := []string{
+		fmt.Sprintf("cross%d", k),
+		fmt.Sprintf("cross%d", (k+1)%faultCross),
+	}
+	for _, sev := range severities(cfg) {
+		faultAt := T / 4
+		dur := units.Time(float64(T) / 3 * sev)
+		horizon := faultAt + dur + 25*units.Millisecond
+		for _, sch := range faultFlapSchemes() {
+			r := runFaultScenario(cfg, sch, size, bin, horizon, func(*topo.Network) *faults.Plan {
+				p := faults.NewPlan(cfg.Seed)
+				for _, l := range links {
+					p.PauseStorm(l, faultAt, dur, 0, 1)
+				}
+				return p
+			})
+			pre, blackout, recov, postPct, _ := worstRecovery(r, faultAt, faultAt+dur)
+			t.AddRow(fmt.Sprintf("%.2g", sev), dur.Micros(), sch.Name, pre,
+				blackout.Micros(), recov.Micros(), postPct,
+				stats.VictimFlows(r.Sim.Col.Flows()), r.Unfinished)
+		}
+	}
+	return []*stats.Table{t}
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"dcpsim/internal/fabric"
+	"dcpsim/internal/faults"
+	"dcpsim/internal/topo"
+	"dcpsim/internal/units"
+)
+
+// TestFaultFlapHeadline is the acceptance check of the fault subsystem:
+// after a mid-transfer link flap on the dumbbell, DCP+AR barely notices
+// (its switch rescues the dead link's queue as HO notifications and
+// adaptive routing steers around the failure), while the GBN/PFC victim
+// flow blackholes for at least the whole outage.
+func TestFaultFlapHeadline(t *testing.T) {
+	cfg := Config{Seed: 42, Scale: 0.1, FaultSeverity: 1}
+	size := cfg.bytes(32 << 20)
+	T := nominalT(size)
+	bin := faultBin(T)
+	faultAt := T / 4
+	dur := units.Time(float64(T) / 3)
+	horizon := faultAt + dur + 25*units.Millisecond
+	victim := fmt.Sprintf("cross%d", fabric.ECMPIndex(1, 0, faultCross))
+	mkPlan := func(*topo.Network) *faults.Plan {
+		return faults.NewPlan(cfg.Seed).LinkDownFor(victim, faultAt, dur)
+	}
+
+	dcp := runFaultScenario(cfg, SchemeDCP(false), size, bin, horizon, mkPlan)
+	pfc := runFaultScenario(cfg, SchemePFC(), size, bin, horizon, mkPlan)
+
+	dcpPre, dcpBlackout, _, dcpPost, dcpRecovered := worstRecovery(dcp, faultAt, faultAt+dur)
+	_, pfcBlackout, _, _, _ := worstRecovery(pfc, faultAt, faultAt+dur)
+
+	if dcp.Unfinished != 0 {
+		t.Fatalf("DCP left %d flows unfinished", dcp.Unfinished)
+	}
+	if dcpPre < 50 {
+		t.Fatalf("DCP pre-fault goodput %.1f Gbps, want near line rate", dcpPre)
+	}
+	if !dcpRecovered {
+		t.Fatal("DCP flows did not recover to 90%% of pre-fault goodput")
+	}
+	if dcpPost < 90 {
+		t.Fatalf("DCP post-fault goodput %.1f%% of pre-fault, want >= 90%%", dcpPost)
+	}
+	// DCP's worst-flow blackout should be a small fraction of the outage;
+	// the PFC victim must at minimum sit out the whole outage.
+	if dcpBlackout > dur/4 {
+		t.Fatalf("DCP blackout %v, want < outage/4 (%v)", dcpBlackout, dur/4)
+	}
+	if pfcBlackout < dur {
+		t.Fatalf("PFC victim blackout %v shorter than the outage %v", pfcBlackout, dur)
+	}
+	if pfcBlackout < 4*dcpBlackout {
+		t.Fatalf("PFC blackout %v not measurably longer than DCP's %v", pfcBlackout, dcpBlackout)
+	}
+}
+
+// TestFaultTablesReproducible asserts the result tables are bit-for-bit
+// identical across two same-seed runs — fault timing, burst placement and
+// every simulation draw derive from Config.Seed.
+func TestFaultTablesReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{Seed: 11, Scale: 0.02, FaultSeverity: 1}
+	for _, id := range []string{"fault-flap", "fault-pause"} {
+		e := ByID(id)
+		render := func() string {
+			out := ""
+			for _, tb := range e.Run(cfg) {
+				out += tb.String()
+			}
+			return out
+		}
+		a, b := render(), render()
+		if a != b {
+			t.Fatalf("%s tables differ between same-seed runs:\n--- run 1\n%s\n--- run 2\n%s", id, a, b)
+		}
+	}
+}

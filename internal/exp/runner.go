@@ -32,6 +32,10 @@ import (
 type Config struct {
 	Seed  int64
 	Scale float64
+	// FaultSeverity, when > 0, pins the fault-injection experiments to a
+	// single severity multiplier instead of their built-in sweep
+	// (cmd/dcpbench -fault-severity).
+	FaultSeverity float64
 }
 
 // DefaultConfig returns a medium-scale configuration.

@@ -28,8 +28,19 @@ type Wire struct {
 	ingress int   // ingress index at dst
 	src     *Port // the port that transmits onto this wire
 
+	// Fault-injection state (package faults drives these): an admin-down
+	// wire silently discards everything handed to it; lossRate models
+	// time-varying BER loss; burstDrop discards the next N packets (a
+	// correlated error burst).
+	adminDown bool
+	lossRate  float64
+	burstDrop int
+
 	// Delivered counts packets carried, for tests.
 	Delivered uint64
+	// FaultDrops counts packets discarded by injected faults (admin-down,
+	// BER loss, bursts). These losses are silent: no trim, no notification.
+	FaultDrops uint64
 }
 
 // NewWire creates a wire with the given propagation delay, terminating at
@@ -56,11 +67,55 @@ func Attach(eng *sim.Engine, delay units.Time, dst IngressNode) *Wire {
 // Delay returns the propagation delay.
 func (w *Wire) Delay() units.Time { return w.delay }
 
-// Deliver schedules the packet's arrival at the destination.
+// Deliver schedules the packet's arrival at the destination. Packets
+// handed to a faulted wire are lost silently — the transmitter has no way
+// to know, which is exactly what distinguishes wire-level faults from the
+// switch-visible losses DCP turns into trim notifications. Packets already
+// propagating when a fault hits still arrive (the cut happens at the
+// transmitter end).
 func (w *Wire) Deliver(p *packet.Packet) {
+	if w.adminDown {
+		w.FaultDrops++
+		return
+	}
+	if w.burstDrop > 0 {
+		w.burstDrop--
+		w.FaultDrops++
+		return
+	}
+	if w.lossRate > 0 && w.eng.Rand().Float64() < w.lossRate {
+		w.FaultDrops++
+		return
+	}
 	w.Delivered++
 	w.eng.After(w.delay, func() { w.dst.Receive(p, w.ingress) })
 }
+
+// SetAdminDown takes the wire administratively down or up. While down,
+// every packet handed to the wire is silently discarded.
+func (w *Wire) SetAdminDown(down bool) { w.adminDown = down }
+
+// AdminDown reports whether the wire is administratively down.
+func (w *Wire) AdminDown() bool { return w.adminDown }
+
+// SetLossRate sets the wire's instantaneous random loss probability
+// (0 disables). Draws come from the engine's seeded random source, so a
+// given seed reproduces the same losses.
+func (w *Wire) SetLossRate(r float64) { w.lossRate = r }
+
+// LossRate returns the current injected loss probability.
+func (w *Wire) LossRate() float64 { return w.lossRate }
+
+// InjectBurst discards the next n packets handed to the wire — a
+// correlated error burst.
+func (w *Wire) InjectBurst(n int) {
+	if n > 0 {
+		w.burstDrop += n
+	}
+}
+
+// Src returns the port transmitting onto this wire (nil before NewPort).
+func (w *Wire) Src() *Port { return w.src }
 
 // PauseSource asserts or clears PFC pause on the port feeding this wire,
 // after one propagation delay (the time a real PAUSE frame would take to
@@ -92,8 +147,9 @@ type Port struct {
 	wire  *Wire
 	sched Scheduler
 
-	busy       bool
-	dataPaused bool
+	busy        bool
+	dataPaused  bool
+	forcedPause bool // fault injection: held paused regardless of PFC
 
 	// OnDequeue, if set, is invoked when a packet starts transmission
 	// (switches use it to credit buffer accounting).
@@ -129,14 +185,42 @@ func (p *Port) SetRate(r units.Rate) { p.rate = r }
 // DataPaused reports whether PFC pause is asserted.
 func (p *Port) DataPaused() bool { return p.dataPaused }
 
+// ForcedPause reports whether a fault-injected pause is asserted.
+func (p *Port) ForcedPause() bool { return p.forcedPause }
+
+// paused is the effective pause state: PFC pause OR a forced (injected)
+// pause storm.
+func (p *Port) paused() bool { return p.dataPaused || p.forcedPause }
+
 // SetDataPaused asserts or clears PFC pause for data traffic. The packet
 // currently being serialized (if any) completes, as with real PFC.
 func (p *Port) SetDataPaused(on bool) {
 	if p.dataPaused == on {
 		return
 	}
+	was := p.paused()
 	p.dataPaused = on
-	if on {
+	p.pauseEdge(was)
+}
+
+// SetForcedPause asserts or clears a fault-injected pause (a pause storm:
+// the port behaves as if the peer kept it XOFF'd). It ORs with PFC pause.
+func (p *Port) SetForcedPause(on bool) {
+	if p.forcedPause == on {
+		return
+	}
+	was := p.paused()
+	p.forcedPause = on
+	p.pauseEdge(was)
+}
+
+// pauseEdge accounts a transition of the effective pause state.
+func (p *Port) pauseEdge(was bool) {
+	now := p.paused()
+	if was == now {
+		return
+	}
+	if now {
 		p.pausedSince = p.eng.Now()
 	} else {
 		p.PausedTime += p.eng.Now() - p.pausedSince
@@ -149,7 +233,7 @@ func (p *Port) Kick() {
 	if p.busy {
 		return
 	}
-	pkt := p.sched.Next(p.dataPaused)
+	pkt := p.sched.Next(p.paused())
 	if pkt == nil {
 		return
 	}
@@ -203,6 +287,14 @@ func (q *fifoQueue) pop() *packet.Packet {
 func (q *fifoQueue) len() int     { return len(q.pkts) - q.head }
 func (q *fifoQueue) byteLen() int { return q.bytes }
 func (q *fifoQueue) empty() bool  { return q.len() == 0 }
+
+// drainInto appends every queued packet to out and empties the queue.
+func (q *fifoQueue) drainInto(out []*packet.Packet) []*packet.Packet {
+	for !q.empty() {
+		out = append(out, q.pop())
+	}
+	return out
+}
 
 // FIFOScheduler is a single FIFO queue; pause holds everything but
 // control-plane packets at the head (sufficient for host-facing ports in

@@ -16,6 +16,9 @@ type switchScheduler interface {
 	pushCtrl(p *packet.Packet)
 	dataBytes() int
 	ctrlBytes() int
+	// drain removes and returns every queued packet (control first), used
+	// when a port's link dies or the whole switch blacks out.
+	drain() []*packet.Packet
 }
 
 // drrScheduler implements the DCP weighted round-robin as a byte-based
@@ -47,6 +50,11 @@ func (s *drrScheduler) pushCtrl(p *packet.Packet) { s.ctrl.push(p) }
 func (s *drrScheduler) dataBytes() int            { return s.data.byteLen() }
 func (s *drrScheduler) ctrlBytes() int            { return s.ctrl.byteLen() }
 func (s *drrScheduler) Backlog() int              { return s.data.byteLen() + s.ctrl.byteLen() }
+
+func (s *drrScheduler) drain() []*packet.Packet {
+	s.ctrlDef, s.dataDef = 0, 0
+	return s.data.drainInto(s.ctrl.drainInto(nil))
+}
 
 func (s *drrScheduler) Next(dataPaused bool) *packet.Packet {
 	ctrlEmpty := s.ctrl.empty()
@@ -94,6 +102,10 @@ func (s *prioScheduler) pushCtrl(p *packet.Packet) { s.ctrl.push(p) }
 func (s *prioScheduler) dataBytes() int            { return s.data.byteLen() }
 func (s *prioScheduler) ctrlBytes() int            { return s.ctrl.byteLen() }
 func (s *prioScheduler) Backlog() int              { return s.data.byteLen() + s.ctrl.byteLen() }
+
+func (s *prioScheduler) drain() []*packet.Packet {
+	return s.data.drainInto(s.ctrl.drainInto(nil))
+}
 
 func (s *prioScheduler) Next(dataPaused bool) *packet.Packet {
 	if !s.ctrl.empty() {

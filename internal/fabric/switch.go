@@ -107,7 +107,14 @@ type SwitchCounters struct {
 	ECNMarked    int64
 	ForcedLosses int64 // injected by LossRate
 	PauseOn      int64 // PFC pause assertions
-	MaxBufUsed   int
+	// BlackoutDrops counts packets lost to an injected switch blackout:
+	// the buffered packets flushed when the switch goes dark plus every
+	// arrival discarded while it is down.
+	BlackoutDrops int64
+	// LinkDownDrops counts packets flushed from a dead egress that could
+	// not be rescued by trimming (trimmed rescues count as TrimmedPkts).
+	LinkDownDrops int64
+	MaxBufUsed    int
 }
 
 // Egress is one switch output port: the line-rate serializer plus the
@@ -115,7 +122,11 @@ type SwitchCounters struct {
 type Egress struct {
 	Port  *Port
 	sched switchScheduler
+	down  bool // link-down fault: data-plane port status
 }
+
+// LinkDown reports whether the egress link is marked down.
+func (e *Egress) LinkDown() bool { return e.down }
 
 // QueuedDataBytes returns the egress data-queue depth (the signal adaptive
 // routing and trimming use).
@@ -137,7 +148,8 @@ type Switch struct {
 	ingressBytes  []int
 	ingressPaused []bool
 
-	bufUsed int
+	bufUsed  int
+	blackout bool
 
 	// routes[dst] lists candidate egress port indices for destination
 	// host dst. Built by package topo.
@@ -192,6 +204,11 @@ func (s *Switch) NumEgress() int { return len(s.egress) }
 
 // Receive implements Receiver: route, then enqueue at the chosen egress.
 func (s *Switch) Receive(p *packet.Packet, ingress int) {
+	if s.blackout {
+		// A dark switch forwards nothing; arrivals vanish silently.
+		s.Counters.BlackoutDrops++
+		return
+	}
 	s.Counters.RxPackets++
 	p.Hops++
 	out := s.pickEgress(p)
@@ -209,15 +226,41 @@ func (s *Switch) pickEgress(p *packet.Packet) int {
 	if len(cands) == 1 {
 		return cands[0]
 	}
+	// Per-packet policies (adaptive, spray) are data-plane: they see port
+	// status and skip dead links immediately. ECMP is static routing — it
+	// keeps hashing onto a dead port (blackholing) until the link returns,
+	// which is the failure mode the fault experiments measure.
 	switch s.cfg.LB {
 	case LBECMP:
 		h := hash64(p.FlowID ^ uint64(p.PathKey)<<32)
 		return cands[h%uint64(len(cands))]
 	case LBSpray:
-		return cands[s.rng.Intn(len(cands))]
+		up := 0
+		for _, c := range cands {
+			if !s.egress[c].down {
+				up++
+			}
+		}
+		if up == 0 {
+			return cands[s.rng.Intn(len(cands))]
+		}
+		k := s.rng.Intn(up)
+		for _, c := range cands {
+			if s.egress[c].down {
+				continue
+			}
+			if k == 0 {
+				return c
+			}
+			k--
+		}
+		return cands[0] // unreachable
 	default: // LBAdaptive: least queued data bytes, random tie-break
 		best, bestQ, ties := -1, 0, 0
 		for _, c := range cands {
+			if s.egress[c].down {
+				continue
+			}
 			q := s.egress[c].sched.dataBytes()
 			switch {
 			case best < 0 || q < bestQ:
@@ -230,6 +273,11 @@ func (s *Switch) pickEgress(p *packet.Packet) int {
 					best = c
 				}
 			}
+		}
+		if best < 0 {
+			// Every candidate is down: blackhole onto the hash choice.
+			h := hash64(p.FlowID ^ uint64(p.PathKey)<<32)
+			return cands[h%uint64(len(cands))]
 		}
 		return best
 	}
@@ -410,3 +458,87 @@ func (s *Switch) checkPause(i int) {
 
 // BufUsed returns the current shared-buffer occupancy in bytes.
 func (s *Switch) BufUsed() int { return s.bufUsed }
+
+// SetLossRate changes the enforced-loss probability at egress enqueue
+// (time-varying degraded-switch faults). Unlike wire loss this is visible
+// loss: DCP data packets are trimmed into HO notifications.
+func (s *Switch) SetLossRate(r float64) { s.cfg.LossRate = r }
+
+// Blackout reports whether the switch is dark.
+func (s *Switch) Blackout() bool { return s.blackout }
+
+// SetBlackout takes the switch dark (a crash/reboot) or brings it back.
+// Going dark flushes every queued packet — they are gone, exactly as a
+// power-cycled ASIC loses its buffer — and stops asserting PFC pause
+// upstream (a dead switch sends no PAUSE refreshes). While dark, all
+// arriving traffic is discarded. Coming back restores an empty switch;
+// routing tables are static configuration and survive the reboot.
+func (s *Switch) SetBlackout(on bool) {
+	if s.blackout == on {
+		return
+	}
+	s.blackout = on
+	if !on {
+		return
+	}
+	for _, e := range s.egress {
+		for _, p := range e.sched.drain() {
+			s.uncharge(p)
+			s.Counters.BlackoutDrops++
+		}
+	}
+	for i := range s.ingressPaused {
+		if s.ingressPaused[i] {
+			s.ingressPaused[i] = false
+			s.ingress[i].PauseSource(false)
+		}
+	}
+}
+
+// SetEgressLinkDown marks egress i's link down or up. On down the egress
+// queues are flushed the way a real switch flushes a dead port — but a
+// trimming (DCP) switch rescues the queued DCP data packets: it trims them
+// into header-only packets and re-routes them through the surviving ports,
+// so the losses stay visible to senders. Everything else is dropped.
+// Packets mid-flight on the wire itself are the transmitter's problem (see
+// Wire.SetAdminDown). Marking the egress down also steers adaptive routing
+// and spraying away from it; ECMP keeps blackholing (static routes).
+func (s *Switch) SetEgressLinkDown(i int, down bool) {
+	e := s.egress[i]
+	if e.down == down {
+		return
+	}
+	e.down = down
+	if !down {
+		return
+	}
+	for _, p := range e.sched.drain() {
+		s.uncharge(p)
+		if p.Tag == packet.TagData && s.cfg.Trimming && !s.cfg.Lossless {
+			p.Trim()
+			s.Counters.TrimmedPkts++
+			if out := s.pickEgress(p); out >= 0 && out != i && !s.egress[out].down {
+				s.ctrlEnqueue(s.egress[out], p, int(p.BufIngress))
+				continue
+			}
+			s.Counters.DroppedHO++
+			continue
+		}
+		s.Counters.LinkDownDrops++
+	}
+	if s.cfg.Lossless {
+		// Flushing freed per-ingress buffer credit; release stale pauses.
+		for in := range s.ingressBytes {
+			s.checkPause(in)
+		}
+	}
+}
+
+// uncharge reverses charge for a packet flushed from a queue (it will
+// never reach onDequeue).
+func (s *Switch) uncharge(p *packet.Packet) {
+	s.bufUsed -= p.Size
+	if in := int(p.BufIngress); in >= 0 && in < len(s.ingressBytes) {
+		s.ingressBytes[in] -= p.Size
+	}
+}

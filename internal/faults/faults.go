@@ -1,0 +1,356 @@
+// Package faults is the deterministic fault-injection subsystem: a Plan is
+// a seeded schedule of typed fault events — link flaps, time-varying link
+// BER, correlated loss bursts, degraded (lossy) switches, PFC pause storms
+// and whole-switch blackouts — executed against the hooks the fabric
+// exposes (Wire admin-down/loss, Port forced pause, Switch blackout and
+// egress link-down). Plans are pure data built before the simulation runs;
+// every stochastic choice (burst placement) comes from the plan's own
+// seeded source, so a given seed reproduces the same fault timeline
+// bit-for-bit. topo.Network.Inject wires a Plan onto a built network.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dcpsim/internal/fabric"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/units"
+)
+
+// Kind is the type of one fault event.
+type Kind int
+
+// Fault event kinds.
+const (
+	// LinkDown takes every wire of the named link admin-down and marks the
+	// transmitting switch egresses down (flushing their queues; a trimming
+	// switch rescues queued DCP data as HO notifications).
+	LinkDown Kind = iota
+	// LinkUp reverses LinkDown.
+	LinkUp
+	// LinkLoss sets the named link's wire loss probability to Rate —
+	// silent BER-style loss, invisible to switches.
+	LinkLoss
+	// LinkBurst discards the next Count packets on each wire of the link.
+	LinkBurst
+	// SwitchLoss sets switch Switch's enforced loss rate to Rate — visible
+	// loss: a trimming switch converts the victims into HO notifications.
+	SwitchLoss
+	// PauseOn forces PFC pause on the ports feeding the named link (a
+	// pause storm: the ports act as if the peer keeps them XOFF'd).
+	PauseOn
+	// PauseOff releases a forced pause.
+	PauseOff
+	// SwitchDown blacks out switch Switch: its buffer is flushed and all
+	// traffic through it vanishes until SwitchUp.
+	SwitchDown
+	// SwitchUp reboots a blacked-out switch (empty buffers, same routes).
+	SwitchUp
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case LinkLoss:
+		return "link-loss"
+	case LinkBurst:
+		return "link-burst"
+	case SwitchLoss:
+		return "switch-loss"
+	case PauseOn:
+		return "pause-on"
+	case PauseOff:
+		return "pause-off"
+	case SwitchDown:
+		return "switch-down"
+	case SwitchUp:
+		return "switch-up"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At   units.Time
+	Kind Kind
+	// Link names the target link (topo assigns names like "cross0",
+	// "host3", "leaf1-spine2") for link-scoped kinds.
+	Link string
+	// Switch indexes Targets.Switches for switch-scoped kinds.
+	Switch int
+	// Rate is the loss probability for LinkLoss / SwitchLoss.
+	Rate float64
+	// Count is the burst length in packets for LinkBurst.
+	Count int
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case SwitchLoss, SwitchDown, SwitchUp:
+		return fmt.Sprintf("%v %s sw=%d rate=%g", e.At, e.Kind, e.Switch, e.Rate)
+	default:
+		return fmt.Sprintf("%v %s link=%s rate=%g count=%d", e.At, e.Kind, e.Link, e.Rate, e.Count)
+	}
+}
+
+// Plan is a seeded schedule of fault events.
+type Plan struct {
+	seed   int64
+	rng    *rand.Rand
+	events []Event
+}
+
+// NewPlan returns an empty plan. All randomness the builder methods use
+// (burst placement) derives from seed, so the same seed always yields the
+// same event list.
+func NewPlan(seed int64) *Plan {
+	return &Plan{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// Add appends one event and returns the plan for chaining.
+func (p *Plan) Add(e Event) *Plan {
+	p.events = append(p.events, e)
+	return p
+}
+
+// Events returns the schedule sorted by time (ties keep insertion order).
+func (p *Plan) Events() []Event {
+	out := append([]Event(nil), p.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Horizon returns the time of the last event (0 for an empty plan).
+func (p *Plan) Horizon() units.Time {
+	var h units.Time
+	for _, e := range p.events {
+		if e.At > h {
+			h = e.At
+		}
+	}
+	return h
+}
+
+// LinkDownFor schedules one down/up cycle on link: down at `at`, back up
+// after dur.
+func (p *Plan) LinkDownFor(link string, at, dur units.Time) *Plan {
+	p.Add(Event{At: at, Kind: LinkDown, Link: link})
+	p.Add(Event{At: at + dur, Kind: LinkUp, Link: link})
+	return p
+}
+
+// LinkFlap schedules count down/up cycles starting at start: each period
+// the link spends duty×period down, then comes back up.
+func (p *Plan) LinkFlap(link string, start, period units.Time, duty float64, count int) *Plan {
+	if duty <= 0 || duty > 1 {
+		duty = 0.5
+	}
+	down := units.Time(float64(period) * duty)
+	for i := 0; i < count; i++ {
+		p.LinkDownFor(link, start+units.Time(i)*period, down)
+	}
+	return p
+}
+
+// LossRamp schedules a triangular BER ramp on link: the wire loss rate
+// climbs from 0 to peak over the first half of dur in `steps` increments,
+// then back down, ending at 0.
+func (p *Plan) LossRamp(link string, start, dur units.Time, peak float64, steps int) *Plan {
+	if steps < 2 {
+		steps = 2
+	}
+	half := steps / 2
+	for i := 0; i <= steps; i++ {
+		at := start + dur*units.Time(i)/units.Time(steps)
+		var r float64
+		if i <= half {
+			r = peak * float64(i) / float64(half)
+		} else {
+			r = peak * float64(steps-i) / float64(steps-half)
+		}
+		p.Add(Event{At: at, Kind: LinkLoss, Link: link, Rate: r})
+	}
+	return p
+}
+
+// SwitchLossRamp is LossRamp's visible-loss twin: it ramps a switch's
+// enforced loss rate (trimming switches turn the victims into HO packets).
+func (p *Plan) SwitchLossRamp(sw int, start, dur units.Time, peak float64, steps int) *Plan {
+	if steps < 2 {
+		steps = 2
+	}
+	half := steps / 2
+	for i := 0; i <= steps; i++ {
+		at := start + dur*units.Time(i)/units.Time(steps)
+		var r float64
+		if i <= half {
+			r = peak * float64(i) / float64(half)
+		} else {
+			r = peak * float64(steps-i) / float64(steps-half)
+		}
+		p.Add(Event{At: at, Kind: SwitchLoss, Switch: sw, Rate: r})
+	}
+	return p
+}
+
+// LossBursts schedules n correlated drop bursts on link at plan-seeded
+// random times within [start, start+dur), each discarding between minPkts
+// and maxPkts consecutive packets.
+func (p *Plan) LossBursts(link string, start, dur units.Time, n, minPkts, maxPkts int) *Plan {
+	if maxPkts < minPkts {
+		maxPkts = minPkts
+	}
+	for i := 0; i < n; i++ {
+		at := start + units.Time(p.rng.Int63n(int64(dur)))
+		count := minPkts
+		if maxPkts > minPkts {
+			count += p.rng.Intn(maxPkts - minPkts + 1)
+		}
+		p.Add(Event{At: at, Kind: LinkBurst, Link: link, Count: count})
+	}
+	return p
+}
+
+// Blackout schedules a switch crash at `at` with reboot after dur.
+func (p *Plan) Blackout(sw int, at, dur units.Time) *Plan {
+	p.Add(Event{At: at, Kind: SwitchDown, Switch: sw})
+	p.Add(Event{At: at + dur, Kind: SwitchUp, Switch: sw})
+	return p
+}
+
+// PauseStorm schedules a forced-pause storm on link: from start, each
+// period the feeding ports spend duty×period XOFF'd, for dur total. A duty
+// of 1 holds the pause continuously for the whole storm.
+func (p *Plan) PauseStorm(link string, start, dur, period units.Time, duty float64) *Plan {
+	if duty >= 1 || period <= 0 || period > dur {
+		p.Add(Event{At: start, Kind: PauseOn, Link: link})
+		p.Add(Event{At: start + dur, Kind: PauseOff, Link: link})
+		return p
+	}
+	if duty <= 0 {
+		duty = 0.5
+	}
+	on := units.Time(float64(period) * duty)
+	for t := units.Time(0); t < dur; t += period {
+		off := t + on
+		if off > dur {
+			off = dur
+		}
+		p.Add(Event{At: start + t, Kind: PauseOn, Link: link})
+		p.Add(Event{At: start + off, Kind: PauseOff, Link: link})
+	}
+	return p
+}
+
+// LinkEnd is one directional endpoint of a named link: the wire carrying
+// packets away from this end plus, when a switch transmits onto it, the
+// owning switch and egress index (so link-down can flush the port).
+type LinkEnd struct {
+	Wire   *fabric.Wire
+	Switch *fabric.Switch // nil when a host NIC transmits onto the wire
+	Egress int            // egress index on Switch; -1 when Switch is nil
+}
+
+// Targets names the injectable elements of a built network. Package topo
+// fills it in while building topologies.
+type Targets struct {
+	// Links maps a link name to its directional ends (two for a normal
+	// bidirectional link).
+	Links map[string][]LinkEnd
+	// Switches lists the switches addressable by Event.Switch.
+	Switches []*fabric.Switch
+}
+
+// Injector is a plan bound to a network, with its events scheduled on the
+// engine.
+type Injector struct {
+	tgt Targets
+
+	// Fired counts fault events applied so far.
+	Fired int
+}
+
+// Inject validates the plan against the targets and schedules every event
+// on the engine. It must be called before the simulation clock passes the
+// plan's first event.
+func Inject(eng *sim.Engine, p *Plan, tgt Targets) (*Injector, error) {
+	in := &Injector{tgt: tgt}
+	for _, ev := range p.Events() {
+		ev := ev
+		switch ev.Kind {
+		case SwitchLoss, SwitchDown, SwitchUp:
+			if ev.Switch < 0 || ev.Switch >= len(tgt.Switches) {
+				return nil, fmt.Errorf("faults: event %v: switch %d out of range (have %d)", ev, ev.Switch, len(tgt.Switches))
+			}
+		default:
+			if len(tgt.Links[ev.Link]) == 0 {
+				return nil, fmt.Errorf("faults: event %v: unknown link %q", ev, ev.Link)
+			}
+		}
+		if ev.At < eng.Now() {
+			return nil, fmt.Errorf("faults: event %v is in the past (now %v)", ev, eng.Now())
+		}
+		eng.At(ev.At, func() { in.apply(ev) })
+	}
+	return in, nil
+}
+
+func (in *Injector) apply(ev Event) {
+	in.Fired++
+	switch ev.Kind {
+	case LinkDown, LinkUp:
+		down := ev.Kind == LinkDown
+		for _, end := range in.tgt.Links[ev.Link] {
+			end.Wire.SetAdminDown(down)
+			if end.Switch != nil {
+				end.Switch.SetEgressLinkDown(end.Egress, down)
+			}
+		}
+	case LinkLoss:
+		for _, end := range in.tgt.Links[ev.Link] {
+			end.Wire.SetLossRate(ev.Rate)
+		}
+	case LinkBurst:
+		for _, end := range in.tgt.Links[ev.Link] {
+			end.Wire.InjectBurst(ev.Count)
+		}
+	case SwitchLoss:
+		in.tgt.Switches[ev.Switch].SetLossRate(ev.Rate)
+	case PauseOn, PauseOff:
+		on := ev.Kind == PauseOn
+		for _, end := range in.tgt.Links[ev.Link] {
+			if src := end.Wire.Src(); src != nil {
+				src.SetForcedPause(on)
+			}
+		}
+	case SwitchDown:
+		in.tgt.Switches[ev.Switch].SetBlackout(true)
+	case SwitchUp:
+		in.tgt.Switches[ev.Switch].SetBlackout(false)
+	}
+}
+
+// WireFaultDrops sums the silent wire-level drops across every targeted
+// link (admin-down, BER loss and bursts).
+func (in *Injector) WireFaultDrops() uint64 {
+	var n uint64
+	seen := map[*fabric.Wire]bool{}
+	for _, ends := range in.tgt.Links {
+		for _, end := range ends {
+			if !seen[end.Wire] {
+				seen[end.Wire] = true
+				n += end.Wire.FaultDrops
+			}
+		}
+	}
+	return n
+}

@@ -36,6 +36,11 @@ type NIC struct {
 
 	// RxPackets counts packets delivered to the transport.
 	RxPackets int64
+	// DeliveredBytes accumulates data payload arriving at this NIC.
+	// Duplicate deliveries count twice — it is a raw wire-side observation
+	// (the goodput-trace signal fault experiments sample), not exactly-once
+	// application goodput.
+	DeliveredBytes int64
 }
 
 // New creates a NIC for host id with the given line rate.
@@ -82,6 +87,9 @@ func (n *NIC) AddIngress(w *fabric.Wire) int { return 0 }
 // Receive implements fabric.Receiver.
 func (n *NIC) Receive(p *packet.Packet, _ int) {
 	n.RxPackets++
+	if p.Kind == packet.KindData {
+		n.DeliveredBytes += int64(p.PayloadBytes)
+	}
 	if n.tr != nil {
 		n.tr.Handle(p)
 	}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"dcpsim/internal/units"
+)
+
+// GoodputTrace is a fixed-bin time series of delivered bytes, sampled from a
+// cumulative counter (e.g. nic.DeliveredBytes). Fault experiments use it to
+// measure blackout duration and time-to-recover around an injected fault.
+type GoodputTrace struct {
+	bin  units.Time
+	last int64
+	bins []int64
+}
+
+// NewGoodputTrace returns a trace with the given bin width.
+func NewGoodputTrace(bin units.Time) *GoodputTrace {
+	return &GoodputTrace{bin: bin}
+}
+
+// Bin returns the bin width.
+func (g *GoodputTrace) Bin() units.Time { return g.bin }
+
+// Sample closes the current bin with the delta since the previous sample of
+// the cumulative counter. Call it once per bin boundary.
+func (g *GoodputTrace) Sample(cum int64) {
+	g.bins = append(g.bins, cum-g.last)
+	g.last = cum
+}
+
+// NumBins returns the number of closed bins.
+func (g *GoodputTrace) NumBins() int { return len(g.bins) }
+
+// LastActiveBin returns one past the last bin with any delivery (0 if the
+// trace never delivered). Bins beyond it are post-completion idle time.
+func (g *GoodputTrace) LastActiveBin() int {
+	for i := len(g.bins) - 1; i >= 0; i-- {
+		if g.bins[i] > 0 {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Rate returns bin i's goodput in Gbps.
+func (g *GoodputTrace) Rate(i int) float64 {
+	if i < 0 || i >= len(g.bins) || g.bin <= 0 {
+		return 0
+	}
+	return Goodput(g.bins[i], g.bin)
+}
+
+// MeanRate returns the mean goodput in Gbps over bins [from, to).
+func (g *GoodputTrace) MeanRate(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(g.bins) {
+		to = len(g.bins)
+	}
+	if to <= from || g.bin <= 0 {
+		return 0
+	}
+	var sum int64
+	for _, b := range g.bins[from:to] {
+		sum += b
+	}
+	return Goodput(sum, g.bin*units.Time(to-from))
+}
+
+// RecoveryReport summarizes how a goodput trace behaved around a fault.
+type RecoveryReport struct {
+	// PreGbps is the mean goodput over the bins fully before the fault.
+	PreGbps float64
+	// BlackoutDur is the contiguous span from fault onset during which
+	// goodput stayed below lowFrac of PreGbps (0 if the first post-fault
+	// bin already cleared it).
+	BlackoutDur units.Time
+	// RecoverDur is the time from fault onset until goodput first reached
+	// highFrac of PreGbps again (time-to-recover).
+	RecoverDur units.Time
+	// Recovered reports whether the highFrac threshold was reached before
+	// the trace ended.
+	Recovered bool
+	// MinGbps is the lowest per-bin goodput observed after the fault (up to
+	// the flow's last active bin).
+	MinGbps float64
+}
+
+// Recovery measures the fault response of the trace: the blackout below
+// lowFrac×pre-fault goodput starting at the fault, and the time to climb
+// back to highFrac×pre. Trailing zero bins after the flow finished are not
+// counted as blackout, so this variant is for flows that completed.
+func (g *GoodputTrace) Recovery(faultAt units.Time, lowFrac, highFrac float64) RecoveryReport {
+	return g.recovery(faultAt, lowFrac, highFrac, g.LastActiveBin())
+}
+
+// RecoveryUnfinished is Recovery for a flow still incomplete when sampling
+// stopped: trailing silence is starvation, so the whole trace counts.
+func (g *GoodputTrace) RecoveryUnfinished(faultAt units.Time, lowFrac, highFrac float64) RecoveryReport {
+	return g.recovery(faultAt, lowFrac, highFrac, g.NumBins())
+}
+
+func (g *GoodputTrace) recovery(faultAt units.Time, lowFrac, highFrac float64, end int) RecoveryReport {
+	var rep RecoveryReport
+	if g.bin <= 0 || len(g.bins) == 0 {
+		return rep
+	}
+	// Bins [0, preEnd) lie fully before the fault.
+	preEnd := int(faultAt / g.bin)
+	if preEnd > len(g.bins) {
+		preEnd = len(g.bins)
+	}
+	rep.PreGbps = g.MeanRate(0, preEnd)
+	// first full bin after the fault onset
+	start := preEnd
+	if units.Time(start)*g.bin < faultAt {
+		start++
+	}
+	if start >= end {
+		// The flow finished before the fault hit; nothing to black out.
+		rep.Recovered = true
+		return rep
+	}
+	low := lowFrac * rep.PreGbps
+	high := highFrac * rep.PreGbps
+	rep.MinGbps = g.Rate(start)
+	blackoutEnd := start
+	inBlackout := true
+	for i := start; i < end; i++ {
+		r := g.Rate(i)
+		if r < rep.MinGbps {
+			rep.MinGbps = r
+		}
+		if inBlackout {
+			if r < low {
+				blackoutEnd = i + 1
+			} else {
+				inBlackout = false
+			}
+		}
+		if !rep.Recovered && r >= high {
+			rep.Recovered = true
+			rep.RecoverDur = units.Time(i+1)*g.bin - faultAt
+		}
+	}
+	rep.BlackoutDur = units.Time(blackoutEnd)*g.bin - faultAt
+	if rep.BlackoutDur < 0 {
+		rep.BlackoutDur = 0
+	}
+	if !rep.Recovered {
+		rep.RecoverDur = units.Time(end)*g.bin - faultAt
+	}
+	return rep
+}
+
+// VictimFlows counts flows visibly harmed by a fault: those that hit a
+// retransmission timeout or never finished.
+func VictimFlows(flows []*FlowRecord) int {
+	n := 0
+	for _, f := range flows {
+		if f.Timeouts > 0 || !f.Done {
+			n++
+		}
+	}
+	return n
+}

@@ -6,7 +6,10 @@
 package topo
 
 import (
+	"fmt"
+
 	"dcpsim/internal/fabric"
+	"dcpsim/internal/faults"
 	"dcpsim/internal/nic"
 	"dcpsim/internal/packet"
 	"dcpsim/internal/sim"
@@ -27,6 +30,37 @@ type Network struct {
 	HostRate units.Rate
 
 	Transports []base.Transport
+
+	// links names every physical link for fault injection: "host<i>" for
+	// host attachments, "cross<i>" for dumbbell cross links,
+	// "leaf<l>-spine<s>" for CLOS fabric links, "pair" for a direct pair.
+	links     map[string][]faults.LinkEnd
+	linkOrder []string
+}
+
+// addLink registers a named link's directional ends.
+func (n *Network) addLink(name string, ends ...faults.LinkEnd) {
+	if n.links == nil {
+		n.links = make(map[string][]faults.LinkEnd)
+	}
+	if _, ok := n.links[name]; !ok {
+		n.linkOrder = append(n.linkOrder, name)
+	}
+	n.links[name] = append(n.links[name], ends...)
+}
+
+// LinkNames lists the injectable link names in construction order.
+func (n *Network) LinkNames() []string {
+	return append([]string(nil), n.linkOrder...)
+}
+
+// LinkEnds returns the directional ends of a named link (nil if unknown).
+func (n *Network) LinkEnds(name string) []faults.LinkEnd { return n.links[name] }
+
+// Inject validates a fault plan against this network and schedules its
+// events on the engine.
+func (n *Network) Inject(p *faults.Plan) (*faults.Injector, error) {
+	return faults.Inject(n.Eng, p, faults.Targets{Links: n.links, Switches: n.Switches})
 }
 
 // Install builds one transport endpoint per host.
@@ -69,6 +103,8 @@ func (n *Network) Counters() fabric.SwitchCounters {
 		c.ECNMarked += sc.ECNMarked
 		c.ForcedLosses += sc.ForcedLosses
 		c.PauseOn += sc.PauseOn
+		c.BlackoutDrops += sc.BlackoutDrops
+		c.LinkDownDrops += sc.LinkDownDrops
 		if sc.MaxBufUsed > c.MaxBufUsed {
 			c.MaxBufUsed = sc.MaxBufUsed
 		}
@@ -94,10 +130,16 @@ func pfcThresholds(cfg *fabric.SwitchConfig, nPorts int, rate units.Rate, maxDel
 func Direct(eng *sim.Engine, rate units.Rate, delay units.Time) *Network {
 	a := nic.New(eng, 0, rate)
 	b := nic.New(eng, 1, rate)
-	a.SetUplink(fabric.Attach(eng, delay, b))
-	b.SetUplink(fabric.Attach(eng, delay, a))
+	wab := fabric.Attach(eng, delay, b)
+	wba := fabric.Attach(eng, delay, a)
+	a.SetUplink(wab)
+	b.SetUplink(wba)
 	rtt := 2*delay + 2*units.TxTime(packet.DefaultMTU+100, rate)
-	return &Network{Eng: eng, Hosts: []*nic.NIC{a, b}, BaseRTT: rtt, HostRate: rate}
+	net := &Network{Eng: eng, Hosts: []*nic.NIC{a, b}, BaseRTT: rtt, HostRate: rate}
+	net.addLink("pair",
+		faults.LinkEnd{Wire: wab, Egress: -1},
+		faults.LinkEnd{Wire: wba, Egress: -1})
+	return net
 }
 
 // DumbbellConfig parameterizes the 2-switch testbed topology of Fig. 9.
@@ -149,6 +191,9 @@ func Dumbbell(eng *sim.Engine, cfg DumbbellConfig) *Network {
 	s2 := fabric.NewSwitch(eng, packet.NodeID(total+1), swCfg)
 	sws := []*fabric.Switch{s1, s2}
 
+	rtt := 2*(2*cfg.HostDelay+maxCross) + 6*units.TxTime(packet.DefaultMTU+100, cfg.HostRate)
+	net := &Network{Eng: eng, Hosts: hosts, Switches: sws, BaseRTT: rtt, HostRate: cfg.HostRate}
+
 	routes1 := make([][]int, total)
 	routes2 := make([][]int, total)
 	for side, sw := range sws {
@@ -161,9 +206,14 @@ func Dumbbell(eng *sim.Engine, cfg DumbbellConfig) *Network {
 		for i := 0; i < h; i++ {
 			hostIdx := side*h + i
 			n := hosts[hostIdx]
-			n.SetUplink(fabric.Attach(eng, cfg.HostDelay, sw))
-			down := sw.AddEgress(cfg.HostRate, fabric.Attach(eng, cfg.HostDelay, n))
+			up := fabric.Attach(eng, cfg.HostDelay, sw)
+			n.SetUplink(up)
+			dw := fabric.Attach(eng, cfg.HostDelay, n)
+			down := sw.AddEgress(cfg.HostRate, dw)
 			routes[hostIdx] = []int{down}
+			net.addLink(fmt.Sprintf("host%d", hostIdx),
+				faults.LinkEnd{Wire: up, Egress: -1},
+				faults.LinkEnd{Wire: dw, Switch: sw, Egress: down})
 		}
 		// Cross links toward the other switch.
 		for i := 0; i < cfg.CrossLinks; i++ {
@@ -175,7 +225,10 @@ func Dumbbell(eng *sim.Engine, cfg DumbbellConfig) *Network {
 			if i < len(cfg.CrossDelays) && cfg.CrossDelays[i] > 0 {
 				delay = cfg.CrossDelays[i]
 			}
-			up := sw.AddEgress(rate, fabric.Attach(eng, delay, other))
+			cw := fabric.Attach(eng, delay, other)
+			up := sw.AddEgress(rate, cw)
+			net.addLink(fmt.Sprintf("cross%d", i),
+				faults.LinkEnd{Wire: cw, Switch: sw, Egress: up})
 			for hostIdx := (1 - side) * h; hostIdx < (2-side)*h; hostIdx++ {
 				routes[hostIdx] = append(routes[hostIdx], up)
 			}
@@ -183,9 +236,7 @@ func Dumbbell(eng *sim.Engine, cfg DumbbellConfig) *Network {
 	}
 	s1.SetRoutes(routes1)
 	s2.SetRoutes(routes2)
-
-	rtt := 2*(2*cfg.HostDelay+maxCross) + 6*units.TxTime(packet.DefaultMTU+100, cfg.HostRate)
-	return &Network{Eng: eng, Hosts: hosts, Switches: sws, BaseRTT: rtt, HostRate: cfg.HostRate}
+	return net
 }
 
 // ClosConfig parameterizes the two-layer CLOS of §6.2.
@@ -248,18 +299,32 @@ func Clos(eng *sim.Engine, cfg ClosConfig) *Network {
 		spineRoutes[s] = make([][]int, nHosts)
 	}
 
+	sws := append(append([]*fabric.Switch{}, leaves...), spines...)
+	rtt := 2*(2*cfg.HostDelay+2*cfg.SpineDelay) + 8*units.TxTime(packet.DefaultMTU+100, cfg.HostRate)
+	net := &Network{Eng: eng, Hosts: hosts, Switches: sws, BaseRTT: rtt, HostRate: cfg.HostRate}
+
 	// Host <-> leaf links.
 	for i, h := range hosts {
 		l := i / cfg.HostsPerLeaf
-		h.SetUplink(fabric.Attach(eng, cfg.HostDelay, leaves[l]))
-		down := leaves[l].AddEgress(cfg.HostRate, fabric.Attach(eng, cfg.HostDelay, h))
+		uw := fabric.Attach(eng, cfg.HostDelay, leaves[l])
+		h.SetUplink(uw)
+		dw := fabric.Attach(eng, cfg.HostDelay, h)
+		down := leaves[l].AddEgress(cfg.HostRate, dw)
 		leafRoutes[l][i] = []int{down}
+		net.addLink(fmt.Sprintf("host%d", i),
+			faults.LinkEnd{Wire: uw, Egress: -1},
+			faults.LinkEnd{Wire: dw, Switch: leaves[l], Egress: down})
 	}
 	// Leaf <-> spine links (full bipartite).
 	for l, leaf := range leaves {
 		for s, spine := range spines {
-			up := leaf.AddEgress(cfg.LinkRate, fabric.Attach(eng, cfg.SpineDelay, spine))
-			down := spine.AddEgress(cfg.LinkRate, fabric.Attach(eng, cfg.SpineDelay, leaf))
+			uw := fabric.Attach(eng, cfg.SpineDelay, spine)
+			dw := fabric.Attach(eng, cfg.SpineDelay, leaf)
+			up := leaf.AddEgress(cfg.LinkRate, uw)
+			down := spine.AddEgress(cfg.LinkRate, dw)
+			net.addLink(fmt.Sprintf("leaf%d-spine%d", l, s),
+				faults.LinkEnd{Wire: uw, Switch: leaf, Egress: up},
+				faults.LinkEnd{Wire: dw, Switch: spine, Egress: down})
 			// Every spine reaches hosts under leaf l through this down port.
 			for i := l * cfg.HostsPerLeaf; i < (l+1)*cfg.HostsPerLeaf; i++ {
 				spineRoutes[s][i] = []int{down}
@@ -278,8 +343,5 @@ func Clos(eng *sim.Engine, cfg ClosConfig) *Network {
 	for s, spine := range spines {
 		spine.SetRoutes(spineRoutes[s])
 	}
-
-	sws := append(append([]*fabric.Switch{}, leaves...), spines...)
-	rtt := 2*(2*cfg.HostDelay+2*cfg.SpineDelay) + 8*units.TxTime(packet.DefaultMTU+100, cfg.HostRate)
-	return &Network{Eng: eng, Hosts: hosts, Switches: sws, BaseRTT: rtt, HostRate: cfg.HostRate}
+	return net
 }

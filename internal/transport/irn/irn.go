@@ -175,7 +175,11 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 	if qp.inRecovery {
 		if psn, ok := qp.nextLost(); ok {
 			size := qp.payloadAt(psn)
-			ok2, at := qp.ctl.CanSend(now, qp.inflightBytes(), size)
+			// BDP-FC caps the un-acked span; a retransmission stays inside
+			// that span, so only rate pacing applies (inflight 0). Charging
+			// the window here deadlocks after a whole-window loss (link
+			// flap): no ACK ever arrives to reopen it.
+			ok2, at := qp.ctl.CanSend(now, 0, size)
 			if !ok2 {
 				return nil, at
 			}
