@@ -1,0 +1,65 @@
+// Command dcplint is the repository's multichecker: it runs the four
+// dcpsim analyzers (detcheck, unitcheck, seqcheck, aliascheck — see
+// internal/lint) over the given package patterns and exits non-zero when
+// any finding survives the //lint:allow directives.
+//
+// Usage:
+//
+//	go run ./cmd/dcplint ./...
+//
+// It is a required CI step; the tree must stay clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcpsim/internal/lint"
+	"dcpsim/internal/lint/aliascheck"
+	"dcpsim/internal/lint/detcheck"
+	"dcpsim/internal/lint/seqcheck"
+	"dcpsim/internal/lint/unitcheck"
+)
+
+func analyzers() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		detcheck.Analyzer,
+		unitcheck.Analyzer,
+		seqcheck.Analyzer,
+		aliascheck.Analyzer,
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ld := lint.NewLoader()
+	pkgs, err := ld.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcplint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcplint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dcplint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

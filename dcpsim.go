@@ -429,7 +429,7 @@ func (c *Cluster) runCollective(kind string, members []int, totalBytes int64) Co
 	c.sim.RunCoflow(cf, start, func(at units.Time) { jct = at - start })
 	c.sim.Run(0)
 	return CollectiveResult{
-		JCTMillis: float64(jct) / float64(units.Millisecond),
+		JCTMillis: jct.Millis(),
 		Flows:     cf.NumFlows(),
 	}
 }

@@ -222,6 +222,33 @@ func TestFaultPlanFacade(t *testing.T) {
 	}
 }
 
+func TestFaultPlanDeterministic(t *testing.T) {
+	// Two identically-seeded runs of the same fault plan must agree
+	// bit-for-bit on every observable statistic — the repository's core
+	// determinism contract, here exercised end-to-end through the facade
+	// with both scheduled (flap) and stochastic (burst) fault events.
+	run := func() (float64, float64, int64, int64) {
+		c := NewCluster(ClusterSpec{Topology: Dumbbell, Hosts: 2, Transport: DCP, LossRate: 0.01, Seed: 7})
+		fp := NewFaultPlan(7).
+			LinkFlap("cross0", 20_000, 40_000, 0.5, 3).
+			LossBursts("cross0", 10_000, 200_000, 4, 2, 6)
+		if err := c.Inject(fp); err != nil {
+			t.Fatal(err)
+		}
+		h := c.Send(0, 1, 4<<20)
+		if left := c.Run(); left != 0 {
+			t.Fatalf("%d flows unfinished", left)
+		}
+		return h.FCTMicros(), h.Goodput(), h.Retransmissions(), h.Timeouts()
+	}
+	f1, g1, r1, to1 := run()
+	f2, g2, r2, to2 := run()
+	if f1 != f2 || g1 != g2 || r1 != r2 || to1 != to2 {
+		t.Fatalf("same seed diverged: (%v µs, %v, %d retrans, %d timeouts) vs (%v µs, %v, %d, %d)",
+			f1, g1, r1, to1, f2, g2, r2, to2)
+	}
+}
+
 func TestRunWebSearchFacade(t *testing.T) {
 	res := RunWebSearch(WebSearchSpec{Transport: DCP, Flows: 50, Load: 0.2, Seed: 5})
 	if res.Unfinished != 0 {

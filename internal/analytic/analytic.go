@@ -41,7 +41,7 @@ const fiberDelayPerKm = 5 * units.Microsecond
 // BufferPer100G returns the buffer available per port per 100 Gbps in
 // bytes.
 func (a ASIC) BufferPer100G() float64 {
-	units100G := float64(a.Ports) * float64(a.PortRate) / float64(100*units.Gbps)
+	units100G := float64(a.Ports) * a.PortRate.Gigabits() / 100
 	return float64(a.BufferBytes) / units100G
 }
 

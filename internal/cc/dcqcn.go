@@ -107,7 +107,7 @@ func (d *DCQCN) OnCongestion(now units.Time) {
 		return
 	}
 	d.rt = d.rc
-	d.rc = units.Rate(float64(d.rc) * (1 - d.alpha/2))
+	d.rc = units.ScaleRate(d.rc, 1-d.alpha/2)
 	if d.rc < d.cfg.MinRate {
 		d.rc = d.cfg.MinRate
 	}

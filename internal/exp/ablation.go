@@ -82,8 +82,8 @@ func AblationTracking(cfg Config) []*stats.Table {
 		bm.Tweak = func(e *envT) { e.DCP.ReceiverBitmap = true }
 		_, rec2 := runSingleFlow(cfg, bm, size, onePathNet(bm, lr))
 		t.AddRow(fmt.Sprintf("%.1f%%", lr*100),
-			float64(rec1.FCT())/float64(units.Millisecond),
-			float64(rec2.FCT())/float64(units.Millisecond))
+			rec1.FCT().Millis(),
+			rec2.FCT().Millis())
 	}
 	return []*stats.Table{t}
 }
@@ -163,8 +163,8 @@ func AblationBackToSender(cfg Config) []*stats.Table {
 		}
 		b2sGp, b2sRec := runSingleFlow(cfg, b2s, size, b2sNet)
 		t.AddRow(fmt.Sprintf("%.0f%%", lr*100), viaGp, b2sGp,
-			float64(viaRec.FCT())/float64(units.Millisecond),
-			float64(b2sRec.FCT())/float64(units.Millisecond))
+			viaRec.FCT().Millis(),
+			b2sRec.FCT().Millis())
 	}
 	return []*stats.Table{t}
 }

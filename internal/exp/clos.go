@@ -276,10 +276,10 @@ func Fig14(cfg Config) []*stats.Table {
 			s.Run(30 * units.Second)
 			var fcts []float64
 			for _, f := range s.Col.FinishedFlows("coll") {
-				fcts = append(fcts, float64(f.FCT())/float64(units.Millisecond))
+				fcts = append(fcts, f.FCT().Millis())
 			}
 			for g := 0; g < groups; g++ {
-				rows[g] = append(rows[g], float64(done[g])/float64(units.Millisecond))
+				rows[g] = append(rows[g], done[g].Millis())
 			}
 			cdfT.AddRow(sch.Name,
 				stats.Percentile(fcts, 25), stats.Percentile(fcts, 50),
@@ -289,7 +289,7 @@ func Fig14(cfg Config) []*stats.Table {
 		jct.Columns = append(jct.Columns, "Ideal")
 		ideal := idealJCT(coll, total, members, 100*units.Gbps)
 		for g := 0; g < groups; g++ {
-			rows[g] = append(rows[g], float64(ideal)/float64(units.Millisecond))
+			rows[g] = append(rows[g], ideal.Millis())
 			jct.AddRow(rows[g]...)
 		}
 		tables = append(tables, jct, cdfT)
@@ -303,9 +303,11 @@ func idealJCT(coll string, total int64, members int, rate units.Rate) units.Time
 	wire := slice + int64(pktsFor(slice))*(packet.DataHeaderSize+packet.RETHSize)
 	per := units.TxTime(int(wire), rate)
 	if coll == "AllReduce" {
+		//lint:allow unitcheck packet-count scalar times per-packet duration, exact in integer arithmetic
 		return units.Time(2*(members-1)) * per
 	}
 	// AllToAll: every host sends (members-1) slices out of one NIC.
+	//lint:allow unitcheck packet-count scalar times per-packet duration, exact in integer arithmetic
 	return units.Time(members-1) * per
 }
 

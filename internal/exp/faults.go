@@ -142,7 +142,7 @@ func worstRecovery(r *faultRun, faultAt, faultEnd units.Time) (pre float64, blac
 		}
 		// Post-fault goodput relative to this flow's own pre-fault rate,
 		// over the bins between fault end and the flow's last delivery.
-		from := int(faultEnd/tr.Bin()) + 1
+		from := int(faultEnd.Picos()/tr.Bin().Picos()) + 1
 		pct := 100.0
 		if from < last && rep.PreGbps > 0 {
 			pct = 100 * tr.MeanRate(from, last) / rep.PreGbps
@@ -182,7 +182,7 @@ func FaultFlap(cfg Config) []*stats.Table {
 	victim := fmt.Sprintf("cross%d", fabric.ECMPIndex(1, 0, faultCross))
 	for _, sev := range severities(cfg) {
 		faultAt := T / 4
-		dur := units.Time(float64(T) / 3 * sev)
+		dur := units.Scale(T/3, sev)
 		horizon := faultAt + dur + 25*units.Millisecond
 		for _, sch := range faultFlapSchemes() {
 			r := runFaultScenario(cfg, sch, size, bin, horizon, func(*topo.Network) *faults.Plan {
@@ -266,7 +266,7 @@ func FaultPauseStorm(cfg Config) []*stats.Table {
 	}
 	for _, sev := range severities(cfg) {
 		faultAt := T / 4
-		dur := units.Time(float64(T) / 3 * sev)
+		dur := units.Scale(T/3, sev)
 		horizon := faultAt + dur + 25*units.Millisecond
 		for _, sch := range faultFlapSchemes() {
 			r := runFaultScenario(cfg, sch, size, bin, horizon, func(*topo.Network) *faults.Plan {

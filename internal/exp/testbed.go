@@ -129,7 +129,7 @@ func Fig11(cfg Config) []*stats.Table {
 				c.HostsPerSwitch = 2
 				c.CrossLinks = 2
 				c.Switch = SwitchConfigFor(sch)
-				c.CrossRates = []units.Rate{100 * units.Gbps, 100 * units.Gbps / units.Rate(ratio)}
+				c.CrossRates = []units.Rate{100 * units.Gbps, units.DivRate(100*units.Gbps, int64(ratio))}
 				return topo.Dumbbell(eng, c)
 			}
 			s := NewSim(cfg.Seed, sch, build)
@@ -193,7 +193,7 @@ func Fig12(cfg Config) []*stats.Table {
 			}
 			s.Run(0)
 			for _, d := range done {
-				jcts[sch.Name] = append(jcts[sch.Name], float64(d)/float64(units.Millisecond))
+				jcts[sch.Name] = append(jcts[sch.Name], d.Millis())
 			}
 		}
 		for g := 0; g < 4; g++ {

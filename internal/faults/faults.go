@@ -154,9 +154,9 @@ func (p *Plan) LinkFlap(link string, start, period units.Time, duty float64, cou
 	if duty <= 0 || duty > 1 {
 		duty = 0.5
 	}
-	down := units.Time(float64(period) * duty)
+	down := units.Scale(period, duty)
 	for i := 0; i < count; i++ {
-		p.LinkDownFor(link, start+units.Time(i)*period, down)
+		p.LinkDownFor(link, start+units.Mul(period, int64(i)), down)
 	}
 	return p
 }
@@ -170,7 +170,7 @@ func (p *Plan) LossRamp(link string, start, dur units.Time, peak float64, steps 
 	}
 	half := steps / 2
 	for i := 0; i <= steps; i++ {
-		at := start + dur*units.Time(i)/units.Time(steps)
+		at := start + units.Div(units.Mul(dur, int64(i)), int64(steps))
 		var r float64
 		if i <= half {
 			r = peak * float64(i) / float64(half)
@@ -190,7 +190,7 @@ func (p *Plan) SwitchLossRamp(sw int, start, dur units.Time, peak float64, steps
 	}
 	half := steps / 2
 	for i := 0; i <= steps; i++ {
-		at := start + dur*units.Time(i)/units.Time(steps)
+		at := start + units.Div(units.Mul(dur, int64(i)), int64(steps))
 		var r float64
 		if i <= half {
 			r = peak * float64(i) / float64(half)
@@ -210,7 +210,7 @@ func (p *Plan) LossBursts(link string, start, dur units.Time, n, minPkts, maxPkt
 		maxPkts = minPkts
 	}
 	for i := 0; i < n; i++ {
-		at := start + units.Time(p.rng.Int63n(int64(dur)))
+		at := start + units.Time(p.rng.Int63n(dur.Picos()))*units.Picosecond
 		count := minPkts
 		if maxPkts > minPkts {
 			count += p.rng.Intn(maxPkts - minPkts + 1)
@@ -239,7 +239,7 @@ func (p *Plan) PauseStorm(link string, start, dur, period units.Time, duty float
 	if duty <= 0 {
 		duty = 0.5
 	}
-	on := units.Time(float64(period) * duty)
+	on := units.Scale(period, duty)
 	for t := units.Time(0); t < dur; t += period {
 		off := t + on
 		if off > dur {
@@ -344,6 +344,7 @@ func (in *Injector) apply(ev Event) {
 func (in *Injector) WireFaultDrops() uint64 {
 	var n uint64
 	seen := map[*fabric.Wire]bool{}
+	//lint:allow detcheck set-insert plus commutative sum: order-insensitive
 	for _, ends := range in.tgt.Links {
 		for _, end := range ends {
 			if !seen[end.Wire] {

@@ -1,0 +1,12 @@
+package aliascheck_test
+
+import (
+	"testing"
+
+	"dcpsim/internal/lint/aliascheck"
+	"dcpsim/internal/lint/linttest"
+)
+
+func TestAliascheck(t *testing.T) {
+	linttest.Run(t, aliascheck.Analyzer, "dcpsim/internal/fabric/aliasfix")
+}

@@ -1,0 +1,457 @@
+// Package detcheck forbids nondeterminism sources in simulation code.
+//
+// The whole repository rests on bit-for-bit seed determinism: a given seed
+// must produce the same run on every machine, every time. The checks:
+//
+//   - wall-clock time (time.Now, time.Since, ...): simulated time comes from
+//     sim.Engine.Now.
+//   - the global math/rand source (rand.Intn, rand.Float64, ...): all
+//     stochastic choices must come from a seeded *rand.Rand (usually
+//     sim.Engine.Rand); rand.New(rand.NewSource(seed)) is the sanctioned
+//     construction.
+//   - go statements and select: the engine is single-threaded by design;
+//     goroutine interleaving is scheduler-dependent.
+//   - iteration over maps whose body is order-sensitive: Go randomizes map
+//     iteration order per run. Commutative reductions (counting, summing)
+//     and constant early-exits are allowed; anything that calls functions,
+//     appends to an outer slice without sorting it afterwards, or
+//     overwrites outer state is flagged. The sanctioned pattern is
+//     collect-keys-sort-then-range.
+//
+// Audited exceptions use //lint:allow detcheck <reason>.
+package detcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dcpsim/internal/lint"
+)
+
+// Analyzer is the detcheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "detcheck",
+	Doc:  "forbid nondeterminism sources (wall clock, global rand, goroutines, select, order-sensitive map iteration) in simulation code",
+	Run:  run,
+}
+
+// forbiddenTime are time-package functions that read the host clock or
+// host timers.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// forbiddenRand are math/rand (and /v2) top-level functions drawing from
+// the global source. Constructors (New, NewSource, NewPCG, ...) are fine.
+var forbiddenRand = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true, "N": true,
+}
+
+// inScope reports whether detcheck applies to the package. Everything in
+// the module is simulation code or drives it; only the linter itself is
+// exempt.
+func inScope(path string) bool {
+	if path == "dcpsim/internal/lint" || strings.HasPrefix(path, "dcpsim/internal/lint/") {
+		return false
+	}
+	return path == "dcpsim" || strings.HasPrefix(path, "dcpsim/")
+}
+
+func run(pass *lint.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in simulation code: goroutine interleaving is scheduler-dependent; run everything on the single-threaded sim.Engine")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select in simulation code: channel readiness order is nondeterministic; use engine events instead")
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			}
+			return true
+		})
+		lint.WalkStmtLists(f, func(list []ast.Stmt) {
+			for i, s := range list {
+				if rng, ok := s.(*ast.RangeStmt); ok {
+					checkMapRange(pass, rng, list[i+1:])
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// checkCall flags calls to wall-clock time functions and to the global
+// math/rand source.
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Package-level functions only: methods (e.g. (*rand.Rand).Intn,
+	// (time.Time).Sub) have a receiver and are fine.
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if forbiddenTime[fn.Name()] {
+			pass.Reportf(call.Pos(), "wall-clock time.%s in simulation code; use the engine's simulated clock (sim.Engine.Now / sim.Timer)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if forbiddenRand[fn.Name()] {
+			pass.Reportf(call.Pos(), "rand.%s draws from the global math/rand source; draw from a seeded *rand.Rand (sim.Engine.Rand, or rand.New(rand.NewSource(seed)))", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags a range over a map whose body is order-sensitive.
+// rest is the statement list following the range in its enclosing block,
+// consulted for the sanctioned collect-then-sort pattern.
+func checkMapRange(pass *lint.Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	t := pass.Info.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	c := &classifier{pass: pass, locals: make(map[types.Object]bool)}
+	c.declare(rng.Key)
+	c.declare(rng.Value)
+	c.stmts(rng.Body.List)
+	if c.badWhy == "" && len(c.collects) > 0 && !sortedAfter(pass, c.collects, rest) {
+		c.badWhy = "appends to a slice that is not sorted afterwards"
+	}
+	if c.badWhy != "" {
+		// Report at the range statement so a //lint:allow above the loop
+		// covers the whole body.
+		pass.Reportf(rng.Pos(), "map iteration order is randomized and this body %s; collect keys and sort first, or //lint:allow detcheck <reason> if provably order-insensitive", c.badWhy)
+	}
+}
+
+// classifier walks a map-range body deciding whether it is order-sensitive.
+type classifier struct {
+	pass     *lint.Pass
+	locals   map[types.Object]bool
+	collects []types.Object // outer slices accumulated via x = append(x, ...)
+	badWhy   string
+}
+
+// bad records the first order-sensitivity reason; the diagnostic itself is
+// anchored at the range statement by checkMapRange.
+func (c *classifier) bad(why string) {
+	if c.badWhy == "" {
+		c.badWhy = why
+	}
+}
+
+func (c *classifier) declare(e ast.Expr) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := c.pass.Info.Defs[id]; obj != nil {
+		c.locals[obj] = true
+	}
+}
+
+// isLocal reports whether the expression is rooted at an object declared
+// inside the loop body.
+func (c *classifier) isLocal(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := c.pass.Info.Uses[x]
+			if obj == nil {
+				obj = c.pass.Info.Defs[x]
+			}
+			return obj != nil && c.locals[obj]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func (c *classifier) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+// commutative assignment operators: reductions whose result does not
+// depend on iteration order (sum, product, bitwise accumulate).
+var commutative = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.OR_ASSIGN: true, token.AND_ASSIGN: true, token.XOR_ASSIGN: true,
+}
+
+func (c *classifier) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.expr(rhs)
+		}
+		for i, lhs := range s.Lhs {
+			switch {
+			case s.Tok == token.DEFINE:
+				c.declare(lhs)
+			case c.isLocal(lhs):
+				c.exprIgnoringTarget(lhs)
+			case commutative[s.Tok]:
+				// x += v etc. on outer state: a commutative reduction.
+				c.exprIgnoringTarget(lhs)
+			case s.Tok == token.ASSIGN && i < len(s.Rhs) && c.isCollectAppend(lhs, s.Rhs[i]):
+				// x = append(x, ...): order-sensitive unless sorted after
+				// the loop; recorded and judged by the caller.
+			default:
+				c.bad("writes to state outside the loop (last-writer-wins depends on iteration order)")
+			}
+		}
+	case *ast.IncDecStmt:
+		// x++ / x-- is a commutative count, even on outer state.
+		c.exprIgnoringTarget(s.X)
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.expr(s.Cond)
+		c.stmts(s.Body.List)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+		c.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		c.declareRangeVars(s)
+		c.expr(s.X)
+		c.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range clause.List {
+					c.expr(e)
+				}
+				c.stmts(clause.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		c.stmts(s.Body.List)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.expr(e)
+		}
+		c.stmts(s.Body)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			if tv, ok := c.pass.Info.Types[e]; !ok || tv.Value == nil {
+				c.bad("returns a value that depends on which element comes first")
+				return
+			}
+		}
+	case *ast.BranchStmt:
+		// break/continue/goto: fine.
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, n := range vs.Names {
+						c.declare(n)
+					}
+					for _, v := range vs.Values {
+						c.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		c.bad("sends on a channel")
+	case *ast.DeferStmt:
+		c.bad("defers a call")
+	case *ast.GoStmt:
+		// Reported by the go-statement check; also order-sensitive here.
+		c.bad("starts a goroutine")
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.EmptyStmt:
+	default:
+		c.bad("contains a statement the linter cannot prove order-insensitive")
+	}
+}
+
+func (c *classifier) declareRangeVars(s *ast.RangeStmt) {
+	if s.Tok == token.DEFINE {
+		c.declare(s.Key)
+		c.declare(s.Value)
+	}
+}
+
+// isCollectAppend recognizes `x = append(x, ...)` with x an identifier,
+// recording x as a collect target.
+func (c *classifier) isCollectAppend(lhs ast.Expr, rhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fid, ok := call.Fun.(*ast.Ident)
+	if !ok || fid.Name != "append" {
+		return false
+	}
+	if _, ok := c.pass.Info.Uses[fid].(*types.Builtin); !ok {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != id.Name {
+		return false
+	}
+	obj := c.pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		c.expr(a)
+	}
+	c.collects = append(c.collects, obj)
+	return true
+}
+
+// expr scans an expression for calls (anything that might mutate state or
+// schedule events is order-sensitive).
+func (c *classifier) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Type conversions are pure.
+		if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "len", "cap", "delete", "min", "max", "append":
+					return true
+				}
+			}
+		}
+		c.bad("calls a function (calls may mutate sim state or schedule events)")
+		return false
+	})
+}
+
+// exprIgnoringTarget scans the non-root parts of an assignment target
+// (index expressions etc.) for calls.
+func (c *classifier) exprIgnoringTarget(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.IndexExpr:
+		c.expr(x.Index)
+		c.exprIgnoringTarget(x.X)
+	case *ast.SelectorExpr:
+		c.exprIgnoringTarget(x.X)
+	case *ast.StarExpr:
+		c.exprIgnoringTarget(x.X)
+	case *ast.ParenExpr:
+		c.exprIgnoringTarget(x.X)
+	case *ast.Ident:
+	default:
+		c.expr(e)
+	}
+}
+
+// sortedAfter reports whether every collect target is passed to a sort
+// function in the statements following the range.
+func sortedAfter(pass *lint.Pass, targets []types.Object, rest []ast.Stmt) bool {
+	sorted := make(map[types.Object]bool)
+	for _, s := range rest {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			pkg := fn.Pkg().Path()
+			if pkg != "sort" && pkg != "slices" {
+				return true
+			}
+			for _, a := range call.Args {
+				ast.Inspect(a, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := pass.Info.Uses[id]; obj != nil {
+							sorted[obj] = true
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	for _, t := range targets {
+		if !sorted[t] {
+			return false
+		}
+	}
+	return true
+}

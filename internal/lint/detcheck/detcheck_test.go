@@ -1,0 +1,12 @@
+package detcheck_test
+
+import (
+	"testing"
+
+	"dcpsim/internal/lint/detcheck"
+	"dcpsim/internal/lint/linttest"
+)
+
+func TestDetcheck(t *testing.T) {
+	linttest.Run(t, detcheck.Analyzer, "dcpsim/internal/sim/detfix")
+}

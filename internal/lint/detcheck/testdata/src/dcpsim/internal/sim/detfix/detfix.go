@@ -1,0 +1,123 @@
+// Package detfix is a detcheck fixture: each violating line carries a
+// want expectation; the clean patterns below it must stay silent.
+package detfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- wall clock ---
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `wall-clock time\.Now`
+}
+
+func wallElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock time\.Since`
+}
+
+//lint:allow detcheck progress banner is wall-clock by design
+func allowedWallClock() time.Time { return time.Now() }
+
+// --- global math/rand ---
+
+func globalRand() int {
+	return rand.Intn(6) // want `global math/rand source`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are sanctioned
+	return rng.Intn(6)                    // methods on a seeded *rand.Rand are fine
+}
+
+func allowedGlobalRand() float64 {
+	//lint:allow detcheck jitter for a log message, not sim state
+	return rand.Float64()
+}
+
+// --- goroutines and select ---
+
+func spawn(fn func()) {
+	go fn() // want `go statement`
+}
+
+func wait(ch chan int) int {
+	select { // want `select in simulation code`
+	case v := <-ch:
+		return v
+	}
+}
+
+// --- map iteration ---
+
+type event struct{ at int64 }
+
+func schedule(m map[int]*event, run func(*event)) {
+	for _, e := range m { // want `map iteration order`
+		run(e)
+	}
+}
+
+func collectUnsorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `map iteration order`
+		out = append(out, v)
+	}
+	return out
+}
+
+func collectSorted(m map[int]string) []string {
+	var keys []int
+	for k := range m { // sanctioned: collect, sort, then use
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func overwrite(m map[int]int) int {
+	last := -1
+	for _, v := range m { // want `map iteration order`
+		last = v
+	}
+	return last
+}
+
+func sum(m map[int]int) (n int) {
+	for _, v := range m { // commutative reduction: order-insensitive
+		n += v
+	}
+	return n
+}
+
+func count(m map[int]bool) int {
+	n := 0
+	for _, ok := range m { // commutative count
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+func anyMissing(m map[int]*event) bool {
+	for _, e := range m { // constant early-exit: order-insensitive
+		if e == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func allowedMapRange(m map[int]int, sink func(int)) {
+	//lint:allow detcheck sink is an order-insensitive accumulator
+	for _, v := range m {
+		sink(v)
+	}
+}

@@ -1,0 +1,188 @@
+// Package lint is a small, dependency-free static-analysis framework plus
+// the glue shared by the dcpsim analyzers (detcheck, unitcheck, seqcheck,
+// aliascheck — see their packages) and the cmd/dcplint driver.
+//
+// The Analyzer/Pass shape deliberately mirrors
+// golang.org/x/tools/go/analysis so the checkers could be ported to the
+// real framework wholesale; this module stays stdlib-only, so the loading
+// and running machinery is reimplemented here on go/parser + go/types with
+// the source importer (which resolves both the standard library and this
+// module's packages from source, with no network or export data).
+//
+// Suppression: any diagnostic can be waived with an audited escape hatch
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the offending line or the line immediately above it. The
+// reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the check to one package, reporting findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, with the position resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// AllowPrefix is the comment directive introducing an audited exception.
+const AllowPrefix = "//lint:allow "
+
+// allowKey identifies one suppression site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans a package's comments for //lint:allow directives.
+// Malformed directives (no analyzer name, or no reason) are returned as
+// diagnostics in their own right.
+func collectAllows(pkg *Package) (map[allowKey]bool, []Diagnostic) {
+	allows := make(map[allowKey]bool)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				const bare = "//lint:allow"
+				if c.Text != bare && !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, bare))
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed lint:allow directive: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return allows, bad
+}
+
+// Run applies every analyzer to every package, filters findings through the
+// //lint:allow directives, and returns the survivors ordered by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows, bad := collectAllows(pkg)
+		out = append(out, bad...)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range raw {
+			if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+				allows[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// IsNamed reports whether t is the named type pkgPath.name (ignoring any
+// pointer indirection is the caller's job).
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// IsPtrToNamed reports whether t is *pkgPath.name.
+func IsPtrToNamed(t types.Type, pkgPath, name string) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && IsNamed(p.Elem(), pkgPath, name)
+}
+
+// WalkStmtLists invokes fn on every statement list in root: block bodies,
+// switch/select clause bodies — including those inside function literals.
+func WalkStmtLists(root ast.Node, fn func(list []ast.Stmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,87 @@
+// Package linttest is a fixture-based test harness for the lint
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture packages live under the analyzer's testdata/src/<importpath>/
+// directory (the import path shape matters: analyzers scope themselves by
+// package path). Expected findings are declared with trailing comments:
+//
+//	x := time.Now() // want `wall-clock`
+//
+// where the backquoted text is a regexp that must match a diagnostic on
+// that line. Lines carrying a //lint:allow directive assert the opposite:
+// the fixture fails the test if a suppressed finding still surfaces.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dcpsim/internal/lint"
+)
+
+// wantRe extracts the pattern from a `// want ...` comment.
+var wantRe = regexp.MustCompile("^want [`\"](.*)[`\"]$")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package rooted at testdata/src/<pkgPath>, applies
+// the analyzer, and compares the diagnostics against the // want
+// expectations in the fixture sources.
+func Run(t *testing.T, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
+	ld := lint.NewLoader()
+	pkg, err := ld.Load(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	for _, d := range diags {
+		var hit *expectation
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		hit.matched = true
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package seqcheck enforces wraparound-safe sequence-number arithmetic in
+// the transport implementations.
+//
+// PSN/MSN/SSN spaces are uint32 serial numbers. Raw `<`, `>`, `<=`, `>=`
+// and `-` on them silently misbehave at the 2^32 wrap boundary — the exact
+// class of edge case where RDMA reliability designs break (IRN's and
+// Eunomia's hard-won lesson). Transports must use the RFC 1982-style
+// helpers in internal/transport/base: SeqLess, SeqGEQ, SeqDiff.
+//
+// The check is name-driven: an operand is sequence-like when it is a
+// uint32 whose expression mentions an identifier containing psn, msn, ssn
+// or sack (case-insensitive) or named una. Comparisons with constants
+// (`== 0` style guards) and equality tests are exempt — equality is
+// wrap-safe. Audited exceptions use //lint:allow seqcheck <reason>.
+package seqcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dcpsim/internal/lint"
+)
+
+// Analyzer is the seqcheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "seqcheck",
+	Doc:  "flag raw <, >, <=, >=, - on PSN/SSN/MSN-typed uint32 values in transports; require base.SeqLess/SeqGEQ/SeqDiff",
+	Run:  run,
+}
+
+const basePath = "dcpsim/internal/transport/base"
+
+func inScope(path string) bool {
+	return strings.HasPrefix(path, "dcpsim/internal/transport/") && path != basePath
+}
+
+var seqOps = map[token.Token]bool{
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.SUB: true,
+}
+
+func run(pass *lint.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || !seqOps[bin.Op] {
+				return true
+			}
+			xt, yt := pass.Info.Types[bin.X], pass.Info.Types[bin.Y]
+			if !isUint32(xt.Type) || !isUint32(yt.Type) {
+				return true
+			}
+			// Constant guards (psn == 0 style bounds) are exempt: they are
+			// statements about magnitude, not serial order.
+			if xt.Value != nil || yt.Value != nil {
+				return true
+			}
+			if !seqNamed(bin.X) && !seqNamed(bin.Y) {
+				return true
+			}
+			if bin.Op == token.SUB {
+				pass.Reportf(bin.OpPos, "raw sequence-number subtraction is not wraparound-safe; use base.SeqDiff (RFC 1982 serial arithmetic)")
+			} else {
+				pass.Reportf(bin.OpPos, "wraparound-unsafe %s on sequence numbers; use base.SeqLess/base.SeqGEQ (RFC 1982 serial arithmetic)", bin.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isUint32(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint32
+}
+
+// seqNamed reports whether the expression mentions a sequence-number-like
+// identifier.
+func seqNamed(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		name := strings.ToLower(id.Name)
+		if strings.Contains(name, "psn") || strings.Contains(name, "msn") ||
+			strings.Contains(name, "ssn") || strings.Contains(name, "sack") ||
+			name == "una" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

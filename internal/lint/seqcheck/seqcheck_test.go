@@ -1,0 +1,12 @@
+package seqcheck_test
+
+import (
+	"testing"
+
+	"dcpsim/internal/lint/linttest"
+	"dcpsim/internal/lint/seqcheck"
+)
+
+func TestSeqcheck(t *testing.T) {
+	linttest.Run(t, seqcheck.Analyzer, "dcpsim/internal/transport/seqfix")
+}

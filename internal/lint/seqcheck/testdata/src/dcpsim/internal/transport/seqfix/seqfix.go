@@ -1,0 +1,52 @@
+// Package seqfix is a seqcheck fixture: raw relational/subtraction
+// operators on PSN/MSN/SSN-named uint32s must go through the base
+// serial-arithmetic helpers.
+package seqfix
+
+import "dcpsim/internal/transport/base"
+
+type qp struct {
+	una     uint32
+	nextPSN uint32
+	eMSN    uint32
+}
+
+func rawLess(psn, nextPSN uint32) bool {
+	return psn < nextPSN // want `use base\.SeqLess`
+}
+
+func rawGreater(q *qp, ackPSN uint32) bool {
+	return ackPSN > q.una // want `use base\.SeqLess`
+}
+
+func rawSub(q *qp, psn uint32) uint32 {
+	return psn - q.una // want `use base\.SeqDiff`
+}
+
+func rawLEQ(msn, eMSN uint32) bool {
+	return msn <= eMSN // want `use base\.SeqLess`
+}
+
+func viaHelpers(q *qp, psn uint32) (bool, uint32) {
+	if base.SeqLess(psn, q.nextPSN) {
+		return true, base.SeqDiff(q.nextPSN, psn)
+	}
+	return base.SeqGEQ(psn, q.una), 0
+}
+
+func equalityIsFine(psn, epsn uint32) bool {
+	return psn == epsn || psn != epsn // == and != are wrap-safe
+}
+
+func constantBoundIsFine(psn uint32) bool {
+	return psn < 4096 // window bound against a constant, not serial order
+}
+
+func nonSeqNames(count, limit uint32) bool {
+	return count < limit // plain uint32 counters are out of scope
+}
+
+func allowedRaw(q *qp, totalPkts uint32) bool {
+	//lint:allow seqcheck totalPkts never wraps: flows are bounded well below 2^32
+	return q.nextPSN < totalPkts
+}

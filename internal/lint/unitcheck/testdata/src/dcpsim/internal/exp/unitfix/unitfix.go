@@ -1,0 +1,55 @@
+// Package unitfix is a unitcheck fixture.
+package unitfix
+
+import "dcpsim/internal/units"
+
+// --- conversions INTO units types ---
+
+func rawIn(x int64) units.Time {
+	return units.Time(x) // want `conversion bypasses the units constructors`
+}
+
+func rawRateIn(f float64) units.Rate {
+	return units.Rate(f) // want `conversion bypasses the units constructors`
+}
+
+func constIn() units.Time {
+	return units.Time(0) // constants are fine
+}
+
+func ctorIdiom(n int) units.Time {
+	return units.Time(n) * units.Microsecond // sanctioned constructor idiom
+}
+
+func viaConstructors(bytes int, r units.Rate, d units.Time) units.Time {
+	t := units.TxTime(bytes, r)
+	return t + units.Scale(d, 0.5) // constructors keep the unit explicit
+}
+
+func allowedRawIn(ps int64) units.Time {
+	//lint:allow unitcheck checkpoint decode: field is documented as picoseconds
+	return units.Time(ps)
+}
+
+// --- conversions OUT of units types ---
+
+func rawOut(t units.Time) float64 {
+	return float64(t) // want `discards its unit`
+}
+
+func rawRateOut(r units.Rate) int64 {
+	return int64(r) // want `discards its unit`
+}
+
+func constOut() float64 {
+	return float64(units.Millisecond) // constant: the name carries the unit
+}
+
+func accessors(t units.Time, r units.Rate) float64 {
+	return t.Millis() + r.Gigabits() // accessor methods are the sanctioned exit
+}
+
+func allowedRawOut(t units.Time) int64 {
+	//lint:allow unitcheck wire format stores raw picoseconds
+	return int64(t)
+}

@@ -1,0 +1,150 @@
+// Package unitcheck enforces the typed-units discipline around
+// internal/units: simulated time is units.Time (picoseconds) and link
+// rates are units.Rate (bits per second). Two classes of bypass are
+// flagged everywhere outside internal/units itself:
+//
+//   - conversions INTO units.Time/units.Rate from a non-constant
+//     expression, e.g. units.Time(x). A raw integer has no unit; the bug
+//     this catches is "picoseconds? nanoseconds? who knows". Sanctioned
+//     forms: constant expressions (units.Time(0)), the constructor idiom
+//     units.Time(x)*units.Nanosecond (scaling a raw count by an explicit
+//     unit constant), and the units constructors (TxTime, Scale, ...).
+//
+//   - conversions OUT of units.Time/units.Rate to raw numerics, e.g.
+//     float64(t) or int64(r). These discard the unit; use the accessor
+//     methods (Seconds/Millis/Micros/Nanos/Picos, Gigabits) or
+//     units.Scale/units.ScaleRate for arithmetic.
+//
+// Byte counts are plain ints by design (units declares only untyped size
+// constants), so they are out of scope. Audited exceptions use
+// //lint:allow unitcheck <reason>.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dcpsim/internal/lint"
+)
+
+// Analyzer is the unitcheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "unitcheck",
+	Doc:  "flag conversions that bypass the internal/units constructors and accessors",
+	Run:  run,
+}
+
+const unitsPath = "dcpsim/internal/units"
+
+// unitName returns "Time" or "Rate" if t is one of the units quantity
+// types, else "".
+func unitName(t types.Type) string {
+	if lint.IsNamed(t, unitsPath, "Time") {
+		return "Time"
+	}
+	if lint.IsNamed(t, unitsPath, "Rate") {
+		return "Rate"
+	}
+	return ""
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Path() == unitsPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst := tv.Type
+			arg := call.Args[0]
+			argTV := pass.Info.Types[arg]
+
+			if name := unitName(dst); name != "" {
+				if argTV.Value != nil {
+					return true // constant: units.Time(0) and friends
+				}
+				if unitName(argTV.Type) == name {
+					return true // identity conversion
+				}
+				if scaledByUnitConst(pass, parents, call, name) {
+					return true // units.Time(x) * units.Nanosecond idiom
+				}
+				pass.Reportf(call.Pos(), "units.%s(...) conversion bypasses the units constructors: a raw number has no unit; multiply by a unit constant (units.%s(n)*units.Nanosecond), or use units.TxTime/units.Scale", name, name)
+				return true
+			}
+
+			if b, ok := dst.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+				if argTV.Value != nil {
+					return true // constant: float64(units.Millisecond) names its unit
+				}
+				if name := unitName(argTV.Type); name != "" {
+					pass.Reportf(call.Pos(), "raw numeric conversion of a units.%s value discards its unit; use the accessor methods (Seconds/Millis/Micros/Nanos/Picos, Gigabits) or units.Scale/units.ScaleRate", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// scaledByUnitConst reports whether conv appears as an operand of a
+// multiplication whose other operand is a constant of the same units type:
+// the sanctioned `units.Time(x) * units.Nanosecond` constructor idiom.
+func scaledByUnitConst(pass *lint.Pass, parents map[ast.Node]ast.Node, conv *ast.CallExpr, name string) bool {
+	p := parents[conv]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		p = parents[pe]
+	}
+	bin, ok := p.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.MUL {
+		return false
+	}
+	other := bin.X
+	if other == conv || containsNode(other, conv) {
+		other = bin.Y
+	}
+	otherTV := pass.Info.Types[other]
+	return otherTV.Value != nil && unitName(otherTV.Type) == name
+}
+
+func containsNode(root ast.Expr, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// parentMap records each node's parent within the file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

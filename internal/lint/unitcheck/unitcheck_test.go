@@ -1,0 +1,12 @@
+package unitcheck_test
+
+import (
+	"testing"
+
+	"dcpsim/internal/lint/linttest"
+	"dcpsim/internal/lint/unitcheck"
+)
+
+func TestUnitcheck(t *testing.T) {
+	linttest.Run(t, unitcheck.Analyzer, "dcpsim/internal/exp/unitfix")
+}

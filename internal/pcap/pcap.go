@@ -58,7 +58,7 @@ func (pw *Writer) Record(p *packet.Packet, at units.Time) {
 		capLen = SnapLen
 	}
 	rec := make([]byte, 16, 16+capLen)
-	us := int64(at) / int64(units.Microsecond)
+	us := at.Picos() / int64(units.Microsecond)
 	binary.LittleEndian.PutUint32(rec[0:], uint32(us/1_000_000))
 	binary.LittleEndian.PutUint32(rec[4:], uint32(us%1_000_000))
 	binary.LittleEndian.PutUint32(rec[8:], uint32(capLen))

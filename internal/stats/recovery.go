@@ -65,7 +65,7 @@ func (g *GoodputTrace) MeanRate(from, to int) float64 {
 	for _, b := range g.bins[from:to] {
 		sum += b
 	}
-	return Goodput(sum, g.bin*units.Time(to-from))
+	return Goodput(sum, units.Mul(g.bin, int64(to-from)))
 }
 
 // RecoveryReport summarizes how a goodput trace behaved around a fault.
@@ -107,14 +107,14 @@ func (g *GoodputTrace) recovery(faultAt units.Time, lowFrac, highFrac float64, e
 		return rep
 	}
 	// Bins [0, preEnd) lie fully before the fault.
-	preEnd := int(faultAt / g.bin)
+	preEnd := int(faultAt.Picos() / g.bin.Picos())
 	if preEnd > len(g.bins) {
 		preEnd = len(g.bins)
 	}
 	rep.PreGbps = g.MeanRate(0, preEnd)
 	// first full bin after the fault onset
 	start := preEnd
-	if units.Time(start)*g.bin < faultAt {
+	if units.Mul(g.bin, int64(start)) < faultAt {
 		start++
 	}
 	if start >= end {
@@ -141,15 +141,15 @@ func (g *GoodputTrace) recovery(faultAt units.Time, lowFrac, highFrac float64, e
 		}
 		if !rep.Recovered && r >= high {
 			rep.Recovered = true
-			rep.RecoverDur = units.Time(i+1)*g.bin - faultAt
+			rep.RecoverDur = units.Mul(g.bin, int64(i+1)) - faultAt
 		}
 	}
-	rep.BlackoutDur = units.Time(blackoutEnd)*g.bin - faultAt
+	rep.BlackoutDur = units.Mul(g.bin, int64(blackoutEnd)) - faultAt
 	if rep.BlackoutDur < 0 {
 		rep.BlackoutDur = 0
 	}
 	if !rep.Recovered {
-		rep.RecoverDur = units.Time(end)*g.bin - faultAt
+		rep.RecoverDur = units.Mul(g.bin, int64(end)) - faultAt
 	}
 	return rep
 }

@@ -42,7 +42,7 @@ func (f *FlowRecord) Slowdown() float64 {
 	if f.IdealFCT <= 0 {
 		return 1
 	}
-	return float64(f.FCT()) / float64(f.IdealFCT)
+	return float64(f.FCT().Picos()) / float64(f.IdealFCT.Picos())
 }
 
 // RetransRatio returns retransmitted packets over total first-transmission

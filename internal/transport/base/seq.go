@@ -1,0 +1,28 @@
+package base
+
+// Serial arithmetic on the uint32 PSN/MSN/SSN sequence spaces, in the
+// style of RFC 1982. Raw <, >, <=, >= and - on sequence numbers misbehave
+// at the 2^32 wrap boundary; every transport must compare through these
+// helpers (enforced by the seqcheck analyzer, cmd/dcplint).
+//
+// A sequence number a precedes b when the forward distance from a to b is
+// less than half the space (2^31). At exactly half the space the order is
+// undefined: SeqLess(a, b) and SeqLess(b, a) are both false, as RFC 1982
+// prescribes. Windows in this simulator are bounded by BDP (≪ 2^31
+// packets), so every comparison two live endpoints make is well inside
+// the defined range.
+
+// SeqLess reports whether a precedes b in sequence space.
+func SeqLess(a, b uint32) bool { return a != b && b-a < 1<<31 }
+
+// SeqGEQ reports whether a is at or after b in sequence space.
+// Note: because the half-space distance is unordered, SeqGEQ is NOT the
+// negation of "a strictly after b"; it is the negation of SeqLess(a, b).
+func SeqGEQ(a, b uint32) bool { return !SeqLess(a, b) }
+
+// SeqDiff returns the forward distance from b to a: how many sequence
+// numbers a is ahead of b, computed with wraparound. The caller must
+// ensure SeqGEQ(a, b); the helper exists so that intent is explicit where
+// raw subtraction would silently produce a huge count if the operands
+// were swapped.
+func SeqDiff(a, b uint32) uint32 { return a - b }

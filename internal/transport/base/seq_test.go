@@ -1,0 +1,89 @@
+package base
+
+import "testing"
+
+func TestSeqLessBasic(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{0, 0, false},
+		{5, 100, true},
+		{100, 5, false},
+		{0, 1<<31 - 1, true},           // largest defined forward distance
+		{1<<31 - 1, 0, false},          // ...and its reverse
+		{0xFFFFFFFF, 0, true},          // wrap: MAX precedes 0
+		{0, 0xFFFFFFFF, false},         // ...and not vice versa
+		{0xFFFFFFF0, 0x10, true},       // wrap across the boundary
+		{0x10, 0xFFFFFFF0, false},      // reverse
+		{0xFFFFFFFF, 0x7FFFFFFE, true}, /* MAX -> 2^31-2: forward distance 2^31-1 */
+	}
+	for _, c := range cases {
+		if got := SeqLess(c.a, c.b); got != c.want {
+			t.Errorf("SeqLess(%#x, %#x) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSeqLessAmbiguousDistance(t *testing.T) {
+	// Exactly half the space apart: RFC 1982 leaves the order undefined;
+	// both directions must report false.
+	a, b := uint32(0), uint32(1)<<31
+	if SeqLess(a, b) || SeqLess(b, a) {
+		t.Errorf("half-space comparison must be unordered: SeqLess(%#x,%#x)=%v SeqLess(%#x,%#x)=%v",
+			a, b, SeqLess(a, b), b, a, SeqLess(b, a))
+	}
+	// SeqGEQ is the negation of SeqLess, so both directions report true.
+	if !SeqGEQ(a, b) || !SeqGEQ(b, a) {
+		t.Error("SeqGEQ must be !SeqLess even at the ambiguous distance")
+	}
+}
+
+func TestSeqGEQ(t *testing.T) {
+	if !SeqGEQ(5, 5) {
+		t.Error("SeqGEQ(5,5) = false, want true")
+	}
+	if !SeqGEQ(0, 0xFFFFFFFF) {
+		t.Error("SeqGEQ(0, MAX) = false, want true (0 is after MAX across the wrap)")
+	}
+	if SeqGEQ(0xFFFFFFFF, 0) {
+		t.Error("SeqGEQ(MAX, 0) = true, want false")
+	}
+}
+
+func TestSeqDiff(t *testing.T) {
+	cases := []struct {
+		a, b, want uint32
+	}{
+		{10, 3, 7},
+		{3, 3, 0},
+		{0, 0xFFFFFFFF, 1}, // wrap: 0 is one past MAX
+		{4, 0xFFFFFFFE, 6}, // wrap spanning the boundary
+		{0x80000000, 0, 1 << 31},
+	}
+	for _, c := range cases {
+		if got := SeqDiff(c.a, c.b); got != c.want {
+			t.Errorf("SeqDiff(%#x, %#x) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestSeqLoopIdiom pins the migration idiom used across the transports:
+// iterating PSNs from una to an ACK's cumulative edge with SeqLess walks
+// the wrap boundary without getting stuck or skipping.
+func TestSeqLoopIdiom(t *testing.T) {
+	una := uint32(0xFFFFFFFD)
+	edge := uint32(3) // six packets acknowledged across the wrap
+	var n int
+	for psn := una; SeqLess(psn, edge); psn++ {
+		n++
+		if n > 10 {
+			t.Fatal("loop failed to terminate across the wrap boundary")
+		}
+	}
+	if n != 6 {
+		t.Errorf("walked %d PSNs across the wrap, want 6", n)
+	}
+}

@@ -140,7 +140,7 @@ func (qp *senderQP) msgForPSN(psn uint32) (uint32, *senderMsg) {
 	lo, hi := 0, len(qp.msgs)-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if qp.msgs[mid].basePSN <= psn {
+		if base.SeqGEQ(psn, qp.msgs[mid].basePSN) {
 			lo = mid
 		} else {
 			hi = mid - 1
@@ -189,13 +189,13 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 			qp.resendHead++
 			continue
 		}
-		size := base.PayloadAt(m.size, env.MTU, psn-m.basePSN)
+		size := base.PayloadAt(m.size, env.MTU, base.SeqDiff(psn, m.basePSN))
 		ok, at := qp.ctl.CanSend(now, qp.inflight, size)
 		if !ok {
 			return nil, at
 		}
 		qp.resendHead++
-		return qp.emit(now, psn, msn, m, psn-m.basePSN, true), 0
+		return qp.emit(now, psn, msn, m, base.SeqDiff(psn, m.basePSN), true), 0
 	}
 	if qp.resendHead > 0 && qp.resendHead == len(qp.resend) {
 		qp.resend = qp.resend[:0]
@@ -203,12 +203,12 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 	}
 
 	// 3. New data, bounded by the outstanding-message cap.
-	if qp.nextPSN < qp.totalPkts {
+	if base.SeqLess(qp.nextPSN, qp.totalPkts) {
 		msn, m := qp.msgForPSN(qp.nextPSN)
-		if msn >= qp.unaMSN+uint32(env.DCP.MaxOutstandingMsgs) {
+		if base.SeqGEQ(msn, qp.unaMSN+uint32(env.DCP.MaxOutstandingMsgs)) {
 			return nil, 0 // wait for eMSN to advance
 		}
-		off := qp.nextPSN - m.basePSN
+		off := base.SeqDiff(qp.nextPSN, m.basePSN)
 		size := base.PayloadAt(m.size, env.MTU, off)
 		ok, at := qp.ctl.CanSend(now, qp.inflight, size)
 		if !ok {
@@ -274,14 +274,14 @@ func (qp *senderQP) onHO(p *packet.Packet) {
 		return
 	}
 	msn, m := qp.msgForPSN(p.PSN)
-	if m.acked || msn < qp.unaMSN {
+	if m.acked || base.SeqLess(msn, qp.unaMSN) {
 		return // stale: the message already completed
 	}
 	qp.rec.HOTriggers++
 	// The HO packet is an explicit loss notification: the named packet is
 	// no longer in flight, so release its window share before the
 	// (CC-regulated) retransmission claims it again.
-	off := p.PSN - m.basePSN
+	off := base.SeqDiff(p.PSN, m.basePSN)
 	qp.inflight -= base.PayloadAt(m.size, qp.h.Env.MTU, off)
 	if qp.inflight < 0 {
 		qp.inflight = 0
@@ -312,14 +312,14 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 		}
 		qp.ctl.OnAck(now, int(delta), rtt)
 	}
-	if p.EMSN > qp.unaMSN {
-		for i := qp.unaMSN; i < p.EMSN && i < uint32(len(qp.msgs)); i++ {
+	if base.SeqLess(qp.unaMSN, p.EMSN) {
+		for i := qp.unaMSN; base.SeqLess(i, p.EMSN) && i < uint32(len(qp.msgs)); i++ {
 			qp.msgs[i].acked = true
 		}
 		qp.unaMSN = p.EMSN
 		qp.backoff = 0
 		qp.timer.Reset(qp.h.Env.DCP.Timeout)
-		if qp.unaMSN >= uint32(len(qp.msgs)) {
+		if base.SeqGEQ(qp.unaMSN, uint32(len(qp.msgs))) {
 			qp.complete(now)
 			return
 		}
@@ -355,10 +355,10 @@ func (qp *senderQP) onTimeout() {
 	qp.resend = qp.resend[:0]
 	qp.resendHead = 0
 	end := m.basePSN + m.npkts
-	if end > qp.nextPSN {
+	if base.SeqLess(qp.nextPSN, end) {
 		end = qp.nextPSN
 	}
-	for psn := m.basePSN; psn < end; psn++ {
+	for psn := m.basePSN; base.SeqLess(psn, end); psn++ {
 		qp.resend = append(qp.resend, psn)
 	}
 	// Exponential backoff: under sustained congestion each epoch bump
@@ -409,7 +409,7 @@ func (h *Host) recvData(p *packet.Packet) {
 		h.maybeCNP(qp, p, now)
 	}
 
-	if p.MSN < qp.eMSN {
+	if base.SeqLess(p.MSN, qp.eMSN) {
 		// Duplicate of a completed message (late timeout retransmission):
 		// refresh the sender with the current state.
 		h.sendAck(qp, p, now)

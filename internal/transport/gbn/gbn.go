@@ -109,7 +109,7 @@ func (qp *senderQP) Finished() bool { return qp.done }
 
 // Next implements base.QP.
 func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
-	if qp.done || qp.nextPSN >= qp.totalPkts {
+	if qp.done || base.SeqGEQ(qp.nextPSN, qp.totalPkts) {
 		return nil, 0
 	}
 	size := qp.payloadAt(qp.nextPSN)
@@ -122,7 +122,7 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 	p := packet.DataPacket(qp.flow.ID, qp.flow.Src, qp.flow.Dst, psn, 0, size)
 	p.Tag = packet.TagNonDCP // traditional RoCE traffic: dropped, not trimmed
 	p.SentAt = now
-	if psn < qp.firstTx {
+	if base.SeqLess(psn, qp.firstTx) {
 		p.Retransmitted = true
 		qp.rec.RetransPkts++
 	} else {
@@ -139,13 +139,13 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 		return
 	}
 	now := qp.h.Eng.Now()
-	if p.EPSN > qp.una {
+	if base.SeqLess(qp.una, p.EPSN) {
 		var acked int
-		for psn := qp.una; psn < p.EPSN; psn++ {
+		for psn := qp.una; base.SeqLess(psn, p.EPSN); psn++ {
 			acked += qp.payloadAt(psn)
 		}
 		qp.una = p.EPSN
-		if qp.nextPSN < qp.una {
+		if base.SeqLess(qp.nextPSN, qp.una) {
 			qp.nextPSN = qp.una // a rewind raced this cumulative ACK
 		}
 		qp.inflight -= acked
@@ -158,7 +158,7 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 		}
 		qp.ctl.OnAck(now, acked, rtt)
 		qp.timer.Reset(qp.h.Env.RTOHigh)
-		if qp.una >= qp.totalPkts {
+		if base.SeqGEQ(qp.una, qp.totalPkts) {
 			qp.done = true
 			qp.timer.Stop()
 			qp.ctl.Close()
@@ -168,7 +168,7 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 	}
 	if p.Ack == packet.AckNak {
 		// Go-Back-N: rewind to the expected PSN.
-		if p.EPSN < qp.nextPSN {
+		if base.SeqLess(p.EPSN, qp.nextPSN) {
 			qp.rewind(p.EPSN)
 		}
 	}
@@ -180,7 +180,7 @@ func (qp *senderQP) rewind(to uint32) {
 	// Everything beyond the rewind point is no longer considered in
 	// flight; it will be resent.
 	var fly int
-	for psn := qp.una; psn < to; psn++ {
+	for psn := qp.una; base.SeqLess(psn, to); psn++ {
 		fly += qp.payloadAt(psn)
 	}
 	qp.inflight = fly
@@ -190,7 +190,7 @@ func (qp *senderQP) onTimeout() {
 	if qp.done {
 		return
 	}
-	if qp.nextPSN > qp.una {
+	if base.SeqLess(qp.una, qp.nextPSN) {
 		qp.rec.Timeouts++
 		qp.rewind(qp.una)
 		qp.inflight = 0
@@ -221,7 +221,7 @@ func (h *Host) recvData(p *packet.Packet) {
 		qp.ePSN++
 		qp.nakSent = false
 		h.ack(p, qp.ePSN, packet.AckCumulative)
-	case p.PSN > qp.ePSN:
+	case base.SeqLess(qp.ePSN, p.PSN):
 		// Out of order: GBN has no reorder buffer; drop and NAK once per
 		// gap (RoCE NAK-sequence-error semantics).
 		if !qp.nakSent {

@@ -148,7 +148,7 @@ func (qp *senderQP) payloadAt(psn uint32) int {
 // packets. Retransmissions do not widen it, so spurious retransmissions
 // cannot starve the window.
 func (qp *senderQP) inflightBytes() int {
-	n := int(qp.nextPSN-qp.una) - qp.sackedOut
+	n := int(base.SeqDiff(qp.nextPSN, qp.una)) - qp.sackedOut
 	if n < 0 {
 		n = 0
 	}
@@ -156,7 +156,7 @@ func (qp *senderQP) inflightBytes() int {
 }
 
 func (qp *senderQP) resetTimer() {
-	if qp.nextPSN-qp.una < rtoLowThreshold {
+	if base.SeqDiff(qp.nextPSN, qp.una) < rtoLowThreshold {
 		qp.timer.Reset(qp.h.Env.RTOLow)
 	} else {
 		qp.timer.Reset(qp.h.Env.RTOHigh)
@@ -190,7 +190,7 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 			return qp.emit(now, psn, size, true), 0
 		}
 	}
-	if qp.nextPSN < qp.totalPkts {
+	if base.SeqLess(qp.nextPSN, qp.totalPkts) {
 		size := qp.payloadAt(qp.nextPSN)
 		ok, at := qp.ctl.CanSend(now, qp.inflightBytes(), size)
 		if !ok {
@@ -222,7 +222,7 @@ func (qp *senderQP) nextLost() (uint32, bool) {
 	if qp.timeoutMode {
 		limit = qp.nextPSN
 	}
-	for psn := max32(qp.scan, qp.una); psn < limit && psn < qp.nextPSN; psn++ {
+	for psn := max32(qp.scan, qp.una); base.SeqLess(psn, limit) && base.SeqLess(psn, qp.nextPSN); psn++ {
 		if !qp.sacked.get(psn) && !qp.retransmitted.get(psn) {
 			return psn, true
 		}
@@ -243,9 +243,9 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 	}
 	now := qp.h.Eng.Now()
 	progressed := false
-	if p.EPSN > qp.una {
+	if base.SeqLess(qp.una, p.EPSN) {
 		var acked int
-		for psn := qp.una; psn < p.EPSN; psn++ {
+		for psn := qp.una; base.SeqLess(psn, p.EPSN); psn++ {
 			if qp.sacked.get(psn) {
 				qp.sackedOut-- // SACKed packets already left the window
 			} else {
@@ -263,12 +263,12 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 		qp.ctl.OnAck(now, acked, rtt)
 		progressed = true
 	}
-	if p.Ack == packet.AckSelective && p.SackPSN < qp.totalPkts {
-		if p.SackPSN >= qp.una && qp.sacked.set(p.SackPSN) {
+	if p.Ack == packet.AckSelective && base.SeqLess(p.SackPSN, qp.totalPkts) {
+		if base.SeqGEQ(p.SackPSN, qp.una) && qp.sacked.set(p.SackPSN) {
 			qp.sackedOut++
 			qp.ctl.OnAck(now, qp.payloadAt(p.SackPSN), 0)
 		}
-		if p.SackPSN+1 > qp.highSack {
+		if base.SeqLess(qp.highSack, p.SackPSN+1) {
 			qp.highSack = p.SackPSN + 1
 		}
 		// A SACK implies out-of-order delivery: enter loss recovery (this
@@ -279,11 +279,11 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 	}
 	if progressed {
 		qp.resetTimer()
-		if qp.una >= qp.totalPkts {
+		if base.SeqGEQ(qp.una, qp.totalPkts) {
 			qp.complete(now)
 			return
 		}
-		if qp.inRecovery && qp.una > qp.recoverPSN {
+		if qp.inRecovery && base.SeqLess(qp.recoverPSN, qp.una) {
 			qp.inRecovery = false
 			qp.timeoutMode = false
 		}
@@ -312,7 +312,7 @@ func (qp *senderQP) onTimeout() {
 	if qp.done {
 		return
 	}
-	if qp.nextPSN > qp.una {
+	if base.SeqLess(qp.una, qp.nextPSN) {
 		qp.rec.Timeouts++
 		qp.enterRecovery(true)
 		qp.h.NIC.Kick()
@@ -337,14 +337,14 @@ func (h *Host) recvData(p *packet.Packet) {
 	if p.ECN {
 		h.maybeCNP(qp, p, now)
 	}
-	if p.PSN < qp.ePSN || !qp.received.set(p.PSN) {
+	if base.SeqLess(p.PSN, qp.ePSN) || !qp.received.set(p.PSN) {
 		// Duplicate (a spurious retransmission): cumulative ACK refreshes
 		// the sender.
 		h.ack(p, qp, packet.AckCumulative, 0)
 		return
 	}
 	if p.PSN == qp.ePSN {
-		for qp.ePSN < uint32(len(qp.received.words)*64) && qp.received.get(qp.ePSN) {
+		for base.SeqLess(qp.ePSN, uint32(len(qp.received.words)*64)) && qp.received.get(qp.ePSN) {
 			qp.ePSN++
 		}
 		h.ack(p, qp, packet.AckCumulative, 0)

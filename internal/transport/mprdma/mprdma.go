@@ -113,7 +113,7 @@ func (qp *senderQP) Finished() bool { return qp.done }
 
 // Next implements base.QP.
 func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
-	if qp.done || qp.nextPSN >= qp.totalPkts {
+	if qp.done || base.SeqGEQ(qp.nextPSN, qp.totalPkts) {
 		return nil, 0
 	}
 	if float64(qp.inflight) >= qp.cwnd {
@@ -130,7 +130,7 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 	// fabric like distinct UDP source ports.
 	p.PathKey = qp.pathRR%uint32(qp.h.Env.MP.Paths) + 1
 	qp.pathRR++
-	if psn < qp.firstTx {
+	if base.SeqLess(psn, qp.firstTx) {
 		p.Retransmitted = true
 		qp.rec.RetransPkts++
 	} else {
@@ -158,20 +158,20 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 	} else {
 		qp.cwnd += 1 / qp.cwnd
 	}
-	if p.EPSN > qp.una {
+	if base.SeqLess(qp.una, p.EPSN) {
 		qp.una = p.EPSN
-		if qp.nextPSN < qp.una {
+		if base.SeqLess(qp.nextPSN, qp.una) {
 			qp.nextPSN = qp.una // a rewind raced this cumulative ACK
 		}
 		qp.timer.Reset(qp.h.Env.RTOHigh)
-		if qp.una >= qp.totalPkts {
+		if base.SeqGEQ(qp.una, qp.totalPkts) {
 			qp.done = true
 			qp.timer.Stop()
 			qp.h.Env.Collector.Done(qp.flow.ID, now)
 			return
 		}
 	}
-	if p.Ack == packet.AckNak && p.EPSN < qp.nextPSN {
+	if p.Ack == packet.AckNak && base.SeqLess(p.EPSN, qp.nextPSN) {
 		// OOO-window overflow at the receiver: Go-Back-N.
 		qp.nextPSN = p.EPSN
 		qp.inflight = 0
@@ -183,7 +183,7 @@ func (qp *senderQP) onTimeout() {
 	if qp.done {
 		return
 	}
-	if qp.nextPSN > qp.una {
+	if base.SeqLess(qp.una, qp.nextPSN) {
 		qp.rec.Timeouts++
 		qp.nextPSN = qp.una
 		qp.inflight = 0
@@ -209,18 +209,18 @@ func (h *Host) recvData(p *packet.Packet) {
 	// ePSN; packets further ahead are dropped and trigger Go-Back-N. The
 	// paper observes MP-RDMA fails to keep the OOO degree below this
 	// threshold under adaptive routing, causing its inferior performance.
-	if p.PSN >= qp.ePSN+uint32(h.Env.MP.OOOWindow) {
+	if base.SeqGEQ(p.PSN, qp.ePSN+uint32(h.Env.MP.OOOWindow)) {
 		if !qp.nakSent {
 			qp.nakSent = true
 			h.ack(p, qp, packet.AckNak)
 		}
 		return
 	}
-	if p.PSN >= qp.ePSN {
+	if base.SeqGEQ(p.PSN, qp.ePSN) {
 		w, b := p.PSN/64, p.PSN%64
 		if qp.received[w]&(1<<b) == 0 {
 			qp.received[w] |= 1 << b
-			for qp.ePSN < qp.total && qp.received[qp.ePSN/64]&(1<<(qp.ePSN%64)) != 0 {
+			for base.SeqLess(qp.ePSN, qp.total) && qp.received[qp.ePSN/64]&(1<<(qp.ePSN%64)) != 0 {
 				qp.ePSN++
 				qp.nakSent = false
 			}

@@ -155,7 +155,7 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 		return nil, 0
 	}
 	// Initial window: fire-and-forget up to one BDP.
-	if qp.sent < qp.window && qp.nextPSN < qp.totalPkts {
+	if qp.sent < qp.window && base.SeqLess(qp.nextPSN, qp.totalPkts) {
 		return qp.emitNew(now), 0
 	}
 	if qp.pulls == 0 {
@@ -177,7 +177,7 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 		qp.retx = qp.retx[:0]
 		qp.retxHead = 0
 	}
-	if qp.nextPSN < qp.totalPkts {
+	if base.SeqLess(qp.nextPSN, qp.totalPkts) {
 		qp.pulls--
 		return qp.emitNew(now), 0
 	}
@@ -212,11 +212,11 @@ func (qp *senderQP) onCtrl(p *packet.Packet) {
 	case packet.AckNak:
 		// A trimmed header was seen: queue the named packet for the next
 		// pull.
-		if p.SackPSN < qp.totalPkts {
+		if base.SeqLess(p.SackPSN, qp.totalPkts) {
 			qp.retx = append(qp.retx, p.SackPSN)
 		}
 	default:
-		if p.SackPSN < qp.totalPkts {
+		if base.SeqLess(p.SackPSN, qp.totalPkts) {
 			qp.acked.set(p.SackPSN)
 		}
 	}
@@ -237,7 +237,7 @@ func (qp *senderQP) onSafety() {
 		return
 	}
 	qp.rec.Timeouts++
-	for psn := uint32(0); psn < qp.nextPSN; psn++ {
+	for psn := uint32(0); base.SeqLess(psn, qp.nextPSN); psn++ {
 		if qp.acked.words[psn/64]&(1<<(psn%64)) == 0 {
 			qp.retx = append(qp.retx, psn)
 			qp.pulls++ // self-granted credit: the pull clock was lost

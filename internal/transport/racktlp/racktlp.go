@@ -146,7 +146,7 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 	for qp.retxHead < len(qp.retxQ) {
 		psn := qp.retxQ[qp.retxHead]
 		st := &qp.pkts[psn]
-		if st.sacked || psn < qp.una {
+		if st.sacked || base.SeqLess(psn, qp.una) {
 			qp.retxHead++
 			continue
 		}
@@ -168,7 +168,7 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 		qp.retxQ = qp.retxQ[:0]
 		qp.retxHead = 0
 	}
-	if qp.nextPSN < qp.totalPkts {
+	if base.SeqLess(qp.nextPSN, qp.totalPkts) {
 		size := qp.payloadAt(qp.nextPSN)
 		ok, at := qp.ctl.CanSend(now, qp.inflight, size)
 		if !ok {
@@ -222,18 +222,18 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 			}
 		}
 	}
-	if p.EPSN > qp.una {
-		for psn := qp.una; psn < p.EPSN; psn++ {
+	if base.SeqLess(qp.una, p.EPSN) {
+		for psn := qp.una; base.SeqLess(psn, p.EPSN); psn++ {
 			newly(psn)
 		}
 		qp.una = p.EPSN
 		qp.rto.Reset(qp.h.Env.RTOHigh)
-		if qp.una >= qp.totalPkts {
+		if base.SeqGEQ(qp.una, qp.totalPkts) {
 			qp.complete(now)
 			return
 		}
 	}
-	if p.Ack == packet.AckSelective && p.SackPSN < qp.totalPkts {
+	if p.Ack == packet.AckSelective && base.SeqLess(p.SackPSN, qp.totalPkts) {
 		newly(p.SackPSN)
 	}
 	qp.probe.Reset(2 * qp.srtt)
@@ -264,7 +264,7 @@ func (qp *senderQP) rackDetect(now units.Time) {
 	reo := qp.reoWnd()
 	var nextDeadline units.Time
 	limit := qp.nextPSN
-	for psn := qp.una; psn < limit; psn++ {
+	for psn := qp.una; base.SeqLess(psn, limit); psn++ {
 		st := &qp.pkts[psn]
 		if st.sacked || st.queued || st.sentAt == 0 {
 			continue
@@ -297,13 +297,13 @@ func (qp *senderQP) rackCheck() {
 // onProbe is the tail loss probe: after 2×SRTT without ACKs, retransmit the
 // highest outstanding packet to elicit a SACK.
 func (qp *senderQP) onProbe() {
-	if qp.done || qp.nextPSN == 0 || qp.una >= qp.nextPSN {
+	if qp.done || qp.nextPSN == 0 || base.SeqGEQ(qp.una, qp.nextPSN) {
 		if !qp.done {
 			qp.probe.Reset(2 * qp.srtt)
 		}
 		return
 	}
-	for psn := qp.nextPSN; psn > qp.una; psn-- {
+	for psn := qp.nextPSN; base.SeqLess(qp.una, psn); psn-- {
 		st := &qp.pkts[psn-1]
 		if !st.sacked && !st.queued {
 			qp.markLost(psn - 1)
@@ -318,9 +318,9 @@ func (qp *senderQP) onRTO() {
 	if qp.done {
 		return
 	}
-	if qp.nextPSN > qp.una {
+	if base.SeqLess(qp.una, qp.nextPSN) {
 		qp.rec.Timeouts++
-		for psn := qp.una; psn < qp.nextPSN; psn++ {
+		for psn := qp.una; base.SeqLess(psn, qp.nextPSN); psn++ {
 			qp.markLost(psn)
 		}
 		qp.inflight = 0
@@ -354,7 +354,7 @@ func (h *Host) recvData(p *packet.Packet) {
 	dup := qp.received[w]&(1<<b) != 0
 	if !dup {
 		qp.received[w] |= 1 << b
-		for qp.ePSN < qp.total && qp.received[qp.ePSN/64]&(1<<(qp.ePSN%64)) != 0 {
+		for base.SeqLess(qp.ePSN, qp.total) && qp.received[qp.ePSN/64]&(1<<(qp.ePSN%64)) != 0 {
 			qp.ePSN++
 		}
 	}

@@ -117,10 +117,10 @@ func (qp *senderQP) Finished() bool { return qp.done }
 
 // Next implements base.QP.
 func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
-	if qp.done || qp.nextPSN >= qp.totalPkts {
+	if qp.done || base.SeqGEQ(qp.nextPSN, qp.totalPkts) {
 		return nil, 0
 	}
-	if float64(qp.nextPSN-qp.una) >= qp.cwnd {
+	if float64(base.SeqDiff(qp.nextPSN, qp.una)) >= qp.cwnd {
 		return nil, 0
 	}
 	if now < qp.nextSend {
@@ -134,7 +134,7 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 	p.Tag = packet.TagNonDCP
 	p.MsgLen = qp.totalPkts
 	p.SentAt = now
-	if psn < qp.firstTx {
+	if base.SeqLess(psn, qp.firstTx) {
 		p.Retransmitted = true
 		qp.rec.RetransPkts++
 	} else {
@@ -150,9 +150,9 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 	}
 	now := qp.h.Eng.Now()
 	switch {
-	case p.EPSN > qp.una:
+	case base.SeqLess(qp.una, p.EPSN):
 		qp.una = p.EPSN
-		if qp.nextPSN < qp.una {
+		if base.SeqLess(qp.nextPSN, qp.una) {
 			// A rewind raced a straggler cumulative ACK; never send
 			// already-acknowledged data (and never let nextPSN-una
 			// underflow).
@@ -165,13 +165,13 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 			qp.cwnd += 1 / qp.cwnd // congestion avoidance
 		}
 		qp.timer.Reset(qp.h.Env.RTOHigh)
-		if qp.una >= qp.totalPkts {
+		if base.SeqGEQ(qp.una, qp.totalPkts) {
 			qp.done = true
 			qp.timer.Stop()
 			qp.h.Env.Collector.Done(qp.flow.ID, now)
 			return
 		}
-	case p.EPSN == qp.una && qp.nextPSN > qp.una:
+	case p.EPSN == qp.una && base.SeqLess(qp.una, qp.nextPSN):
 		qp.dupAcks++
 		if qp.dupAcks == 3 {
 			// Fast retransmit: Reno halves and resends the hole.
@@ -190,7 +190,7 @@ func (qp *senderQP) onTimeout() {
 	if qp.done {
 		return
 	}
-	if qp.nextPSN > qp.una {
+	if base.SeqLess(qp.una, qp.nextPSN) {
 		qp.rec.Timeouts++
 		qp.ssthresh = qp.cwnd / 2
 		if qp.ssthresh < 2 {
@@ -218,7 +218,7 @@ func (h *Host) recvData(p *packet.Packet) {
 	w, b := p.PSN/64, p.PSN%64
 	if qp.received[w]&(1<<b) == 0 {
 		qp.received[w] |= 1 << b
-		for qp.ePSN < qp.total && qp.received[qp.ePSN/64]&(1<<(qp.ePSN%64)) != 0 {
+		for base.SeqLess(qp.ePSN, qp.total) && qp.received[qp.ePSN/64]&(1<<(qp.ePSN%64)) != 0 {
 			qp.ePSN++
 		}
 	}

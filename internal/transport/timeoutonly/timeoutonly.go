@@ -108,7 +108,7 @@ func (qp *senderQP) Finished() bool { return qp.done }
 
 // Next implements base.QP.
 func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
-	if qp.done || qp.nextPSN >= qp.totalPkts {
+	if qp.done || base.SeqGEQ(qp.nextPSN, qp.totalPkts) {
 		return nil, 0
 	}
 	size := qp.payloadAt(qp.nextPSN)
@@ -122,7 +122,7 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 	p.Tag = packet.TagNonDCP
 	p.MsgLen = qp.totalPkts
 	p.SentAt = now
-	if psn < qp.firstTx {
+	if base.SeqLess(psn, qp.firstTx) {
 		p.Retransmitted = true
 		qp.rec.RetransPkts++
 	} else {
@@ -139,13 +139,13 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 		return
 	}
 	now := qp.h.Eng.Now()
-	if p.EPSN > qp.una {
+	if base.SeqLess(qp.una, p.EPSN) {
 		var acked int
-		for psn := qp.una; psn < p.EPSN; psn++ {
+		for psn := qp.una; base.SeqLess(psn, p.EPSN); psn++ {
 			acked += qp.payloadAt(psn)
 		}
 		qp.una = p.EPSN
-		if qp.nextPSN < qp.una {
+		if base.SeqLess(qp.nextPSN, qp.una) {
 			qp.nextPSN = qp.una // a rewind raced this cumulative ACK
 		}
 		qp.inflight -= acked
@@ -158,7 +158,7 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 		}
 		qp.ctl.OnAck(now, acked, rtt)
 		qp.timer.Reset(qp.h.Env.RTOLow)
-		if qp.una >= qp.totalPkts {
+		if base.SeqGEQ(qp.una, qp.totalPkts) {
 			qp.done = true
 			qp.timer.Stop()
 			qp.ctl.Close()
@@ -173,7 +173,7 @@ func (qp *senderQP) onTimeout() {
 	if qp.done {
 		return
 	}
-	if qp.nextPSN > qp.una {
+	if base.SeqLess(qp.una, qp.nextPSN) {
 		qp.rec.Timeouts++
 		qp.nextPSN = qp.una
 		qp.inflight = 0
@@ -197,7 +197,7 @@ func (h *Host) recvData(p *packet.Packet) {
 	w, b := p.PSN/64, p.PSN%64
 	if qp.received[w]&(1<<b) == 0 {
 		qp.received[w] |= 1 << b
-		for qp.ePSN < qp.total && qp.received[qp.ePSN/64]&(1<<(qp.ePSN%64)) != 0 {
+		for base.SeqLess(qp.ePSN, qp.total) && qp.received[qp.ePSN/64]&(1<<(qp.ePSN%64)) != 0 {
 			qp.ePSN++
 		}
 	}

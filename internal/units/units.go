@@ -31,6 +31,27 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Micros returns the time as floating-point microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
+// Millis returns the time as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Picos returns the raw picosecond count. This is the sanctioned escape
+// into unitless arithmetic (serialization formats, checkpoints); prefer
+// the floating-point accessors for reporting.
+func (t Time) Picos() int64 { return int64(t) }
+
+// Scale returns d scaled by f, rounded toward zero. It is the sanctioned
+// way to take a fraction or multiple of a duration without dropping to
+// raw integers (unitcheck flags raw conversions).
+func Scale(d Time, f float64) Time { return Time(float64(d) * f) }
+
+// Mul returns d times an integer count, exactly. Use it (with Div) where
+// float64 rounding in Scale would be unwelcome, e.g. spacing n events
+// evenly across an interval.
+func Mul(d Time, n int64) Time { return d * Time(n) }
+
+// Div returns d divided by an integer count, truncated toward zero.
+func Div(d Time, n int64) Time { return d / Time(n) }
+
 // Nanos returns the time as floating-point nanoseconds.
 func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
 
@@ -65,6 +86,21 @@ const (
 
 // Gigabits returns the rate in Gbps as a float.
 func (r Rate) Gigabits() float64 { return float64(r) / float64(Gbps) }
+
+// BytesPerSec returns the rate as floating-point bytes per second.
+func (r Rate) BytesPerSec() float64 { return float64(r) / 8 }
+
+// BitsPerSec returns the rate as floating-point bits per second — the
+// sanctioned escape into unitless arithmetic for rate algebra.
+func (r Rate) BitsPerSec() float64 { return float64(r) }
+
+// ScaleRate returns r scaled by f, rounded toward zero — the sanctioned
+// way to express DCQCN-style multiplicative rate updates.
+func ScaleRate(r Rate, f float64) Rate { return Rate(float64(r) * f) }
+
+// DivRate returns r divided by an integer count, exactly (truncated
+// toward zero) — splitting a link rate across n shares.
+func DivRate(r Rate, n int64) Rate { return r / Rate(n) }
 
 func (r Rate) String() string {
 	switch {

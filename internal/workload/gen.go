@@ -79,8 +79,8 @@ type PoissonConfig struct {
 func GeneratePoisson(rng *rand.Rand, cfg PoissonConfig) []*Flow {
 	mean := cfg.Dist.Mean()
 	// Aggregate arrival rate (flows/sec): load × Σ host bandwidth / mean size.
-	lambda := cfg.Load * float64(len(cfg.Hosts)) * float64(cfg.HostRate) / (mean * 8)
-	t := float64(cfg.Start)
+	lambda := cfg.Load * float64(len(cfg.Hosts)) * cfg.HostRate.BitsPerSec() / (mean * 8)
+	t := float64(cfg.Start.Picos())
 	flows := make([]*Flow, 0, cfg.Count)
 	for i := 0; i < cfg.Count; i++ {
 		t += rng.ExpFloat64() / lambda * float64(units.Second)
@@ -94,7 +94,7 @@ func GeneratePoisson(rng *rand.Rand, cfg PoissonConfig) []*Flow {
 			Src:   src,
 			Dst:   dst,
 			Size:  cfg.Dist.Sample(rng),
-			Start: units.Time(t),
+			Start: units.Time(t) * units.Picosecond,
 			Class: cfg.Class,
 		})
 	}
@@ -119,8 +119,8 @@ type IncastConfig struct {
 // simultaneously.
 func GenerateIncast(rng *rand.Rand, cfg IncastConfig) []*Flow {
 	bytesPerEvent := float64(cfg.Fanin) * float64(cfg.FlowSize)
-	lambda := cfg.Load * float64(len(cfg.Hosts)) * float64(cfg.HostRate) / (bytesPerEvent * 8)
-	t := float64(cfg.Start)
+	lambda := cfg.Load * float64(len(cfg.Hosts)) * cfg.HostRate.BitsPerSec() / (bytesPerEvent * 8)
+	t := float64(cfg.Start.Picos())
 	var flows []*Flow
 	id := cfg.BaseID
 	for e := 0; e < cfg.Events; e++ {
@@ -135,7 +135,7 @@ func GenerateIncast(rng *rand.Rand, cfg IncastConfig) []*Flow {
 			}
 			flows = append(flows, &Flow{
 				ID: id, Src: src, Dst: victim, Size: cfg.FlowSize,
-				Start: units.Time(t), Class: cfg.Class, Group: e,
+				Start: units.Time(t) * units.Picosecond, Class: cfg.Class, Group: e,
 			})
 			id++
 			picked++
