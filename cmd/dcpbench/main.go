@@ -4,18 +4,26 @@
 //	dcpbench -run fig10            # one experiment
 //	dcpbench -run all -scale 0.25  # everything, scaled
 //	dcpbench -run quick            # everything except the heavy CLOS runs
+//	dcpbench -trace t.json -metrics m.csv   # observed incast demo run
 //
 // Output is the same rows/series the paper reports; absolute values differ
 // from the authors' testbed (this substrate is a simulator) but the shapes
 // and orderings are the reproduction target. See EXPERIMENTS.md.
+//
+// The -trace/-metrics family runs an observed DCP incast on the dumbbell at
+// 1% forced loss and exports the packet-lifecycle trace (Chrome trace-event
+// JSON for Perfetto, or JSONL) and the sampled queue/rate time series
+// (CSV). See DESIGN.md "Observability".
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"dcpsim"
 	"dcpsim/internal/exp"
 )
 
@@ -27,8 +35,21 @@ func main() {
 		scale    = flag.Float64("scale", 0.25, "workload scale (1.0 ≈ paper-sized)")
 		fault    = flag.Bool("fault", false, "run the failure-recovery experiment family")
 		severity = flag.Float64("fault-severity", 0, "pin fault experiments to one severity multiplier (0 = built-in sweep)")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the observed demo run to this file")
+		jsonlOut   = flag.String("trace-jsonl", "", "write the observed demo run's trace events as JSON lines to this file")
+		metricsOut = flag.String("metrics", "", "write the observed demo run's metrics time series as CSV to this file")
+		metricsInt = flag.Float64("metrics-interval", 10, "metrics probe cadence in simulated microseconds")
 	)
 	flag.Parse()
+
+	if *traceOut != "" || *jsonlOut != "" || *metricsOut != "" {
+		if err := observeDemo(*seed, *metricsInt, *traceOut, *jsonlOut, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || (*run == "" && !*fault) {
 		fmt.Println("experiments:")
@@ -82,4 +103,103 @@ func main() {
 		//lint:allow detcheck wall-clock banner measures real elapsed time, not sim state
 		fmt.Printf("(%s wall-clock)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// observeDemo runs a 12→1 DCP incast on the 16-host dumbbell at 1% forced
+// loss — enough to saturate the receiver port's data queue and trim — with
+// the observability layer attached, then writes the requested exports. The
+// simulated run itself is fully deterministic; only the injected wall clock
+// (engine self-profiling) varies between invocations.
+func observeDemo(seed int64, intervalUs float64, traceOut, jsonlOut, metricsOut string) error {
+	cluster := dcpsim.NewCluster(dcpsim.ClusterSpec{
+		Topology:  dcpsim.Dumbbell,
+		Hosts:     16,
+		Transport: dcpsim.DCP,
+		Seed:      seed,
+		LossRate:  0.01,
+	})
+	spec := dcpsim.ObserveSpec{
+		MetricsIntervalUs: intervalUs,
+		//lint:allow detcheck wall-clock injection for engine self-profiling only; sim state never reads it
+		WallNanos: func() int64 { return time.Now().UnixNano() },
+	}
+	var jsonlFile *os.File
+	var jsonlBuf *bufio.Writer
+	if jsonlOut != "" {
+		f, err := os.Create(jsonlOut)
+		if err != nil {
+			return err
+		}
+		jsonlFile, jsonlBuf = f, bufio.NewWriter(f)
+		spec.JSONL = jsonlBuf
+	}
+	ob := cluster.Observe(spec)
+
+	// 12 senders × 8 MB into host 15: ~12 flows' worth of BDP converging on
+	// one egress port exceeds the 1 MB trim threshold, so the data queue
+	// saturates and trims while the HO control queue stays bounded.
+	for src := 0; src < 12; src++ {
+		cluster.Send(src, 15, 8<<20)
+	}
+	unfinished := cluster.Run()
+
+	if jsonlBuf != nil {
+		if err := jsonlBuf.Flush(); err != nil {
+			return err
+		}
+		if err := jsonlFile.Close(); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		if err := ob.WriteChromeTrace(bw); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		if err := ob.WriteMetricsCSV(bw); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	fab := cluster.Fabric()
+	fmt.Printf("observed incast demo: seed=%d sim_time=%.1fms unfinished=%d\n",
+		seed, cluster.NowNanos()/1e6, unfinished)
+	fmt.Printf("  trace: %d events buffered, %d dropped, %d trim→HO→retransmit chains\n",
+		ob.Events(), ob.DroppedEvents(), ob.TrimChains())
+	fmt.Printf("  fabric: %d trimmed, %d HO enqueued, %d HO dropped, max buffer %d B\n",
+		fab.TrimmedPackets, fab.HOPackets, fab.DroppedHO, fab.MaxBufferBytes)
+	fmt.Printf("  metrics: %d samples at %g µs cadence\n", ob.MetricsSamples(), intervalUs)
+	for _, out := range []struct{ path, kind string }{
+		{traceOut, "chrome trace (open in ui.perfetto.dev)"},
+		{jsonlOut, "JSONL events"},
+		{metricsOut, "metrics CSV"},
+	} {
+		if out.path != "" {
+			fmt.Printf("  wrote %s: %s\n", out.kind, out.path)
+		}
+	}
+	return nil
 }

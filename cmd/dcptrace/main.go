@@ -8,6 +8,7 @@ package main
 
 import (
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +20,15 @@ import (
 func main() {
 	pcapPath := flag.String("pcap", "", "write a Wireshark-readable capture of the simulation to this file")
 	flap := flag.Bool("flap", false, "also demo fault injection: flap the cross link mid-transfer")
+	jsonOut := flag.Bool("json", false, "emit the walkthrough and run counters as one JSON object instead of prose")
 	flag.Parse()
+	if *jsonOut {
+		if err := runJSON(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Println("=== DCP wire formats (Fig. 4) ===")
 	data := &wire.DataPacket{
 		IP: wire.IPv4{Tag: wire.TagData, ECN: wire.ECNECT0, TTL: 64,
@@ -95,4 +104,107 @@ func main() {
 		fmt.Printf("switch: trimmed=%d link-down flushes=%d; sender: retrans=%d timeouts=%d\n",
 			ffs.TrimmedPackets, ffs.LinkDownDrops, fh.Retransmissions(), fh.Timeouts())
 	}
+}
+
+// jsonReport is the -json output: the byte-level walkthrough of Fig. 4 plus
+// the Fig. 3 workflow counters from an observed forced-loss run. Field
+// names are stable; scripts may depend on them.
+type jsonReport struct {
+	Wire struct {
+		DataPacketBytes int    `json:"data_packet_bytes"`
+		HeaderBytes     int    `json:"header_bytes"`
+		PayloadBytes    int    `json:"payload_bytes"`
+		HOBytes         int    `json:"ho_bytes"`
+		BouncedSrc      string `json:"bounced_src"`
+		BouncedDst      string `json:"bounced_dst"`
+		BouncedDestQP   uint32 `json:"bounced_dest_qp"`
+		PSN             uint32 `json:"psn"`
+		MSN             uint32 `json:"msn"`
+		IsHO            bool   `json:"is_ho"`
+	} `json:"wire"`
+	Run struct {
+		Bytes          int64            `json:"bytes"`
+		LossRate       float64          `json:"loss_rate"`
+		FCTMicros      float64          `json:"fct_us"`
+		GoodputGbps    float64          `json:"goodput_gbps"`
+		Retransmits    int64            `json:"retransmissions"`
+		Timeouts       int64            `json:"timeouts"`
+		Trimmed        int64            `json:"trimmed"`
+		HOEnqueued     int64            `json:"ho_enqueued"`
+		HODropped      int64            `json:"ho_dropped"`
+		DataDropped    int64            `json:"data_dropped"`
+		TraceEvents    int              `json:"trace_events"`
+		EventCounts    map[string]int64 `json:"event_counts"`
+		RetransChains  int              `json:"retrans_chains"`
+		MetricsSamples int              `json:"metrics_samples"`
+	} `json:"run"`
+}
+
+// runJSON reruns the same walkthrough and forced-loss simulation as the
+// prose mode, with the observability layer attached, and prints one JSON
+// object (the only output in -json mode).
+func runJSON() error {
+	var rep jsonReport
+
+	data := &wire.DataPacket{
+		IP: wire.IPv4{Tag: wire.TagData, ECN: wire.ECNECT0, TTL: 64,
+			Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}},
+		UDP:     wire.UDP{SrcPort: 49152},
+		BTH:     wire.BTH{OpCode: wire.OpWriteMiddle, DestQP: 0x1234, PSN: 1001, SRetryNo: 0},
+		MSN:     7,
+		HasRETH: true,
+		RETH:    wire.RETH{VA: 0x7f0000400000, RKey: 0xbeef, Length: 1 << 20},
+		Payload: make([]byte, 64),
+	}
+	enc := data.Marshal()
+	rep.Wire.DataPacketBytes = len(enc)
+	rep.Wire.HeaderBytes = data.HeaderSize()
+	rep.Wire.PayloadBytes = len(data.Payload)
+	ho, err := wire.TrimToHO(enc)
+	if err != nil {
+		return err
+	}
+	rep.Wire.HOBytes = len(ho)
+	if err := wire.BounceHO(ho, 0x4321); err != nil {
+		return err
+	}
+	dec, err := wire.UnmarshalDataPacket(ho)
+	if err != nil {
+		return err
+	}
+	rep.Wire.BouncedSrc = fmt.Sprintf("%d.%d.%d.%d", dec.IP.Src[0], dec.IP.Src[1], dec.IP.Src[2], dec.IP.Src[3])
+	rep.Wire.BouncedDst = fmt.Sprintf("%d.%d.%d.%d", dec.IP.Dst[0], dec.IP.Dst[1], dec.IP.Dst[2], dec.IP.Dst[3])
+	rep.Wire.BouncedDestQP = dec.BTH.DestQP
+	rep.Wire.PSN = dec.BTH.PSN
+	rep.Wire.MSN = dec.MSN
+	rep.Wire.IsHO = dec.IsHO()
+
+	c := dcpsim.NewCluster(dcpsim.ClusterSpec{
+		Topology: dcpsim.Dumbbell, Hosts: 2, Transport: dcpsim.DCP, LossRate: 0.01,
+	})
+	ob := c.Observe(dcpsim.ObserveSpec{})
+	h := c.Send(0, 1, 32<<20)
+	c.Run()
+	fs := c.Fabric()
+	rep.Run.Bytes = 32 << 20
+	rep.Run.LossRate = 0.01
+	rep.Run.FCTMicros = h.FCTMicros()
+	rep.Run.GoodputGbps = h.Goodput()
+	rep.Run.Retransmits = h.Retransmissions()
+	rep.Run.Timeouts = h.Timeouts()
+	rep.Run.Trimmed = fs.TrimmedPackets
+	rep.Run.HOEnqueued = fs.HOPackets
+	rep.Run.HODropped = fs.DroppedHO
+	rep.Run.DataDropped = fs.DroppedData
+	rep.Run.TraceEvents = ob.Events()
+	rep.Run.EventCounts = ob.CountsByType()
+	rep.Run.RetransChains = ob.TrimChains()
+	rep.Run.MetricsSamples = ob.MetricsSamples()
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
 }

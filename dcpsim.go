@@ -23,6 +23,7 @@ import (
 	"dcpsim/internal/exp"
 	"dcpsim/internal/fabric"
 	"dcpsim/internal/faults"
+	"dcpsim/internal/obs"
 	"dcpsim/internal/packet"
 	"dcpsim/internal/pcap"
 	"dcpsim/internal/sim"
@@ -447,6 +448,117 @@ func (c *Cluster) Capture(w io.Writer) error {
 		pw.Record(p, c.sim.Eng.Now())
 	})
 	return nil
+}
+
+// --- observability ---
+
+// ObserveSpec configures the observability layer for a cluster run.
+type ObserveSpec struct {
+	// MetricsIntervalUs is the probe cadence in simulated microseconds
+	// (0 picks the 10 µs default).
+	MetricsIntervalUs float64
+	// MaxEvents bounds the in-memory trace buffer (0 picks the ~1M default).
+	// Overflow is counted (see Observation.DroppedEvents), never silent.
+	MaxEvents int
+	// JSONL, when non-nil, streams every trace event as one JSON line while
+	// the simulation runs; the stream is not bounded by MaxEvents.
+	JSONL io.Writer
+	// WallNanos, when set, supplies monotonic wall-clock nanoseconds for the
+	// engine.wall_ms_per_sim_s self-profiling series. The simulator never
+	// reads the host clock itself; callers inject it deliberately.
+	WallNanos func() int64
+}
+
+// Observation is a cluster's attached observability sinks: the packet-
+// lifecycle trace and the sampled time-series metrics. Sinks only record —
+// a run with an Observation attached produces bit-identical flow results
+// (FCTs, goodput, retransmissions) to the same seed without one.
+type Observation struct {
+	tr *obs.Tracer
+	m  *obs.Metrics
+}
+
+// Observe attaches tracing and metrics to the cluster. Call after
+// NewCluster and before Run so the series cover the whole simulation.
+func (c *Cluster) Observe(spec ObserveSpec) *Observation {
+	tr := obs.NewTracer()
+	if spec.MaxEvents > 0 {
+		tr.SetLimit(spec.MaxEvents)
+	}
+	if spec.JSONL != nil {
+		tr.StreamJSONL(spec.JSONL)
+	}
+	interval := obs.DefaultMetricsInterval
+	if spec.MetricsIntervalUs > 0 {
+		interval = units.Scale(units.Microsecond, spec.MetricsIntervalUs)
+	}
+	m := obs.NewMetrics(c.sim.Eng, interval)
+	if spec.WallNanos != nil {
+		m.WallNanos = spec.WallNanos
+	}
+	c.sim.Attach(tr, m)
+	return &Observation{tr: tr, m: m}
+}
+
+// WriteChromeTrace writes the buffered events plus metrics counter tracks
+// in Chrome trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+func (o *Observation) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, o.tr.Events(), o.m)
+}
+
+// WriteJSONL writes the buffered events as JSON lines.
+func (o *Observation) WriteJSONL(w io.Writer) error { return o.tr.WriteJSONL(w) }
+
+// WriteMetricsCSV writes the sampled series as CSV (time_us plus one column
+// per series).
+func (o *Observation) WriteMetricsCSV(w io.Writer) error { return o.m.WriteCSV(w) }
+
+// WriteMetricsJSON writes the sampled series as one JSON object.
+func (o *Observation) WriteMetricsJSON(w io.Writer) error { return o.m.WriteJSON(w) }
+
+// Events returns the number of buffered trace events.
+func (o *Observation) Events() int { return o.tr.Len() }
+
+// DroppedEvents returns how many events overflowed the in-memory buffer.
+func (o *Observation) DroppedEvents() uint64 { return o.tr.Dropped() }
+
+// MetricsSamples returns the number of probe ticks taken.
+func (o *Observation) MetricsSamples() int { return o.m.Samples() }
+
+// CountsByType tallies buffered events per event-type name.
+func (o *Observation) CountsByType() map[string]int64 {
+	out := make(map[string]int64)
+	for _, tc := range obs.CountByType(o.tr.Events()) {
+		out[tc.Type.String()] = tc.N
+	}
+	return out
+}
+
+// TrimChains counts completed trim → HO-bounce/return → retransmit
+// lifecycle chains in the trace: direct evidence of DCP's HO-based loss
+// recovery working end to end.
+func (o *Observation) TrimChains() int { return obs.RetransChains(o.tr.Events()) }
+
+// SeriesValues returns the sampled values of a named metrics series (nil if
+// the series does not exist). NaN marks ticks before the series existed.
+func (o *Observation) SeriesValues(name string) []float64 {
+	s := o.m.Lookup(name)
+	if s == nil {
+		return nil
+	}
+	return s.Values()
+}
+
+// SeriesNames returns the registered metrics series names in registration
+// order (the column order of WriteMetricsCSV).
+func (o *Observation) SeriesNames() []string {
+	series := o.m.Series()
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	return names
 }
 
 // WebSearchSpec configures a WebSearch workload run on the 256-host CLOS

@@ -3,6 +3,7 @@ package dcpsim
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -259,5 +260,123 @@ func TestRunWebSearchFacade(t *testing.T) {
 	}
 	if res.Timeouts != 0 {
 		t.Fatalf("DCP at load 0.2 should not time out: %+v", res)
+	}
+}
+
+func TestObserveDoesNotPerturbRun(t *testing.T) {
+	// The observability determinism contract, end to end: attaching the
+	// tracer and metrics probe to a run must leave every flow statistic and
+	// fabric counter bit-identical to the unobserved run at the same seed.
+	spec := ClusterSpec{Topology: Dumbbell, Hosts: 2, Transport: DCP, LossRate: 0.02, Seed: 11}
+	type result struct {
+		fct, goodput     float64
+		retrans, timeout int64
+		fabric           FabricStats
+	}
+	run := func(observe bool) (result, float64) {
+		c := NewCluster(spec)
+		if observe {
+			c.Observe(ObserveSpec{})
+		}
+		h := c.Send(0, 1, 8<<20)
+		if left := c.Run(); left != 0 {
+			t.Fatalf("%d unfinished", left)
+		}
+		return result{h.FCTMicros(), h.Goodput(), h.Retransmissions(), h.Timeouts(),
+			c.Fabric()}, c.NowNanos()
+	}
+	plain, plainNow := run(false)
+	observed, observedNow := run(true)
+	if plain != observed {
+		t.Fatalf("observation perturbed the run:\nplain:    %+v\nobserved: %+v", plain, observed)
+	}
+	// The observed run's clock may end on the final probe tick, at most one
+	// probe interval (10 µs default) past the last real event.
+	if observedNow < plainNow || observedNow > plainNow+10_000 {
+		t.Fatalf("final clock %v ns, want within one probe interval of %v ns", observedNow, plainNow)
+	}
+}
+
+func TestObservedIncastTraceAndMetrics(t *testing.T) {
+	// The paper's recovery story, visible in the trace: a 12→1 incast at 1%
+	// forced loss trims at the congested egress, HO packets bounce back, and
+	// CC-regulated retransmissions repair the loss — while the lossless
+	// control queue stays tiny even as the data queue saturates.
+	c := NewCluster(ClusterSpec{Topology: Dumbbell, Hosts: 16, Transport: DCP, LossRate: 0.01, Seed: 42})
+	ob := c.Observe(ObserveSpec{MetricsIntervalUs: 10})
+	for src := 0; src < 12; src++ {
+		c.Send(src, 15, 2<<20)
+	}
+	if left := c.Run(); left != 0 {
+		t.Fatalf("%d unfinished", left)
+	}
+	if ob.Events() == 0 || ob.DroppedEvents() != 0 {
+		t.Fatalf("events=%d dropped=%d", ob.Events(), ob.DroppedEvents())
+	}
+	if ob.TrimChains() == 0 {
+		t.Fatal("no complete trim→HO→retransmit chain in the trace")
+	}
+	counts := ob.CountsByType()
+	for _, ev := range []string{"flow-start", "enqueue", "trim", "ho-enqueue", "ho-bounce",
+		"ho-return", "retransmit", "deliver", "flow-done"} {
+		if counts[ev] == 0 {
+			t.Fatalf("no %q events; counts=%v", ev, counts)
+		}
+	}
+	if counts["flow-done"] != 12 {
+		t.Fatalf("flow-done count = %d, want 12", counts["flow-done"])
+	}
+	if ob.MetricsSamples() == 0 {
+		t.Fatal("metrics probe never ticked")
+	}
+	// Host 15 sits behind switch 1's egress 7: its data queue must build
+	// toward the trim threshold while the HO control queue stays bounded
+	// near a single 57-byte header.
+	maxOf := func(name string) float64 {
+		vals := ob.SeriesValues(name)
+		if vals == nil {
+			t.Fatalf("series %q missing", name)
+		}
+		m := 0.0
+		for _, v := range vals {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	dataMax, ctrlMax := maxOf("sw1.eg7.dataq_bytes"), maxOf("sw1.eg7.ctrlq_bytes")
+	if dataMax < 100_000 {
+		t.Fatalf("data queue never saturated: max %v B", dataMax)
+	}
+	if ctrlMax > 10_000 {
+		t.Fatalf("HO control queue not bounded: max %v B", ctrlMax)
+	}
+
+	// The Chrome trace export must be valid JSON with the expected shape.
+	var buf bytes.Buffer
+	if err := ob.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < ob.Events() {
+		t.Fatalf("chrome trace has %d entries for %d events", len(doc.TraceEvents), ob.Events())
+	}
+	// And the CSV export keeps one column per registered series.
+	buf.Reset()
+	if err := ob.WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header, _, ok := strings.Cut(buf.String(), "\n")
+	if !ok || !strings.HasPrefix(header, "time_us,") {
+		t.Fatalf("CSV header: %q", header)
+	}
+	if got, want := strings.Count(header, ",")+1, 1+len(ob.SeriesNames()); got != want {
+		t.Fatalf("CSV has %d columns, want %d", got, want)
 	}
 }

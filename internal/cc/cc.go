@@ -33,6 +33,32 @@ type Controller interface {
 // with base round-trip time rtt.
 type Factory func(eng *sim.Engine, link units.Rate, rtt units.Time) Controller
 
+// TraceFunc observes rate changes: called with the simulated time and the
+// new current rate whenever an adaptive controller adjusts it. Trace
+// functions must only record — never mutate simulation state.
+type TraceFunc func(now units.Time, r units.Rate)
+
+// SetTrace attaches fn to every rate-adaptive controller reachable from c
+// (descending through Combined). Controllers without internal rate dynamics
+// (Window, StaticRate) have nothing to report and are skipped. Returns true
+// if at least one controller accepted the hook.
+func SetTrace(c Controller, fn TraceFunc) bool {
+	switch ctl := c.(type) {
+	case *DCQCN:
+		ctl.trace = fn
+		return true
+	case *Combined:
+		hooked := false
+		for _, sub := range ctl.Ctls {
+			if SetTrace(sub, fn) {
+				hooked = true
+			}
+		}
+		return hooked
+	}
+	return false
+}
+
 // Window caps unacknowledged bytes, the "BDP-based flow control" both IRN
 // and DCP employ when no CC is integrated.
 type Window struct {

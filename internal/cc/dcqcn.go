@@ -56,6 +56,10 @@ type DCQCN struct {
 	alphaT *sim.Timer
 	incT   *sim.Timer
 	closed bool
+
+	// trace, when non-nil, observes every change to the current rate Rc
+	// (cuts and recovery steps). Set via cc.SetTrace.
+	trace TraceFunc
 }
 
 // NewDCQCNFactory returns a Factory producing DCQCN controllers starting at
@@ -117,6 +121,9 @@ func (d *DCQCN) OnCongestion(now units.Time) {
 	d.byteStage = 0
 	d.alphaT.Reset(d.cfg.AlphaTimer)
 	d.incT.Reset(d.cfg.IncreaseTimer)
+	if d.trace != nil {
+		d.trace(now, d.rc)
+	}
 }
 
 func (d *DCQCN) alphaTick() {
@@ -153,6 +160,9 @@ func (d *DCQCN) increase() {
 	d.rc = (d.rc + d.rt) / 2
 	if d.rc < d.cfg.MinRate {
 		d.rc = d.cfg.MinRate
+	}
+	if d.trace != nil {
+		d.trace(d.eng.Now(), d.rc)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"dcpsim/internal/cc"
 	"dcpsim/internal/fabric"
+	"dcpsim/internal/obs"
 	"dcpsim/internal/packet"
 	"dcpsim/internal/sim"
 	"dcpsim/internal/stats"
@@ -173,6 +174,23 @@ func NewSim(seed int64, sch Scheme, build func(*sim.Engine) *topo.Network) *Sim 
 		}
 	}
 	return s
+}
+
+// Attach wires the observability sinks into the run: the tracer reaches the
+// transport environment, every switch and host NIC, and future fault
+// injections; the metrics registry (when non-nil) gains the fabric gauges,
+// engine self-profiling, and starts its probe. Either argument may be nil.
+// Sinks observe only — they never mutate simulation state, so an attached
+// run produces bit-identical flow results to an unobserved one. Call before
+// Run.
+func (s *Sim) Attach(tr *obs.Tracer, m *obs.Metrics) {
+	s.Env.Trace = tr
+	s.Env.Metrics = m
+	s.Net.Observe(tr, m)
+	if m != nil {
+		m.ProfileEngine()
+		m.Start()
+	}
 }
 
 // SwitchConfigFor returns the fabric config matching a scheme.

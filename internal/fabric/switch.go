@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dcpsim/internal/obs"
 	"dcpsim/internal/packet"
 	"dcpsim/internal/sim"
 	"dcpsim/internal/units"
@@ -122,7 +123,8 @@ type SwitchCounters struct {
 type Egress struct {
 	Port  *Port
 	sched switchScheduler
-	down  bool // link-down fault: data-plane port status
+	idx   int32 // this egress's index on its switch, for tracing
+	down  bool  // link-down fault: data-plane port status
 }
 
 // LinkDown reports whether the egress link is marked down.
@@ -155,6 +157,11 @@ type Switch struct {
 	// host dst. Built by package topo.
 	routes [][]int
 
+	// trace, when non-nil, receives packet-lifecycle events (enqueue, trim,
+	// drops, ECN, pause). Every emission site nil-checks first so the
+	// disabled hot path is a single comparison.
+	trace *obs.Tracer
+
 	Counters SwitchCounters
 }
 
@@ -180,9 +187,13 @@ func (s *Switch) AddEgress(rate units.Rate, wire *Wire) int {
 	}
 	port := NewPort(s.eng, rate, wire, sched)
 	port.OnDequeue = s.onDequeue
-	s.egress = append(s.egress, &Egress{Port: port, sched: sched})
+	s.egress = append(s.egress, &Egress{Port: port, sched: sched, idx: int32(len(s.egress))})
 	return len(s.egress) - 1
 }
+
+// SetTrace attaches (or with nil detaches) the observability trace sink.
+// The sink only observes: attaching one never changes switch behaviour.
+func (s *Switch) SetTrace(tr *obs.Tracer) { s.trace = tr }
 
 // AddIngress registers an arriving wire and returns the ingress index the
 // wire must deliver with.
@@ -207,6 +218,10 @@ func (s *Switch) Receive(p *packet.Packet, ingress int) {
 	if s.blackout {
 		// A dark switch forwards nothing; arrivals vanish silently.
 		s.Counters.BlackoutDrops++
+		if s.trace != nil {
+			s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvDataDrop, Node: s.id, Port: -1,
+				Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Note: "blackout"})
+		}
 		return
 	}
 	s.Counters.RxPackets++
@@ -313,6 +328,10 @@ func (s *Switch) enqueue(out int, p *packet.Packet, ingress int) {
 			s.trimInto(e, p, ingress)
 		} else {
 			s.Counters.DroppedData++
+			if s.trace != nil {
+				s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvDataDrop, Node: s.id, Port: e.idx,
+					Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Note: "forced-loss"})
+			}
 		}
 		return
 	}
@@ -328,17 +347,29 @@ func (s *Switch) enqueue(out int, p *packet.Packet, ingress int) {
 				s.trimInto(e, p, ingress)
 			} else {
 				s.Counters.DroppedData++
+				if s.trace != nil {
+					s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvDataDrop, Node: s.id, Port: e.idx,
+						Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Aux: int64(e.sched.dataBytes()), Note: "overflow"})
+				}
 			}
 			return
 		}
 		s.maybeMarkECN(e, p)
 		s.charge(p, ingress)
+		if s.trace != nil {
+			s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvEnqueue, Node: s.id, Port: e.idx,
+				Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Aux: int64(e.sched.dataBytes() + p.Size)})
+		}
 		e.sched.pushData(p)
 	case packet.KindAck, packet.KindCNP:
 		// DCP ACK packets (tag 01) and non-DCP control are dropped over
 		// threshold (§4.2).
 		if e.sched.dataBytes() > s.cfg.TrimThreshold || s.bufUsed+p.Size > s.cfg.BufferBytes {
 			s.Counters.DroppedAck++
+			if s.trace != nil {
+				s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvAckDrop, Node: s.id, Port: e.idx,
+					Flow: p.FlowID, Size: int32(p.Size), Aux: int64(e.sched.dataBytes())})
+			}
 			return
 		}
 		s.charge(p, ingress)
@@ -354,6 +385,10 @@ func (s *Switch) enqueue(out int, p *packet.Packet, ingress int) {
 func (s *Switch) trimInto(e *Egress, p *packet.Packet, ingress int) {
 	p.Trim()
 	s.Counters.TrimmedPkts++
+	if s.trace != nil {
+		s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvTrim, Node: s.id, Port: e.idx,
+			Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Aux: int64(e.sched.dataBytes())})
+	}
 	if s.cfg.DirectHOReturn {
 		// Back-to-sender (§7): swap endpoints here and re-route the HO
 		// packet toward the sender. The fabric-wide QPN mapping a real
@@ -371,10 +406,18 @@ func (s *Switch) trimInto(e *Egress, p *packet.Packet, ingress int) {
 func (s *Switch) ctrlEnqueue(e *Egress, p *packet.Packet, ingress int) {
 	if e.sched.ctrlBytes()+p.Size > s.cfg.CtrlQueueCap || s.bufUsed+p.Size > s.cfg.BufferBytes {
 		s.Counters.DroppedHO++
+		if s.trace != nil {
+			s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvHODrop, Node: s.id, Port: e.idx,
+				Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Aux: int64(e.sched.ctrlBytes())})
+		}
 		return
 	}
 	s.Counters.HOEnqueued++
 	s.charge(p, ingress)
+	if s.trace != nil {
+		s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvHOEnqueue, Node: s.id, Port: e.idx,
+			Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Aux: int64(e.sched.ctrlBytes() + p.Size)})
+	}
 	e.sched.pushCtrl(p)
 	e.Port.Kick()
 }
@@ -415,6 +458,10 @@ func (s *Switch) maybeMarkECN(e *Egress, p *packet.Packet) {
 	if mark {
 		p.ECN = true
 		s.Counters.ECNMarked++
+		if s.trace != nil {
+			s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvECNMark, Node: s.id, Port: e.idx,
+				Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Aux: int64(q)})
+		}
 	}
 }
 
@@ -449,6 +496,10 @@ func (s *Switch) checkPause(i int) {
 	if !s.ingressPaused[i] && s.ingressBytes[i] > s.cfg.PFCXoff {
 		s.ingressPaused[i] = true
 		s.Counters.PauseOn++
+		if s.trace != nil {
+			s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvPause, Node: s.id, Port: int32(i),
+				Aux: int64(s.ingressBytes[i])})
+		}
 		s.ingress[i].PauseSource(true)
 	} else if s.ingressPaused[i] && s.ingressBytes[i] < s.cfg.PFCXon {
 		s.ingressPaused[i] = false
@@ -485,6 +536,10 @@ func (s *Switch) SetBlackout(on bool) {
 		for _, p := range e.sched.drain() {
 			s.uncharge(p)
 			s.Counters.BlackoutDrops++
+			if s.trace != nil {
+				s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvDataDrop, Node: s.id, Port: e.idx,
+					Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Note: "blackout"})
+			}
 		}
 	}
 	for i := range s.ingressPaused {
@@ -517,14 +572,26 @@ func (s *Switch) SetEgressLinkDown(i int, down bool) {
 		if p.Tag == packet.TagData && s.cfg.Trimming && !s.cfg.Lossless {
 			p.Trim()
 			s.Counters.TrimmedPkts++
+			if s.trace != nil {
+				s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvTrim, Node: s.id, Port: e.idx,
+					Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Note: "linkdown-rescue"})
+			}
 			if out := s.pickEgress(p); out >= 0 && out != i && !s.egress[out].down {
 				s.ctrlEnqueue(s.egress[out], p, int(p.BufIngress))
 				continue
 			}
 			s.Counters.DroppedHO++
+			if s.trace != nil {
+				s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvHODrop, Node: s.id, Port: e.idx,
+					Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Note: "linkdown"})
+			}
 			continue
 		}
 		s.Counters.LinkDownDrops++
+		if s.trace != nil {
+			s.trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvDataDrop, Node: s.id, Port: e.idx,
+				Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Note: "linkdown"})
+		}
 	}
 	if s.cfg.Lossless {
 		// Flushing freed per-ingress buffer credit; release stale pauses.

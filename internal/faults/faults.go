@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"dcpsim/internal/fabric"
+	"dcpsim/internal/obs"
 	"dcpsim/internal/sim"
 	"dcpsim/internal/units"
 )
@@ -268,11 +269,15 @@ type Targets struct {
 	Links map[string][]LinkEnd
 	// Switches lists the switches addressable by Event.Switch.
 	Switches []*fabric.Switch
+	// Trace, when non-nil, records every applied fault event (obs.EvFault)
+	// so fault timelines line up with packet-lifecycle traces.
+	Trace *obs.Tracer
 }
 
 // Injector is a plan bound to a network, with its events scheduled on the
 // engine.
 type Injector struct {
+	eng *sim.Engine
 	tgt Targets
 
 	// Fired counts fault events applied so far.
@@ -283,7 +288,7 @@ type Injector struct {
 // on the engine. It must be called before the simulation clock passes the
 // plan's first event.
 func Inject(eng *sim.Engine, p *Plan, tgt Targets) (*Injector, error) {
-	in := &Injector{tgt: tgt}
+	in := &Injector{eng: eng, tgt: tgt}
 	for _, ev := range p.Events() {
 		ev := ev
 		switch ev.Kind {
@@ -306,6 +311,16 @@ func Inject(eng *sim.Engine, p *Plan, tgt Targets) (*Injector, error) {
 
 func (in *Injector) apply(ev Event) {
 	in.Fired++
+	if in.tgt.Trace != nil {
+		var note string
+		switch ev.Kind {
+		case SwitchLoss, SwitchDown, SwitchUp:
+			note = fmt.Sprintf("%s sw%d", ev.Kind, ev.Switch)
+		default:
+			note = ev.Kind.String() + " " + ev.Link
+		}
+		in.tgt.Trace.Fault(in.eng.Now(), note)
+	}
 	switch ev.Kind {
 	case LinkDown, LinkUp:
 		down := ev.Kind == LinkDown

@@ -6,6 +6,7 @@ package nic
 
 import (
 	"dcpsim/internal/fabric"
+	"dcpsim/internal/obs"
 	"dcpsim/internal/packet"
 	"dcpsim/internal/sim"
 	"dcpsim/internal/units"
@@ -33,6 +34,10 @@ type NIC struct {
 
 	kickEv *sim.Event
 	kickAt units.Time
+
+	// trace, when non-nil, sees data deliveries (EvDeliver). Nil-checked at
+	// the call site so the disabled path costs one comparison.
+	trace *obs.Tracer
 
 	// RxPackets counts packets delivered to the transport.
 	RxPackets int64
@@ -84,11 +89,18 @@ func (n *NIC) pull(dataPaused bool) *packet.Packet {
 // wires.
 func (n *NIC) AddIngress(w *fabric.Wire) int { return 0 }
 
+// SetTrace attaches (or with nil detaches) the observability trace sink.
+func (n *NIC) SetTrace(tr *obs.Tracer) { n.trace = tr }
+
 // Receive implements fabric.Receiver.
 func (n *NIC) Receive(p *packet.Packet, _ int) {
 	n.RxPackets++
 	if p.Kind == packet.KindData {
 		n.DeliveredBytes += int64(p.PayloadBytes)
+		if n.trace != nil {
+			n.trace.Emit(obs.Event{At: n.eng.Now(), Type: obs.EvDeliver, Node: n.id, Port: -1,
+				Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Aux: n.DeliveredBytes})
+		}
 	}
 	if n.tr != nil {
 		n.tr.Handle(p)

@@ -1,0 +1,33 @@
+// The allocation guard is meaningless under the race detector (its
+// instrumentation can allocate); CI runs it in a separate non-race step.
+//go:build !race
+
+package obs
+
+import (
+	"testing"
+
+	"dcpsim/internal/packet"
+	"dcpsim/internal/units"
+)
+
+// TestDisabledHooksAllocationFree pins the zero-overhead contract from the
+// package doc: every hook an instrumented component may call on a nil sink
+// must allocate nothing, so leaving the hooks compiled into the hot path is
+// free when observability is off.
+func TestDisabledHooksAllocationFree(t *testing.T) {
+	var tr *Tracer
+	var m *Metrics
+	p := &packet.Packet{FlowID: 7, PSN: 42, MSN: 3, Size: 1500}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{At: 1, Type: EvEnqueue, Node: 2, Port: 0})
+		tr.Packet(1, EvTrim, 2, 1, p, 64)
+		tr.Flow(1, EvTimeout, 2, 7, 1)
+		tr.CCRate(1, 2, 7, units.Rate(100e9))
+		tr.Fault(1, "linkdown cross0")
+		m.Gauge("g", nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hook path allocates %.0f bytes-equivalents/op, want 0", allocs)
+	}
+}

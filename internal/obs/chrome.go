@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+
+	"dcpsim/internal/packet"
+)
+
+// metricsPID is the synthetic process id hosting metrics counter tracks in
+// a Chrome trace (real node ids are small non-negative integers).
+const metricsPID = 1_000_000
+
+// WriteChromeTrace writes events (and, when m is non-nil, its sampled
+// series as counter tracks) in the Chrome trace-event JSON format, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Layout: one process
+// per fabric node (switch or host), one thread per egress port (tid 0 is
+// the node itself: host events and portless events), instant events for the
+// packet lifecycle, and one counter track per metrics series under a
+// synthetic "metrics" process. Timestamps are simulated microseconds.
+// Output is byte-stable for a given input.
+func WriteChromeTrace(w io.Writer, events []Event, m *Metrics) error {
+	type track struct {
+		node packet.NodeID
+		port int32
+	}
+	seen := make(map[track]bool)
+	var tracks []track
+	for i := range events {
+		tr := track{events[i].Node, events[i].Port}
+		if tr.port < 0 {
+			tr.port = -1
+		}
+		if !seen[tr] {
+			seen[tr] = true
+			tracks = append(tracks, tr)
+		}
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].node != tracks[j].node {
+			return tracks[i].node < tracks[j].node
+		}
+		return tracks[i].port < tracks[j].port
+	})
+
+	var b []byte
+	flush := func() error {
+		if len(b) == 0 {
+			return nil
+		}
+		_, err := w.Write(b)
+		b = b[:0]
+		return err
+	}
+
+	b = append(b, `{"displayTimeUnit":"ms","traceEvents":[`...)
+	first := true
+	comma := func() {
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+	}
+
+	// Metadata: name each node's process and each port's thread.
+	lastNode := packet.NodeID(-1 << 30)
+	for _, tr := range tracks {
+		if tr.node != lastNode {
+			lastNode = tr.node
+			comma()
+			b = append(b, `{"name":"process_name","ph":"M","pid":`...)
+			b = strconv.AppendInt(b, int64(tr.node), 10)
+			b = append(b, `,"args":{"name":"node`...)
+			b = strconv.AppendInt(b, int64(tr.node), 10)
+			b = append(b, `"}}`...)
+		}
+		comma()
+		b = append(b, `{"name":"thread_name","ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(tr.node), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(tr.port)+1, 10)
+		b = append(b, `,"args":{"name":"`...)
+		if tr.port < 0 {
+			b = append(b, "endpoint"...)
+		} else {
+			b = append(b, "eg"...)
+			b = strconv.AppendInt(b, int64(tr.port), 10)
+		}
+		b = append(b, `"}}`...)
+	}
+	if m != nil && len(m.Series()) > 0 {
+		comma()
+		b = append(b, `{"name":"process_name","ph":"M","pid":`...)
+		b = strconv.AppendInt(b, metricsPID, 10)
+		b = append(b, `,"args":{"name":"metrics"}}`...)
+	}
+
+	// Instant events, one per trace record.
+	for i := range events {
+		e := &events[i]
+		port := e.Port
+		if port < 0 {
+			port = -1
+		}
+		comma()
+		b = append(b, `{"name":"`...)
+		b = append(b, e.Type.String()...)
+		b = append(b, `","cat":"pkt","ph":"i","s":"t","ts":`...)
+		b = strconv.AppendFloat(b, e.At.Micros(), 'f', 6, 64)
+		b = append(b, `,"pid":`...)
+		b = strconv.AppendInt(b, int64(e.Node), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(port)+1, 10)
+		b = append(b, `,"args":{"flow":`...)
+		b = strconv.AppendUint(b, e.Flow, 10)
+		b = append(b, `,"psn":`...)
+		b = strconv.AppendUint(b, uint64(e.PSN), 10)
+		b = append(b, `,"msn":`...)
+		b = strconv.AppendUint(b, uint64(e.MSN), 10)
+		b = append(b, `,"size":`...)
+		b = strconv.AppendInt(b, int64(e.Size), 10)
+		b = append(b, `,"aux":`...)
+		b = strconv.AppendInt(b, e.Aux, 10)
+		if e.Note != "" {
+			b = append(b, `,"note":`...)
+			b = strconv.AppendQuote(b, e.Note)
+		}
+		b = append(b, "}}"...)
+		if len(b) > 1<<16 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Counter tracks from the metrics registry.
+	if m != nil {
+		times := m.Times()
+		for _, s := range m.Series() {
+			vals := s.Values()
+			for i, t := range times {
+				if i >= len(vals) || vals[i] != vals[i] { // NaN: not sampled
+					continue
+				}
+				comma()
+				b = append(b, `{"name":`...)
+				b = strconv.AppendQuote(b, s.Name)
+				b = append(b, `,"ph":"C","ts":`...)
+				b = strconv.AppendFloat(b, t.Micros(), 'f', 6, 64)
+				b = append(b, `,"pid":`...)
+				b = strconv.AppendInt(b, metricsPID, 10)
+				b = append(b, `,"args":{"v":`...)
+				b = appendFloat(b, vals[i], "0")
+				b = append(b, "}}"...)
+				if len(b) > 1<<16 {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+
+	b = append(b, "]}\n"...)
+	return flush()
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcpsim/internal/sim"
+	"dcpsim/internal/units"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenRun builds a small, fully hand-determined observed "run": a trace of
+// one trimmed packet's lifecycle across two fabric nodes plus a metrics
+// registry sampled three times with one late-registered series. Everything
+// the exporters can render appears at least once (ports and portless events,
+// notes, NaN padding, fractional and integral samples).
+func goldenRun() ([]Event, *Metrics) {
+	us := func(f float64) units.Time { return units.Scale(units.Microsecond, f) }
+	events := []Event{
+		{At: us(0.5), Type: EvFlowStart, Node: 0, Port: -1, Flow: 1, Aux: 1 << 20},
+		{At: us(1.2), Type: EvEnqueue, Node: 2, Port: 0, Flow: 1, PSN: 0, MSN: 0, Size: 4154, Aux: 4154},
+		{At: us(1.3), Type: EvTrim, Node: 2, Port: 1, Flow: 1, PSN: 3, MSN: 0, Size: 4154, Aux: 1 << 20},
+		{At: us(1.31), Type: EvHOEnqueue, Node: 2, Port: 1, Flow: 1, PSN: 3, Size: 57, Aux: 57},
+		{At: us(2.0), Type: EvHOBounce, Node: 1, Port: -1, Flow: 1, PSN: 3, Size: 57},
+		{At: us(2.7), Type: EvHOReturn, Node: 0, Port: -1, Flow: 1, PSN: 3, Size: 57, Aux: 1},
+		{At: us(2.9), Type: EvRetransmit, Node: 0, Port: -1, Flow: 1, PSN: 3, Size: 4154, Aux: 1},
+		{At: us(3.4), Type: EvDataDrop, Node: 2, Port: 0, Flow: 1, PSN: 9, Size: 4154, Note: "forced-loss"},
+		{At: us(4.0), Type: EvFault, Node: -1, Port: -1, Note: "linkdown cross0"},
+		{At: us(5.5), Type: EvFlowDone, Node: 0, Port: -1, Flow: 1, Aux: 1 << 20},
+	}
+
+	eng := sim.NewEngine(1)
+	m := NewMetrics(eng, 2*units.Microsecond)
+	depth := 0.0
+	m.Gauge("sw2.eg0.dataq_bytes", func() float64 { depth += 4154; return depth })
+	m.Gauge("rate_gbps", func() float64 { return 12.25 })
+	eng.At(us(3), func() {
+		m.Gauge("late_series", func() float64 { return 3 })
+	})
+	eng.At(us(5), func() {})
+	m.Start()
+	eng.Run(0)
+	return events, m
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden (run with -update after intentional format changes)\n got: %s\nwant: %s",
+			name, got, want)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	events, m := goldenRun()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, m); err != nil {
+		t.Fatal(err)
+	}
+	// The format promises Perfetto-loadable JSON: it must at minimum parse,
+	// carry one traceEvents array, and name every node process.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	checkGolden(t, "trace.golden.json", buf.Bytes())
+}
+
+func TestMetricsCSVGolden(t *testing.T) {
+	_, m := goldenRun()
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden.csv", buf.Bytes())
+}

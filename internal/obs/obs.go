@@ -1,0 +1,328 @@
+// Package obs is the observability layer: a typed trace sink for
+// packet-lifecycle, fault and congestion-control events (package obs
+// timestamps everything with simulated time) plus a time-series metrics
+// registry sampled by a deterministic probe scheduler (metrics.go).
+//
+// The determinism contract: sinks observe, they never mutate simulation
+// state, draw randomness, or read the wall clock — so a run with tracing
+// attached is bit-identical to the same seed without it. The zero-overhead
+// contract: every hook in the hot path is a nil *Tracer / *Metrics check;
+// all methods are nil-safe and the disabled path performs no allocation
+// (enforced by TestDisabledHooksAllocationFree).
+package obs
+
+import (
+	"io"
+	"strconv"
+
+	"dcpsim/internal/packet"
+	"dcpsim/internal/units"
+)
+
+// EventType classifies one trace event.
+type EventType uint8
+
+// The event taxonomy. Packet-lifecycle events follow one DCP data packet
+// through loss and recovery: EvEnqueue (switch egress data queue), EvTrim
+// (payload removed, HO packet born), EvHOBounce (receiver turned the HO
+// packet around), EvHOReturn (HO packet back at the sender; RetransQ push),
+// EvRetransmit (CC-regulated resend), EvDeliver (data arrived at the
+// destination NIC). EvTimeout / EvEpochFallback are the coarse-grained
+// fallback path (§4.5). The remainder cover drops, ECN/CC signals, PFC
+// pause, fault-plan events and flow lifecycle.
+const (
+	EvFlowStart EventType = iota
+	EvEnqueue
+	EvECNMark
+	EvTrim
+	EvDataDrop
+	EvAckDrop
+	EvHOEnqueue
+	EvHODrop
+	EvHOBounce
+	EvHOReturn
+	EvRetransmit
+	EvDeliver
+	EvTimeout
+	EvEpochFallback
+	EvCCRate
+	EvPause
+	EvFault
+	EvFlowDone
+
+	// NumEventTypes bounds the enum (for fixed-size count arrays).
+	NumEventTypes
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EvFlowStart:
+		return "flow-start"
+	case EvEnqueue:
+		return "enqueue"
+	case EvECNMark:
+		return "ecn-mark"
+	case EvTrim:
+		return "trim"
+	case EvDataDrop:
+		return "data-drop"
+	case EvAckDrop:
+		return "ack-drop"
+	case EvHOEnqueue:
+		return "ho-enqueue"
+	case EvHODrop:
+		return "ho-drop"
+	case EvHOBounce:
+		return "ho-bounce"
+	case EvHOReturn:
+		return "ho-return"
+	case EvRetransmit:
+		return "retransmit"
+	case EvDeliver:
+		return "deliver"
+	case EvTimeout:
+		return "timeout"
+	case EvEpochFallback:
+		return "epoch-fallback"
+	case EvCCRate:
+		return "cc-rate"
+	case EvPause:
+		return "pause"
+	case EvFault:
+		return "fault"
+	case EvFlowDone:
+		return "flow-done"
+	default:
+		return "event(" + strconv.Itoa(int(t)) + ")"
+	}
+}
+
+// Event is one trace record. Node/Port locate it in the fabric (Port is a
+// switch egress index, -1 at hosts or when not applicable); Aux carries a
+// per-type detail: queue depth after an enqueue, RetransQ depth on
+// EvHOReturn, retry epoch on EvRetransmit/EvEpochFallback, rate in bits
+// per second on EvCCRate, flow bytes on EvFlowStart/EvFlowDone.
+type Event struct {
+	At   units.Time
+	Type EventType
+	Node packet.NodeID
+	Port int32
+	Flow uint64
+	PSN  uint32
+	MSN  uint32
+	Size int32
+	Aux  int64
+	Note string
+}
+
+// DefaultEventLimit caps the in-memory event buffer (~64 MB of events).
+// Overflow is counted, never silent: see Tracer.Dropped.
+const DefaultEventLimit = 1 << 20
+
+// Tracer buffers trace events in memory and optionally streams each one as
+// a JSON line while the simulation runs. The zero value is not useful; a
+// nil *Tracer is: every method no-ops, so instrumented code holds a nil
+// pointer when tracing is off.
+type Tracer struct {
+	events  []Event
+	limit   int
+	dropped uint64
+	jsonl   io.Writer
+	buf     []byte
+}
+
+// NewTracer returns an empty tracer with the default event limit.
+func NewTracer() *Tracer { return &Tracer{limit: DefaultEventLimit} }
+
+// SetLimit bounds the in-memory buffer to n events; events beyond it are
+// counted in Dropped (they still reach the JSONL stream, which has no
+// limit).
+func (t *Tracer) SetLimit(n int) {
+	if t != nil && n > 0 {
+		t.limit = n
+	}
+}
+
+// StreamJSONL makes every subsequent event also write one JSON line to w.
+func (t *Tracer) StreamJSONL(w io.Writer) {
+	if t != nil {
+		t.jsonl = w
+	}
+}
+
+// Emit records one event.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	if len(t.events) < t.limit {
+		t.events = append(t.events, e)
+	} else {
+		t.dropped++
+	}
+	if t.jsonl != nil {
+		t.buf = appendEventJSON(t.buf[:0], &e)
+		t.buf = append(t.buf, '\n')
+		t.jsonl.Write(t.buf)
+	}
+}
+
+// Packet records a packet-lifecycle event at a fabric element.
+func (t *Tracer) Packet(at units.Time, typ EventType, node packet.NodeID, port int32, p *packet.Packet, aux int64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{At: at, Type: typ, Node: node, Port: port,
+		Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.Size), Aux: aux})
+}
+
+// Flow records a flow-scoped event with no packet in hand (timeouts,
+// epoch fallbacks, flow start/done).
+func (t *Tracer) Flow(at units.Time, typ EventType, node packet.NodeID, flow uint64, aux int64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{At: at, Type: typ, Node: node, Port: -1, Flow: flow, Aux: aux})
+}
+
+// CCRate records a congestion-control rate change (Aux = bits per second).
+func (t *Tracer) CCRate(at units.Time, node packet.NodeID, flow uint64, r units.Rate) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{At: at, Type: EvCCRate, Node: node, Port: -1, Flow: flow, Aux: int64(r.BitsPerSec())})
+}
+
+// Fault records a fault-plan event firing.
+func (t *Tracer) Fault(at units.Time, note string) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{At: at, Type: EvFault, Node: -1, Port: -1, Note: note})
+}
+
+// Events returns the buffered events in emission order. The slice is the
+// tracer's own backing store; callers must not modify it.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns how many events overflowed the buffer limit.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// WriteJSONL writes every buffered event as one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	var buf []byte
+	for i := range t.events {
+		buf = appendEventJSON(buf[:0], &t.events[i])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendEventJSON renders e as a compact JSON object. Field order is fixed
+// so output is byte-stable across runs.
+func appendEventJSON(b []byte, e *Event) []byte {
+	b = append(b, `{"t_ps":`...)
+	b = strconv.AppendInt(b, e.At.Picos(), 10)
+	b = append(b, `,"ev":"`...)
+	b = append(b, e.Type.String()...)
+	b = append(b, `","node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	b = append(b, `,"port":`...)
+	b = strconv.AppendInt(b, int64(e.Port), 10)
+	b = append(b, `,"flow":`...)
+	b = strconv.AppendUint(b, e.Flow, 10)
+	b = append(b, `,"psn":`...)
+	b = strconv.AppendUint(b, uint64(e.PSN), 10)
+	b = append(b, `,"msn":`...)
+	b = strconv.AppendUint(b, uint64(e.MSN), 10)
+	b = append(b, `,"size":`...)
+	b = strconv.AppendInt(b, int64(e.Size), 10)
+	b = append(b, `,"aux":`...)
+	b = strconv.AppendInt(b, e.Aux, 10)
+	if e.Note != "" {
+		b = append(b, `,"note":`...)
+		b = strconv.AppendQuote(b, e.Note)
+	}
+	return append(b, '}')
+}
+
+// TypeCount pairs an event type with its occurrence count.
+type TypeCount struct {
+	Type EventType
+	N    int64
+}
+
+// CountByType tallies events per type, returned in EventType order with
+// zero-count types omitted — a deterministic summary (no map iteration).
+func CountByType(events []Event) []TypeCount {
+	var counts [NumEventTypes]int64
+	for i := range events {
+		if t := events[i].Type; t < NumEventTypes {
+			counts[t]++
+		}
+	}
+	var out []TypeCount
+	for t := EventType(0); t < NumEventTypes; t++ {
+		if counts[t] > 0 {
+			out = append(out, TypeCount{Type: t, N: counts[t]})
+		}
+	}
+	return out
+}
+
+// RetransChains counts completed trim → HO-bounce/HO-return → retransmit
+// sequences per (flow, PSN): the lifecycle signature of DCP's HO-based
+// recovery. A switch configured for direct HO return skips the receiver
+// bounce, so either notification event advances the chain.
+func RetransChains(events []Event) int {
+	type key struct {
+		flow uint64
+		psn  uint32
+	}
+	stage := make(map[key]uint8)
+	n := 0
+	for i := range events {
+		e := &events[i]
+		k := key{e.Flow, e.PSN}
+		switch e.Type {
+		case EvTrim:
+			if stage[k] == 0 {
+				stage[k] = 1
+			}
+		case EvHOBounce, EvHOReturn:
+			if stage[k] == 1 {
+				stage[k] = 2
+			}
+		case EvRetransmit:
+			if stage[k] == 2 {
+				delete(stage, k)
+				n++
+			}
+		}
+	}
+	return n
+}

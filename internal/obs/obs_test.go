@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/units"
+)
+
+func TestNilSinksAreSafe(t *testing.T) {
+	var tr *Tracer
+	var m *Metrics
+	p := &packet.Packet{FlowID: 1, PSN: 2, MSN: 3, Size: 57}
+	tr.Emit(Event{Type: EvTrim})
+	tr.Packet(0, EvEnqueue, 1, 0, p, 0)
+	tr.Flow(0, EvFlowStart, 1, 1, 0)
+	tr.CCRate(0, 1, 1, units.Rate(100))
+	tr.Fault(0, "x")
+	tr.SetLimit(10)
+	tr.StreamJSONL(&bytes.Buffer{})
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must report empty")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	m.Gauge("x", func() float64 { return 0 })
+	m.RatePerSec("y", func() float64 { return 0 })
+	m.ProfileEngine()
+	m.Start()
+	if m.Samples() != 0 || m.Times() != nil || m.Series() != nil || m.Lookup("x") != nil || m.Interval() != 0 {
+		t.Fatal("nil metrics must report empty")
+	}
+	if err := m.WriteCSV(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerLimitAndDropped(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(2)
+	var jsonl bytes.Buffer
+	tr.StreamJSONL(&jsonl)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{At: units.Time(i), Type: EvEnqueue, Flow: uint64(i)})
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("buffered %d events, want 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped %d events, want 3", tr.Dropped())
+	}
+	// The JSONL stream has no limit: all 5 events reach it.
+	if n := strings.Count(jsonl.String(), "\n"); n != 5 {
+		t.Fatalf("JSONL stream has %d lines, want 5", n)
+	}
+}
+
+func TestWriteJSONLMatchesStream(t *testing.T) {
+	build := func(stream *bytes.Buffer) *Tracer {
+		tr := NewTracer()
+		if stream != nil {
+			tr.StreamJSONL(stream)
+		}
+		tr.Emit(Event{At: 1250, Type: EvTrim, Node: 3, Port: 2, Flow: 9, PSN: 100, MSN: 4, Size: 57, Aux: 4096})
+		tr.Emit(Event{At: 2500, Type: EvFault, Node: -1, Port: -1, Note: `linkdown "cross0"`})
+		return tr
+	}
+	var streamed bytes.Buffer
+	tr := build(&streamed)
+	var batch bytes.Buffer
+	if err := build(nil).WriteJSONL(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if streamed.String() != batch.String() {
+		t.Fatalf("stream/batch mismatch:\n%s\nvs\n%s", streamed.String(), batch.String())
+	}
+	want := `{"t_ps":1250,"ev":"trim","node":3,"port":2,"flow":9,"psn":100,"msn":4,"size":57,"aux":4096}` + "\n"
+	if got := strings.SplitAfter(batch.String(), "\n")[0]; got != want {
+		t.Fatalf("JSONL line:\n got %s\nwant %s", got, want)
+	}
+	if !strings.Contains(batch.String(), `"note":"linkdown \"cross0\""`) {
+		t.Fatalf("note not quoted: %s", batch.String())
+	}
+	_ = tr
+}
+
+func TestEventTypeNamesDistinct(t *testing.T) {
+	seen := make(map[string]EventType)
+	for ty := EventType(0); ty < NumEventTypes; ty++ {
+		name := ty.String()
+		if strings.HasPrefix(name, "event(") {
+			t.Fatalf("type %d has no name", ty)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("types %d and %d share name %q", prev, ty, name)
+		}
+		seen[name] = ty
+	}
+}
+
+func TestCountByType(t *testing.T) {
+	events := []Event{
+		{Type: EvRetransmit}, {Type: EvTrim}, {Type: EvTrim}, {Type: EvFlowStart},
+	}
+	got := CountByType(events)
+	want := []TypeCount{{EvFlowStart, 1}, {EvTrim, 2}, {EvRetransmit, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRetransChains(t *testing.T) {
+	f := func(typ EventType, flow uint64, psn uint32) Event {
+		return Event{Type: typ, Flow: flow, PSN: psn}
+	}
+	cases := []struct {
+		name   string
+		events []Event
+		want   int
+	}{
+		{"full chain via receiver bounce", []Event{
+			f(EvTrim, 1, 10), f(EvHOBounce, 1, 10), f(EvHOReturn, 1, 10), f(EvRetransmit, 1, 10),
+		}, 1},
+		{"direct HO return (no bounce)", []Event{
+			f(EvTrim, 1, 10), f(EvHOReturn, 1, 10), f(EvRetransmit, 1, 10),
+		}, 1},
+		{"retransmit without trim is not a chain", []Event{
+			f(EvRetransmit, 1, 10), f(EvTimeout, 1, 10),
+		}, 0},
+		{"trim without retransmit is incomplete", []Event{
+			f(EvTrim, 1, 10), f(EvHOBounce, 1, 10),
+		}, 0},
+		{"bounce before trim does not advance", []Event{
+			f(EvHOBounce, 1, 10), f(EvRetransmit, 1, 10),
+		}, 0},
+		{"chains are per (flow, psn)", []Event{
+			f(EvTrim, 1, 10), f(EvTrim, 2, 10), f(EvHOBounce, 1, 10), f(EvHOBounce, 2, 10),
+			f(EvRetransmit, 2, 10), f(EvRetransmit, 1, 10),
+		}, 2},
+		{"second trim of same psn starts a new chain", []Event{
+			f(EvTrim, 1, 10), f(EvHOBounce, 1, 10), f(EvRetransmit, 1, 10),
+			f(EvTrim, 1, 10), f(EvHOBounce, 1, 10), f(EvRetransmit, 1, 10),
+		}, 2},
+	}
+	for _, tc := range cases {
+		if got := RetransChains(tc.events); got != tc.want {
+			t.Errorf("%s: got %d chains, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMetricsSamplingAndNaNPadding(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMetrics(eng, 10*units.Microsecond)
+	ticks := 0
+	m.Gauge("ticks", func() float64 { ticks++; return float64(ticks) })
+	m.Start()
+	m.Start() // idempotent: must not double-schedule
+	// Keep the queue busy past three probe ticks, registering a second gauge
+	// mid-run; its missed samples must come back NaN-padded.
+	eng.At(25*units.Microsecond, func() {
+		m.Gauge("late", func() float64 { return 7 })
+	})
+	eng.At(35*units.Microsecond, func() {})
+	eng.Run(0)
+	if m.Samples() != 4 {
+		t.Fatalf("samples = %d, want 4 (10,20,30,40 µs)", m.Samples())
+	}
+	if ticks != 4 {
+		t.Fatalf("gauge sampled %d times, want 4 (Start must be idempotent)", ticks)
+	}
+	late := m.Lookup("late").Values()
+	if len(late) != 4 || !math.IsNaN(late[0]) || !math.IsNaN(late[1]) || late[2] != 7 || late[3] != 7 {
+		t.Fatalf("late series = %v, want [NaN NaN 7 7]", late)
+	}
+	if got := m.Lookup("ticks").Values(); got[0] != 1 || got[3] != 4 {
+		t.Fatalf("ticks series = %v", got)
+	}
+}
+
+func TestProbeChainTerminates(t *testing.T) {
+	// The probe must not keep the event queue alive by itself: once the rest
+	// of the simulation drains, an unbounded Run returns instead of sampling
+	// forever.
+	eng := sim.NewEngine(1)
+	m := NewMetrics(eng, units.Microsecond)
+	m.Gauge("x", func() float64 { return 1 })
+	m.Start()
+	eng.At(units.Time(3500)*units.Nanosecond, func() {})
+	eng.Run(0)
+	if eng.Pending() != 0 {
+		t.Fatalf("probe kept %d events pending after drain", eng.Pending())
+	}
+	// Ticks at 1,2,3 µs run before the 3.5 µs event; the 4 µs tick fires
+	// after it, sees nothing pending, and stops rescheduling.
+	if m.Samples() != 4 {
+		t.Fatalf("samples = %d, want 4", m.Samples())
+	}
+}
+
+func TestRatePerSec(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMetrics(eng, units.Microsecond)
+	var counter float64
+	m.RatePerSec("rate", func() float64 { return counter })
+	m.Start()
+	// 1000 units per microsecond = 1e9 units per second from tick 2 on.
+	for i := 1; i <= 3; i++ {
+		at := units.Scale(units.Microsecond, float64(i))
+		eng.At(at-units.Nanosecond, func() { counter += 1000 })
+	}
+	eng.Run(0)
+	vals := m.Lookup("rate").Values()
+	if len(vals) < 3 {
+		t.Fatalf("only %d samples", len(vals))
+	}
+	if vals[0] != 0 {
+		t.Fatalf("first sample %v, want 0 (unprimed)", vals[0])
+	}
+	if math.Abs(vals[1]-1e9) > 1 || math.Abs(vals[2]-1e9) > 1 {
+		t.Fatalf("rate samples %v, want ~1e9", vals[1:3])
+	}
+}
+
+func TestMetricsWriteJSON(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMetrics(eng, units.Microsecond)
+	m.Gauge("a", func() float64 { return 2.5 })
+	m.Start()
+	eng.At(units.Microsecond, func() {
+		m.Gauge("b", func() float64 { return 1 })
+	})
+	eng.At(units.Scale(units.Microsecond, 2.5), func() {})
+	eng.Run(0)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"interval_us":1,"times_us":[1.000,2.000,3.000],"series":[` +
+		`{"name":"a","values":[2.5,2.5,2.5]},{"name":"b","values":[null,1,1]}]}` + "\n"
+	if buf.String() != want {
+		t.Fatalf("WriteJSON:\n got %s\nwant %s", buf.String(), want)
+	}
+}

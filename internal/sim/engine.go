@@ -17,6 +17,7 @@ type Event struct {
 	at        units.Time
 	seq       uint64
 	fn        func()
+	eng       *Engine
 	cancelled bool
 	index     int // heap index, -1 once popped
 }
@@ -24,9 +25,13 @@ type Event struct {
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
-		e.fn = nil
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+	e.fn = nil
+	if e.index >= 0 && e.eng != nil {
+		e.eng.live--
 	}
 }
 
@@ -70,11 +75,18 @@ type Engine struct {
 	now     units.Time
 	seq     uint64
 	events  eventHeap
+	live    int // pending events not yet cancelled
 	rng     *rand.Rand
 	stopped bool
 
 	// Executed counts events that have fired, for progress reporting.
 	Executed uint64
+	// CancelledDrops counts cancelled events discarded from the head of the
+	// queue: scheduling churn (timer resets, subsumed kicks) the heap paid
+	// for without doing work. Engine self-profiling samples it.
+	CancelledDrops uint64
+	// MaxHeapDepth is the high-water mark of the event queue.
+	MaxHeapDepth int
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic
@@ -97,8 +109,12 @@ func (e *Engine) At(t units.Time, fn func()) *Event {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
 	heap.Push(&e.events, ev)
+	e.live++
+	if len(e.events) > e.MaxHeapDepth {
+		e.MaxHeapDepth = len(e.events)
+	}
 	return ev
 }
 
@@ -112,13 +128,19 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events in time order until the queue is empty, until the
 // clock would pass `until` (if until > 0), or until Stop is called. It
-// returns the time of the last executed event.
+// returns the final clock value. A bounded run (until > 0) always ends
+// with Now() == until unless Stop cut it short — including when the queue
+// drains before `until`: the clock advances through the empty remainder,
+// so callers scheduling relative to a bounded run's end (metrics probes,
+// periodic samplers) see a consistent clock. An unbounded run ends at the
+// last executed event; Stop leaves the clock at the stopping event.
 func (e *Engine) Run(until units.Time) units.Time {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
 		ev := e.events[0]
 		if ev.cancelled {
 			heap.Pop(&e.events)
+			e.CancelledDrops++
 			continue
 		}
 		if until > 0 && ev.at > until {
@@ -126,11 +148,15 @@ func (e *Engine) Run(until units.Time) units.Time {
 			return e.now
 		}
 		heap.Pop(&e.events)
+		e.live--
 		e.now = ev.at
 		fn := ev.fn
 		ev.fn = nil
 		e.Executed++
 		fn()
+	}
+	if !e.stopped && until > 0 && e.now < until {
+		e.now = until
 	}
 	return e.now
 }
@@ -138,6 +164,12 @@ func (e *Engine) Run(until units.Time) units.Time {
 // Pending returns the number of events still queued (including cancelled
 // events that have not yet been discarded).
 func (e *Engine) Pending() int { return len(e.events) }
+
+// PendingActive returns the number of queued events that can still fire —
+// cancelled events awaiting discard are excluded. Periodic self-rescheduling
+// work (metrics probes) keys off this so a lingering cancelled timer far in
+// the future does not keep it alive.
+func (e *Engine) PendingActive() int { return e.live }
 
 // Timer is a restartable one-shot timer, the building block for transport
 // retransmission timeouts. The zero value is an unarmed timer; set Fn before

@@ -238,3 +238,65 @@ func TestPendingAndExecuted(t *testing.T) {
 		t.Fatalf("pending=%d executed=%d", eng.Pending(), eng.Executed)
 	}
 }
+
+func TestBoundedRunAdvancesClockOnEarlyDrain(t *testing.T) {
+	// A bounded run whose queue drains early must still end with
+	// Now() == until, so periodic work scheduled relative to the run's end
+	// (metrics probes, samplers) sees a consistent clock.
+	eng := NewEngine(1)
+	eng.At(2*units.Microsecond, func() {})
+	eng.Run(10 * units.Microsecond)
+	if eng.Now() != 10*units.Microsecond {
+		t.Fatalf("clock at %v after early drain, want 10us", eng.Now())
+	}
+	// An empty bounded run advances too.
+	eng.Run(25 * units.Microsecond)
+	if eng.Now() != 25*units.Microsecond {
+		t.Fatalf("clock at %v after empty run, want 25us", eng.Now())
+	}
+	// Stop still cuts the advance short: the clock stays at the stopping
+	// event.
+	eng.At(30*units.Microsecond, func() { eng.Stop() })
+	eng.Run(50 * units.Microsecond)
+	if eng.Now() != 30*units.Microsecond {
+		t.Fatalf("clock at %v after Stop, want 30us", eng.Now())
+	}
+	// An unbounded run does not advance past its last event.
+	eng.At(35*units.Microsecond, func() {})
+	eng.Run(0)
+	if eng.Now() != 35*units.Microsecond {
+		t.Fatalf("clock at %v after unbounded run, want 35us", eng.Now())
+	}
+}
+
+func TestSelfProfilingCounters(t *testing.T) {
+	eng := NewEngine(1)
+	for i := 1; i <= 4; i++ {
+		eng.At(units.Time(i)*units.Microsecond, func() {})
+	}
+	cancelled := eng.At(5*units.Microsecond, func() {})
+	if eng.PendingActive() != 5 {
+		t.Fatalf("PendingActive = %d, want 5", eng.PendingActive())
+	}
+	cancelled.Cancel()
+	cancelled.Cancel() // double-cancel must not double-count
+	if eng.PendingActive() != 4 {
+		t.Fatalf("PendingActive = %d after cancel, want 4", eng.PendingActive())
+	}
+	if eng.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5 (cancelled event still queued)", eng.Pending())
+	}
+	if eng.MaxHeapDepth != 5 {
+		t.Fatalf("MaxHeapDepth = %d, want 5", eng.MaxHeapDepth)
+	}
+	eng.Run(0)
+	if eng.CancelledDrops != 1 {
+		t.Fatalf("CancelledDrops = %d, want 1", eng.CancelledDrops)
+	}
+	if eng.Executed != 4 {
+		t.Fatalf("Executed = %d, want 4", eng.Executed)
+	}
+	if eng.MaxHeapDepth != 5 {
+		t.Fatalf("MaxHeapDepth moved to %d", eng.MaxHeapDepth)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"dcpsim/internal/fabric"
 	"dcpsim/internal/faults"
 	"dcpsim/internal/nic"
+	"dcpsim/internal/obs"
 	"dcpsim/internal/packet"
 	"dcpsim/internal/sim"
 	"dcpsim/internal/transport/base"
@@ -36,6 +37,10 @@ type Network struct {
 	// "leaf<l>-spine<s>" for CLOS fabric links, "pair" for a direct pair.
 	links     map[string][]faults.LinkEnd
 	linkOrder []string
+
+	// trace is the attached observability sink (nil = off); Inject forwards
+	// it so fault events land in the same trace as packet events.
+	trace *obs.Tracer
 }
 
 // addLink registers a named link's directional ends.
@@ -60,7 +65,51 @@ func (n *Network) LinkEnds(name string) []faults.LinkEnd { return n.links[name] 
 // Inject validates a fault plan against this network and schedules its
 // events on the engine.
 func (n *Network) Inject(p *faults.Plan) (*faults.Injector, error) {
-	return faults.Inject(n.Eng, p, faults.Targets{Links: n.links, Switches: n.Switches})
+	return faults.Inject(n.Eng, p, faults.Targets{Links: n.links, Switches: n.Switches, Trace: n.trace})
+}
+
+// Observe attaches the observability sinks across the fabric: every switch
+// and host NIC gets the tracer, and (when m is non-nil) the registry gains
+// per-egress queue-depth gauges, shared-buffer occupancy, fabric-wide trim /
+// HO / drop counters with their rates, and a host receive-goodput series.
+// Sinks only record — attaching them never changes simulation behaviour.
+// Call before the simulation runs so series cover the whole run.
+func (n *Network) Observe(tr *obs.Tracer, m *obs.Metrics) {
+	n.trace = tr
+	for _, h := range n.Hosts {
+		h.SetTrace(tr)
+	}
+	for _, s := range n.Switches {
+		s.SetTrace(tr)
+	}
+	if m == nil {
+		return
+	}
+	for si, s := range n.Switches {
+		s := s
+		m.Gauge(fmt.Sprintf("sw%d.buf_bytes", si), func() float64 { return float64(s.BufUsed()) })
+		for ei := 0; ei < s.NumEgress(); ei++ {
+			e := s.EgressAt(ei)
+			m.Gauge(fmt.Sprintf("sw%d.eg%d.dataq_bytes", si, ei),
+				func() float64 { return float64(e.QueuedDataBytes()) })
+			m.Gauge(fmt.Sprintf("sw%d.eg%d.ctrlq_bytes", si, ei),
+				func() float64 { return float64(e.QueuedCtrlBytes()) })
+		}
+	}
+	m.Gauge("fabric.trimmed_pkts", func() float64 { return float64(n.Counters().TrimmedPkts) })
+	m.RatePerSec("fabric.trim_rate_pps", func() float64 { return float64(n.Counters().TrimmedPkts) })
+	m.Gauge("fabric.ho_enqueued", func() float64 { return float64(n.Counters().HOEnqueued) })
+	m.RatePerSec("fabric.ho_rate_pps", func() float64 { return float64(n.Counters().HOEnqueued) })
+	m.Gauge("fabric.dropped_data", func() float64 { return float64(n.Counters().DroppedData) })
+	m.Gauge("fabric.dropped_ho", func() float64 { return float64(n.Counters().DroppedHO) })
+	hosts := n.Hosts
+	m.RatePerSec("hosts.rx_gbps", func() float64 {
+		var b int64
+		for _, h := range hosts {
+			b += h.DeliveredBytes
+		}
+		return float64(b) * 8 / 1e9
+	})
 }
 
 // Install builds one transport endpoint per host.

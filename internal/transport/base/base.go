@@ -7,6 +7,7 @@ package base
 import (
 	"dcpsim/internal/cc"
 	"dcpsim/internal/nic"
+	"dcpsim/internal/obs"
 	"dcpsim/internal/packet"
 	"dcpsim/internal/sim"
 	"dcpsim/internal/stats"
@@ -46,6 +47,14 @@ type Env struct {
 	MessageSize int
 	// CNPInterval is the DCQCN notification-point minimum CNP gap.
 	CNPInterval units.Time
+	// Trace receives endpoint packet-lifecycle events when observability is
+	// attached. nil means tracing is off: hooks must nil-check and the
+	// disabled path stays allocation-free.
+	Trace *obs.Tracer
+	// Metrics is the time-series registry when observability is attached
+	// (nil = off). Transports register per-flow gauges (in-flight bytes,
+	// RetransQ depth, CC rate) against it at flow start.
+	Metrics *obs.Metrics
 	// Scheme-specific knobs.
 	DCP DCPOptions
 	MP  MPOptions

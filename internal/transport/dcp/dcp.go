@@ -6,8 +6,11 @@
 package dcp
 
 import (
+	"fmt"
+
 	"dcpsim/internal/cc"
 	"dcpsim/internal/nic"
+	"dcpsim/internal/obs"
 	"dcpsim/internal/packet"
 	"dcpsim/internal/sim"
 	"dcpsim/internal/stats"
@@ -38,6 +41,9 @@ func (h *Host) Name() string { return "dcp" }
 
 // StartFlow implements base.Transport.
 func (h *Host) StartFlow(f *workload.Flow) {
+	if h.Env.Trace != nil {
+		h.Env.Trace.Flow(h.Eng.Now(), obs.EvFlowStart, f.Src, f.ID, f.Size)
+	}
 	qp := newSenderQP(h, f)
 	h.send[f.ID] = qp
 	h.AddQP(qp)
@@ -58,6 +64,9 @@ func (h *Host) Handle(p *packet.Packet) {
 		}
 		// Receiver side: swap source and destination and forward the HO
 		// packet to the sender (§4.1 step 2).
+		if h.Env.Trace != nil {
+			h.Env.Trace.Packet(h.Eng.Now(), obs.EvHOBounce, h.NIC.ID(), -1, p, 0)
+		}
 		p.Bounce()
 		h.QueueCtrl(p)
 	case packet.KindAck:
@@ -132,6 +141,20 @@ func newSenderQP(h *Host, f *workload.Flow) *senderQP {
 	qp.totalPkts = psn
 	qp.timer = sim.NewTimer(h.Eng, qp.onTimeout)
 	qp.timer.Reset(env.DCP.Timeout)
+	if env.Metrics != nil {
+		env.Metrics.Gauge(fmt.Sprintf("flow%d.inflight_bytes", f.ID),
+			func() float64 { return float64(qp.inflight) })
+		env.Metrics.Gauge(fmt.Sprintf("flow%d.retransq_depth", f.ID),
+			func() float64 { return float64(qp.rq.Len()) })
+		env.Metrics.Gauge(fmt.Sprintf("flow%d.cc_rate_gbps", f.ID),
+			func() float64 { return qp.ctl.Rate().Gigabits() })
+	}
+	if env.Trace != nil {
+		tr, node, id := env.Trace, f.Src, f.ID
+		cc.SetTrace(qp.ctl, func(now units.Time, r units.Rate) {
+			tr.CCRate(now, node, id, r)
+		})
+	}
 	return qp
 }
 
@@ -236,6 +259,10 @@ func (qp *senderQP) emit(now units.Time, psn, msn uint32, m *senderMsg, off uint
 	p.Retransmitted = retrans
 	if retrans {
 		qp.rec.RetransPkts++
+		if env.Trace != nil {
+			env.Trace.Emit(obs.Event{At: now, Type: obs.EvRetransmit, Node: qp.flow.Src, Port: -1,
+				Flow: qp.flow.ID, PSN: psn, MSN: msn, Size: int32(size), Aux: int64(m.retryNo)})
+		}
 	}
 	qp.inflight += size
 	qp.sentBytes += int64(size)
@@ -287,6 +314,10 @@ func (qp *senderQP) onHO(p *packet.Packet) {
 		qp.inflight = 0
 	}
 	qp.rq.Push(nic.RetransEntry{MSN: msn, PSN: p.PSN, Offset: off, Epoch: m.retryNo})
+	if env := qp.h.Env; env.Trace != nil {
+		env.Trace.Emit(obs.Event{At: qp.h.Eng.Now(), Type: obs.EvHOReturn, Node: qp.flow.Src, Port: -1,
+			Flow: p.FlowID, PSN: p.PSN, MSN: msn, Size: int32(p.Size), Aux: int64(qp.rq.Len())})
+	}
 	qp.maybeFetch()
 	qp.h.NIC.Kick()
 }
@@ -331,6 +362,9 @@ func (qp *senderQP) complete(now units.Time) {
 	qp.done = true
 	qp.timer.Stop()
 	qp.ctl.Close()
+	if env := qp.h.Env; env.Trace != nil {
+		env.Trace.Flow(now, obs.EvFlowDone, qp.flow.Src, qp.flow.ID, qp.sentBytes)
+	}
 	qp.h.Env.Collector.Done(qp.flow.ID, now)
 }
 
@@ -349,6 +383,13 @@ func (qp *senderQP) onTimeout() {
 	m := qp.msgs[qp.unaMSN]
 	m.retryNo++
 	qp.rec.Timeouts++
+	if env := qp.h.Env; env.Trace != nil {
+		now := qp.h.Eng.Now()
+		env.Trace.Emit(obs.Event{At: now, Type: obs.EvTimeout, Node: qp.flow.Src, Port: -1,
+			Flow: qp.flow.ID, MSN: qp.unaMSN, Aux: int64(qp.backoff)})
+		env.Trace.Emit(obs.Event{At: now, Type: obs.EvEpochFallback, Node: qp.flow.Src, Port: -1,
+			Flow: qp.flow.ID, PSN: m.basePSN, MSN: qp.unaMSN, Aux: int64(m.retryNo)})
+	}
 	// Conservative restart: consider the window empty.
 	qp.inflight = 0
 	// Queue every already-sent packet of the message for resending.

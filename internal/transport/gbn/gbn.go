@@ -9,6 +9,7 @@ package gbn
 import (
 	"dcpsim/internal/cc"
 	"dcpsim/internal/nic"
+	"dcpsim/internal/obs"
 	"dcpsim/internal/packet"
 	"dcpsim/internal/sim"
 	"dcpsim/internal/stats"
@@ -38,6 +39,9 @@ func (h *Host) Name() string { return "gbn" }
 
 // StartFlow implements base.Transport.
 func (h *Host) StartFlow(f *workload.Flow) {
+	if h.Env.Trace != nil {
+		h.Env.Trace.Flow(h.Eng.Now(), obs.EvFlowStart, f.Src, f.ID, f.Size)
+	}
 	qp := newSenderQP(h, f)
 	h.send[f.ID] = qp
 	h.AddQP(qp)
@@ -125,6 +129,10 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 	if base.SeqLess(psn, qp.firstTx) {
 		p.Retransmitted = true
 		qp.rec.RetransPkts++
+		if env := qp.h.Env; env.Trace != nil {
+			env.Trace.Emit(obs.Event{At: now, Type: obs.EvRetransmit, Node: qp.flow.Src, Port: -1,
+				Flow: qp.flow.ID, PSN: psn, Size: int32(size)})
+		}
 	} else {
 		qp.firstTx = psn + 1
 		qp.rec.DataPkts++
@@ -162,6 +170,9 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 			qp.done = true
 			qp.timer.Stop()
 			qp.ctl.Close()
+			if env := qp.h.Env; env.Trace != nil {
+				env.Trace.Flow(now, obs.EvFlowDone, qp.flow.Src, qp.flow.ID, qp.flow.Size)
+			}
 			qp.h.Env.Collector.Done(qp.flow.ID, now)
 			return
 		}
@@ -192,6 +203,10 @@ func (qp *senderQP) onTimeout() {
 	}
 	if base.SeqLess(qp.una, qp.nextPSN) {
 		qp.rec.Timeouts++
+		if env := qp.h.Env; env.Trace != nil {
+			env.Trace.Emit(obs.Event{At: qp.h.Eng.Now(), Type: obs.EvTimeout, Node: qp.flow.Src, Port: -1,
+				Flow: qp.flow.ID, PSN: qp.una})
+		}
 		qp.rewind(qp.una)
 		qp.inflight = 0
 		qp.h.NIC.Kick()

@@ -10,6 +10,7 @@ package irn
 import (
 	"dcpsim/internal/cc"
 	"dcpsim/internal/nic"
+	"dcpsim/internal/obs"
 	"dcpsim/internal/packet"
 	"dcpsim/internal/sim"
 	"dcpsim/internal/stats"
@@ -43,6 +44,9 @@ func (h *Host) Name() string { return "irn" }
 
 // StartFlow implements base.Transport.
 func (h *Host) StartFlow(f *workload.Flow) {
+	if h.Env.Trace != nil {
+		h.Env.Trace.Flow(h.Eng.Now(), obs.EvFlowStart, f.Src, f.ID, f.Size)
+	}
 	qp := newSenderQP(h, f)
 	h.send[f.ID] = qp
 	h.AddQP(qp)
@@ -186,6 +190,10 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 			qp.retransmitted.set(psn)
 			qp.scan = psn + 1
 			qp.rec.RetransPkts++
+			if env := qp.h.Env; env.Trace != nil {
+				env.Trace.Emit(obs.Event{At: now, Type: obs.EvRetransmit, Node: qp.flow.Src, Port: -1,
+					Flow: qp.flow.ID, PSN: psn, Size: int32(size)})
+			}
 			qp.ctl.OnSent(now, size+packet.DataHeaderSize)
 			return qp.emit(now, psn, size, true), 0
 		}
@@ -305,6 +313,9 @@ func (qp *senderQP) complete(now units.Time) {
 	qp.done = true
 	qp.timer.Stop()
 	qp.ctl.Close()
+	if env := qp.h.Env; env.Trace != nil {
+		env.Trace.Flow(now, obs.EvFlowDone, qp.flow.Src, qp.flow.ID, qp.flow.Size)
+	}
 	qp.h.Env.Collector.Done(qp.flow.ID, now)
 }
 
@@ -314,6 +325,10 @@ func (qp *senderQP) onTimeout() {
 	}
 	if base.SeqLess(qp.una, qp.nextPSN) {
 		qp.rec.Timeouts++
+		if env := qp.h.Env; env.Trace != nil {
+			env.Trace.Emit(obs.Event{At: qp.h.Eng.Now(), Type: obs.EvTimeout, Node: qp.flow.Src, Port: -1,
+				Flow: qp.flow.ID, PSN: qp.una})
+		}
 		qp.enterRecovery(true)
 		qp.h.NIC.Kick()
 	}
