@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"dcpsim"
+)
+
+// benchSnapshot is one BENCH_*.json performance record: simulator speed
+// (events/sec, sim-time per wall-time) and memory high-water marks for a
+// fixed, seeded scenario. The sim results are deterministic; only the
+// wall-clock and heap numbers vary between hosts, which is exactly what a
+// perf-tracking artifact wants.
+type benchSnapshot struct {
+	Name          string  `json:"name"`
+	Seed          int64   `json:"seed"`
+	SimMillis     float64 `json:"sim_ms"`
+	WallMillis    float64 `json:"wall_ms"`
+	SimPerWall    float64 `json:"sim_per_wall"`
+	TraceEvents   int64   `json:"trace_events"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	Violations    int64   `json:"violations"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	TotalAlloc    uint64  `json:"total_alloc_bytes"`
+	GoVersion     string  `json:"go_version"`
+}
+
+// benchScenario builds a cluster and its workload; Run and measurement
+// happen in benchOne.
+type benchScenario struct {
+	name  string
+	setup func(seed int64) (*dcpsim.Cluster, *dcpsim.Observation)
+}
+
+func benchScenarios() []benchScenario {
+	return []benchScenario{
+		{"incast", func(seed int64) (*dcpsim.Cluster, *dcpsim.Observation) {
+			c := dcpsim.NewCluster(dcpsim.ClusterSpec{
+				Topology: dcpsim.Dumbbell, Hosts: 16,
+				Transport: dcpsim.DCP, Seed: seed, LossRate: 0.01,
+			})
+			ob := c.Observe(dcpsim.ObserveSpec{Check: true, MaxEvents: 1})
+			for src := 0; src < 12; src++ {
+				c.Send(src, 15, 8<<20)
+			}
+			return c, ob
+		}},
+		{"linkflap", func(seed int64) (*dcpsim.Cluster, *dcpsim.Observation) {
+			c := dcpsim.NewCluster(dcpsim.ClusterSpec{
+				Topology: dcpsim.Dumbbell, Hosts: 2,
+				Transport: dcpsim.DCP, Seed: seed,
+			})
+			ob := c.Observe(dcpsim.ObserveSpec{Check: true, MaxEvents: 1})
+			plan := dcpsim.NewFaultPlan(seed).LinkDown("cross0", 100_000, 200_000)
+			if err := c.Inject(plan); err != nil {
+				panic(err)
+			}
+			c.Send(0, 1, 32<<20)
+			return c, ob
+		}},
+	}
+}
+
+// benchOne runs a scenario and measures it.
+func benchOne(sc benchScenario, seed int64) benchSnapshot {
+	c, ob := sc.setup(seed)
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	//lint:allow detcheck wall clock measures simulator speed; sim state never reads it
+	start := time.Now()
+	c.Run()
+	//lint:allow detcheck wall clock measures simulator speed; sim state never reads it
+	wall := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	events := int64(ob.Events()) + int64(ob.DroppedEvents())
+	snap := benchSnapshot{
+		Name:          sc.name,
+		Seed:          seed,
+		SimMillis:     c.NowNanos() / 1e6,
+		WallMillis:    float64(wall.Nanoseconds()) / 1e6,
+		TraceEvents:   events,
+		Violations:    ob.Violations(),
+		PeakHeapBytes: after.HeapSys,
+		TotalAlloc:    after.TotalAlloc - before.TotalAlloc,
+		GoVersion:     runtime.Version(),
+	}
+	if wall > 0 {
+		snap.SimPerWall = snap.SimMillis / snap.WallMillis
+		snap.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	return snap
+}
+
+// benchJSON runs every scenario and writes one BENCH_<name>.json per
+// scenario into dir.
+func benchJSON(dir string, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, sc := range benchScenarios() {
+		snap := benchOne(sc, seed)
+		out, err := json.MarshalIndent(&snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		path := filepath.Join(dir, "BENCH_"+sc.name+".json")
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench %-10s sim=%.1fms wall=%.1fms sim/wall=%.2f events/s=%.0f violations=%d → %s\n",
+			sc.name, snap.SimMillis, snap.WallMillis, snap.SimPerWall,
+			snap.EventsPerSec, snap.Violations, path)
+		if snap.Violations > 0 {
+			return fmt.Errorf("bench %s: %d invariant violations", sc.name, snap.Violations)
+		}
+	}
+	return nil
+}

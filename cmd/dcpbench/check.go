@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dcpsim"
+	"dcpsim/internal/exp"
+	"dcpsim/internal/obs"
+	"dcpsim/internal/obs/flight"
+)
+
+// attachCheckers installs an exp.NewSimHook that tees a flight-recorder
+// checker onto every simulation the registry builds, with a flat-memory
+// tracer (the checker consumes the stream online; nothing is buffered).
+// It returns the live checker list and an uninstall function.
+func attachCheckers() (*[]*flight.Checker, func()) {
+	var checkers []*flight.Checker
+	exp.NewSimHook = func(s *exp.Sim) {
+		tr := obs.NewTracer()
+		tr.SetLimit(1)
+		ck := flight.New(flight.Config{})
+		tr.Tee(ck)
+		s.Attach(tr, nil)
+		checkers = append(checkers, ck)
+	}
+	return &checkers, func() { exp.NewSimHook = nil }
+}
+
+// runChecked executes the selected experiments with the invariant checker
+// attached to every simulation and prints one verdict line per experiment.
+// It returns the total violation count across the whole run.
+func runChecked(cfg exp.Config, todo []exp.Experiment) int64 {
+	checkers, uninstall := attachCheckers()
+	defer uninstall()
+	var total int64
+	for _, e := range todo {
+		*checkers = (*checkers)[:0]
+		for _, t := range e.Run(cfg) {
+			_ = t // -check validates invariants; tables are not printed
+		}
+		var viol, events int64
+		for _, ck := range *checkers {
+			viol += ck.Violations()
+			events += ck.Events()
+		}
+		verdict := "ok"
+		if viol > 0 {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("check %-12s %-8s sims=%d events=%d violations=%d\n",
+			e.ID, verdict, len(*checkers), events, viol)
+		if viol > 0 {
+			for _, ck := range *checkers {
+				if ck.Violations() > 0 {
+					ck.Finish().WriteText(os.Stdout)
+				}
+			}
+		}
+		total += viol
+	}
+	return total
+}
+
+// checkSmoke is the default -check workload (no -run given): the observed
+// incast demo plus a mid-transfer link flap, both under the checker — the
+// trim/HO/RetransQ pipeline and the timeout/epoch fallback path in one
+// cheap pass. Returns the total violation count.
+func checkSmoke(seed int64) int64 {
+	var total int64
+
+	// 12→1 incast at 1% forced loss: heavy trimming and HO recovery.
+	c := dcpsim.NewCluster(dcpsim.ClusterSpec{
+		Topology:  dcpsim.Dumbbell,
+		Hosts:     16,
+		Transport: dcpsim.DCP,
+		Seed:      seed,
+		LossRate:  0.01,
+	})
+	ob := c.Observe(dcpsim.ObserveSpec{Check: true, MaxEvents: 1})
+	for src := 0; src < 12; src++ {
+		c.Send(src, 15, 8<<20)
+	}
+	unfinished := c.Run()
+	verdict := "ok"
+	if ob.Violations() > 0 {
+		verdict = "VIOLATED"
+	}
+	fmt.Printf("check incast-demo  %-8s unfinished=%d violations=%d\n",
+		verdict, unfinished, ob.Violations())
+	if ob.Violations() > 0 {
+		ob.WriteAutopsyText(os.Stdout)
+	}
+	total += ob.Violations()
+
+	// Cross-link outage mid-transfer: coarse timeout, epoch fallback,
+	// whole-message resend.
+	fc := dcpsim.NewCluster(dcpsim.ClusterSpec{
+		Topology:  dcpsim.Dumbbell,
+		Hosts:     2,
+		Transport: dcpsim.DCP,
+		Seed:      seed,
+	})
+	fob := fc.Observe(dcpsim.ObserveSpec{Check: true, MaxEvents: 1})
+	plan := dcpsim.NewFaultPlan(seed).LinkDown("cross0", 100_000, 200_000)
+	if err := fc.Inject(plan); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return total + 1
+	}
+	fc.Send(0, 1, 32<<20)
+	unfinished = fc.Run()
+	verdict = "ok"
+	if fob.Violations() > 0 {
+		verdict = "VIOLATED"
+	}
+	fmt.Printf("check link-flap    %-8s unfinished=%d violations=%d\n",
+		verdict, unfinished, fob.Violations())
+	if fob.Violations() > 0 {
+		fob.WriteAutopsyText(os.Stdout)
+	}
+	return total + fob.Violations()
+}

@@ -5,6 +5,9 @@
 //	dcpbench -run all -scale 0.25  # everything, scaled
 //	dcpbench -run quick            # everything except the heavy CLOS runs
 //	dcpbench -trace t.json -metrics m.csv   # observed incast demo run
+//	dcpbench -check                # invariant-checked incast+link-flap smoke
+//	dcpbench -check -run quick     # every non-heavy experiment under the checker
+//	dcpbench -bench-json artifacts # BENCH_*.json perf snapshots
 //
 // Output is the same rows/series the paper reports; absolute values differ
 // from the authors' testbed (this substrate is a simulator) but the shapes
@@ -36,6 +39,9 @@ func main() {
 		fault    = flag.Bool("fault", false, "run the failure-recovery experiment family")
 		severity = flag.Float64("fault-severity", 0, "pin fault experiments to one severity multiplier (0 = built-in sweep)")
 
+		check    = flag.Bool("check", false, "run under the flight-recorder invariant checker; exit 1 on any violation (alone: incast+link-flap smoke; with -run/-fault: those experiments)")
+		benchDir = flag.String("bench-json", "", "run the perf scenarios and write BENCH_*.json snapshots (events/sec, sim/wall, peak heap) into this directory")
+
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the observed demo run to this file")
 		jsonlOut   = flag.String("trace-jsonl", "", "write the observed demo run's trace events as JSON lines to this file")
 		metricsOut = flag.String("metrics", "", "write the observed demo run's metrics time series as CSV to this file")
@@ -51,6 +57,23 @@ func main() {
 		return
 	}
 
+	if *benchDir != "" {
+		if err := benchJSON(*benchDir, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *check && *run == "" && !*fault {
+		if n := checkSmoke(*seed); n > 0 {
+			fmt.Fprintf(os.Stderr, "invariant check FAILED: %d violations\n", n)
+			os.Exit(1)
+		}
+		fmt.Println("invariant check passed")
+		return
+	}
+
 	if *list || (*run == "" && !*fault) {
 		fmt.Println("experiments:")
 		for _, e := range exp.All() {
@@ -63,6 +86,8 @@ func main() {
 		if *run == "" {
 			fmt.Println("\nusage: dcpbench -run <id>|all|quick [-scale 0.25] [-seed 42]")
 			fmt.Println("       dcpbench -fault [-fault-severity 1] [-scale 0.25]")
+			fmt.Println("       dcpbench -check [-run <id>|all|quick]")
+			fmt.Println("       dcpbench -bench-json <dir>")
 		}
 		return
 	}
@@ -91,6 +116,15 @@ func main() {
 			os.Exit(1)
 		}
 		todo = []exp.Experiment{*e}
+	}
+
+	if *check {
+		if n := runChecked(cfg, todo); n > 0 {
+			fmt.Fprintf(os.Stderr, "invariant check FAILED: %d violations\n", n)
+			os.Exit(1)
+		}
+		fmt.Println("invariant check passed")
+		return
 	}
 
 	for _, e := range todo {

@@ -21,7 +21,15 @@ func main() {
 	pcapPath := flag.String("pcap", "", "write a Wireshark-readable capture of the simulation to this file")
 	flap := flag.Bool("flap", false, "also demo fault injection: flap the cross link mid-transfer")
 	jsonOut := flag.Bool("json", false, "emit the walkthrough and run counters as one JSON object instead of prose")
+	autopsy := flag.Bool("autopsy", false, "run the forced-loss transfer under the flight-recorder checker and print its recovery autopsy (with -json: the byte-stable JSON report)")
 	flag.Parse()
+	if *autopsy {
+		if err := runAutopsy(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		if err := runJSON(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -104,6 +112,25 @@ func main() {
 		fmt.Printf("switch: trimmed=%d link-down flushes=%d; sender: retrans=%d timeouts=%d\n",
 			ffs.TrimmedPackets, ffs.LinkDownDrops, fh.Retransmissions(), fh.Timeouts())
 	}
+}
+
+// runAutopsy reruns the Fig. 3 forced-loss transfer with the flight
+// recorder attached: every trim → HO bounce → RetransQ fetch → retransmit
+// chain is reconstructed online, the paper's correctness claims are checked
+// as invariants, and the autopsy (recovery-stage latency percentiles,
+// per-flow waterfall, violations with causal chains) is printed. The run is
+// deterministic, so the report is reproducible byte for byte.
+func runAutopsy(asJSON bool) error {
+	c := dcpsim.NewCluster(dcpsim.ClusterSpec{
+		Topology: dcpsim.Dumbbell, Hosts: 2, Transport: dcpsim.DCP, LossRate: 0.01,
+	})
+	ob := c.Observe(dcpsim.ObserveSpec{Check: true, MaxEvents: 1})
+	c.Send(0, 1, 32<<20)
+	c.Run()
+	if asJSON {
+		return ob.WriteAutopsyJSON(os.Stdout)
+	}
+	return ob.WriteAutopsyText(os.Stdout)
 }
 
 // jsonReport is the -json output: the byte-level walkthrough of Fig. 4 plus

@@ -24,6 +24,7 @@ import (
 	"dcpsim/internal/fabric"
 	"dcpsim/internal/faults"
 	"dcpsim/internal/obs"
+	"dcpsim/internal/obs/flight"
 	"dcpsim/internal/packet"
 	"dcpsim/internal/pcap"
 	"dcpsim/internal/sim"
@@ -467,6 +468,15 @@ type ObserveSpec struct {
 	// engine.wall_ms_per_sim_s self-profiling series. The simulator never
 	// reads the host clock itself; callers inject it deliberately.
 	WallNanos func() int64
+	// Check attaches the flight-recorder invariant checker to the trace
+	// stream: per-PSN causal recovery chains, online invariant checking
+	// (exactly-once placement, eMSN monotonicity, RetransQ fetch
+	// provenance, retry-epoch consistency), and the autopsy report. Like
+	// every sink it observes only; a checked run stays bit-identical.
+	Check bool
+	// StrictHO, with Check, promotes control-queue HO drops from a counted
+	// warning to an invariant violation.
+	StrictHO bool
 }
 
 // Observation is a cluster's attached observability sinks: the packet-
@@ -476,6 +486,7 @@ type ObserveSpec struct {
 type Observation struct {
 	tr *obs.Tracer
 	m  *obs.Metrics
+	ck *flight.Checker
 }
 
 // Observe attaches tracing and metrics to the cluster. Call after
@@ -496,8 +507,46 @@ func (c *Cluster) Observe(spec ObserveSpec) *Observation {
 	if spec.WallNanos != nil {
 		m.WallNanos = spec.WallNanos
 	}
+	var ck *flight.Checker
+	if spec.Check {
+		ck = flight.New(flight.Config{StrictHO: spec.StrictHO})
+		tr.Tee(ck)
+	}
 	c.sim.Attach(tr, m)
-	return &Observation{tr: tr, m: m}
+	return &Observation{tr: tr, m: m, ck: ck}
+}
+
+// Checked reports whether the flight-recorder checker is attached.
+func (o *Observation) Checked() bool { return o.ck != nil }
+
+// Violations returns the invariant-violation count (0 when no checker is
+// attached).
+func (o *Observation) Violations() int64 {
+	if o.ck == nil {
+		return 0
+	}
+	return o.ck.Violations()
+}
+
+// errNoChecker reports an autopsy request without ObserveSpec.Check.
+var errNoChecker = fmt.Errorf("dcpsim: autopsy requires ObserveSpec.Check")
+
+// WriteAutopsyText writes the flight recorder's human-readable autopsy:
+// per-flow recovery waterfalls, recovery-stage latency percentiles, and any
+// invariant violations with their causal chains. Call after Run.
+func (o *Observation) WriteAutopsyText(w io.Writer) error {
+	if o.ck == nil {
+		return errNoChecker
+	}
+	return o.ck.Finish().WriteText(w)
+}
+
+// WriteAutopsyJSON writes the autopsy as one byte-stable JSON object.
+func (o *Observation) WriteAutopsyJSON(w io.Writer) error {
+	if o.ck == nil {
+		return errNoChecker
+	}
+	return o.ck.Finish().WriteJSON(w)
 }
 
 // WriteChromeTrace writes the buffered events plus metrics counter tracks

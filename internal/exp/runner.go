@@ -152,6 +152,15 @@ type Sim struct {
 	listeners map[uint64]func(*stats.FlowRecord)
 }
 
+// NewSimHook, when non-nil, is called with every Sim constructed by NewSim
+// before any flow is scheduled. It is the opt-in attachment point for
+// run-wide observers — cmd/dcpbench -check and the flight-recorder tests
+// use it to Tee an invariant checker onto every experiment in the registry
+// without the experiments knowing. Hooks must only attach observing sinks:
+// the determinism contract requires a hooked run to stay bit-identical to
+// an unhooked one.
+var NewSimHook func(*Sim)
+
 // NewSim wires a network built by build with the scheme's transport.
 func NewSim(seed int64, sch Scheme, build func(*sim.Engine) *topo.Network) *Sim {
 	eng := sim.NewEngine(seed)
@@ -172,6 +181,9 @@ func NewSim(seed int64, sch Scheme, build func(*sim.Engine) *topo.Network) *Sim 
 			delete(s.listeners, f.ID)
 			cb(f)
 		}
+	}
+	if NewSimHook != nil {
+		NewSimHook(s)
 	}
 	return s
 }

@@ -31,16 +31,21 @@ type Wire struct {
 	// Fault-injection state (package faults drives these): an admin-down
 	// wire silently discards everything handed to it; lossRate models
 	// time-varying BER loss; burstDrop discards the next N packets (a
-	// correlated error burst).
+	// correlated error burst); dupNext delivers the next N data packets
+	// twice (a misbehaving fabric — the fault the exactly-once invariant
+	// exists to catch).
 	adminDown bool
 	lossRate  float64
 	burstDrop int
+	dupNext   int
 
 	// Delivered counts packets carried, for tests.
 	Delivered uint64
 	// FaultDrops counts packets discarded by injected faults (admin-down,
 	// BER loss, bursts). These losses are silent: no trim, no notification.
 	FaultDrops uint64
+	// DupInjected counts data packets the wire delivered twice.
+	DupInjected uint64
 }
 
 // NewWire creates a wire with the given propagation delay, terminating at
@@ -88,6 +93,17 @@ func (w *Wire) Deliver(p *packet.Packet) {
 		return
 	}
 	w.Delivered++
+	if w.dupNext > 0 && p.Kind == packet.KindData {
+		w.dupNext--
+		w.DupInjected++
+		// Packet structs are all value fields, so a shallow copy is a full
+		// duplicate. The original arrives first, the copy right behind it
+		// (same arrival time, FIFO event order).
+		cp := *p
+		w.eng.After(w.delay, func() { w.dst.Receive(p, w.ingress) })
+		w.eng.After(w.delay, func() { w.dst.Receive(&cp, w.ingress) })
+		return
+	}
 	w.eng.After(w.delay, func() { w.dst.Receive(p, w.ingress) })
 }
 
@@ -111,6 +127,16 @@ func (w *Wire) LossRate() float64 { return w.lossRate }
 func (w *Wire) InjectBurst(n int) {
 	if n > 0 {
 		w.burstDrop += n
+	}
+}
+
+// InjectDup makes the wire deliver the next n data packets twice — a
+// duplicating fabric (mis-wired multicast, a flaky retimer). DCP's
+// receiver must reject the copies; the flight recorder's exactly-once
+// invariant uses this to prove it notices when something double-counts.
+func (w *Wire) InjectDup(n int) {
+	if n > 0 {
+		w.dupNext += n
 	}
 }
 

@@ -49,6 +49,11 @@ const (
 	SwitchDown
 	// SwitchUp reboots a blacked-out switch (empty buffers, same routes).
 	SwitchUp
+	// LinkDup makes each wire of the named link deliver its next Count data
+	// packets twice — a duplicating fabric. Transports must reject the
+	// copies; the flight recorder's mutation tests use this to prove the
+	// exactly-once checker detects double counting.
+	LinkDup
 )
 
 func (k Kind) String() string {
@@ -71,6 +76,8 @@ func (k Kind) String() string {
 		return "switch-down"
 	case SwitchUp:
 		return "switch-up"
+	case LinkDup:
+		return "link-dup"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -221,6 +228,12 @@ func (p *Plan) LossBursts(link string, start, dur units.Time, n, minPkts, maxPkt
 	return p
 }
 
+// DupBurst schedules a duplication burst on link: each wire of the link
+// delivers its next count data packets twice.
+func (p *Plan) DupBurst(link string, at units.Time, count int) *Plan {
+	return p.Add(Event{At: at, Kind: LinkDup, Link: link, Count: count})
+}
+
 // Blackout schedules a switch crash at `at` with reboot after dur.
 func (p *Plan) Blackout(sw int, at, dur units.Time) *Plan {
 	p.Add(Event{At: at, Kind: SwitchDown, Switch: sw})
@@ -337,6 +350,10 @@ func (in *Injector) apply(ev Event) {
 	case LinkBurst:
 		for _, end := range in.tgt.Links[ev.Link] {
 			end.Wire.InjectBurst(ev.Count)
+		}
+	case LinkDup:
+		for _, end := range in.tgt.Links[ev.Link] {
+			end.Wire.InjectDup(ev.Count)
 		}
 	case SwitchLoss:
 		in.tgt.Switches[ev.Switch].SetLossRate(ev.Rate)

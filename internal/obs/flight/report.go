@@ -1,0 +1,305 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"dcpsim/internal/obs"
+	"dcpsim/internal/units"
+)
+
+// StageLat is one recovery-stage latency series summarized by nearest-rank
+// percentiles (log-bucketed; see stats.LogHist for the error bound).
+type StageLat struct {
+	Name  string
+	Count int64
+	P50   units.Time
+	P90   units.Time
+	P99   units.Time
+	Max   units.Time
+}
+
+// FlowAutopsy is one flow's recovery waterfall.
+type FlowAutopsy struct {
+	Flow    uint64
+	Bytes   int64
+	Started bool
+	Done    bool
+	StartAt units.Time // unset (-1) when the start predates the checker
+	DoneAt  units.Time // unset (-1) while the flow is still running
+
+	// Counts holds the waterfall counters in CountNames order.
+	Counts [numCounts]int64
+
+	Recoveries  int64 // chains that went through loss and recovered
+	RecoverMean units.Time
+	RecoverMax  units.Time
+}
+
+// CountNames returns the labels for FlowAutopsy.Counts.
+func CountNames() [numCounts]string { return cntNames }
+
+// Report is the deterministic autopsy of one checked run.
+type Report struct {
+	Events          int64
+	FlowsSeen       int
+	FlowsDone       int
+	TotalViolations int64
+	HODrops         int64
+	StrictHO        bool
+
+	Stages     []StageLat    // non-empty stages, fixed order
+	Flows      []FlowAutopsy // sorted by flow ID
+	Violations []Violation   // retained, emission order
+}
+
+// Finish flushes in-flight chain state and builds the report. Safe to call
+// more than once; events observed after the first Finish are still counted
+// but no longer feed retired-chain latencies.
+func (c *Checker) Finish() *Report {
+	if !c.finished {
+		c.finished = true
+		for _, id := range c.order {
+			c.flushPending(c.flows[id])
+		}
+	}
+	r := &Report{
+		Events:          c.events,
+		FlowsSeen:       len(c.order),
+		TotalViolations: c.violTotal,
+		HODrops:         c.hoDrops,
+		StrictHO:        c.cfg.StrictHO,
+		Violations:      c.violations,
+	}
+	for i := 0; i < numLats; i++ {
+		h := &c.lat[i]
+		if h.Count() == 0 {
+			continue
+		}
+		r.Stages = append(r.Stages, StageLat{
+			Name:  latNames[i],
+			Count: h.Count(),
+			P50:   units.Time(h.Percentile(50)) * units.Picosecond,
+			P90:   units.Time(h.Percentile(90)) * units.Picosecond,
+			P99:   units.Time(h.Percentile(99)) * units.Picosecond,
+			Max:   units.Time(h.Max()) * units.Picosecond,
+		})
+	}
+	ids := append([]uint64(nil), c.order...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := c.flows[id]
+		fa := FlowAutopsy{
+			Flow: f.id, Bytes: f.bytes, Started: f.started, Done: f.done,
+			StartAt: f.startAt, DoneAt: f.doneAt, Counts: f.counts,
+			Recoveries: f.recoverN, RecoverMax: units.Time(f.recoverMax) * units.Picosecond,
+		}
+		if f.recoverN > 0 {
+			fa.RecoverMean = units.Time(f.recoverSum/f.recoverN) * units.Picosecond
+		} else {
+			fa.RecoverMax = unset
+			fa.RecoverMean = unset
+		}
+		if f.done {
+			r.FlowsDone++
+		}
+		r.Flows = append(r.Flows, fa)
+	}
+	return r
+}
+
+// appendUS renders t as microseconds with fixed precision; unset times
+// render as null.
+func appendUS(b []byte, t units.Time) []byte {
+	if t < 0 {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, t.Micros(), 'f', 3, 64)
+}
+
+// WriteJSON writes the report as one JSON object with fixed field order,
+// byte-stable across runs of the same seed.
+func (r *Report) WriteJSON(w io.Writer) error {
+	var b []byte
+	b = append(b, `{"events":`...)
+	b = strconv.AppendInt(b, r.Events, 10)
+	b = append(b, `,"flows_seen":`...)
+	b = strconv.AppendInt(b, int64(r.FlowsSeen), 10)
+	b = append(b, `,"flows_done":`...)
+	b = strconv.AppendInt(b, int64(r.FlowsDone), 10)
+	b = append(b, `,"violations":`...)
+	b = strconv.AppendInt(b, r.TotalViolations, 10)
+	b = append(b, `,"ho_drops":`...)
+	b = strconv.AppendInt(b, r.HODrops, 10)
+	b = append(b, `,"strict_ho":`...)
+	b = strconv.AppendBool(b, r.StrictHO)
+
+	b = append(b, `,"stages":[`...)
+	for i, s := range r.Stages {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"stage":`...)
+		b = strconv.AppendQuote(b, s.Name)
+		b = append(b, `,"count":`...)
+		b = strconv.AppendInt(b, s.Count, 10)
+		b = append(b, `,"p50_us":`...)
+		b = appendUS(b, s.P50)
+		b = append(b, `,"p90_us":`...)
+		b = appendUS(b, s.P90)
+		b = append(b, `,"p99_us":`...)
+		b = appendUS(b, s.P99)
+		b = append(b, `,"max_us":`...)
+		b = appendUS(b, s.Max)
+		b = append(b, '}')
+	}
+
+	b = append(b, `],"flows":[`...)
+	for i := range r.Flows {
+		f := &r.Flows[i]
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"flow":`...)
+		b = strconv.AppendUint(b, f.Flow, 10)
+		b = append(b, `,"bytes":`...)
+		b = strconv.AppendInt(b, f.Bytes, 10)
+		b = append(b, `,"done":`...)
+		b = strconv.AppendBool(b, f.Done)
+		b = append(b, `,"start_us":`...)
+		b = appendUS(b, f.StartAt)
+		b = append(b, `,"done_us":`...)
+		b = appendUS(b, f.DoneAt)
+		for ci := 0; ci < numCounts; ci++ {
+			b = append(b, `,"`...)
+			b = append(b, cntNames[ci]...)
+			b = append(b, `":`...)
+			b = strconv.AppendInt(b, f.Counts[ci], 10)
+		}
+		b = append(b, `,"recoveries":`...)
+		b = strconv.AppendInt(b, f.Recoveries, 10)
+		b = append(b, `,"recover_mean_us":`...)
+		b = appendUS(b, f.RecoverMean)
+		b = append(b, `,"recover_max_us":`...)
+		b = appendUS(b, f.RecoverMax)
+		b = append(b, '}')
+		if len(b) > 1<<16 {
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+			b = b[:0]
+		}
+	}
+
+	b = append(b, `],"violations":[`...)
+	for i := range r.Violations {
+		v := &r.Violations[i]
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"invariant":`...)
+		b = strconv.AppendQuote(b, v.Invariant)
+		b = append(b, `,"at_us":`...)
+		b = appendUS(b, v.At)
+		b = append(b, `,"flow":`...)
+		b = strconv.AppendUint(b, v.Flow, 10)
+		b = append(b, `,"psn":`...)
+		b = strconv.AppendUint(b, uint64(v.PSN), 10)
+		b = append(b, `,"msn":`...)
+		b = strconv.AppendUint(b, uint64(v.MSN), 10)
+		b = append(b, `,"detail":`...)
+		b = strconv.AppendQuote(b, v.Detail)
+		b = append(b, `,"chain":[`...)
+		for ei := range v.Chain {
+			if ei > 0 {
+				b = append(b, ',')
+			}
+			b = obs.AppendEventJSON(b, &v.Chain[ei])
+		}
+		b = append(b, "]}"...)
+		if len(b) > 1<<16 {
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+			b = b[:0]
+		}
+	}
+	b = append(b, "]}\n"...)
+	_, err := w.Write(b)
+	return err
+}
+
+// usOrDash renders t in microseconds for the text report.
+func usOrDash(t units.Time) string {
+	if t < 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(t.Micros(), 'f', 3, 64)
+}
+
+// WriteText writes the human-readable autopsy.
+func (r *Report) WriteText(w io.Writer) error {
+	hoNote := "counted, not violations (lenient mode)"
+	if r.StrictHO {
+		hoNote = "violations (strict mode)"
+	}
+	if _, err := fmt.Fprintf(w,
+		"flight autopsy\n"+
+			"  events observed       %d\n"+
+			"  flows                 %d (%d done)\n"+
+			"  invariant violations  %d\n"+
+			"  ho drops              %d — %s\n",
+		r.Events, r.FlowsSeen, r.FlowsDone, r.TotalViolations, r.HODrops, hoNote); err != nil {
+		return err
+	}
+
+	if len(r.Stages) > 0 {
+		fmt.Fprintf(w, "\nrecovery-stage latencies (us)\n")
+		fmt.Fprintf(w, "  %-24s %10s %10s %10s %10s %10s\n",
+			"stage", "count", "p50", "p90", "p99", "max")
+		for _, s := range r.Stages {
+			fmt.Fprintf(w, "  %-24s %10d %10s %10s %10s %10s\n",
+				s.Name, s.Count, usOrDash(s.P50), usOrDash(s.P90),
+				usOrDash(s.P99), usOrDash(s.Max))
+		}
+	}
+
+	if len(r.Flows) > 0 {
+		fmt.Fprintf(w, "\nper-flow recovery waterfall\n")
+		fmt.Fprintf(w, "  %6s %10s %-4s %8s %6s %6s %6s %7s %6s %8s %4s %4s %12s %12s\n",
+			"flow", "bytes", "done", "sent", "retx", "trims", "drops",
+			"ho_ret", "fetch", "place", "t/o", "fb", "recov_mean", "recov_max")
+		for i := range r.Flows {
+			f := &r.Flows[i]
+			done := "no"
+			if f.Done {
+				done = "yes"
+			}
+			fmt.Fprintf(w, "  %6d %10d %-4s %8d %6d %6d %6d %7d %6d %8d %4d %4d %12s %12s\n",
+				f.Flow, f.Bytes, done,
+				f.Counts[cntSent], f.Counts[cntRetx], f.Counts[cntTrim],
+				f.Counts[cntDrop], f.Counts[cntHOReturn], f.Counts[cntRQFetch],
+				f.Counts[cntPlace], f.Counts[cntTimeout], f.Counts[cntFallback],
+				usOrDash(f.RecoverMean), usOrDash(f.RecoverMax))
+		}
+	}
+
+	if len(r.Violations) > 0 {
+		fmt.Fprintf(w, "\nviolations (showing %d of %d)\n", len(r.Violations), r.TotalViolations)
+		for i := range r.Violations {
+			v := &r.Violations[i]
+			fmt.Fprintf(w, "  [%d] %s flow=%d psn=%d msn=%d at=%sus\n      %s\n      chain:\n",
+				i+1, v.Invariant, v.Flow, v.PSN, v.MSN, usOrDash(v.At), v.Detail)
+			for ei := range v.Chain {
+				e := &v.Chain[ei]
+				fmt.Fprintf(w, "        %12sus %-14s node=%d port=%d psn=%d msn=%d size=%d aux=%d\n",
+					usOrDash(e.At), e.Type.String(), e.Node, e.Port, e.PSN, e.MSN, e.Size, e.Aux)
+			}
+		}
+	} else {
+		fmt.Fprintf(w, "\nno invariant violations\n")
+	}
+	return nil
+}

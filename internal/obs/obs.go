@@ -50,6 +50,20 @@ const (
 	EvFault
 	EvFlowDone
 
+	// The flight-recorder extension (PR 4): events that disambiguate the
+	// causal recovery chain. EvSend is the first (non-retransmitted)
+	// transmission of a PSN; EvRQFetch is one RetransQ entry completing its
+	// PCIe fetch (Aux = retry epoch of the entry); EvPlace is the DCP
+	// receiver accepting a payload and counting it (Aux packs
+	// epoch<<32 | counter-after); EvMsgComplete is the per-message counter
+	// reaching the message's packet total (Aux = total); EvEMSNAdv is the
+	// receiver's cumulative eMSN advancing (Aux = new eMSN).
+	EvSend
+	EvRQFetch
+	EvPlace
+	EvMsgComplete
+	EvEMSNAdv
+
 	// NumEventTypes bounds the enum (for fixed-size count arrays).
 	NumEventTypes
 )
@@ -92,6 +106,16 @@ func (t EventType) String() string {
 		return "fault"
 	case EvFlowDone:
 		return "flow-done"
+	case EvSend:
+		return "send"
+	case EvRQFetch:
+		return "rq-fetch"
+	case EvPlace:
+		return "place"
+	case EvMsgComplete:
+		return "msg-complete"
+	case EvEMSNAdv:
+		return "emsn-adv"
 	default:
 		return "event(" + strconv.Itoa(int(t)) + ")"
 	}
@@ -119,6 +143,15 @@ type Event struct {
 // Overflow is counted, never silent: see Tracer.Dropped.
 const DefaultEventLimit = 1 << 20
 
+// Sink receives every event the tracer emits, online, in emission order.
+// Sinks are bound by the same determinism contract as the tracer itself:
+// they observe, they never mutate simulation state, draw randomness, or
+// read the wall clock. The event pointer is only valid for the duration of
+// the call; a sink that retains the event must copy it.
+type Sink interface {
+	OnEvent(e *Event)
+}
+
 // Tracer buffers trace events in memory and optionally streams each one as
 // a JSON line while the simulation runs. The zero value is not useful; a
 // nil *Tracer is: every method no-ops, so instrumented code holds a nil
@@ -129,6 +162,11 @@ type Tracer struct {
 	dropped uint64
 	jsonl   io.Writer
 	buf     []byte
+	sinks   []Sink
+	// scratch is the per-emit copy handed to sinks: passing a pointer to a
+	// tracer-owned field (rather than &e) keeps the Event parameter from
+	// escaping, so the disabled-hook path stays allocation-free.
+	scratch Event
 }
 
 // NewTracer returns an empty tracer with the default event limit.
@@ -150,6 +188,15 @@ func (t *Tracer) StreamJSONL(w io.Writer) {
 	}
 }
 
+// Tee attaches an online sink. Sinks see every subsequent event — like the
+// JSONL stream, they are not bounded by the in-memory buffer limit, so a
+// checker can watch a long run with SetLimit(1) keeping memory flat.
+func (t *Tracer) Tee(s Sink) {
+	if t != nil && s != nil {
+		t.sinks = append(t.sinks, s)
+	}
+}
+
 // Emit records one event.
 func (t *Tracer) Emit(e Event) {
 	if t == nil {
@@ -164,6 +211,12 @@ func (t *Tracer) Emit(e Event) {
 		t.buf = appendEventJSON(t.buf[:0], &e)
 		t.buf = append(t.buf, '\n')
 		t.jsonl.Write(t.buf)
+	}
+	if len(t.sinks) > 0 {
+		t.scratch = e
+		for _, s := range t.sinks {
+			s.OnEvent(&t.scratch)
+		}
 	}
 }
 
@@ -241,6 +294,12 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	}
 	return nil
 }
+
+// AppendEventJSON renders e as a compact JSON object with a fixed field
+// order, byte-stable across runs — the same encoding the JSONL stream
+// uses, exported for consumers embedding events in larger documents (the
+// flight recorder's autopsy report).
+func AppendEventJSON(b []byte, e *Event) []byte { return appendEventJSON(b, e) }
 
 // appendEventJSON renders e as a compact JSON object. Field order is fixed
 // so output is byte-stable across runs.

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// logHistSubBits sets LogHist resolution: each power-of-two range is split
+// into 2^logHistSubBits linear sub-buckets, bounding the relative
+// quantization error of any recorded value to 2^-logHistSubBits (≈1.6%).
+const logHistSubBits = 6
+
+// logHistBuckets covers non-negative int64 values: one bucket row per
+// significant-bit count (0..63) times the sub-bucket fan-out, plus the
+// values below 2^logHistSubBits which are stored exactly.
+const logHistBuckets = (64 - logHistSubBits) << logHistSubBits
+
+// LogHist is an HDR-style log-bucketed histogram of non-negative int64
+// samples (the flight recorder feeds it stage latencies in picoseconds).
+// Record and Percentile are O(1) and O(buckets) respectively, memory is
+// fixed (~29 KB), and — unlike the exact Percentile in this package — it
+// never retains samples, so it can absorb tens of millions of
+// measurements from a long run. Values quantize to their bucket's lower
+// bound, so reported quantiles sit within a factor of
+// (1 - 2^-logHistSubBits) of the exact nearest-rank answer; values below
+// 2^logHistSubBits are exact. The zero value is ready to use.
+type LogHist struct {
+	counts [logHistBuckets]uint32
+	n      int64
+	min    int64
+	max    int64
+}
+
+// bucketOf maps v to its bucket index: values with fewer significant bits
+// than the sub-bucket fan-out map identically; larger values use
+// (exponent, mantissa-prefix).
+func bucketOf(v int64) int {
+	u := uint64(v)
+	exp := bits.Len64(u) // number of significant bits
+	if exp <= logHistSubBits {
+		return int(u)
+	}
+	shift := exp - logHistSubBits - 1
+	sub := int(u>>shift) & (1<<logHistSubBits - 1)
+	return (exp-logHistSubBits)<<logHistSubBits | sub
+}
+
+// lowerBoundOf inverts bucketOf: the smallest value mapping to bucket i.
+func lowerBoundOf(i int) int64 {
+	row := i >> logHistSubBits
+	if row == 0 {
+		return int64(i)
+	}
+	sub := i & (1<<logHistSubBits - 1)
+	shift := row - 1
+	return int64(1<<logHistSubBits|sub) << shift
+}
+
+// Record adds one sample. Negative samples are clamped to zero (stage
+// latencies cannot be negative; clamping keeps a corrupt input visible as
+// a zero rather than a panic).
+func (h *LogHist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+}
+
+// Count returns the number of recorded samples.
+func (h *LogHist) Count() int64 { return h.n }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *LogHist) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *LogHist) Max() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns the nearest-rank p-th percentile (p in [0,100]) with
+// the same rank convention as the exact Percentile in this package,
+// quantized to its bucket's lower bound; the true maximum is reported
+// exactly. Returns 0 when empty.
+func (h *LogHist) Percentile(p float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= h.n {
+		return h.max
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += int64(h.counts[i])
+		if seen >= rank {
+			return lowerBoundOf(i)
+		}
+	}
+	return h.max
+}

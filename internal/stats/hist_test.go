@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLogHistExactBelowSubBucketRange: values under 2^logHistSubBits map to
+// singleton buckets, so every percentile is exact.
+func TestLogHistExactBelowSubBucketRange(t *testing.T) {
+	var h LogHist
+	var exact []float64
+	for v := int64(0); v < 1<<logHistSubBits; v++ {
+		h.Record(v)
+		exact = append(exact, float64(v))
+	}
+	for _, p := range []float64{0, 1, 25, 50, 75, 99, 100} {
+		want := int64(Percentile(exact, p))
+		if got := h.Percentile(p); got != want {
+			t.Errorf("p%v: got %d want %d", p, got, want)
+		}
+	}
+}
+
+// TestLogHistParityWithExactPercentile pins the satellite requirement: on
+// identical samples, every LogHist quantile must sit within the histogram's
+// relative quantization error of the exact nearest-rank Percentile, and
+// never above it (values quantize to bucket lower bounds).
+func TestLogHistParityWithExactPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		name string
+		gen  func() int64
+		n    int
+	}{
+		{"uniform-ns", func() int64 { return rng.Int63n(2_000_000) }, 5000},
+		{"log-uniform", func() int64 { return int64(math.Exp(rng.Float64() * 30)) }, 5000},
+		{"heavy-tail", func() int64 {
+			v := rng.Int63n(10_000)
+			if rng.Intn(100) == 0 {
+				v *= 1 << 20
+			}
+			return v
+		}, 5000},
+		{"tiny", func() int64 { return rng.Int63n(40) }, 7},
+	}
+	relErr := math.Pow(2, -logHistSubBits)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h LogHist
+			var exact []float64
+			for i := 0; i < tc.n; i++ {
+				v := tc.gen()
+				h.Record(v)
+				exact = append(exact, float64(v))
+			}
+			for p := float64(0); p <= 100; p += 0.5 {
+				want := Percentile(exact, p)
+				got := float64(h.Percentile(p))
+				if got > want {
+					t.Fatalf("p%v: histogram %v above exact %v", p, got, want)
+				}
+				if got < want*(1-relErr)-1 {
+					t.Fatalf("p%v: histogram %v below exact %v tolerance %v", p, got, want, relErr)
+				}
+			}
+			if h.Count() != int64(tc.n) {
+				t.Fatalf("count %d want %d", h.Count(), tc.n)
+			}
+			if got, want := h.Percentile(100), Percentile(exact, 100); float64(got) != want {
+				t.Fatalf("max: got %d want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestLogHistBucketRoundTrip: lowerBoundOf is the left inverse of bucketOf,
+// and bucket lower bounds are monotone — the properties Percentile relies
+// on.
+func TestLogHistBucketRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 2, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<62 + 12345, math.MaxInt64}
+	for _, v := range vals {
+		b := bucketOf(v)
+		lo := lowerBoundOf(b)
+		if lo > v {
+			t.Errorf("bucketOf(%d)=%d has lower bound %d > value", v, b, lo)
+		}
+		if bucketOf(lo) != b {
+			t.Errorf("lowerBoundOf(%d)=%d maps back to bucket %d", b, lo, bucketOf(lo))
+		}
+	}
+	prev := int64(-1)
+	for i := 0; i < logHistBuckets; i++ {
+		lo := lowerBoundOf(i)
+		if lo <= prev {
+			t.Fatalf("bucket %d lower bound %d not monotone after %d", i, lo, prev)
+		}
+		prev = lo
+	}
+}
+
+func TestLogHistEmptyAndNegative(t *testing.T) {
+	var h LogHist
+	if h.Percentile(50) != 0 || h.Count() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample must clamp to zero: min=%d max=%d n=%d", h.Min(), h.Max(), h.Count())
+	}
+}

@@ -263,6 +263,9 @@ func (qp *senderQP) emit(now units.Time, psn, msn uint32, m *senderMsg, off uint
 			env.Trace.Emit(obs.Event{At: now, Type: obs.EvRetransmit, Node: qp.flow.Src, Port: -1,
 				Flow: qp.flow.ID, PSN: psn, MSN: msn, Size: int32(size), Aux: int64(m.retryNo)})
 		}
+	} else if env.Trace != nil {
+		env.Trace.Emit(obs.Event{At: now, Type: obs.EvSend, Node: qp.flow.Src, Port: -1,
+			Flow: qp.flow.ID, PSN: psn, MSN: msn, Size: int32(size), Aux: int64(m.retryNo)})
 	}
 	qp.inflight += size
 	qp.sentBytes += int64(size)
@@ -282,16 +285,34 @@ func (qp *senderQP) maybeFetch() {
 		// Strawman: one entry per WQE fetch + data fetch (two PCIe RTTs).
 		qp.h.Eng.After(2*env.DCP.PCIe.RTT, func() {
 			qp.fetching = false
-			qp.fetched = append(qp.fetched, qp.rq.FetchBatch(1)...)
+			batch := qp.rq.FetchBatch(1)
+			qp.fetched = append(qp.fetched, batch...)
+			qp.traceFetch(batch)
 			qp.h.NIC.Kick()
 		})
 		return
 	}
 	qp.h.Eng.After(env.DCP.PCIe.RTT, func() {
 		qp.fetching = false
-		qp.fetched = append(qp.fetched, qp.rq.FetchBatch(nic.BatchLimit)...)
+		batch := qp.rq.FetchBatch(nic.BatchLimit)
+		qp.fetched = append(qp.fetched, batch...)
+		qp.traceFetch(batch)
 		qp.h.NIC.Kick()
 	})
+}
+
+// traceFetch records one EvRQFetch per entry when its PCIe fetch completes
+// (Aux = the entry's retry epoch at push time).
+func (qp *senderQP) traceFetch(batch []nic.RetransEntry) {
+	env := qp.h.Env
+	if env.Trace == nil {
+		return
+	}
+	now := qp.h.Eng.Now()
+	for _, e := range batch {
+		env.Trace.Emit(obs.Event{At: now, Type: obs.EvRQFetch, Node: qp.flow.Src, Port: -1,
+			Flow: qp.flow.ID, PSN: e.PSN, MSN: e.MSN, Aux: int64(e.Epoch)})
+	}
 }
 
 // onHO receives a bounced HO packet: push a retransmission entry (the
@@ -493,10 +514,21 @@ func (h *Host) recvData(p *packet.Packet) {
 	m.counter++
 	qp.rxBytes += int64(p.PayloadBytes)
 	qp.sinceAck++
+	if h.Env.Trace != nil {
+		// Aux packs the accepting epoch and the per-message counter after
+		// this placement — the flight recorder's exactly-once evidence.
+		h.Env.Trace.Emit(obs.Event{At: now, Type: obs.EvPlace, Node: h.NIC.ID(), Port: -1,
+			Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Size: int32(p.PayloadBytes),
+			Aux: int64(m.retryNo)<<32 | int64(m.counter)})
+	}
 
 	advanced := false
 	if m.counter >= m.total {
 		m.complete = true
+		if h.Env.Trace != nil {
+			h.Env.Trace.Emit(obs.Event{At: now, Type: obs.EvMsgComplete, Node: h.NIC.ID(), Port: -1,
+				Flow: p.FlowID, PSN: p.PSN, MSN: p.MSN, Aux: int64(m.total)})
+		}
 		// Advance eMSN over consecutively completed messages, releasing
 		// their tracking state (the CQE generation point).
 		for {
@@ -508,6 +540,10 @@ func (h *Host) recvData(p *packet.Packet) {
 			qp.eMSN++
 			advanced = true
 		}
+	}
+	if advanced && h.Env.Trace != nil {
+		h.Env.Trace.Emit(obs.Event{At: now, Type: obs.EvEMSNAdv, Node: h.NIC.ID(), Port: -1,
+			Flow: p.FlowID, MSN: qp.eMSN, Aux: int64(qp.eMSN)})
 	}
 	if advanced || qp.sinceAck >= ackEvery {
 		h.sendAck(qp, p, now)

@@ -136,6 +136,10 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 	} else {
 		qp.firstTx = psn + 1
 		qp.rec.DataPkts++
+		if env := qp.h.Env; env.Trace != nil {
+			env.Trace.Emit(obs.Event{At: now, Type: obs.EvSend, Node: qp.flow.Src, Port: -1,
+				Flow: qp.flow.ID, PSN: psn, Size: int32(size)})
+		}
 	}
 	qp.inflight += size
 	qp.ctl.OnSent(now, p.Size)

@@ -207,6 +207,10 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 		psn := qp.nextPSN
 		qp.nextPSN++
 		qp.rec.DataPkts++
+		if env := qp.h.Env; env.Trace != nil {
+			env.Trace.Emit(obs.Event{At: now, Type: obs.EvSend, Node: qp.flow.Src, Port: -1,
+				Flow: qp.flow.ID, PSN: psn, Size: int32(size)})
+		}
 		qp.ctl.OnSent(now, size+packet.DataHeaderSize)
 		return qp.emit(now, psn, size, false), 0
 	}
