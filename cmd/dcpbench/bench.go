@@ -6,9 +6,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"dcpsim"
+	"dcpsim/internal/exp"
+	"dcpsim/internal/exp/pool"
 )
 
 // benchSnapshot is one BENCH_*.json performance record: simulator speed
@@ -122,6 +125,121 @@ func benchJSON(dir string, seed int64) error {
 		if snap.Violations > 0 {
 			return fmt.Errorf("bench %s: %d invariant violations", sc.name, snap.Violations)
 		}
+	}
+	return benchRegistry(dir, seed)
+}
+
+// registrySnapshot is the BENCH_registry_*.json record: one registry smoke
+// run through the parallel experiment engine at a fixed worker count. The
+// serial and parallel variants share a seed and scale, so their rendered
+// tables must be byte-identical; only the wall-clock differs.
+type registrySnapshot struct {
+	Name        string  `json:"name"`
+	Seed        int64   `json:"seed"`
+	Scale       float64 `json:"scale"`
+	Workers     int     `json:"workers"`
+	Experiments int     `json:"experiments"`
+	WallMillis  float64 `json:"wall_ms"`
+	// Speedup is serial wall-clock divided by this run's wall-clock
+	// (1.0 for the serial record itself).
+	Speedup     float64 `json:"speedup_vs_serial"`
+	OutputBytes int     `json:"output_bytes"`
+	// Identical records the byte-comparison of this run's rendered tables
+	// against the serial run's — the deterministic-merge contract.
+	Identical bool   `json:"identical_to_serial"`
+	Cores     int    `json:"cores"`
+	GoVersion string `json:"go_version"`
+}
+
+// registryBenchIDs is the registry smoke matrix: cheap experiments covering
+// both testbed and CLOS sweeps, ablations, and fault scenarios — enough
+// cells (a few hundred sims) for the pool to shard meaningfully.
+func registryBenchIDs() []string {
+	return []string{
+		"fig8", "fig10", "fig11", "fig12", "longhaul", "fig17",
+		"ab-batch", "ab-track", "ab-b2s", "ext-ndp",
+		"fault-flap", "fault-pause",
+	}
+}
+
+// benchRegistry runs the registry smoke serially and across the default
+// worker count, verifies the outputs are byte-identical, and writes
+// BENCH_registry_serial.json and BENCH_registry_parallel.json. It fails if
+// the parallel run diverges from the serial bytes or (with ≥2 cores) is
+// slower than the serial run — the wall-clock guard CI relies on.
+func benchRegistry(dir string, seed int64) error {
+	const scale = 0.02
+	var exps []exp.Experiment
+	for _, id := range registryBenchIDs() {
+		e := exp.ByID(id)
+		if e == nil {
+			return fmt.Errorf("bench registry: unknown experiment %q", id)
+		}
+		exps = append(exps, *e)
+	}
+
+	run := func(workers int) (string, time.Duration) {
+		cfg := exp.Config{Seed: seed, Scale: scale}.WithWorkers(workers)
+		//lint:allow detcheck wall clock measures engine speed; sim state never reads it
+		start := time.Now()
+		results := exp.RunRegistry(cfg, exps)
+		//lint:allow detcheck wall clock measures engine speed; sim state never reads it
+		wall := time.Since(start)
+		var b strings.Builder
+		for _, r := range results {
+			b.WriteString("### " + r.ID + "\n")
+			for _, t := range r.Tables {
+				b.WriteString(t.String())
+				b.WriteString("\n")
+			}
+		}
+		return b.String(), wall
+	}
+
+	serialOut, serialWall := run(1)
+	workers := pool.DefaultWorkers()
+	parOut, parWall := run(workers)
+
+	mk := func(name string, w int, wall time.Duration, out string, identical bool) registrySnapshot {
+		snap := registrySnapshot{
+			Name: name, Seed: seed, Scale: scale, Workers: w,
+			Experiments: len(exps),
+			WallMillis:  float64(wall.Nanoseconds()) / 1e6,
+			Speedup:     1,
+			OutputBytes: len(out),
+			Identical:   identical,
+			Cores:       runtime.NumCPU(),
+			GoVersion:   runtime.Version(),
+		}
+		if wall > 0 {
+			snap.Speedup = float64(serialWall.Nanoseconds()) / float64(wall.Nanoseconds())
+		}
+		return snap
+	}
+	snaps := []registrySnapshot{
+		mk("registry_serial", 1, serialWall, serialOut, true),
+		mk("registry_parallel", workers, parWall, parOut, parOut == serialOut),
+	}
+	for _, snap := range snaps {
+		out, err := json.MarshalIndent(&snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		path := filepath.Join(dir, "BENCH_"+snap.Name+".json")
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench %-17s workers=%d wall=%.0fms speedup=%.2fx identical=%v → %s\n",
+			snap.Name, snap.Workers, snap.WallMillis, snap.Speedup, snap.Identical, path)
+	}
+
+	if parOut != serialOut {
+		return fmt.Errorf("bench registry: parallel output diverged from serial bytes")
+	}
+	if workers >= 2 && parWall > serialWall {
+		return fmt.Errorf("bench registry: parallel run (%v) slower than serial (%v) on %d workers",
+			parWall.Round(time.Millisecond), serialWall.Round(time.Millisecond), workers)
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"os"
+	"sort"
+	"sync"
 
 	"dcpsim"
 	"dcpsim/internal/exp"
@@ -10,49 +12,60 @@ import (
 	"dcpsim/internal/obs/flight"
 )
 
-// attachCheckers installs an exp.NewSimHook that tees a flight-recorder
-// checker onto every simulation the registry builds, with a flat-memory
-// tracer (the checker consumes the stream online; nothing is buffered).
-// It returns the live checker list and an uninstall function.
-func attachCheckers() (*[]*flight.Checker, func()) {
-	var checkers []*flight.Checker
-	exp.NewSimHook = func(s *exp.Sim) {
-		tr := obs.NewTracer()
-		tr.SetLimit(1)
-		ck := flight.New(flight.Config{})
-		tr.Tee(ck)
-		s.Attach(tr, nil)
-		checkers = append(checkers, ck)
-	}
-	return &checkers, func() { exp.NewSimHook = nil }
-}
-
 // runChecked executes the selected experiments with the invariant checker
 // attached to every simulation and prints one verdict line per experiment.
 // It returns the total violation count across the whole run.
+//
+// Checkers are keyed by the registry's deterministic CellKeys (assigned at
+// submission time, not completion time) via Config.Hook, so the run works
+// identically across any -workers count: the verdict lines follow the
+// requested experiment order and autopsies print in CellKey order, making
+// the output byte-identical to a serial run.
 func runChecked(cfg exp.Config, todo []exp.Experiment) int64 {
-	checkers, uninstall := attachCheckers()
-	defer uninstall()
+	var mu sync.Mutex
+	checkers := map[exp.CellKey]*flight.Checker{}
+	cfg.Hook = func(key exp.CellKey, s *exp.Sim) {
+		tr := obs.NewTracer()
+		tr.SetLimit(1) // flat memory: the checker consumes the stream online
+		ck := flight.New(flight.Config{})
+		tr.Tee(ck)
+		s.Attach(tr, nil)
+		mu.Lock()
+		checkers[key] = ck
+		mu.Unlock()
+	}
+	for _, r := range exp.RunRegistry(cfg, todo) {
+		_ = r // -check validates invariants; tables are not printed
+	}
+
+	sorted := make([]exp.CellKey, 0, len(checkers))
+	for k := range checkers {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	byExp := map[string][]exp.CellKey{}
+	for _, k := range sorted {
+		byExp[k.Exp] = append(byExp[k.Exp], k)
+	}
+
 	var total int64
 	for _, e := range todo {
-		*checkers = (*checkers)[:0]
-		for _, t := range e.Run(cfg) {
-			_ = t // -check validates invariants; tables are not printed
-		}
+		keys := byExp[e.ID]
 		var viol, events int64
-		for _, ck := range *checkers {
-			viol += ck.Violations()
-			events += ck.Events()
+		for _, k := range keys {
+			viol += checkers[k].Violations()
+			events += checkers[k].Events()
 		}
 		verdict := "ok"
 		if viol > 0 {
 			verdict = "VIOLATED"
 		}
 		fmt.Printf("check %-12s %-8s sims=%d events=%d violations=%d\n",
-			e.ID, verdict, len(*checkers), events, viol)
+			e.ID, verdict, len(keys), events, viol)
 		if viol > 0 {
-			for _, ck := range *checkers {
-				if ck.Violations() > 0 {
+			for _, k := range keys {
+				if ck := checkers[k]; ck.Violations() > 0 {
+					fmt.Printf("autopsy %s\n", k)
 					ck.Finish().WriteText(os.Stdout)
 				}
 			}

@@ -4,6 +4,8 @@
 //	dcpbench -run fig10            # one experiment
 //	dcpbench -run all -scale 0.25  # everything, scaled
 //	dcpbench -run quick            # everything except the heavy CLOS runs
+//	dcpbench -run all -workers 8   # same bytes, sharded across 8 workers
+//	dcpbench -run quick -stats-csv stats.csv   # merged per-experiment stats
 //	dcpbench -trace t.json -metrics m.csv   # observed incast demo run
 //	dcpbench -check                # invariant-checked incast+link-flap smoke
 //	dcpbench -check -run quick     # every non-heavy experiment under the checker
@@ -28,6 +30,7 @@ import (
 
 	"dcpsim"
 	"dcpsim/internal/exp"
+	"dcpsim/internal/exp/pool"
 )
 
 func main() {
@@ -38,6 +41,8 @@ func main() {
 		scale    = flag.Float64("scale", 0.25, "workload scale (1.0 ≈ paper-sized)")
 		fault    = flag.Bool("fault", false, "run the failure-recovery experiment family")
 		severity = flag.Float64("fault-severity", 0, "pin fault experiments to one severity multiplier (0 = built-in sweep)")
+		workers  = flag.Int("workers", pool.DefaultWorkers(), "worker goroutines for the experiment engine (1 = serial; output bytes are identical at any count)")
+		statsCSV = flag.String("stats-csv", "", "write merged per-experiment run statistics (flows, bytes, retransmissions, FCT/slowdown percentiles) as CSV to this file")
 
 		check    = flag.Bool("check", false, "run under the flight-recorder invariant checker; exit 1 on any violation (alone: incast+link-flap smoke; with -run/-fault: those experiments)")
 		benchDir = flag.String("bench-json", "", "run the perf scenarios and write BENCH_*.json snapshots (events/sec, sim/wall, peak heap) into this directory")
@@ -84,7 +89,7 @@ func main() {
 			fmt.Printf("  %-10s %s%s\n", e.ID, e.Desc, heavy)
 		}
 		if *run == "" {
-			fmt.Println("\nusage: dcpbench -run <id>|all|quick [-scale 0.25] [-seed 42]")
+			fmt.Println("\nusage: dcpbench -run <id>|all|quick [-scale 0.25] [-seed 42] [-workers N] [-stats-csv out.csv]")
 			fmt.Println("       dcpbench -fault [-fault-severity 1] [-scale 0.25]")
 			fmt.Println("       dcpbench -check [-run <id>|all|quick]")
 			fmt.Println("       dcpbench -bench-json <dir>")
@@ -92,7 +97,10 @@ func main() {
 		return
 	}
 
-	cfg := exp.Config{Seed: *seed, Scale: *scale, FaultSeverity: *severity}
+	cfg := exp.Config{Seed: *seed, Scale: *scale, FaultSeverity: *severity}.WithWorkers(*workers)
+	if *statsCSV != "" {
+		cfg.Stats = exp.NewStatsAccumulator()
+	}
 	var todo []exp.Experiment
 	switch {
 	case *fault && *run == "":
@@ -119,7 +127,12 @@ func main() {
 	}
 
 	if *check {
-		if n := runChecked(cfg, todo); n > 0 {
+		n := runChecked(cfg, todo)
+		if err := writeStatsCSV(*statsCSV, cfg.Stats); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if n > 0 {
 			fmt.Fprintf(os.Stderr, "invariant check FAILED: %d violations\n", n)
 			os.Exit(1)
 		}
@@ -127,16 +140,45 @@ func main() {
 		return
 	}
 
-	for _, e := range todo {
-		//lint:allow detcheck wall-clock banner measures real elapsed time, not sim state
-		start := time.Now()
-		fmt.Printf("### %s — %s (seed=%d scale=%.2f)\n\n", e.ID, e.Desc, *seed, *scale)
-		for _, t := range e.Run(cfg) {
+	//lint:allow detcheck wall-clock measures real elapsed time, not sim state
+	start := time.Now()
+	results := exp.RunRegistry(cfg, todo)
+	for _, r := range results {
+		fmt.Printf("### %s — %s (seed=%d scale=%.2f)\n\n", r.ID, r.Desc, *seed, *scale)
+		for _, t := range r.Tables {
 			fmt.Println(t.String())
 		}
-		//lint:allow detcheck wall-clock banner measures real elapsed time, not sim state
-		fmt.Printf("(%s wall-clock)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+	// Timing goes to stderr: stdout must be byte-identical across -workers.
+	//lint:allow detcheck wall-clock measures real elapsed time, not sim state
+	elapsed := time.Since(start).Round(time.Millisecond)
+	fmt.Fprintf(os.Stderr, "(%d experiments, workers=%d, %s wall-clock)\n",
+		len(results), cfg.Workers(), elapsed)
+	if err := writeStatsCSV(*statsCSV, cfg.Stats); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// writeStatsCSV exports the accumulated per-experiment run summaries. The
+// bytes are independent of worker count: summaries merge commutatively and
+// the export sorts experiment ids.
+func writeStatsCSV(path string, acc *exp.StatsAccumulator) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := acc.WriteCSV(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // observeDemo runs a 12→1 DCP incast on the 16-host dumbbell at 1% forced

@@ -19,18 +19,24 @@ func AblationWRRWeight(cfg Config) []*stats.Table {
 		Name:    "Ablation: WRR weight vs HO loss (255-to-1 incast + WebSearch 0.3, 128 KB control queue)",
 		Columns: []string{"wrr_weight", "HO_loss", "trimmed", "bg_P95_slowdown"},
 	}
-	for _, w := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+	weights := []float64{0.25, 0.5, 1, 2, 4, 8}
+	type cellR struct {
+		loss    float64
+		trimmed int64
+		p95     float64
+	}
+	cells := sweep(cfg, len(weights), func(sub Config, i int) cellR {
 		o := closOpts{
-			load: 0.3, flows: cfg.flows(500),
+			load: 0.3, flows: sub.flows(500),
 			incastFanin: 255, incastLoad: 0.1, incastSize: 64 << 10,
-			incastCount: cfg.events(6),
-			wrrWeight:   w,
+			incastCount: sub.events(6),
+			wrrWeight:   weights[i],
 			// A shallow control queue makes the drain-rate law visible:
 			// below the §4.2 weight the HO arrival rate outruns the
 			// control queue's bandwidth share and headers drop.
 			ctrlCap: 128 << 10,
 		}
-		s := runClos(cfg, SchemeDCP(false), o)
+		s := runClos(sub, SchemeDCP(false), o)
 		c := s.Net.Counters()
 		loss := 0.0
 		if tot := c.DroppedHO + c.HOEnqueued; tot > 0 {
@@ -40,7 +46,11 @@ func AblationWRRWeight(cfg Config) []*stats.Table {
 		for _, f := range s.Col.FinishedFlows("bg") {
 			slows = append(slows, f.Slowdown())
 		}
-		t.AddRow(fmt.Sprintf("%.2f", w), fmt.Sprintf("%.4f%%", loss*100), c.TrimmedPkts, stats.Percentile(slows, 95))
+		return cellR{loss: loss, trimmed: c.TrimmedPkts, p95: stats.Percentile(slows, 95)}
+	})
+	for i, w := range weights {
+		c := cells[i]
+		t.AddRow(fmt.Sprintf("%.2f", w), fmt.Sprintf("%.4f%%", c.loss*100), c.trimmed, c.p95)
 	}
 	return []*stats.Table{t}
 }
@@ -54,13 +64,18 @@ func AblationRetransBatch(cfg Config) []*stats.Table {
 		Columns: []string{"loss_rate", "batched", "per-HO"},
 	}
 	size := cfg.bytes(40 << 20)
-	for _, lr := range []float64{0.01, 0.02, 0.05, 0.1} {
+	rates := []float64{0.01, 0.02, 0.05, 0.1}
+	cells := sweep(cfg, len(rates), func(sub Config, i int) [2]float64 {
+		lr := rates[i]
 		sch := SchemeDCP(false)
-		batched, _ := runSingleFlow(cfg, sch, size, onePathNet(sch, lr))
+		batched, _ := runSingleFlow(sub, sch, size, onePathNet(sch, lr))
 		per := sch
 		per.Tweak = func(e *envT) { e.DCP.PerHOFetch = true }
-		perHO, _ := runSingleFlow(cfg, per, size, onePathNet(per, lr))
-		t.AddRow(fmt.Sprintf("%.1f%%", lr*100), batched, perHO)
+		perHO, _ := runSingleFlow(sub, per, size, onePathNet(per, lr))
+		return [2]float64{batched, perHO}
+	})
+	for i, lr := range rates {
+		t.AddRow(fmt.Sprintf("%.1f%%", lr*100), cells[i][0], cells[i][1])
 	}
 	return []*stats.Table{t}
 }
@@ -75,15 +90,18 @@ func AblationTracking(cfg Config) []*stats.Table {
 		Columns: []string{"loss_rate", "counters_fct", "bitmap_fct"},
 	}
 	size := cfg.bytes(20 << 20)
-	for _, lr := range []float64{0, 0.01, 0.05} {
+	rates := []float64{0, 0.01, 0.05}
+	cells := sweep(cfg, len(rates), func(sub Config, i int) [2]float64 {
+		lr := rates[i]
 		sch := SchemeDCP(false)
-		_, rec1 := runSingleFlow(cfg, sch, size, onePathNet(sch, lr))
+		_, rec1 := runSingleFlow(sub, sch, size, onePathNet(sch, lr))
 		bm := sch
 		bm.Tweak = func(e *envT) { e.DCP.ReceiverBitmap = true }
-		_, rec2 := runSingleFlow(cfg, bm, size, onePathNet(bm, lr))
-		t.AddRow(fmt.Sprintf("%.1f%%", lr*100),
-			rec1.FCT().Millis(),
-			rec2.FCT().Millis())
+		_, rec2 := runSingleFlow(sub, bm, size, onePathNet(bm, lr))
+		return [2]float64{rec1.FCT().Millis(), rec2.FCT().Millis()}
+	})
+	for i, lr := range rates {
+		t.AddRow(fmt.Sprintf("%.1f%%", lr*100), cells[i][0], cells[i][1])
 	}
 	return []*stats.Table{t}
 }
@@ -95,15 +113,23 @@ func AblationTrimThreshold(cfg Config) []*stats.Table {
 		Name:    "Ablation: trimming threshold (WebSearch 0.5, DCP)",
 		Columns: []string{"threshold_KB", "trimmed", "bg_P50", "bg_P95"},
 	}
-	for _, th := range []int{50, 100, 200, 400, 800} {
-		o := closOpts{load: 0.5, flows: cfg.flows(800), trimThreshold: th * units.KB}
-		s := runClos(cfg, SchemeDCP(false), o)
+	thresholds := []int{50, 100, 200, 400, 800}
+	type cellR struct {
+		trimmed  int64
+		p50, p95 float64
+	}
+	cells := sweep(cfg, len(thresholds), func(sub Config, i int) cellR {
+		o := closOpts{load: 0.5, flows: sub.flows(800), trimThreshold: thresholds[i] * units.KB}
+		s := runClos(sub, SchemeDCP(false), o)
 		var slows []float64
 		for _, f := range s.Col.FinishedFlows("bg") {
 			slows = append(slows, f.Slowdown())
 		}
 		c := s.Net.Counters()
-		t.AddRow(th, c.TrimmedPkts, stats.Percentile(slows, 50), stats.Percentile(slows, 95))
+		return cellR{trimmed: c.TrimmedPkts, p50: stats.Percentile(slows, 50), p95: stats.Percentile(slows, 95)}
+	})
+	for i, th := range thresholds {
+		t.AddRow(th, cells[i].trimmed, cells[i].p50, cells[i].p95)
 	}
 	return []*stats.Table{t}
 }
@@ -116,25 +142,35 @@ func AblationUncontrolledRetrans(cfg Config) []*stats.Table {
 		Name:    "Ablation: CC-regulated vs HO-rate retransmission (incast, DCP+CC)",
 		Columns: []string{"variant", "bg_P50", "bg_P99", "trimmed"},
 	}
-	o := closOpts{
-		load: 0.5, flows: cfg.flows(600),
-		incastFanin: 128, incastLoad: 0.05, incastSize: 64 << 10,
-		incastCount: cfg.events(6),
+	variants := []bool{false, true}
+	type cellR struct {
+		p50, p99 float64
+		trimmed  int64
 	}
-	for _, unc := range []bool{false, true} {
+	cells := sweep(cfg, len(variants), func(sub Config, i int) cellR {
+		o := closOpts{
+			load: 0.5, flows: sub.flows(600),
+			incastFanin: 128, incastLoad: 0.05, incastSize: 64 << 10,
+			incastCount: sub.events(6),
+		}
 		sch := SchemeDCP(true)
-		name := "CC-regulated"
-		if unc {
-			name = "uncontrolled"
+		if variants[i] {
 			sch.Tweak = func(e *envT) { e.DCP.UncontrolledRetrans = true }
 		}
-		s := runClos(cfg, sch, o)
+		s := runClos(sub, sch, o)
 		var slows []float64
 		for _, f := range s.Col.FinishedFlows("") {
 			slows = append(slows, f.Slowdown())
 		}
 		c := s.Net.Counters()
-		t.AddRow(name, stats.Percentile(slows, 50), stats.Percentile(slows, 99), c.TrimmedPkts)
+		return cellR{p50: stats.Percentile(slows, 50), p99: stats.Percentile(slows, 99), trimmed: c.TrimmedPkts}
+	})
+	for i, unc := range variants {
+		name := "CC-regulated"
+		if unc {
+			name = "uncontrolled"
+		}
+		t.AddRow(name, cells[i].p50, cells[i].p99, cells[i].trimmed)
 	}
 	return []*stats.Table{t}
 }
@@ -148,9 +184,11 @@ func AblationBackToSender(cfg Config) []*stats.Table {
 		Columns: []string{"loss_rate", "via_receiver_Gbps", "back_to_sender_Gbps", "via_recv_fct_ms", "b2s_fct_ms"},
 	}
 	size := cfg.bytes(20 << 20)
-	for _, lr := range []float64{0.01, 0.05} {
+	rates := []float64{0.01, 0.05}
+	cells := sweep(cfg, len(rates), func(sub Config, i int) [4]float64 {
+		lr := rates[i]
 		sch := SchemeDCP(false)
-		viaGp, viaRec := runSingleFlow(cfg, sch, size, onePathNet(sch, lr))
+		viaGp, viaRec := runSingleFlow(sub, sch, size, onePathNet(sch, lr))
 		b2s := sch
 		b2sNet := func(e *sim.Engine) *topo.Network {
 			c := topo.DefaultDumbbell()
@@ -161,10 +199,12 @@ func AblationBackToSender(cfg Config) []*stats.Table {
 			c.Switch.DirectHOReturn = true
 			return topo.Dumbbell(e, c)
 		}
-		b2sGp, b2sRec := runSingleFlow(cfg, b2s, size, b2sNet)
-		t.AddRow(fmt.Sprintf("%.0f%%", lr*100), viaGp, b2sGp,
-			viaRec.FCT().Millis(),
-			b2sRec.FCT().Millis())
+		b2sGp, b2sRec := runSingleFlow(sub, b2s, size, b2sNet)
+		return [4]float64{viaGp, b2sGp, viaRec.FCT().Millis(), b2sRec.FCT().Millis()}
+	})
+	for i, lr := range rates {
+		c := cells[i]
+		t.AddRow(fmt.Sprintf("%.0f%%", lr*100), c[0], c[1], c[2], c[3])
 	}
 	return []*stats.Table{t}
 }
@@ -180,24 +220,36 @@ func ExtensionNDP(cfg Config) []*stats.Table {
 		Columns: []string{"loss_rate", "DCP", "NDP"},
 	}
 	size := cfg.bytes(20 << 20)
-	for _, lr := range []float64{0, 0.01, 0.05} {
-		dcpGp, _ := runSingleFlow(cfg, SchemeDCP(false), size, onePathNet(SchemeDCP(false), lr))
-		ndpGp, _ := runSingleFlow(cfg, SchemeNDP(), size, onePathNet(SchemeNDP(), lr))
-		t.AddRow(fmt.Sprintf("%.0f%%", lr*100), dcpGp, ndpGp)
+	rates := []float64{0, 0.01, 0.05}
+	lossCells := sweep(cfg, len(rates), func(sub Config, i int) [2]float64 {
+		lr := rates[i]
+		dcpGp, _ := runSingleFlow(sub, SchemeDCP(false), size, onePathNet(SchemeDCP(false), lr))
+		ndpGp, _ := runSingleFlow(sub, SchemeNDP(), size, onePathNet(SchemeNDP(), lr))
+		return [2]float64{dcpGp, ndpGp}
+	})
+	for i, lr := range rates {
+		t.AddRow(fmt.Sprintf("%.0f%%", lr*100), lossCells[i][0], lossCells[i][1])
 	}
 	inc := &stats.Table{
 		Name:    "Extension: 15-to-1 incast, last-flow completion (us)",
 		Columns: []string{"scheme", "last_flow_us", "timeouts", "trims"},
 	}
-	for _, sch := range []Scheme{SchemeDCP(true), SchemeNDP()} {
-		s := NewSim(cfg.Seed, sch, func(eng *sim.Engine) *topo.Network {
+	schemes := []Scheme{SchemeDCP(true), SchemeNDP()}
+	type incR struct {
+		lastUs   float64
+		timeouts int64
+		trims    int64
+	}
+	incCells := sweep(cfg, len(schemes), func(sub Config, i int) incR {
+		sch := schemes[i]
+		s := NewSimCfg(sub, sch, func(eng *sim.Engine) *topo.Network {
 			c := topo.DefaultDumbbell()
 			c.Switch = SwitchConfigFor(sch)
 			return topo.Dumbbell(eng, c)
 		})
 		var flows []*workload.Flow
 		for i := uint64(0); i < 15; i++ {
-			flows = append(flows, &workload.Flow{ID: i + 1, Src: packet.NodeID(i), Dst: 15, Size: cfg.bytes(4 << 20)})
+			flows = append(flows, &workload.Flow{ID: i + 1, Src: packet.NodeID(i), Dst: 15, Size: sub.bytes(4 << 20)})
 		}
 		s.ScheduleFlows(flows)
 		s.Run(20 * units.Second)
@@ -209,7 +261,10 @@ func ExtensionNDP(cfg Config) []*stats.Table {
 			}
 			timeouts += f.Timeouts
 		}
-		inc.AddRow(sch.Name, last.Micros(), timeouts, s.Net.Counters().TrimmedPkts)
+		return incR{lastUs: last.Micros(), timeouts: timeouts, trims: s.Net.Counters().TrimmedPkts}
+	})
+	for i, sch := range schemes {
+		inc.AddRow(sch.Name, incCells[i].lastUs, incCells[i].timeouts, incCells[i].trims)
 	}
 	return []*stats.Table{t, inc}
 }

@@ -34,7 +34,7 @@ type closOpts struct {
 // incast) workload. The workload is drawn from a dedicated RNG seeded only
 // by cfg.Seed so every scheme sees the identical flow set.
 func runClos(cfg Config, sch Scheme, o closOpts) *Sim {
-	s := NewSim(cfg.Seed, sch, func(eng *sim.Engine) *topo.Network {
+	s := NewSimCfg(cfg, sch, func(eng *sim.Engine) *topo.Network {
 		c := topo.DefaultClos()
 		c.Switch = SwitchConfigFor(sch)
 		if o.spineDelay > 0 {
@@ -102,14 +102,24 @@ func Fig1(cfg Config) []*stats.Table {
 	for _, c := range classes {
 		frac[c] = &classStat{}
 	}
+	type cellR struct {
+		flows []*stats.FlowRecord
+		drops int64
+	}
+	cells := sweep(cfg, len(schemes), func(sub Config, i int) cellR {
+		s := runClos(sub, schemes[i], o)
+		c := s.Net.Counters()
+		return cellR{
+			flows: s.Col.FinishedFlows("bg"),
+			drops: c.DroppedData + c.TrimmedPkts + c.ForcedLosses,
+		}
+	})
 	var buckets [][]stats.SizeBucket
 	var drops []int64
-	for i, sch := range schemes {
-		s := runClos(cfg, sch, o)
-		flows := s.Col.FinishedFlows("bg")
+	for i, cell := range cells {
+		flows := cell.flows
 		buckets = append(buckets, stats.BucketizeBySize(flows, 12, (*stats.FlowRecord).RetransRatio))
-		c := s.Net.Counters()
-		drops = append(drops, c.DroppedData+c.TrimmedPkts+c.ForcedLosses)
+		drops = append(drops, cell.drops)
 		for _, f := range flows {
 			cls := classes[0]
 			if f.Size > 2<<20 {
@@ -178,10 +188,11 @@ func Fig2(cfg Config) []*stats.Table {
 		Name:    "Fig 2: number of timeouts (mean per flow / % flows with RTO)",
 		Columns: []string{"scheme", "bg_mean", "bg_pct", "bg_max", "incast_mean", "incast_pct", "incast_max"},
 	}
-	for _, sch := range []Scheme{SchemeIRN(0, false), SchemeIRN(1, false), SchemeDCP(false)} {
-		s := runClos(cfg, sch, o)
-		row := []any{sch.Name}
-		for _, class := range []string{"bg", "incast"} {
+	schemes := []Scheme{SchemeIRN(0, false), SchemeIRN(1, false), SchemeDCP(false)}
+	cells := sweep(cfg, len(schemes), func(sub Config, i int) [6]float64 {
+		s := runClos(sub, schemes[i], o)
+		var out [6]float64
+		for ci, class := range []string{"bg", "incast"} {
 			flows := s.Col.FinishedFlows(class)
 			var sum, hit, max float64
 			for _, f := range flows {
@@ -198,9 +209,13 @@ func Fig2(cfg Config) []*stats.Table {
 			if n == 0 {
 				n = 1
 			}
-			row = append(row, sum/n, 100*hit/n, max)
+			out[ci*3], out[ci*3+1], out[ci*3+2] = sum/n, 100*hit/n, max
 		}
-		t.AddRow(row...)
+		return out
+	})
+	for i, sch := range schemes {
+		c := cells[i]
+		t.AddRow(sch.Name, c[0], c[1], c[2], c[3], c[4], c[5])
 	}
 	return []*stats.Table{t}
 }
@@ -213,14 +228,18 @@ func fig13Schemes(withCC bool) []Scheme {
 // Fig13 reproduces the WebSearch FCT-slowdown comparison at loads 0.3 and
 // 0.5.
 func Fig13(cfg Config) []*stats.Table {
+	loads := []float64{0.3, 0.5}
+	schemes := fig13Schemes(false)
+	cells := grid(cfg, len(loads), len(schemes), func(sub Config, li, si int) []*stats.FlowRecord {
+		o := closOpts{load: loads[li], flows: sub.flows(2000)}
+		return runClos(sub, schemes[si], o).Col.FinishedFlows("bg")
+	})
 	var tables []*stats.Table
-	for _, load := range []float64{0.3, 0.5} {
-		o := closOpts{load: load, flows: cfg.flows(2000)}
+	for li, load := range loads {
 		results := map[string][]*stats.FlowRecord{}
 		var order []string
-		for _, sch := range fig13Schemes(false) {
-			s := runClos(cfg, sch, o)
-			results[sch.Name] = s.Col.FinishedFlows("bg")
+		for si, sch := range schemes {
+			results[sch.Name] = cells[li][si]
 			order = append(order, sch.Name)
 		}
 		tables = append(tables, slowdownSeries(
@@ -233,10 +252,50 @@ func Fig13(cfg Config) []*stats.Table {
 // rack) running AllReduce / AllToAll; JCT per group plus the FCT
 // distribution, against an analytic ideal.
 func Fig14(cfg Config) []*stats.Table {
-	var tables []*stats.Table
 	total := cfg.bytes(60 << 20) // paper: 300 MB; scaled for wall-clock
 	const groups, members = 16, 16
-	for _, coll := range []string{"AllReduce", "AllToAll"} {
+	colls := []string{"AllReduce", "AllToAll"}
+	schemes := fig13Schemes(false)
+	type cellR struct {
+		jcts [groups]float64
+		fcts []float64
+	}
+	cells := grid(cfg, len(colls), len(schemes), func(sub Config, ci, si int) cellR {
+		coll, sch := colls[ci], schemes[si]
+		s := NewSimCfg(sub, sch, func(eng *sim.Engine) *topo.Network {
+			c := topo.DefaultClos()
+			c.Switch = SwitchConfigFor(sch)
+			return topo.Clos(eng, c)
+		})
+		done := make([]units.Time, groups)
+		var id uint64 = 1
+		for g := 0; g < groups; g++ {
+			var mem []packet.NodeID
+			for l := 0; l < members; l++ {
+				mem = append(mem, packet.NodeID(l*16+g))
+			}
+			var cf *workload.Coflow
+			if coll == "AllReduce" {
+				cf = workload.RingAllReduce(mem, total, g, id)
+			} else {
+				cf = workload.AllToAll(mem, total, g, id)
+			}
+			id += uint64(cf.NumFlows())
+			g := g
+			s.RunCoflow(cf, 0, func(at units.Time) { done[g] = at })
+		}
+		s.Run(30 * units.Second)
+		var r cellR
+		for _, f := range s.Col.FinishedFlows("coll") {
+			r.fcts = append(r.fcts, f.FCT().Millis())
+		}
+		for g := 0; g < groups; g++ {
+			r.jcts[g] = done[g].Millis()
+		}
+		return r
+	})
+	var tables []*stats.Table
+	for ci, coll := range colls {
 		jct := &stats.Table{
 			Name:    "Fig 14 (" + coll + "): JCT per group (ms)",
 			Columns: []string{"group"},
@@ -249,38 +308,13 @@ func Fig14(cfg Config) []*stats.Table {
 		for g := range rows {
 			rows[g] = []any{g + 1}
 		}
-		for _, sch := range fig13Schemes(false) {
+		for si, sch := range schemes {
 			jct.Columns = append(jct.Columns, sch.Name)
-			s := NewSim(cfg.Seed, sch, func(eng *sim.Engine) *topo.Network {
-				c := topo.DefaultClos()
-				c.Switch = SwitchConfigFor(sch)
-				return topo.Clos(eng, c)
-			})
-			done := make([]units.Time, groups)
-			var id uint64 = 1
+			cell := cells[ci][si]
 			for g := 0; g < groups; g++ {
-				var mem []packet.NodeID
-				for l := 0; l < members; l++ {
-					mem = append(mem, packet.NodeID(l*16+g))
-				}
-				var cf *workload.Coflow
-				if coll == "AllReduce" {
-					cf = workload.RingAllReduce(mem, total, g, id)
-				} else {
-					cf = workload.AllToAll(mem, total, g, id)
-				}
-				id += uint64(cf.NumFlows())
-				g := g
-				s.RunCoflow(cf, 0, func(at units.Time) { done[g] = at })
+				rows[g] = append(rows[g], cell.jcts[g])
 			}
-			s.Run(30 * units.Second)
-			var fcts []float64
-			for _, f := range s.Col.FinishedFlows("coll") {
-				fcts = append(fcts, f.FCT().Millis())
-			}
-			for g := 0; g < groups; g++ {
-				rows[g] = append(rows[g], done[g].Millis())
-			}
+			fcts := cell.fcts
 			cdfT.AddRow(sch.Name,
 				stats.Percentile(fcts, 25), stats.Percentile(fcts, 50),
 				stats.Percentile(fcts, 75), stats.Percentile(fcts, 95), stats.Percentile(fcts, 99))
@@ -320,7 +354,6 @@ func pktsFor(size int64) uint32 {
 // (5 ms) leaf-spine links; lossless schemes get enlarged buffers for PFC
 // headroom, IRN and DCP keep 32 MB.
 func Fig15(cfg Config) []*stats.Table {
-	var tables []*stats.Table
 	cases := []struct {
 		name   string
 		delay  units.Time
@@ -329,18 +362,23 @@ func Fig15(cfg Config) []*stats.Table {
 		{"100km (500us)", 500 * units.Microsecond, 600 * units.MB},
 		{"1000km (5ms)", 5 * units.Millisecond, 6 * units.GB},
 	}
-	for _, c := range cases {
+	schemes := fig13Schemes(false)
+	cells := grid(cfg, len(cases), len(schemes), func(sub Config, ci, si int) []*stats.FlowRecord {
+		c := cases[ci]
 		o := closOpts{
-			load: 0.5, flows: cfg.flows(800),
+			load: 0.5, flows: sub.flows(800),
 			spineDelay: c.delay, buffer: c.buffer,
 			msgSize: 4 * units.MB,
 			maxTime: 60 * units.Second,
 		}
+		return runClos(sub, schemes[si], o).Col.FinishedFlows("bg")
+	})
+	var tables []*stats.Table
+	for ci, c := range cases {
 		results := map[string][]*stats.FlowRecord{}
 		var order []string
-		for _, sch := range fig13Schemes(false) {
-			s := runClos(cfg, sch, o)
-			results[sch.Name] = s.Col.FinishedFlows("bg")
+		for si, sch := range schemes {
+			results[sch.Name] = cells[ci][si]
 			order = append(order, sch.Name)
 		}
 		tables = append(tables, slowdownSeries("Fig 15: cross-DC "+c.name+" FCT slowdown", 12, results, order))
@@ -351,19 +389,26 @@ func Fig15(cfg Config) []*stats.Table {
 // Fig16 reproduces the deep-dive incast study: WebSearch 0.5 plus 128-to-1
 // incast at 5% load, with and without DCQCN.
 func Fig16(cfg Config) []*stats.Table {
-	var tables []*stats.Table
-	for _, withCC := range []bool{false, true} {
+	ccCases := []bool{false, true}
+	const schemesPerCase = 3
+	cells := grid(cfg, len(ccCases), schemesPerCase, func(sub Config, ci, si int) []*stats.FlowRecord {
+		withCC := ccCases[ci]
 		o := closOpts{
-			load: 0.5, flows: cfg.flows(1200),
+			load: 0.5, flows: sub.flows(1200),
 			incastFanin: 128, incastLoad: 0.05, incastSize: 64 << 10,
-			incastCount: cfg.events(8),
+			incastCount: sub.events(8),
 		}
+		sch := []Scheme{SchemeIRN(1, withCC), SchemeMPRDMA(), SchemeDCP(withCC)}[si]
+		s := runClos(sub, sch, o)
+		return append(s.Col.FinishedFlows("bg"), s.Col.FinishedFlows("incast")...)
+	})
+	var tables []*stats.Table
+	for ci, withCC := range ccCases {
 		schemes := []Scheme{SchemeIRN(1, withCC), SchemeMPRDMA(), SchemeDCP(withCC)}
 		results := map[string][]*stats.FlowRecord{}
 		var order []string
-		for _, sch := range schemes {
-			s := runClos(cfg, sch, o)
-			results[sch.Name] = append(s.Col.FinishedFlows("bg"), s.Col.FinishedFlows("incast")...)
+		for si, sch := range schemes {
+			results[sch.Name] = cells[ci][si]
 			order = append(order, sch.Name)
 		}
 		label := "w/o CC"
@@ -385,28 +430,35 @@ func Table5(cfg Config) []*stats.Table {
 	}
 	// r: data-packet to HO size ratio.
 	r := float64(packet.DataHeaderSize+packet.RETHSize+packet.DefaultMTU) / float64(packet.HOSize)
+	type setting struct {
+		n, fanin int
+	}
+	var settings []setting
 	for _, n := range []int{22, 16} {
 		for _, fanin := range []int{128, 255} {
-			var cells []any
-			cells = append(cells, fmt.Sprintf("N=%d; %d-to-1", n, fanin))
-			for _, withCC := range []bool{false, true} {
-				sch := SchemeDCP(withCC)
-				o := closOpts{
-					load: 0.3, flows: cfg.flows(600),
-					incastFanin: fanin, incastLoad: 0.1, incastSize: 64 << 10,
-					incastCount: cfg.events(6),
-					wrrWeight:   wrrWeightFor(n, r),
-				}
-				s := runClos(cfg, sch, o)
-				c := s.Net.Counters()
-				loss := 0.0
-				if tot := c.DroppedHO + c.HOEnqueued; tot > 0 {
-					loss = float64(c.DroppedHO) / float64(tot)
-				}
-				cells = append(cells, fmt.Sprintf("%.4f%%", loss*100))
-			}
-			t.AddRow(cells...)
+			settings = append(settings, setting{n, fanin})
 		}
+	}
+	ccCases := []bool{false, true}
+	cells := grid(cfg, len(settings), len(ccCases), func(sub Config, si, ci int) string {
+		set, withCC := settings[si], ccCases[ci]
+		sch := SchemeDCP(withCC)
+		o := closOpts{
+			load: 0.3, flows: sub.flows(600),
+			incastFanin: set.fanin, incastLoad: 0.1, incastSize: 64 << 10,
+			incastCount: sub.events(6),
+			wrrWeight:   wrrWeightFor(set.n, r),
+		}
+		s := runClos(sub, sch, o)
+		c := s.Net.Counters()
+		loss := 0.0
+		if tot := c.DroppedHO + c.HOEnqueued; tot > 0 {
+			loss = float64(c.DroppedHO) / float64(tot)
+		}
+		return fmt.Sprintf("%.4f%%", loss*100)
+	})
+	for si, set := range settings {
+		t.AddRow(fmt.Sprintf("N=%d; %d-to-1", set.n, set.fanin), cells[si][0], cells[si][1])
 	}
 	return []*stats.Table{t}
 }

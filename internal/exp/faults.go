@@ -63,7 +63,7 @@ type faultRun struct {
 // IDs 1..faultHosts) of size bytes each under sch, injects the plan built
 // by mkPlan, and samples per-destination goodput every bin until horizon.
 func runFaultScenario(cfg Config, sch Scheme, size int64, bin, horizon units.Time, mkPlan func(*topo.Network) *faults.Plan) *faultRun {
-	s := NewSim(cfg.Seed, sch, func(eng *sim.Engine) *topo.Network {
+	s := NewSimCfg(cfg, sch, func(eng *sim.Engine) *topo.Network {
 		c := topo.DefaultDumbbell()
 		c.HostsPerSwitch = faultHosts
 		c.CrossLinks = faultCross
@@ -180,18 +180,34 @@ func FaultFlap(cfg Config) []*stats.Table {
 	T := nominalT(size)
 	bin := faultBin(T)
 	victim := fmt.Sprintf("cross%d", fabric.ECMPIndex(1, 0, faultCross))
-	for _, sev := range severities(cfg) {
+	sevs := severities(cfg)
+	schemes := faultFlapSchemes()
+	type cellR struct {
+		durUs               float64
+		pre, postPct        float64
+		blackoutUs, recovUs float64
+		victims, unfinished int
+	}
+	cells := grid(cfg, len(sevs), len(schemes), func(sub Config, vi, si int) cellR {
+		sev, sch := sevs[vi], schemes[si]
 		faultAt := T / 4
 		dur := units.Scale(T/3, sev)
 		horizon := faultAt + dur + 25*units.Millisecond
-		for _, sch := range faultFlapSchemes() {
-			r := runFaultScenario(cfg, sch, size, bin, horizon, func(*topo.Network) *faults.Plan {
-				return faults.NewPlan(cfg.Seed).LinkDownFor(victim, faultAt, dur)
-			})
-			pre, blackout, recov, postPct, _ := worstRecovery(r, faultAt, faultAt+dur)
-			t.AddRow(fmt.Sprintf("%.2g", sev), dur.Micros(), sch.Name, pre,
-				blackout.Micros(), recov.Micros(), postPct,
-				stats.VictimFlows(r.Sim.Col.Flows()), r.Unfinished)
+		r := runFaultScenario(sub, sch, size, bin, horizon, func(*topo.Network) *faults.Plan {
+			return faults.NewPlan(sub.Seed).LinkDownFor(victim, faultAt, dur)
+		})
+		pre, blackout, recov, postPct, _ := worstRecovery(r, faultAt, faultAt+dur)
+		return cellR{
+			durUs: dur.Micros(), pre: pre, postPct: postPct,
+			blackoutUs: blackout.Micros(), recovUs: recov.Micros(),
+			victims: stats.VictimFlows(r.Sim.Col.Flows()), unfinished: r.Unfinished,
+		}
+	})
+	for vi, sev := range sevs {
+		for si, sch := range schemes {
+			c := cells[vi][si]
+			t.AddRow(fmt.Sprintf("%.2g", sev), c.durUs, sch.Name, c.pre,
+				c.blackoutUs, c.recovUs, c.postPct, c.victims, c.unfinished)
 		}
 	}
 	return []*stats.Table{t}
@@ -214,32 +230,37 @@ func FaultDegrade(cfg Config) []*stats.Table {
 	start, dur := T/4, T/2
 	horizon := 4*T + 200*units.Millisecond
 	schemes := []Scheme{SchemeDCP(false), SchemeGBNLossy(0), SchemeIRN(0, false), SchemeRACK()}
-	for _, sev := range severities(cfg) {
+	sevs := severities(cfg)
+	modes := []string{"silent-wire", "visible-switch"}
+	// One cell per (severity, mode, scheme): rows are (sev × mode), the
+	// scheme axis fills the row's goodput columns.
+	cells := grid(cfg, len(sevs)*len(modes), len(schemes), func(sub Config, ri, si int) float64 {
+		sev, mode, sch := sevs[ri/len(modes)], modes[ri%len(modes)], schemes[si]
 		peak := 0.02 * sev
-		for _, mode := range []string{"silent-wire", "visible-switch"} {
-			row := []any{fmt.Sprintf("%.2g", sev), fmt.Sprintf("%.2f%%", peak*100), mode}
-			for _, sch := range schemes {
-				s := NewSim(cfg.Seed, sch, onePathNet(sch, 0))
-				s.ScheduleFlows([]*workload.Flow{{ID: 1, Src: 0, Dst: 1, Size: size}})
-				plan := faults.NewPlan(cfg.Seed)
-				if mode == "silent-wire" {
-					plan.LossRamp("cross0", start, dur, peak, 8)
-				} else {
-					plan.SwitchLossRamp(0, start, dur, peak, 8)
-					plan.SwitchLossRamp(1, start, dur, peak, 8)
-				}
-				mustInject(s.Net, plan)
-				s.Run(horizon)
-				gp := 0.0
-				if rec := s.Col.Flow(1); rec.Done {
-					gp = stats.Goodput(rec.Size, rec.FCT())
-				} else {
-					gp = stats.Goodput(s.Net.Hosts[1].DeliveredBytes, horizon)
-				}
-				row = append(row, gp)
-			}
-			t.AddRow(row...)
+		s := NewSimCfg(sub, sch, onePathNet(sch, 0))
+		s.ScheduleFlows([]*workload.Flow{{ID: 1, Src: 0, Dst: 1, Size: size}})
+		plan := faults.NewPlan(sub.Seed)
+		if mode == "silent-wire" {
+			plan.LossRamp("cross0", start, dur, peak, 8)
+		} else {
+			plan.SwitchLossRamp(0, start, dur, peak, 8)
+			plan.SwitchLossRamp(1, start, dur, peak, 8)
 		}
+		mustInject(s.Net, plan)
+		s.Run(horizon)
+		if rec := s.Col.Flow(1); rec.Done {
+			return stats.Goodput(rec.Size, rec.FCT())
+		}
+		return stats.Goodput(s.Net.Hosts[1].DeliveredBytes, horizon)
+	})
+	for ri, cell := range cells {
+		sev, mode := sevs[ri/len(modes)], modes[ri%len(modes)]
+		peak := 0.02 * sev
+		row := []any{fmt.Sprintf("%.2g", sev), fmt.Sprintf("%.2f%%", peak*100), mode}
+		for _, gp := range cell {
+			row = append(row, gp)
+		}
+		t.AddRow(row...)
 	}
 	return []*stats.Table{t}
 }
@@ -264,22 +285,38 @@ func FaultPauseStorm(cfg Config) []*stats.Table {
 		fmt.Sprintf("cross%d", k),
 		fmt.Sprintf("cross%d", (k+1)%faultCross),
 	}
-	for _, sev := range severities(cfg) {
+	sevs := severities(cfg)
+	schemes := faultFlapSchemes()
+	type cellR struct {
+		durUs               float64
+		pre, postPct        float64
+		blackoutUs, recovUs float64
+		victims, unfinished int
+	}
+	cells := grid(cfg, len(sevs), len(schemes), func(sub Config, vi, si int) cellR {
+		sev, sch := sevs[vi], schemes[si]
 		faultAt := T / 4
 		dur := units.Scale(T/3, sev)
 		horizon := faultAt + dur + 25*units.Millisecond
-		for _, sch := range faultFlapSchemes() {
-			r := runFaultScenario(cfg, sch, size, bin, horizon, func(*topo.Network) *faults.Plan {
-				p := faults.NewPlan(cfg.Seed)
-				for _, l := range links {
-					p.PauseStorm(l, faultAt, dur, 0, 1)
-				}
-				return p
-			})
-			pre, blackout, recov, postPct, _ := worstRecovery(r, faultAt, faultAt+dur)
-			t.AddRow(fmt.Sprintf("%.2g", sev), dur.Micros(), sch.Name, pre,
-				blackout.Micros(), recov.Micros(), postPct,
-				stats.VictimFlows(r.Sim.Col.Flows()), r.Unfinished)
+		r := runFaultScenario(sub, sch, size, bin, horizon, func(*topo.Network) *faults.Plan {
+			p := faults.NewPlan(sub.Seed)
+			for _, l := range links {
+				p.PauseStorm(l, faultAt, dur, 0, 1)
+			}
+			return p
+		})
+		pre, blackout, recov, postPct, _ := worstRecovery(r, faultAt, faultAt+dur)
+		return cellR{
+			durUs: dur.Micros(), pre: pre, postPct: postPct,
+			blackoutUs: blackout.Micros(), recovUs: recov.Micros(),
+			victims: stats.VictimFlows(r.Sim.Col.Flows()), unfinished: r.Unfinished,
+		}
+	})
+	for vi, sev := range sevs {
+		for si, sch := range schemes {
+			c := cells[vi][si]
+			t.AddRow(fmt.Sprintf("%.2g", sev), c.durUs, sch.Name, c.pre,
+				c.blackoutUs, c.recovUs, c.postPct, c.victims, c.unfinished)
 		}
 	}
 	return []*stats.Table{t}

@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"dcpsim/internal/exp/pool"
+	"dcpsim/internal/stats"
+)
+
+// This file is the execution side of the experiment engine: the registry
+// and every per-experiment sweep are split into pure cell-builders (the
+// experiment functions construct closures; see testbed.go, clos.go,
+// ablation.go, faults.go) and the sharded execution below.
+//
+// The merge-ordering contract: results are always delivered by
+// (experiment index, cell index, sim index) — keys assigned at submission
+// time on a single goroutine — never by completion time. Combined with the
+// cell-isolation contract (each cell owns its engine, topology, collector
+// and sinks for the cell's whole lifetime) this makes a parallel run
+// byte-identical to the serial runner: tables, autopsies, stats exports.
+
+// CellKey deterministically identifies one simulation inside a run:
+// which experiment, which cell of its sweep, which sim within the cell.
+// Keys depend only on submission order, never on scheduling, so they are
+// stable across worker counts and give post-hoc merges (checker autopsies,
+// stats) a canonical order.
+type CellKey struct {
+	Exp  string
+	Cell int
+	Sim  int
+}
+
+func (k CellKey) String() string { return fmt.Sprintf("%s/c%03d/s%02d", k.Exp, k.Cell, k.Sim) }
+
+// Less orders keys (experiment, cell, sim).
+func (k CellKey) Less(o CellKey) bool {
+	if k.Exp != o.Exp {
+		return k.Exp < o.Exp
+	}
+	if k.Cell != o.Cell {
+		return k.Cell < o.Cell
+	}
+	return k.Sim < o.Sim
+}
+
+// cellCtx is the per-cell context a sweep threads through Config. It lives
+// on exactly one worker goroutine for the duration of the cell, so its
+// mutation (sim counter, sim list) needs no synchronization.
+type cellCtx struct {
+	exp  string
+	cell int
+	simN int
+	sims []*Sim
+}
+
+// StatsAccumulator collects mergeable per-cell run summaries keyed by
+// experiment. Cells fold their partials in from worker goroutines (the
+// one synchronization point of the engine); because RunSummary.Merge is
+// commutative — property-tested in internal/stats — the accumulated state
+// is independent of completion order, and the CSV export sorts keys, so
+// the output is byte-identical across worker counts.
+type StatsAccumulator struct {
+	mu    sync.Mutex
+	byExp map[string]*stats.RunSummary
+}
+
+// NewStatsAccumulator returns an empty accumulator.
+func NewStatsAccumulator() *StatsAccumulator {
+	return &StatsAccumulator{byExp: make(map[string]*stats.RunSummary)}
+}
+
+func (a *StatsAccumulator) add(exp string, s *stats.RunSummary) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur := a.byExp[exp]
+	if cur == nil {
+		cur = &stats.RunSummary{}
+		a.byExp[exp] = cur
+	}
+	cur.Merge(s)
+}
+
+// Summary returns the merged summary for one experiment (nil if absent).
+func (a *StatsAccumulator) Summary(exp string) *stats.RunSummary {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.byExp[exp]
+}
+
+// WriteCSV renders every experiment's summary plus a total row, sorted by
+// experiment id — byte-stable for a given simulated workload regardless
+// of worker count.
+func (a *StatsAccumulator) WriteCSV(w io.Writer) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, err := fmt.Fprintln(w, stats.RunSummaryCSVHeader); err != nil {
+		return err
+	}
+	ids := make([]string, 0, len(a.byExp))
+	for id := range a.byExp {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var total stats.RunSummary
+	for _, id := range ids {
+		s := a.byExp[id]
+		total.Merge(s)
+		if err := s.WriteCSVRow(w, id); err != nil {
+			return err
+		}
+	}
+	return total.WriteCSVRow(w, "TOTAL")
+}
+
+// sweep is the cell-execution primitive every simulation experiment runs
+// its parameter sweep through: n independent cells, each handed a Config
+// carrying a fresh single-goroutine cell context, executed across the
+// configured pool, results returned in cell-index order. After a cell
+// returns, the sims it constructed are digested into the run's stats
+// accumulator and released.
+func sweep[R any](cfg Config, n int, cell func(Config, int) R) []R {
+	// Claim a contiguous block of cell numbers for this sweep. cellSeq is
+	// owned by the experiment's coordinator goroutine (nil when the
+	// experiment is driven directly without WithExperiment/RunRegistry), so
+	// consecutive sweeps in one experiment never reuse a CellKey.
+	base := 0
+	if cfg.cellSeq != nil {
+		base = *cfg.cellSeq
+		*cfg.cellSeq += n
+	}
+	return pool.Map(cfg.pool, n, func(i int) R {
+		sub := cfg
+		sub.cell = &cellCtx{exp: cfg.expID, cell: base + i}
+		r := cell(sub, i)
+		if cfg.Stats != nil {
+			var sum stats.RunSummary
+			for _, s := range sub.cell.sims {
+				sum.AddCollector(s.Col)
+				sum.Events += int64(s.Eng.Executed)
+			}
+			cfg.Stats.add(cfg.expID, &sum)
+		}
+		sub.cell.sims = nil
+		return r
+	})
+}
+
+// grid flattens a two-axis sweep (outer × inner cells) and returns results
+// as [outer][inner], preserving deterministic ordering on both axes.
+func grid[R any](cfg Config, outer, inner int, cell func(Config, int, int) R) [][]R {
+	flat := sweep(cfg, outer*inner, func(sub Config, i int) R {
+		return cell(sub, i/inner, i%inner)
+	})
+	out := make([][]R, outer)
+	for i := range out {
+		out[i] = flat[i*inner : (i+1)*inner]
+	}
+	return out
+}
+
+// Result is one experiment's rendered output.
+type Result struct {
+	ID     string
+	Desc   string
+	Tables []*stats.Table
+}
+
+// RunRegistry executes the given experiments through cfg's worker pool:
+// each experiment fans its sweep cells into the shared pool (bounded by
+// WithWorkers), experiments themselves overlap via slot-free coordinator
+// goroutines, and results are returned in input order — never completion
+// order — so the rendered output is byte-identical to running the
+// experiments one by one on a single goroutine. With a serial Config
+// (no WithWorkers, or WithWorkers(1)) everything runs inline on the
+// caller's goroutine.
+func RunRegistry(cfg Config, exps []Experiment) []Result {
+	futs := make([]*pool.Future[[]*stats.Table], len(exps))
+	for i, e := range exps {
+		e := e
+		sub := cfg.WithExperiment(e.ID)
+		futs[i] = pool.GoFree(cfg.pool, func() []*stats.Table { return e.Run(sub) })
+	}
+	out := make([]Result, len(exps))
+	for i, f := range futs {
+		out[i] = Result{ID: exps[i].ID, Desc: exps[i].Desc, Tables: f.Wait()}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"dcpsim/internal/obs"
+	"dcpsim/internal/obs/flight"
+)
+
+// equivalenceIDs is the reduced registry the parallel-vs-serial tests run:
+// cheap experiments covering both testbed sweeps and fault scenarios. The
+// -race CI leg runs the same set in short mode with a smaller matrix.
+func equivalenceIDs(short bool) []string {
+	if short {
+		return []string{"fig8", "fig10", "longhaul", "ab-track", "fault-flap"}
+	}
+	return []string{
+		"fig8", "fig10", "fig11", "fig12", "longhaul", "fig17",
+		"ab-batch", "ab-track", "ab-b2s", "ext-ndp",
+		"fault-flap", "fault-pause",
+	}
+}
+
+func equivalenceExps(t *testing.T, short bool) []Experiment {
+	t.Helper()
+	var exps []Experiment
+	for _, id := range equivalenceIDs(short) {
+		e := ByID(id)
+		if e == nil {
+			t.Fatalf("unknown experiment id %q", id)
+		}
+		exps = append(exps, *e)
+	}
+	return exps
+}
+
+// checkedRun is one full registry execution with every observer the engine
+// supports attached: rendered tables, per-cell flight-recorder autopsies
+// merged in CellKey order, and the mergeable stats CSV.
+type checkedRun struct {
+	tables    string
+	autopsies string
+	csv       string
+}
+
+// runEquivalence executes the reduced registry at the given worker count
+// with per-cell checkers and the stats accumulator attached.
+func runEquivalence(t *testing.T, workers int, short bool) checkedRun {
+	t.Helper()
+	var mu sync.Mutex
+	checkers := map[CellKey]*flight.Checker{}
+	cfg := Config{Seed: 11, Scale: 0.02}.WithWorkers(workers)
+	cfg.Stats = NewStatsAccumulator()
+	cfg.Hook = func(key CellKey, s *Sim) {
+		tr := obs.NewTracer()
+		tr.SetLimit(1)
+		ck := flight.New(flight.Config{})
+		tr.Tee(ck)
+		s.Attach(tr, nil)
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := checkers[key]; dup {
+			t.Errorf("duplicate CellKey %v", key)
+		}
+		checkers[key] = ck
+	}
+
+	results := RunRegistry(cfg, equivalenceExps(t, short))
+
+	var out checkedRun
+	var tb strings.Builder
+	for _, r := range results {
+		tb.WriteString("### " + r.ID + "\n")
+		for _, tab := range r.Tables {
+			tb.WriteString(tab.String())
+			tb.WriteString("\n")
+		}
+	}
+	out.tables = tb.String()
+
+	// Merge autopsies post-hoc in canonical CellKey order — the merged
+	// document must not depend on which worker finished first.
+	keys := make([]CellKey, 0, len(checkers))
+	for k := range checkers {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	var ab strings.Builder
+	for _, k := range keys {
+		ab.WriteString(k.String())
+		ab.WriteString(" ")
+		if err := checkers[k].Finish().WriteJSON(&ab); err != nil {
+			t.Fatal(err)
+		}
+		ab.WriteString("\n")
+	}
+	out.autopsies = ab.String()
+
+	var cb strings.Builder
+	if err := cfg.Stats.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	out.csv = cb.String()
+	return out
+}
+
+// TestParallelMatchesSerial is the engine's core acceptance test: the same
+// registry run serially (-workers 1) and across 8 workers must produce
+// byte-identical rendered tables, byte-identical CellKey-ordered autopsy
+// JSON, and a byte-identical stats CSV.
+func TestParallelMatchesSerial(t *testing.T) {
+	short := testing.Short()
+	serial := runEquivalence(t, 1, short)
+	parallel := runEquivalence(t, 8, short)
+
+	if serial.tables != parallel.tables {
+		t.Errorf("rendered tables differ between workers=1 and workers=8:\n%s",
+			firstDiff(serial.tables, parallel.tables))
+	}
+	if serial.autopsies != parallel.autopsies {
+		t.Errorf("autopsy JSON differs between workers=1 and workers=8:\n%s",
+			firstDiff(serial.autopsies, parallel.autopsies))
+	}
+	if serial.csv != parallel.csv {
+		t.Errorf("stats CSV differs between workers=1 and workers=8:\n%s",
+			firstDiff(serial.csv, parallel.csv))
+	}
+	if serial.tables == "" || serial.autopsies == "" || serial.csv == "" {
+		t.Fatal("equivalence run produced empty artifacts — the comparison is vacuous")
+	}
+}
+
+// TestWorkerCountInvariance sweeps additional worker counts over a smaller
+// matrix: every count must reproduce the serial bytes.
+func TestWorkerCountInvariance(t *testing.T) {
+	serial := runEquivalence(t, 1, true)
+	for _, workers := range []int{2, 3, 16} {
+		got := runEquivalence(t, workers, true)
+		if got.tables != serial.tables || got.autopsies != serial.autopsies || got.csv != serial.csv {
+			t.Errorf("workers=%d diverged from serial output", workers)
+		}
+	}
+}
+
+// firstDiff locates the first differing line of two strings.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var x, y string
+		if i < len(al) {
+			x = al[i]
+		}
+		if i < len(bl) {
+			y = bl[i]
+		}
+		if x != y {
+			return "line " + itoa(i+1) + ":\n  a: " + x + "\n  b: " + y
+		}
+	}
+	return "(no line diff — lengths differ?)"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}

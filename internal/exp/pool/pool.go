@@ -1,0 +1,145 @@
+// Package pool is the parallel execution layer for experiment sweeps: it
+// runs independent simulation cells across a bounded set of worker
+// goroutines and delivers their results in submission order, never in
+// completion order.
+//
+// The determinism contract: a cell is a closure that builds and runs its
+// own isolated simulation (engine, topology, collector, sinks) and shares
+// no mutable state with any other cell. Under that contract the pool is
+// invisible in the output — a run with workers=8 is byte-identical to
+// workers=1, because every merge point (Future.Wait, Map) consumes results
+// by submission index, and the cells themselves are bit-deterministic.
+// The goroutines below carry //lint:allow detcheck escapes: they never
+// touch simulation state directly, they only schedule whole cells, each of
+// which owns its sim.Engine for the cell's entire lifetime.
+//
+// A Pool with one worker (or a nil *Pool) degenerates to the serial path:
+// cells run inline on the caller's goroutine at submission time, with no
+// goroutines, channels, or locks involved.
+package pool
+
+import "runtime"
+
+// Pool bounds how many cells execute concurrently. The zero worker count
+// and a nil *Pool both mean "serial".
+type Pool struct {
+	workers int
+	sem     chan struct{}
+}
+
+// New returns a pool running at most workers cells at once. workers < 1 is
+// clamped to 1 (the serial path).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.sem = make(chan struct{}, workers)
+	}
+	return p
+}
+
+// DefaultWorkers is the worker count the -workers flags default to: one
+// per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Workers returns the pool's concurrency bound (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Serial reports whether the pool runs cells inline on the caller's
+// goroutine (the -workers 1 fallback path).
+func (p *Pool) Serial() bool { return p == nil || p.workers <= 1 }
+
+// Future is the pending result of one submitted cell. The zero value is
+// not useful; Go and GoFree construct them.
+type Future[T any] struct {
+	done chan struct{} // nil when the cell ran inline
+	val  T
+	pan  any // recovered panic, re-raised at Wait
+}
+
+// Go submits a cell for execution on a worker slot and returns its future.
+// On a serial pool the cell runs inline before Go returns. Cells must be
+// self-contained: they may not submit nested Go work (a cell waiting on a
+// worker slot while holding one deadlocks a saturated pool); coordinators
+// that fan out cells and merge belong in GoFree.
+func Go[T any](p *Pool, fn func() T) *Future[T] {
+	if p.Serial() {
+		return &Future[T]{val: fn()}
+	}
+	f := &Future[T]{done: make(chan struct{})}
+	//lint:allow detcheck worker goroutine runs one isolated cell; results are merged in submission order, never completion order
+	go func() {
+		defer close(f.done)
+		defer func() { f.pan = recover() }()
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		f.val = fn()
+	}()
+	return f
+}
+
+// GoFree runs fn concurrently without occupying a worker slot. It is for
+// coordinators — code that only submits cells via Go/Map and merges their
+// results — so that a registry's worth of experiments can fan out without
+// their bookkeeping goroutines starving the cells of slots. On a serial
+// pool fn runs inline.
+func GoFree[T any](p *Pool, fn func() T) *Future[T] {
+	if p.Serial() {
+		return &Future[T]{val: fn()}
+	}
+	f := &Future[T]{done: make(chan struct{})}
+	//lint:allow detcheck coordinator goroutine only submits cells and merges results in submission order
+	go func() {
+		defer close(f.done)
+		defer func() { f.pan = recover() }()
+		f.val = fn()
+	}()
+	return f
+}
+
+// Wait blocks until the cell completes and returns its result. A panic
+// inside the cell is re-raised here, on the waiting goroutine, so failures
+// surface at the deterministic merge point rather than crashing the
+// process from a worker.
+func (f *Future[T]) Wait() T {
+	if f.done != nil {
+		<-f.done
+	}
+	if f.pan != nil {
+		panic(f.pan)
+	}
+	return f.val
+}
+
+// Map runs fn for every index 0..n-1 across the pool and returns the
+// results ordered by index — the deterministic merge primitive experiment
+// sweeps are built on.
+func Map[R any](p *Pool, n int, fn func(i int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	if p.Serial() {
+		out := make([]R, n)
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	futs := make([]*Future[R], n)
+	for i := range futs {
+		i := i
+		futs[i] = Go(p, func() R { return fn(i) })
+	}
+	out := make([]R, n)
+	for i, f := range futs {
+		out[i] = f.Wait()
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapOrder asserts Map returns results by submission index for every
+// worker count, including heavy oversubscription.
+func TestMapOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		p := New(workers)
+		got := Map(p, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: index %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestNilPoolIsSerial asserts the nil pool runs cells inline.
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if !p.Serial() || p.Workers() != 1 {
+		t.Fatal("nil pool must be serial with one worker")
+	}
+	ran := false
+	f := Go(p, func() int { ran = true; return 7 })
+	if !ran {
+		t.Fatal("serial Go must run inline at submission")
+	}
+	if f.Wait() != 7 {
+		t.Fatal("wrong result")
+	}
+}
+
+// TestWorkerBound asserts no more than Workers() cells run concurrently.
+func TestWorkerBound(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var cur, peak atomic.Int32
+	Map(p, 64, func(i int) struct{} {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		// Busy-spin briefly so cells overlap; no wall clock involved.
+		for j := 0; j < 1000; j++ {
+			_ = j
+		}
+		cur.Add(-1)
+		return struct{}{}
+	})
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent cells, bound is %d", got, workers)
+	}
+}
+
+// TestPanicPropagation asserts a panicking cell re-raises at Wait on the
+// merging goroutine, for both the serial and parallel paths.
+func TestPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			if workers == 1 {
+				// Serial: the panic surfaces at submission.
+				Go(p, func() int { panic("boom") })
+			} else {
+				f := Go(p, func() int { panic("boom") })
+				f.Wait()
+			}
+			t.Fatalf("workers=%d: panic did not propagate", workers)
+		}()
+	}
+}
+
+// TestGoFreeCoordinators asserts coordinators can fan out nested cells on a
+// saturated pool without deadlock: more coordinators than worker slots,
+// each waiting on its own batch of bounded cells.
+func TestGoFreeCoordinators(t *testing.T) {
+	p := New(2)
+	futs := make([]*Future[int], 8)
+	for i := range futs {
+		i := i
+		futs[i] = GoFree(p, func() int {
+			parts := Map(p, 4, func(j int) int { return i*10 + j })
+			sum := 0
+			for _, v := range parts {
+				sum += v
+			}
+			return sum
+		})
+	}
+	for i, f := range futs {
+		want := i*40 + 6
+		if got := f.Wait(); got != want {
+			t.Fatalf("coordinator %d: got %d, want %d", i, got, want)
+		}
+	}
+}

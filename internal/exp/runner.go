@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"dcpsim/internal/cc"
+	"dcpsim/internal/exp/pool"
 	"dcpsim/internal/fabric"
 	"dcpsim/internal/obs"
 	"dcpsim/internal/packet"
@@ -37,6 +38,56 @@ type Config struct {
 	// single severity multiplier instead of their built-in sweep
 	// (cmd/dcpbench -fault-severity).
 	FaultSeverity float64
+
+	// Hook, when non-nil, is called with every Sim a sweep cell constructs,
+	// keyed by its deterministic CellKey. Unlike the global NewSimHook it is
+	// safe under parallel execution: the hook may run concurrently from
+	// several cells, but each call's key is assigned at submission time, so
+	// hook state indexed by CellKey can be merged in canonical order
+	// afterwards. Hooks must only attach observing sinks.
+	Hook func(CellKey, *Sim)
+	// Stats, when non-nil, accumulates a mergeable RunSummary per experiment
+	// from every cell's collectors (cmd/dcpbench -stats-csv).
+	Stats *StatsAccumulator
+
+	// pool is the execution pool sweep cells run on; nil means serial.
+	pool *pool.Pool
+	// expID is the id of the experiment this Config was handed to, set by
+	// RunRegistry (or WithExperiment) before Run is called.
+	expID string
+	// cellSeq numbers cells across every sweep an experiment issues, so an
+	// experiment with two consecutive sweeps (e.g. ext-ndp) still hands out
+	// unique CellKeys. Only the experiment's own coordinator goroutine
+	// touches it; WithExperiment allocates it.
+	cellSeq *int
+	// cell is the per-cell context sweep installs; NewSimCfg registers the
+	// sims it builds here.
+	cell *cellCtx
+}
+
+// WithWorkers returns a copy of c whose sweeps execute across n workers
+// (n <= 1 selects the inline serial path). The worker count never affects
+// output bytes, only wall-clock time.
+func (c Config) WithWorkers(n int) Config {
+	if n <= 1 {
+		c.pool = nil
+	} else {
+		c.pool = pool.New(n)
+	}
+	return c
+}
+
+// Workers reports the concurrency bound sweeps run at (1 = serial).
+func (c Config) Workers() int { return c.pool.Workers() }
+
+// WithExperiment returns a copy of c labelled with an experiment id, the
+// first component of the CellKeys its sweeps assign. RunRegistry does this
+// automatically; tests driving a single Experiment.Run directly use it to
+// get fully-qualified keys.
+func (c Config) WithExperiment(id string) Config {
+	c.expID = id
+	c.cellSeq = new(int)
+	return c
 }
 
 // DefaultConfig returns a medium-scale configuration.
@@ -154,15 +205,32 @@ type Sim struct {
 
 // NewSimHook, when non-nil, is called with every Sim constructed by NewSim
 // before any flow is scheduled. It is the opt-in attachment point for
-// run-wide observers — cmd/dcpbench -check and the flight-recorder tests
-// use it to Tee an invariant checker onto every experiment in the registry
-// without the experiments knowing. Hooks must only attach observing sinks:
-// the determinism contract requires a hooked run to stay bit-identical to
-// an unhooked one.
+// run-wide observers — the flight-recorder tests use it to Tee an
+// invariant checker onto every experiment in the registry without the
+// experiments knowing. Hooks must only attach observing sinks: the
+// determinism contract requires a hooked run to stay bit-identical to an
+// unhooked one.
+//
+// The global hook is for SERIAL runs only: it carries no cell identity and
+// typically closes over shared state. Parallel runs attach observers
+// through Config.Hook, which is keyed by deterministic CellKeys.
 var NewSimHook func(*Sim)
 
-// NewSim wires a network built by build with the scheme's transport.
+// NewSim wires a network built by build with the scheme's transport. It is
+// the context-free entry point the transport tests use; experiment sweeps
+// call NewSimCfg so their sims register with the cell context.
 func NewSim(seed int64, sch Scheme, build func(*sim.Engine) *topo.Network) *Sim {
+	return NewSimCfg(Config{Seed: seed}, sch, build)
+}
+
+// NewSimCfg wires a network built by build with the scheme's transport,
+// seeded from cfg, and registers the sim with the enclosing sweep cell:
+// the cell context assigns the sim's deterministic CellKey, fires
+// cfg.Hook, and later digests the sim's collector into the run's stats
+// accumulator. Outside a sweep (no cell context) it behaves exactly like
+// NewSim.
+func NewSimCfg(cfg Config, sch Scheme, build func(*sim.Engine) *topo.Network) *Sim {
+	seed := cfg.Seed
 	eng := sim.NewEngine(seed)
 	net := build(eng)
 	col := stats.NewCollector()
@@ -184,6 +252,14 @@ func NewSim(seed int64, sch Scheme, build func(*sim.Engine) *topo.Network) *Sim 
 	}
 	if NewSimHook != nil {
 		NewSimHook(s)
+	}
+	if ctx := cfg.cell; ctx != nil {
+		key := CellKey{Exp: ctx.exp, Cell: ctx.cell, Sim: ctx.simN}
+		ctx.simN++
+		ctx.sims = append(ctx.sims, s)
+		if cfg.Hook != nil {
+			cfg.Hook(key, s)
+		}
 	}
 	return s
 }

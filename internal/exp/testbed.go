@@ -12,6 +12,13 @@ import (
 	"dcpsim/internal/workload"
 )
 
+// The experiments in this file (and clos.go, ablation.go, faults.go) are
+// structured as pure cell-builders over the sweep/grid primitives in
+// parallel.go: the parameter axes are enumerated up front, each cell builds
+// and runs its own isolated Sim(s) from the cell-scoped Config, and the
+// table rendering below the sweep consumes cell results in axis order.
+// Cells share nothing mutable, so worker count never changes output bytes.
+
 // onePathNet builds host—switch—switch—host with a single cross link, the
 // Fig. 10/17 forced-loss pipeline.
 func onePathNet(sch Scheme, lossRate float64) func(*sim.Engine) *topo.Network {
@@ -27,7 +34,7 @@ func onePathNet(sch Scheme, lossRate float64) func(*sim.Engine) *topo.Network {
 
 // runSingleFlow measures the goodput of one size-byte flow under a scheme.
 func runSingleFlow(cfg Config, sch Scheme, size int64, build func(*sim.Engine) *topo.Network) (float64, *stats.FlowRecord) {
-	s := NewSim(cfg.Seed, sch, build)
+	s := NewSimCfg(cfg, sch, build)
 	f := &workload.Flow{ID: 1, Src: 0, Dst: 1, Size: size}
 	s.ScheduleFlows([]*workload.Flow{f})
 	s.Run(0)
@@ -47,32 +54,36 @@ func Fig8(cfg Config) []*stats.Table {
 		Columns: []string{"scheme", "throughput_Gbps", "latency_us"},
 	}
 	size := cfg.bytes(64 << 20)
-	for _, sch := range []Scheme{SchemeGBNLossy(0), SchemeDCP(false), SchemeTCP()} {
+	schemes := []Scheme{SchemeGBNLossy(0), SchemeDCP(false), SchemeTCP()}
+	type cellR struct{ gp, lat float64 }
+	cells := sweep(cfg, len(schemes), func(sub Config, i int) cellR {
+		sch := schemes[i]
 		direct := func(eng *sim.Engine) *topo.Network {
 			return topo.Direct(eng, 100*units.Gbps, units.Microsecond)
 		}
 		// Throughput: one long flow posted as 512 KB messages.
-		sch := sch
-		s := NewSim(cfg.Seed, sch, direct)
+		s := NewSimCfg(sub, sch, direct)
 		s.Env.MessageSize = 512 * units.KB
 		f := &workload.Flow{ID: 1, Src: 0, Dst: 1, Size: size}
 		s.ScheduleFlows([]*workload.Flow{f})
 		s.Run(0)
-		gp := 0.0
+		var r cellR
 		if rec := s.Col.Flow(1); rec.Done {
-			gp = stats.Goodput(rec.Size, rec.FCT())
+			r.gp = stats.Goodput(rec.Size, rec.FCT())
 		}
 		// Latency: a 64 B message on an idle pair.
-		s2 := NewSim(cfg.Seed, sch, direct)
+		s2 := NewSimCfg(sub, sch, direct)
 		f2 := &workload.Flow{ID: 1, Src: 0, Dst: 1, Size: 64}
 		s2.ScheduleFlows([]*workload.Flow{f2})
 		s2.Run(0)
-		lat := 0.0
 		if rec := s2.Col.Flow(1); rec.Done {
-			lat = rec.FCT().Micros()
+			r.lat = rec.FCT().Micros()
 		}
+		return r
+	})
+	for i, sch := range schemes {
 		name := map[string]string{"CX5(ECMP)": "RNIC-GBN", "DCP(AR)": "DCP-RNIC", "TCP": "TCP"}[sch.Name]
-		t.AddRow(name, gp, lat)
+		t.AddRow(name, cells[i].gp, cells[i].lat)
 	}
 	return []*stats.Table{t}
 }
@@ -88,15 +99,19 @@ func Fig10(cfg Config) []*stats.Table {
 		Columns: []string{"loss_rate", "CX5", "DCP", "speedup"},
 	}
 	size := cfg.bytes(40 << 20)
-	for _, lr := range fig10LossRates {
-		cx5, _ := runSingleFlow(cfg, SchemeGBNLossy(0), size, onePathNet(SchemeGBNLossy(0), lr))
-		d, rec := runSingleFlow(cfg, SchemeDCP(false), size, onePathNet(SchemeDCP(false), lr))
+	type cellR struct{ cx5, dcp float64 }
+	cells := sweep(cfg, len(fig10LossRates), func(sub Config, i int) cellR {
+		lr := fig10LossRates[i]
+		cx5, _ := runSingleFlow(sub, SchemeGBNLossy(0), size, onePathNet(SchemeGBNLossy(0), lr))
+		d, _ := runSingleFlow(sub, SchemeDCP(false), size, onePathNet(SchemeDCP(false), lr))
+		return cellR{cx5: cx5, dcp: d}
+	})
+	for i, lr := range fig10LossRates {
 		speed := 0.0
-		if cx5 > 0 {
-			speed = d / cx5
+		if cells[i].cx5 > 0 {
+			speed = cells[i].dcp / cells[i].cx5
 		}
-		_ = rec
-		t.AddRow(fmt.Sprintf("%.2f%%", lr*100), cx5, d, speed)
+		t.AddRow(fmt.Sprintf("%.2f%%", lr*100), cells[i].cx5, cells[i].dcp, speed)
 	}
 	return []*stats.Table{t}
 }
@@ -120,34 +135,35 @@ func Fig11(cfg Config) []*stats.Table {
 			ids = append(ids, id)
 		}
 	}
-	for _, ratio := range []int{1, 4, 10} {
-		row := []float64{}
-		for _, sch := range []Scheme{SchemeGBNLossy(0), SchemeDCP(false)} {
-			sch := sch
-			build := func(eng *sim.Engine) *topo.Network {
-				c := topo.DefaultDumbbell()
-				c.HostsPerSwitch = 2
-				c.CrossLinks = 2
-				c.Switch = SwitchConfigFor(sch)
-				c.CrossRates = []units.Rate{100 * units.Gbps, units.DivRate(100*units.Gbps, int64(ratio))}
-				return topo.Dumbbell(eng, c)
-			}
-			s := NewSim(cfg.Seed, sch, build)
-			flows := []*workload.Flow{
-				{ID: ids[0], Src: 0, Dst: 2, Size: size},
-				{ID: ids[1], Src: 1, Dst: 3, Size: size},
-			}
-			s.ScheduleFlows(flows)
-			s.Run(0)
-			var sum float64
-			for _, f := range flows {
-				if rec := s.Col.Flow(f.ID); rec.Done {
-					sum += stats.Goodput(rec.Size, rec.FCT())
-				}
-			}
-			row = append(row, sum/2)
+	ratios := []int{1, 4, 10}
+	schemes := []Scheme{SchemeGBNLossy(0), SchemeDCP(false)}
+	cells := grid(cfg, len(ratios), len(schemes), func(sub Config, ri, si int) float64 {
+		ratio, sch := ratios[ri], schemes[si]
+		build := func(eng *sim.Engine) *topo.Network {
+			c := topo.DefaultDumbbell()
+			c.HostsPerSwitch = 2
+			c.CrossLinks = 2
+			c.Switch = SwitchConfigFor(sch)
+			c.CrossRates = []units.Rate{100 * units.Gbps, units.DivRate(100*units.Gbps, int64(ratio))}
+			return topo.Dumbbell(eng, c)
 		}
-		t.AddRow(fmt.Sprintf("1:%d", ratio), row[0], row[1])
+		s := NewSimCfg(sub, sch, build)
+		flows := []*workload.Flow{
+			{ID: ids[0], Src: 0, Dst: 2, Size: size},
+			{ID: ids[1], Src: 1, Dst: 3, Size: size},
+		}
+		s.ScheduleFlows(flows)
+		s.Run(0)
+		var sum float64
+		for _, f := range flows {
+			if rec := s.Col.Flow(f.ID); rec.Done {
+				sum += stats.Goodput(rec.Size, rec.FCT())
+			}
+		}
+		return sum / 2
+	})
+	for ri, ratio := range ratios {
+		t.AddRow(fmt.Sprintf("1:%d", ratio), cells[ri][0], cells[ri][1])
 	}
 	return []*stats.Table{t}
 }
@@ -156,48 +172,49 @@ func Fig11(cfg Config) []*stats.Table {
 // group spanning both switches), each group running an AllReduce or
 // AllToAll; JCT per group for DCP+AR vs CX5+ECMP.
 func Fig12(cfg Config) []*stats.Table {
-	var tables []*stats.Table
 	total := cfg.bytes(300 << 20)
-	for _, coll := range []string{"AllReduce", "AllToAll"} {
+	colls := []string{"AllReduce", "AllToAll"}
+	schemes := []Scheme{SchemeGBNLossy(0), SchemeDCP(false)}
+	cells := grid(cfg, len(colls), len(schemes), func(sub Config, ci, si int) []float64 {
+		coll, sch := colls[ci], schemes[si]
+		build := func(eng *sim.Engine) *topo.Network {
+			c := topo.DefaultDumbbell()
+			c.Switch = SwitchConfigFor(sch)
+			return topo.Dumbbell(eng, c)
+		}
+		s := NewSimCfg(sub, sch, build)
+		done := make([]units.Time, 4)
+		var id uint64 = 1
+		for g := 0; g < 4; g++ {
+			members := []packet.NodeID{}
+			for k := 0; k < 4; k++ {
+				members = append(members, packet.NodeID(g+4*k))
+			}
+			var cf *workload.Coflow
+			if coll == "AllReduce" {
+				cf = workload.RingAllReduce(members, total, g, id)
+			} else {
+				cf = workload.AllToAll(members, total, g, id)
+			}
+			id += uint64(cf.NumFlows())
+			g := g
+			s.RunCoflow(cf, 0, func(at units.Time) { done[g] = at })
+		}
+		s.Run(0)
+		jcts := make([]float64, 4)
+		for g, d := range done {
+			jcts[g] = d.Millis()
+		}
+		return jcts
+	})
+	var tables []*stats.Table
+	for ci, coll := range colls {
 		t := &stats.Table{
 			Name:    "Fig 12 (" + coll + "): testbed JCT per group (ms)",
 			Columns: []string{"group", "CX5(ECMP)", "DCP(AR)"},
 		}
-		jcts := map[string][]float64{}
-		var order []string
-		for _, sch := range []Scheme{SchemeGBNLossy(0), SchemeDCP(false)} {
-			sch := sch
-			order = append(order, sch.Name)
-			build := func(eng *sim.Engine) *topo.Network {
-				c := topo.DefaultDumbbell()
-				c.Switch = SwitchConfigFor(sch)
-				return topo.Dumbbell(eng, c)
-			}
-			s := NewSim(cfg.Seed, sch, build)
-			done := make([]units.Time, 4)
-			var id uint64 = 1
-			for g := 0; g < 4; g++ {
-				members := []packet.NodeID{}
-				for k := 0; k < 4; k++ {
-					members = append(members, packet.NodeID(g+4*k))
-				}
-				var cf *workload.Coflow
-				if coll == "AllReduce" {
-					cf = workload.RingAllReduce(members, total, g, id)
-				} else {
-					cf = workload.AllToAll(members, total, g, id)
-				}
-				id += uint64(cf.NumFlows())
-				g := g
-				s.RunCoflow(cf, 0, func(at units.Time) { done[g] = at })
-			}
-			s.Run(0)
-			for _, d := range done {
-				jcts[sch.Name] = append(jcts[sch.Name], d.Millis())
-			}
-		}
 		for g := 0; g < 4; g++ {
-			t.AddRow(g+1, jcts[order[0]][g], jcts[order[1]][g])
+			t.AddRow(g+1, cells[ci][0][g], cells[ci][1][g])
 		}
 		tables = append(tables, t)
 	}
@@ -213,8 +230,9 @@ func LongHaul(cfg Config) []*stats.Table {
 		Columns: []string{"scheme", "goodput_Gbps"},
 	}
 	size := cfg.bytes(200 << 20)
-	for _, sch := range []Scheme{SchemeDCP(false), SchemeGBNLossy(0)} {
-		sch := sch
+	schemes := []Scheme{SchemeDCP(false), SchemeGBNLossy(0)}
+	cells := sweep(cfg, len(schemes), func(sub Config, i int) float64 {
+		sch := schemes[i]
 		build := func(eng *sim.Engine) *topo.Network {
 			c := topo.DefaultDumbbell()
 			c.HostsPerSwitch = 1
@@ -223,8 +241,11 @@ func LongHaul(cfg Config) []*stats.Table {
 			c.Switch = SwitchConfigFor(sch)
 			return topo.Dumbbell(eng, c)
 		}
-		gp, _ := runSingleFlow(cfg, sch, size, build)
-		t.AddRow(sch.Name, gp)
+		gp, _ := runSingleFlow(sub, sch, size, build)
+		return gp
+	})
+	for i, sch := range schemes {
+		t.AddRow(sch.Name, cells[i])
 	}
 	return []*stats.Table{t}
 }
@@ -237,11 +258,16 @@ func Fig17(cfg Config) []*stats.Table {
 		Columns: []string{"loss_rate", "DCP", "RACK-TLP", "IRN", "Timeout"},
 	}
 	size := cfg.bytes(40 << 20)
-	for _, lr := range fig10LossRates {
+	schemes := []Scheme{SchemeDCP(false), SchemeRACK(), SchemeIRN(0, false), SchemeTimeout()}
+	cells := grid(cfg, len(fig10LossRates), len(schemes), func(sub Config, li, si int) float64 {
+		sch := schemes[si]
+		gp, _ := runSingleFlow(sub, sch, size, onePathNet(sch, fig10LossRates[li]))
+		return gp
+	})
+	for li, lr := range fig10LossRates {
 		row := []any{fmt.Sprintf("%.2f%%", lr*100)}
-		for _, sch := range []Scheme{SchemeDCP(false), SchemeRACK(), SchemeIRN(0, false), SchemeTimeout()} {
-			gp, _ := runSingleFlow(cfg, sch, size, onePathNet(sch, lr))
-			row = append(row, gp)
+		for si := range schemes {
+			row = append(row, cells[li][si])
 		}
 		t.AddRow(row...)
 	}

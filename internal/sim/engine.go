@@ -8,6 +8,7 @@ package sim
 import (
 	"container/heap"
 	"math/rand"
+	"sync/atomic"
 
 	"dcpsim/internal/units"
 )
@@ -71,6 +72,16 @@ func (h *eventHeap) Pop() any {
 }
 
 // Engine is a single-threaded discrete-event simulator.
+//
+// Ownership contract: an Engine (and the whole simulation hanging off it —
+// topology, transports, collectors, sinks) belongs to exactly one goroutine
+// for its entire lifetime. The parallel experiment runner exploits this:
+// cells on different workers each own a private Engine, so no
+// synchronization exists anywhere on the data path. The package keeps zero
+// package-level mutable state for the same reason. Run enforces the
+// contract cheaply with an atomic re-entrancy flag — two goroutines (or a
+// re-entrant callback) driving the same Engine panic instead of silently
+// interleaving event streams.
 type Engine struct {
 	now     units.Time
 	seq     uint64
@@ -78,6 +89,7 @@ type Engine struct {
 	live    int // pending events not yet cancelled
 	rng     *rand.Rand
 	stopped bool
+	running atomic.Bool // guards Run against concurrent/re-entrant drivers
 
 	// Executed counts events that have fired, for progress reporting.
 	Executed uint64
@@ -135,6 +147,10 @@ func (e *Engine) Stop() { e.stopped = true }
 // periodic samplers) see a consistent clock. An unbounded run ends at the
 // last executed event; Stop leaves the clock at the stopping event.
 func (e *Engine) Run(until units.Time) units.Time {
+	if !e.running.CompareAndSwap(false, true) {
+		panic("sim: concurrent Run on one Engine — an engine is owned by a single goroutine")
+	}
+	defer e.running.Store(false)
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
 		ev := e.events[0]

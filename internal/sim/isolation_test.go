@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+
+	"dcpsim/internal/units"
+)
+
+// installStochasticLoad schedules a self-rescheduling workload on eng that
+// draws a random delay from the engine RNG inside every event and folds
+// each (time, draw) pair into *fp (FNV-style). Any cross-engine state
+// leakage — a shared RNG, shared sequence counter, shared clock — would
+// change either the draws or the event times and thus the fingerprint.
+func installStochasticLoad(eng *Engine, horizon units.Time, fp *uint64) {
+	*fp = 1469598103934665603
+	mix := func(v uint64) {
+		*fp ^= v
+		*fp *= 1099511628211
+	}
+	var tick func()
+	tick = func() {
+		d := eng.Rand().Int63n(int64(units.Microsecond)) + 1
+		mix(uint64(eng.Now()))
+		mix(uint64(d))
+		if eng.Now() < horizon {
+			eng.After(units.Time(d), tick)
+		}
+	}
+	eng.After(0, tick)
+}
+
+// runSliced drives eng to horizon in bounded slices of step.
+func runSliced(eng *Engine, step, horizon units.Time) {
+	for eng.Now() < horizon {
+		next := eng.Now() + step
+		if next > horizon {
+			next = horizon
+		}
+		eng.Run(next)
+	}
+}
+
+// TestInterleavedEnginesBitIdentical is the shared-state regression guard
+// the parallel runner rests on: two engines stepped in alternating bounded
+// Run slices must each produce exactly the run they produce when driven
+// alone to completion, because engines share no mutable state. If anyone
+// introduces package-level state (a global RNG, a shared sequence counter
+// feeding event ordering), this test breaks.
+func TestInterleavedEnginesBitIdentical(t *testing.T) {
+	const horizon = units.Millisecond
+	// Solo reference runs, each driven to the horizon in one Run call.
+	var soloA, soloB uint64
+	ea, eb := NewEngine(7), NewEngine(8)
+	installStochasticLoad(ea, horizon, &soloA)
+	installStochasticLoad(eb, horizon, &soloB)
+	ea.Run(horizon)
+	eb.Run(horizon)
+
+	// Interleaved: alternate 20 µs bounded slices between two fresh engines.
+	var fpA, fpB uint64
+	a, b := NewEngine(7), NewEngine(8)
+	installStochasticLoad(a, horizon, &fpA)
+	installStochasticLoad(b, horizon, &fpB)
+	const step = 20 * units.Microsecond
+	for a.Now() < horizon || b.Now() < horizon {
+		for _, e := range []*Engine{a, b} {
+			if e.Now() < horizon {
+				next := e.Now() + step
+				if next > horizon {
+					next = horizon
+				}
+				e.Run(next)
+			}
+		}
+	}
+	if fpA != soloA {
+		t.Fatalf("engine A diverged under interleaving: got %#x, want %#x", fpA, soloA)
+	}
+	if fpB != soloB {
+		t.Fatalf("engine B diverged under interleaving: got %#x, want %#x", fpB, soloB)
+	}
+
+	// And slicing alone must not matter either: a third copy driven solo in
+	// slices matches the one-shot solo run.
+	var fpC uint64
+	c := NewEngine(7)
+	installStochasticLoad(c, horizon, &fpC)
+	runSliced(c, step, horizon)
+	if fpC != soloA {
+		t.Fatalf("sliced solo run diverged: got %#x, want %#x", fpC, soloA)
+	}
+}
+
+// TestConcurrentRunPanics asserts the single-goroutine ownership guard: a
+// second Run on an engine that is already inside Run panics instead of
+// corrupting the event stream.
+func TestConcurrentRunPanics(t *testing.T) {
+	eng := NewEngine(1)
+	var recovered any
+	eng.After(units.Microsecond, func() {
+		// Re-entrant Run from inside an event is the deterministic stand-in
+		// for a second goroutine racing into Run.
+		defer func() { recovered = recover() }()
+		eng.Run(2 * units.Microsecond)
+	})
+	eng.Run(0)
+	if recovered == nil {
+		t.Fatal("re-entrant Run did not panic")
+	}
+	// The guard must reset: the engine is usable again afterwards.
+	fired := false
+	eng.After(units.Microsecond, func() { fired = true })
+	eng.Run(0)
+	if !fired {
+		t.Fatal("engine unusable after guard panic")
+	}
+}

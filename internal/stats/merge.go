@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file holds the mergeable accumulators the parallel experiment
+// engine funnels per-cell results through. The merge contract: every
+// accumulator's Merge is commutative and associative, so folding per-cell
+// partials in ANY shard order produces the exact same state as feeding one
+// accumulator the concatenated sample stream. merge_test.go proves the
+// property over random splits; the parallel runner relies on it so a
+// workers=8 sweep exports byte-identical statistics to workers=1.
+
+// Merge folds another histogram into h. Merging in any order over any
+// sharding of the sample stream equals recording every sample into a
+// single histogram: counts and n are sums, min/max are commutative
+// extrema.
+func (h *LogHist) Merge(o *LogHist) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+}
+
+// slowdownScale fixes the slowdown histogram resolution: slowdowns are
+// recorded ×1000, so three decimal places survive the integer histogram.
+const slowdownScale = 1000
+
+// RunSummary is a mergeable digest of one or more simulation runs: flow
+// and packet counters plus log-bucketed FCT and slowdown distributions.
+// The zero value is empty and ready to use; equality (==) compares two
+// summaries exactly, which the shard-order tests exploit.
+type RunSummary struct {
+	// Sims counts simulations folded in.
+	Sims int64
+	// Flows/Done count registered and completed flows.
+	Flows int64
+	Done  int64
+	// Bytes sums the application bytes of completed flows.
+	Bytes int64
+
+	DataPkts    int64
+	RetransPkts int64
+	Timeouts    int64
+	HOTriggers  int64
+
+	// Events counts simulator events executed across the folded engines.
+	Events int64
+
+	// FCT holds completion times of finished flows in picoseconds.
+	FCT LogHist
+	// Slowdown holds FCT/IdealFCT of finished flows, scaled by
+	// slowdownScale.
+	Slowdown LogHist
+}
+
+// AddFlow folds one flow record in.
+func (s *RunSummary) AddFlow(f *FlowRecord) {
+	s.Flows++
+	s.DataPkts += f.DataPkts
+	s.RetransPkts += f.RetransPkts
+	s.Timeouts += f.Timeouts
+	s.HOTriggers += f.HOTriggers
+	if !f.Done {
+		return
+	}
+	s.Done++
+	s.Bytes += f.Size
+	s.FCT.Record(f.FCT().Picos())
+	s.Slowdown.Record(int64(f.Slowdown() * slowdownScale))
+}
+
+// AddCollector folds every flow of a collector in (registration order,
+// though order cannot matter: AddFlow commutes).
+func (s *RunSummary) AddCollector(c *Collector) {
+	s.Sims++
+	for _, f := range c.Flows() {
+		s.AddFlow(f)
+	}
+}
+
+// Merge folds another summary into s. Commutative and associative.
+func (s *RunSummary) Merge(o *RunSummary) {
+	if o == nil {
+		return
+	}
+	s.Sims += o.Sims
+	s.Flows += o.Flows
+	s.Done += o.Done
+	s.Bytes += o.Bytes
+	s.DataPkts += o.DataPkts
+	s.RetransPkts += o.RetransPkts
+	s.Timeouts += o.Timeouts
+	s.HOTriggers += o.HOTriggers
+	s.Events += o.Events
+	s.FCT.Merge(&o.FCT)
+	s.Slowdown.Merge(&o.Slowdown)
+}
+
+// RunSummaryCSVHeader is the column row WriteCSVRow's output aligns with.
+const RunSummaryCSVHeader = "experiment,sims,flows,done,bytes,data_pkts,retrans_pkts,timeouts,ho_triggers,events,fct_p50_us,fct_p99_us,fct_max_us,slowdown_p50,slowdown_p99"
+
+// WriteCSVRow writes one label-prefixed CSV row of the summary. Numbers
+// are rendered with fixed formats so the row is byte-stable for identical
+// summaries.
+func (s *RunSummary) WriteCSVRow(w io.Writer, label string) error {
+	us := func(picos int64) string {
+		return strconv.FormatFloat(float64(picos)/1e6, 'f', 3, 64)
+	}
+	sd := func(scaled int64) string {
+		return strconv.FormatFloat(float64(scaled)/slowdownScale, 'f', 3, 64)
+	}
+	_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%s\n",
+		label, s.Sims, s.Flows, s.Done, s.Bytes,
+		s.DataPkts, s.RetransPkts, s.Timeouts, s.HOTriggers, s.Events,
+		us(s.FCT.Percentile(50)), us(s.FCT.Percentile(99)), us(s.FCT.Max()),
+		sd(s.Slowdown.Percentile(50)), sd(s.Slowdown.Percentile(99)))
+	return err
+}

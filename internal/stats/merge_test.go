@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dcpsim/internal/units"
+)
+
+// splitPoints turns raw fuzz bytes into shard boundaries over n samples.
+func splitPoints(raw []byte, n int) []int {
+	cuts := []int{0}
+	for _, b := range raw {
+		if n == 0 {
+			break
+		}
+		cuts = append(cuts, int(b)%(n+1))
+	}
+	cuts = append(cuts, n)
+	// Boundaries need not be sorted for the property to be interesting —
+	// but shards must tile the stream, so sort.
+	for i := 1; i < len(cuts); i++ {
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+	return cuts
+}
+
+// TestLogHistMergeShardOrder is the property the parallel engine rests on:
+// sharding a sample stream arbitrarily, accumulating per-shard histograms,
+// and merging them in any order equals one histogram fed the whole stream.
+func TestLogHistMergeShardOrder(t *testing.T) {
+	check := func(seed int64, nSamples uint16, rawCuts []byte, rot uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nSamples % 2048)
+		vals := make([]int64, n)
+		for i := range vals {
+			// Mix magnitudes so samples land across bucket rows.
+			vals[i] = rng.Int63() >> uint(rng.Intn(63))
+		}
+
+		var whole LogHist
+		for _, v := range vals {
+			whole.Record(v)
+		}
+
+		cuts := splitPoints(rawCuts, n)
+		var shards []*LogHist
+		for i := 1; i < len(cuts); i++ {
+			h := &LogHist{}
+			for _, v := range vals[cuts[i-1]:cuts[i]] {
+				h.Record(v)
+			}
+			shards = append(shards, h)
+		}
+		// Merge in a rotated (arbitrary) order.
+		var merged LogHist
+		for i := range shards {
+			merged.Merge(shards[(i+int(rot))%len(shards)])
+		}
+		return merged == whole
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomFlow builds a plausible flow record from a seeded source.
+func randomFlow(rng *rand.Rand, id uint64) *FlowRecord {
+	f := &FlowRecord{
+		ID:   id,
+		Size: 1 + rng.Int63n(64<<20),
+	}
+	f.Start = units.Time(rng.Int63n(int64(units.Second)))
+	f.IdealFCT = units.Time(1 + rng.Int63n(int64(10*units.Millisecond)))
+	f.DataPkts = rng.Int63n(1 << 16)
+	f.RetransPkts = rng.Int63n(1 << 10)
+	f.Timeouts = rng.Int63n(8)
+	f.HOTriggers = rng.Int63n(1 << 10)
+	if rng.Intn(8) != 0 {
+		f.Done = true
+		f.End = f.Start + units.Time(1+rng.Int63n(int64(100*units.Millisecond)))
+	}
+	return f
+}
+
+// FuzzRunSummaryMergeShardOrder fuzzes the full summary: any sharding of a
+// flow stream, merged in any rotation, equals the single-accumulator
+// result — compared with struct equality, so every counter, extremum and
+// histogram bucket must match exactly.
+func FuzzRunSummaryMergeShardOrder(f *testing.F) {
+	f.Add(int64(1), uint16(100), []byte{3, 250, 40}, uint8(1))
+	f.Add(int64(42), uint16(999), []byte{}, uint8(0))
+	f.Add(int64(-7), uint16(5), []byte{1, 1, 1, 1}, uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, nFlows uint16, rawCuts []byte, rot uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nFlows % 1024)
+		flows := make([]*FlowRecord, n)
+		for i := range flows {
+			flows[i] = randomFlow(rng, uint64(i+1))
+		}
+
+		var whole RunSummary
+		for _, fl := range flows {
+			whole.AddFlow(fl)
+		}
+
+		cuts := splitPoints(rawCuts, n)
+		var shards []*RunSummary
+		for i := 1; i < len(cuts); i++ {
+			s := &RunSummary{}
+			for _, fl := range flows[cuts[i-1]:cuts[i]] {
+				s.AddFlow(fl)
+			}
+			shards = append(shards, s)
+		}
+		var merged RunSummary
+		for i := range shards {
+			merged.Merge(shards[(i+int(rot))%len(shards)])
+		}
+		if merged != whole {
+			t.Fatalf("shard-order merge diverged:\nmerged: %+v\nwhole:  %+v", merged, whole)
+		}
+
+		// The exported CSV row must also be byte-identical.
+		var a, b strings.Builder
+		if err := merged.WriteCSVRow(&a, "x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := whole.WriteCSVRow(&b, "x"); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("CSV rows differ:\n%s%s", a.String(), b.String())
+		}
+	})
+}
+
+// TestRunSummaryPercentilesMatchExact sanity-checks the digest against the
+// exact percentile helper within LogHist quantization error.
+func TestRunSummaryPercentilesMatchExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var s RunSummary
+	var fcts []float64
+	for i := 0; i < 5000; i++ {
+		f := randomFlow(rng, uint64(i+1))
+		s.AddFlow(f)
+		if f.Done {
+			fcts = append(fcts, float64(f.FCT().Picos()))
+		}
+	}
+	for _, p := range []float64{50, 95, 99} {
+		exact := Percentile(fcts, p)
+		approx := float64(s.FCT.Percentile(p))
+		if exact <= 0 {
+			continue
+		}
+		if rel := (exact - approx) / exact; rel < 0 || rel > 0.02 {
+			t.Fatalf("P%.0f: approx %.0f vs exact %.0f (rel err %.4f)", p, approx, exact, rel)
+		}
+	}
+}
