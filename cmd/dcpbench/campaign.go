@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dcpsim/internal/campaign"
+)
+
+// runCampaignDoc executes a campaign document ephemerally through the
+// same spec type dcpcampaign uses: parse, lint, compile, run with the
+// bench worker pool, tables to stdout. No checkpoints or bundle — use
+// dcpcampaign -out for those.
+func runCampaignDoc(path string, workers int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, diags := campaign.Parse(data, campaign.FormatForPath(path))
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s:%d: %s\n", path, d.Line, d.Msg)
+		}
+		return fmt.Errorf("%s: %d diagnostics", path, len(diags))
+	}
+	c, err := campaign.Compile(doc)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	rep, err := campaign.Run(c, data, campaign.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Print(campaign.RenderTables(c, rep.Results))
+	for _, f := range rep.ExpectFailures {
+		fmt.Printf("expect FAILED: %s\n", f)
+	}
+	if len(rep.ExpectFailures) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

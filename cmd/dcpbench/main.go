@@ -45,6 +45,7 @@ func main() {
 		statsCSV = flag.String("stats-csv", "", "write merged per-experiment run statistics (flows, bytes, retransmissions, FCT/slowdown percentiles) as CSV to this file")
 
 		check    = flag.Bool("check", false, "run under the flight-recorder invariant checker; exit 1 on any violation (alone: incast+link-flap smoke; with -run/-fault: those experiments)")
+		campDoc  = flag.String("campaign", "", "run a declarative campaign document ephemerally (same spec as dcpcampaign; tables to stdout, no bundle)")
 		benchDir = flag.String("bench-json", "", "run the perf scenarios and write BENCH_*.json snapshots (events/sec, sim/wall, peak heap) into this directory")
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the observed demo run to this file")
@@ -56,6 +57,14 @@ func main() {
 
 	if *traceOut != "" || *jsonlOut != "" || *metricsOut != "" {
 		if err := observeDemo(*seed, *metricsInt, *traceOut, *jsonlOut, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *campDoc != "" {
+		if err := runCampaignDoc(*campDoc, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

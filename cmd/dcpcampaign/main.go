@@ -1,0 +1,163 @@
+// Command dcpcampaign executes declarative experiment campaigns: a TOML
+// (or JSON) document describing topology, transports, workload, sweep
+// axes, fault plans and observability, validated and compiled onto the
+// experiment engine, executed headlessly with per-unit checkpoints, and
+// rendered into a self-contained artifact bundle.
+//
+//	dcpcampaign -validate examples/campaigns/*.toml   # lint only, exit 1 on diagnostics
+//	dcpcampaign -list doc.toml                        # show the compiled unit plan
+//	dcpcampaign doc.toml                              # ephemeral run, tables to stdout
+//	dcpcampaign -out run/ -workers 8 doc.toml         # checkpointed run + bundle
+//	dcpcampaign -out run/ doc.toml                    # again: resumes, skipping checkpoints
+//	dcpcampaign -out run/ -recheck wan/c003 doc.toml  # re-verify one unit against the manifest
+//
+// A run interrupted at any point (kill, crash, or the deterministic
+// -abort-after test hook, exit code 3) resumes from its checkpoint
+// directory and produces a bundle byte-identical to an uninterrupted
+// run at any -workers count. See DESIGN.md "Campaign runner".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcpsim/internal/campaign"
+	"dcpsim/internal/exp/pool"
+)
+
+func main() {
+	var (
+		validate   = flag.Bool("validate", false, "parse and lint the documents, print line-anchored diagnostics, exit 1 on any")
+		list       = flag.Bool("list", false, "print the compiled unit plan without running")
+		out        = flag.String("out", "", "run directory: checkpoints during the run, artifact bundle on completion (empty = ephemeral)")
+		workers    = flag.Int("workers", pool.DefaultWorkers(), "worker goroutines (1 = serial; bundle bytes are identical at any count)")
+		abortAfter = flag.Int("abort-after", 0, "abort after N freshly executed units (deterministic kill for resume testing; exit 3)")
+		recheck    = flag.String("recheck", "", "re-execute one unit by id and compare its digest against the bundle manifest")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dcpcampaign [-validate|-list|-out dir [-workers N] [-abort-after N] [-recheck unit]] doc.toml...")
+		os.Exit(2)
+	}
+
+	if *validate {
+		os.Exit(validateDocs(flag.Args()))
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "exactly one campaign document expected (use -validate for batches)")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	doc, c, docBytes := mustLoad(path)
+
+	switch {
+	case *list:
+		fmt.Printf("campaign %s: %d units (seed=%d scale=%.2f)\n", doc.Name, len(c.Units), doc.Seed, doc.Scale)
+		for _, u := range c.Units {
+			fmt.Printf("  %-20s %-10s %s\n", u.ID, u.Kind, u.Desc)
+		}
+	case *recheck != "":
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "-recheck needs the bundle's -out directory")
+			os.Exit(2)
+		}
+		r, err := campaign.Recheck(c, *out, *recheck)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !r.Match {
+			fmt.Printf("recheck %s: MISMATCH recorded=%s recomputed=%s\n", r.UnitID, r.Recorded, r.Recomputed)
+			os.Exit(1)
+		}
+		fmt.Printf("recheck %s: ok (%s)\n", r.UnitID, r.Recomputed)
+	default:
+		runCampaign(c, docBytes, campaign.Options{Dir: *out, Workers: *workers, AbortAfter: *abortAfter})
+	}
+}
+
+// validateDocs lints every document; diagnostics print as
+// "path:line: message" so editors can jump to them.
+func validateDocs(paths []string) int {
+	exit := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+			continue
+		}
+		doc, diags := campaign.Parse(data, campaign.FormatForPath(path))
+		for _, d := range diags {
+			fmt.Printf("%s:%d: %s\n", path, d.Line, d.Msg)
+			exit = 1
+		}
+		if len(diags) > 0 || doc == nil {
+			continue
+		}
+		if _, err := campaign.Compile(doc); err != nil {
+			fmt.Printf("%s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	return exit
+}
+
+func mustLoad(path string) (*campaign.Doc, *campaign.Campaign, []byte) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	doc, diags := campaign.Parse(data, campaign.FormatForPath(path))
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s:%d: %s\n", path, d.Line, d.Msg)
+		}
+		os.Exit(1)
+	}
+	c, err := campaign.Compile(doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return doc, c, data
+}
+
+func runCampaign(c *campaign.Campaign, docBytes []byte, opts campaign.Options) {
+	//lint:allow detcheck wall-clock measures real elapsed time, not sim state
+	start := time.Now()
+	rep, err := campaign.Run(c, docBytes, opts)
+	if err == campaign.ErrAborted {
+		// Timing goes to stderr: stdout stays byte-stable across workers.
+		fmt.Fprintf(os.Stderr, "campaign %s aborted after %d units (resumable from %s)\n",
+			rep.Name, rep.Executed, opts.Dir)
+		os.Exit(3)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if opts.Dir == "" {
+		fmt.Print(campaign.RenderTables(c, rep.Results))
+	} else {
+		fmt.Printf("campaign %s: %d units done (%d cached, %d executed), violations=%d\n",
+			rep.Name, len(rep.Results), rep.Cached, rep.Executed, rep.Violations)
+		fmt.Printf("bundle: %s\n", opts.Dir)
+	}
+	for _, f := range rep.ExpectFailures {
+		fmt.Printf("expect FAILED: %s\n", f)
+	}
+	//lint:allow detcheck wall-clock measures real elapsed time, not sim state
+	elapsed := time.Since(start).Round(time.Millisecond)
+	fmt.Fprintf(os.Stderr, "(%d units, workers=%d, %s wall-clock)\n",
+		len(rep.Results), opts.Workers, elapsed)
+	if len(rep.ExpectFailures) > 0 {
+		os.Exit(1)
+	}
+}

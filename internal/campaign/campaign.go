@@ -1,0 +1,718 @@
+// Package campaign implements the declarative campaign DSL: a TOML (or
+// JSON) document names a topology, a transport set, a workload, fault
+// plans, sweep axes and an observability spec, and the package validates
+// it, compiles it onto the existing pure cell-builders and exp/pool
+// worker-pool engine, and executes it headlessly with per-cell
+// checkpoints, resume, and a provenance-stamped artifact bundle.
+//
+// The package deliberately adds no third execution path: registry
+// experiments listed in a campaign run through the same exp.RunRegistry
+// coordinators as cmd/dcpbench, and declarative scenarios lower onto
+// exp.Cell, so every sim a campaign runs carries a deterministic CellKey
+// and the merged output is byte-identical at any -workers count.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dcpsim/internal/exp"
+	"dcpsim/internal/faults"
+)
+
+// Diag is one line-anchored diagnostic from parsing or semantic lint.
+type Diag struct {
+	Line int
+	Msg  string
+}
+
+func (d Diag) String() string { return fmt.Sprintf("line %d: %s", d.Line, d.Msg) }
+
+// Format selects the document syntax.
+type Format int
+
+const (
+	FormatTOML Format = iota
+	FormatJSON
+)
+
+// FormatForPath picks the format from a file extension (.json → JSON,
+// anything else → TOML).
+func FormatForPath(path string) Format {
+	if strings.HasSuffix(path, ".json") {
+		return FormatJSON
+	}
+	return FormatTOML
+}
+
+// Doc is one bound campaign document.
+type Doc struct {
+	Name  string
+	Seed  int64
+	Scale float64
+	// Experiments lists registry experiment ids to run as-is.
+	Experiments []string
+	Observe     Observe
+	Expect      Expect
+	Scenarios   []*Scenario
+}
+
+// Observe is the campaign's observability spec.
+type Observe struct {
+	// Check attaches a flight-recorder invariant checker to every sim.
+	Check bool
+	// Stats accumulates per-unit RunSummary rows into the bundle CSV.
+	Stats bool
+	// TraceCells lists CellKeys ("wan/c003/s00") whose full event trace is
+	// exported into the bundle; MetricsCells likewise for time-series CSV.
+	TraceCells   []string
+	MetricsCells []string
+	// MetricsIntervalUs is the metrics sampling interval.
+	MetricsIntervalUs float64
+}
+
+// Expect is the campaign's machine-checked acceptance spec; failures are
+// recorded in the manifest and fail the CLI.
+type Expect struct {
+	// MaxViolations bounds total invariant violations (with observe.check).
+	MaxViolations int64
+	// RequireDone demands every scheduled flow completes.
+	RequireDone bool
+}
+
+// Axis is one sweep dimension of a scenario; the cell cross product
+// enumerates axes in document order, last axis fastest.
+type Axis struct {
+	Name   string
+	Values []float64
+}
+
+// Scenario is one declarative sweep: a topology × workload × transport
+// set × axis cross product, with optional fault plans per cell.
+type Scenario struct {
+	ID       string
+	Topology string // dumbbell | clos
+	Workload string // single-flow | incast | pairs
+
+	// Dumbbell shape.
+	HostsPerSwitch int
+	CrossLinks     int
+	// Clos shape.
+	Leaves, Spines, HostsPerLeaf int
+
+	Transports []string
+	SizeMB     float64
+	FanIn      int
+
+	// Seeds lists explicit per-sim seeds; Repeat instead derives Repeat
+	// seeds from the campaign seed. Unset → one sim at the campaign seed.
+	Seeds  []int64
+	Repeat int
+
+	// HorizonMs caps simulated time (0 → run to completion).
+	HorizonMs float64
+
+	Axes   []Axis
+	Faults []faults.Spec
+
+	line int
+}
+
+const (
+	defaultSeed       = 42
+	defaultScale      = 0.25
+	defaultMetricsIvl = 10 // µs
+)
+
+func defaultObserve() Observe { return Observe{Stats: true, MetricsIntervalUs: defaultMetricsIvl} }
+
+// knownAxes maps axis name → validator for its values.
+var knownAxes = map[string]func(v float64) error{
+	"loss": func(v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("loss %g outside [0,1]", v)
+		}
+		return nil
+	},
+	"cross_delay_us": func(v float64) error {
+		if v < 0 {
+			return fmt.Errorf("cross_delay_us %g must be non-negative", v)
+		}
+		return nil
+	},
+	"size_mb": func(v float64) error {
+		if v <= 0 {
+			return fmt.Errorf("size_mb %g must be positive", v)
+		}
+		return nil
+	},
+	"fan_in": func(v float64) error {
+		if v < 1 || v != float64(int(v)) {
+			return fmt.Errorf("fan_in %g must be a positive integer", v)
+		}
+		return nil
+	},
+	"severity": func(v float64) error {
+		if v <= 0 {
+			return fmt.Errorf("severity %g must be positive", v)
+		}
+		return nil
+	},
+}
+
+// KnownAxes lists the sweep axis names a scenario may use, sorted.
+func KnownAxes() []string {
+	out := make([]string, 0, len(knownAxes))
+	for k := range knownAxes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse parses and binds a campaign document. Syntax errors and semantic
+// problems both come back as line-anchored diagnostics; the Doc is nil
+// only when the document failed to parse at all, and is safe to Compile
+// only when diags is empty.
+func Parse(data []byte, format Format) (*Doc, []Diag) {
+	var root *node
+	var err error
+	if format == FormatJSON {
+		root, err = parseJSON(data)
+	} else {
+		root, err = parseTOML(data)
+	}
+	if err != nil {
+		if pe, ok := err.(*parseError); ok {
+			return nil, []Diag{{Line: pe.line, Msg: pe.msg}}
+		}
+		return nil, []Diag{{Line: 1, Msg: err.Error()}}
+	}
+	b := &binder{}
+	doc := b.bindDoc(root)
+	b.sweepUnused(root)
+	sort.SliceStable(b.diags, func(i, j int) bool { return b.diags[i].Line < b.diags[j].Line })
+	return doc, b.diags
+}
+
+// binder turns the node tree into a Doc, accumulating diagnostics. Every
+// consumed node is marked used; leftovers become "unknown key" diags.
+type binder struct {
+	diags []Diag
+}
+
+func (b *binder) diag(line int, format string, args ...any) {
+	b.diags = append(b.diags, Diag{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// val fetches a key of the wanted kind, marking it used. Numeric kinds
+// are interchangeable where the caller accepts them via num().
+func (b *binder) val(t *node, key string, want valueKind) *node {
+	n := t.child(key)
+	if n == nil {
+		return nil
+	}
+	n.used = true
+	if n.kind != want && !(want == kFloat && n.kind == kInt) {
+		b.diag(n.line, "key %q must be a %v, got %v", key, want, n.kind)
+		return nil
+	}
+	return n
+}
+
+func (b *binder) str(t *node, key, def string) string {
+	if n := b.val(t, key, kString); n != nil {
+		return n.str
+	}
+	return def
+}
+
+func (b *binder) i64(t *node, key string, def int64) int64 {
+	if n := b.val(t, key, kInt); n != nil {
+		return n.i
+	}
+	return def
+}
+
+func (b *binder) f64(t *node, key string, def float64) float64 {
+	if n := b.val(t, key, kFloat); n != nil {
+		return num(n)
+	}
+	return def
+}
+
+func (b *binder) flag(t *node, key string, def bool) bool {
+	if n := b.val(t, key, kBool); n != nil {
+		return n.b
+	}
+	return def
+}
+
+func num(n *node) float64 {
+	if n.kind == kInt {
+		return float64(n.i)
+	}
+	return n.f
+}
+
+func (b *binder) strList(t *node, key string) []string {
+	n := b.val(t, key, kArray)
+	if n == nil {
+		return nil
+	}
+	var out []string
+	for _, it := range n.arr {
+		it.used = true
+		if it.kind != kString {
+			b.diag(it.line, "key %q must list strings, got %v", key, it.kind)
+			continue
+		}
+		out = append(out, it.str)
+	}
+	return out
+}
+
+func (b *binder) i64List(t *node, key string) []int64 {
+	n := b.val(t, key, kArray)
+	if n == nil {
+		return nil
+	}
+	var out []int64
+	for _, it := range n.arr {
+		it.used = true
+		if it.kind != kInt {
+			b.diag(it.line, "key %q must list integers, got %v", key, it.kind)
+			continue
+		}
+		out = append(out, it.i)
+	}
+	return out
+}
+
+func (b *binder) table(t *node, key string) *node {
+	n := t.child(key)
+	if n == nil {
+		return nil
+	}
+	n.used = true
+	if n.kind != kTable {
+		b.diag(n.line, "key %q must be a table ([%s] section)", key, key)
+		return nil
+	}
+	return n
+}
+
+func (b *binder) tableList(t *node, key string) []*node {
+	n := t.child(key)
+	if n == nil {
+		return nil
+	}
+	n.used = true
+	if n.kind != kArray {
+		b.diag(n.line, "key %q must be an array of tables ([[%s]] sections)", key, key)
+		return nil
+	}
+	var out []*node
+	for _, it := range n.arr {
+		if it.kind != kTable {
+			b.diag(it.line, "key %q must be an array of tables", key)
+			continue
+		}
+		it.used = true
+		out = append(out, it)
+	}
+	return out
+}
+
+func (b *binder) bindDoc(root *node) *Doc {
+	doc := &Doc{
+		Seed:    defaultSeed,
+		Scale:   defaultScale,
+		Observe: defaultObserve(),
+	}
+	doc.Name = b.str(root, "name", "")
+	if doc.Name == "" {
+		b.diag(root.line, "campaign needs a name")
+	}
+	doc.Seed = b.i64(root, "seed", doc.Seed)
+	doc.Scale = b.f64(root, "scale", doc.Scale)
+	if doc.Scale <= 0 {
+		b.diag(root.line, "scale must be positive, got %g", doc.Scale)
+	}
+
+	ids := map[string]int{} // id → declaration line, for duplicate-cell-key lint
+	if n := root.child("experiments"); n != nil {
+		for _, id := range b.strList(root, "experiments") {
+			doc.Experiments = append(doc.Experiments, id)
+			if exp.ByID(id) == nil {
+				b.diag(n.line, "unknown experiment %q (see dcpbench -list)", id)
+				continue
+			}
+			if prev, dup := ids[id]; dup {
+				b.diag(n.line, "duplicate cell key namespace %q (first declared line %d)", id, prev)
+			}
+			ids[id] = n.line
+		}
+	}
+
+	if t := b.table(root, "observe"); t != nil {
+		doc.Observe.Check = b.flag(t, "check", doc.Observe.Check)
+		doc.Observe.Stats = b.flag(t, "stats", doc.Observe.Stats)
+		doc.Observe.TraceCells = b.strList(t, "trace_cells")
+		doc.Observe.MetricsCells = b.strList(t, "metrics_cells")
+		doc.Observe.MetricsIntervalUs = b.f64(t, "metrics_interval_us", doc.Observe.MetricsIntervalUs)
+		if doc.Observe.MetricsIntervalUs <= 0 {
+			b.diag(t.line, "metrics_interval_us must be positive, got %g", doc.Observe.MetricsIntervalUs)
+		}
+	}
+	if t := b.table(root, "expect"); t != nil {
+		doc.Expect.MaxViolations = b.i64(t, "max_violations", 0)
+		doc.Expect.RequireDone = b.flag(t, "require_done", false)
+		if doc.Expect.MaxViolations < 0 {
+			b.diag(t.line, "max_violations must be non-negative")
+		}
+	}
+
+	for _, st := range b.tableList(root, "scenario") {
+		sc := b.bindScenario(st)
+		doc.Scenarios = append(doc.Scenarios, sc)
+		if sc.ID == "" {
+			continue
+		}
+		if prev, dup := ids[sc.ID]; dup {
+			b.diag(st.line, "duplicate cell key namespace %q (first declared line %d)", sc.ID, prev)
+		}
+		ids[sc.ID] = st.line
+	}
+
+	// Observability cell keys must live inside a declared key namespace.
+	for _, set := range [][]string{doc.Observe.TraceCells, doc.Observe.MetricsCells} {
+		for _, key := range set {
+			prefix := key
+			if i := strings.IndexByte(key, '/'); i >= 0 {
+				prefix = key[:i]
+			}
+			if _, ok := ids[prefix]; !ok {
+				b.diag(b.listLine(root, "observe"), "observed cell %q names no declared experiment or scenario", key)
+			}
+		}
+	}
+	return doc
+}
+
+// listLine anchors a diagnostic at a section's declaration line.
+func (b *binder) listLine(root *node, key string) int {
+	if n := root.child(key); n != nil {
+		return n.line
+	}
+	return root.line
+}
+
+func (b *binder) bindScenario(t *node) *Scenario {
+	sc := &Scenario{
+		Topology:       "dumbbell",
+		Workload:       "single-flow",
+		HostsPerSwitch: 1,
+		CrossLinks:     1,
+		Leaves:         2,
+		Spines:         1,
+		HostsPerLeaf:   1,
+		SizeMB:         1,
+		line:           t.line,
+	}
+	sc.ID = b.str(t, "id", "")
+	switch {
+	case sc.ID == "":
+		b.diag(t.line, "scenario needs an id")
+	case !validBareKey(sc.ID):
+		b.diag(t.line, "scenario id %q must use letters, digits, _, - only", sc.ID)
+	}
+	sc.Topology = b.str(t, "topology", sc.Topology)
+	if sc.Topology != "dumbbell" && sc.Topology != "clos" {
+		b.diag(t.line, "unknown topology %q (dumbbell, clos)", sc.Topology)
+	}
+	sc.Workload = b.str(t, "workload", sc.Workload)
+	switch sc.Workload {
+	case "single-flow", "incast", "pairs":
+	default:
+		b.diag(t.line, "unknown workload %q (single-flow, incast, pairs)", sc.Workload)
+	}
+	sc.HostsPerSwitch = int(b.i64(t, "hosts_per_switch", int64(sc.HostsPerSwitch)))
+	sc.CrossLinks = int(b.i64(t, "cross_links", int64(sc.CrossLinks)))
+	sc.Leaves = int(b.i64(t, "leaves", int64(sc.Leaves)))
+	sc.Spines = int(b.i64(t, "spines", int64(sc.Spines)))
+	sc.HostsPerLeaf = int(b.i64(t, "hosts_per_leaf", int64(sc.HostsPerLeaf)))
+	if sc.HostsPerSwitch < 1 || sc.CrossLinks < 1 || sc.Leaves < 1 || sc.Spines < 1 || sc.HostsPerLeaf < 1 {
+		b.diag(t.line, "topology dimensions must be at least 1")
+	}
+
+	sc.Transports = b.strList(t, "transports")
+	if len(sc.Transports) == 0 {
+		b.diag(t.line, "scenario needs at least one transport (known: %s)", strings.Join(exp.SchemeNames(), ", "))
+	}
+	seen := map[string]bool{}
+	for _, tr := range sc.Transports {
+		if _, ok := exp.SchemeByName(tr); !ok {
+			b.diag(b.listLine(t, "transports"), "unknown transport %q (known: %s)", tr, strings.Join(exp.SchemeNames(), ", "))
+		}
+		if seen[tr] {
+			b.diag(b.listLine(t, "transports"), "transport %q listed twice", tr)
+		}
+		seen[tr] = true
+	}
+
+	sc.SizeMB = b.f64(t, "size_mb", sc.SizeMB)
+	if sc.SizeMB <= 0 {
+		b.diag(t.line, "size_mb must be positive, got %g", sc.SizeMB)
+	}
+	sc.FanIn = int(b.i64(t, "fan_in", 0))
+	sc.Seeds = b.i64List(t, "seeds")
+	sc.Repeat = int(b.i64(t, "repeat", 0))
+	if sc.Repeat > 0 && len(sc.Seeds) > 0 && sc.Repeat != len(sc.Seeds) {
+		b.diag(t.line, "inconsistent seed counts: repeat = %d but %d seeds listed", sc.Repeat, len(sc.Seeds))
+	}
+	sc.HorizonMs = b.f64(t, "horizon_ms", 0)
+	if sc.HorizonMs < 0 {
+		b.diag(t.line, "horizon_ms must be non-negative")
+	}
+
+	if sw := b.table(t, "sweep"); sw != nil {
+		for _, name := range sw.keys {
+			vn := sw.child(name)
+			vn.used = true
+			check, known := knownAxes[name]
+			if !known {
+				b.diag(vn.line, "unknown sweep axis %q (known: %s)", name, strings.Join(KnownAxes(), ", "))
+				continue
+			}
+			if vn.kind != kArray {
+				b.diag(vn.line, "sweep axis %q must be an array of numbers", name)
+				continue
+			}
+			var vals []float64
+			for _, it := range vn.arr {
+				it.used = true
+				if it.kind != kInt && it.kind != kFloat {
+					b.diag(it.line, "sweep axis %q must list numbers, got %v", name, it.kind)
+					continue
+				}
+				v := num(it)
+				if err := check(v); err != nil {
+					b.diag(vn.line, "sweep axis %q: %v", name, err)
+				}
+				vals = append(vals, v)
+			}
+			if len(vals) == 0 {
+				b.diag(vn.line, "sweep axis %q has no values", name)
+				continue
+			}
+			sc.Axes = append(sc.Axes, Axis{Name: name, Values: vals})
+		}
+	}
+
+	hasAxis := func(name string) bool {
+		for _, a := range sc.Axes {
+			if a.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	if sc.Workload == "incast" && sc.FanIn < 1 && !hasAxis("fan_in") {
+		b.diag(t.line, "incast workload needs fan_in (field or sweep axis)")
+	}
+	if sc.Workload != "incast" && (sc.FanIn > 0 || hasAxis("fan_in")) {
+		b.diag(t.line, "fan_in only applies to the incast workload")
+	}
+	if maxFan := sc.maxFanIn(); maxFan >= sc.hostCount() {
+		b.diag(t.line, "fan_in %d needs %d hosts, topology has %d", maxFan, maxFan+1, sc.hostCount())
+	}
+
+	for _, ft := range b.tableList(t, "fault") {
+		spec := faults.Spec{
+			Kind:     b.str(ft, "kind", ""),
+			Link:     b.str(ft, "link", ""),
+			Switch:   int(b.i64(ft, "switch", 0)),
+			AtUs:     b.f64(ft, "at_us", 0),
+			DurUs:    b.f64(ft, "dur_us", 0),
+			Rate:     b.f64(ft, "rate", 0),
+			Count:    int(b.i64(ft, "count", 0)),
+			Steps:    int(b.i64(ft, "steps", 0)),
+			PeriodUs: b.f64(ft, "period_us", 0),
+			Duty:     b.f64(ft, "duty", 0),
+			MinPkts:  int(b.i64(ft, "min_pkts", 0)),
+			MaxPkts:  int(b.i64(ft, "max_pkts", 0)),
+		}
+		if err := spec.Validate(); err != nil {
+			b.diag(ft.line, "%v", err)
+		}
+		sc.Faults = append(sc.Faults, spec)
+	}
+	if hasAxis("severity") && len(sc.Faults) == 0 {
+		b.diag(t.line, "severity axis needs at least one [[scenario.fault]]")
+	}
+	return sc
+}
+
+// hostCount returns the number of hosts the scenario's topology builds.
+func (sc *Scenario) hostCount() int {
+	if sc.Topology == "clos" {
+		return sc.Leaves * sc.HostsPerLeaf
+	}
+	return 2 * sc.HostsPerSwitch
+}
+
+// maxFanIn returns the largest fan-in any cell of the scenario uses.
+func (sc *Scenario) maxFanIn() int {
+	max := sc.FanIn
+	for _, a := range sc.Axes {
+		if a.Name != "fan_in" {
+			continue
+		}
+		for _, v := range a.Values {
+			if int(v) > max {
+				max = int(v)
+			}
+		}
+	}
+	return max
+}
+
+// sweepUnused reports every key the binder never consumed.
+func (b *binder) sweepUnused(t *node) {
+	for _, k := range t.keys {
+		c := t.tab[k]
+		if !c.used {
+			b.diag(c.line, "unknown key %q", k)
+			continue
+		}
+		switch c.kind {
+		case kTable:
+			b.sweepUnused(c)
+		case kArray:
+			for _, e := range c.arr {
+				if e.kind == kTable && e.used {
+					b.sweepUnused(e)
+				}
+			}
+		}
+	}
+}
+
+// EncodeTOML renders doc in the canonical form: Parse(EncodeTOML(d))
+// rebinds to a Doc equal to d (the round-trip law the golden tests pin).
+// Defaults are omitted, so hand-written and re-encoded documents diff
+// cleanly.
+func EncodeTOML(doc *Doc) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name = %q\n", doc.Name)
+	fmt.Fprintf(&b, "seed = %d\n", doc.Seed)
+	fmt.Fprintf(&b, "scale = %s\n", ftoa(doc.Scale))
+	if len(doc.Experiments) > 0 {
+		fmt.Fprintf(&b, "experiments = %s\n", quoteList(doc.Experiments))
+	}
+	if o, d := doc.Observe, defaultObserve(); o.Check != d.Check || o.Stats != d.Stats ||
+		o.MetricsIntervalUs != d.MetricsIntervalUs || len(o.TraceCells) > 0 || len(o.MetricsCells) > 0 {
+		b.WriteString("\n[observe]\n")
+		fmt.Fprintf(&b, "check = %v\n", o.Check)
+		fmt.Fprintf(&b, "stats = %v\n", o.Stats)
+		fmt.Fprintf(&b, "metrics_interval_us = %s\n", ftoa(o.MetricsIntervalUs))
+		if len(o.TraceCells) > 0 {
+			fmt.Fprintf(&b, "trace_cells = %s\n", quoteList(o.TraceCells))
+		}
+		if len(o.MetricsCells) > 0 {
+			fmt.Fprintf(&b, "metrics_cells = %s\n", quoteList(o.MetricsCells))
+		}
+	}
+	if doc.Expect != (Expect{}) {
+		b.WriteString("\n[expect]\n")
+		fmt.Fprintf(&b, "max_violations = %d\n", doc.Expect.MaxViolations)
+		fmt.Fprintf(&b, "require_done = %v\n", doc.Expect.RequireDone)
+	}
+	for _, sc := range doc.Scenarios {
+		b.WriteString("\n[[scenario]]\n")
+		fmt.Fprintf(&b, "id = %q\n", sc.ID)
+		fmt.Fprintf(&b, "topology = %q\n", sc.Topology)
+		fmt.Fprintf(&b, "workload = %q\n", sc.Workload)
+		if sc.Topology == "clos" {
+			fmt.Fprintf(&b, "leaves = %d\n", sc.Leaves)
+			fmt.Fprintf(&b, "spines = %d\n", sc.Spines)
+			fmt.Fprintf(&b, "hosts_per_leaf = %d\n", sc.HostsPerLeaf)
+		} else {
+			fmt.Fprintf(&b, "hosts_per_switch = %d\n", sc.HostsPerSwitch)
+			fmt.Fprintf(&b, "cross_links = %d\n", sc.CrossLinks)
+		}
+		fmt.Fprintf(&b, "transports = %s\n", quoteList(sc.Transports))
+		fmt.Fprintf(&b, "size_mb = %s\n", ftoa(sc.SizeMB))
+		if sc.FanIn > 0 {
+			fmt.Fprintf(&b, "fan_in = %d\n", sc.FanIn)
+		}
+		if len(sc.Seeds) > 0 {
+			vals := make([]string, len(sc.Seeds))
+			for i, s := range sc.Seeds {
+				vals[i] = strconv.FormatInt(s, 10)
+			}
+			fmt.Fprintf(&b, "seeds = [%s]\n", strings.Join(vals, ", "))
+		}
+		if sc.Repeat > 0 {
+			fmt.Fprintf(&b, "repeat = %d\n", sc.Repeat)
+		}
+		if sc.HorizonMs > 0 {
+			fmt.Fprintf(&b, "horizon_ms = %s\n", ftoa(sc.HorizonMs))
+		}
+		if len(sc.Axes) > 0 {
+			b.WriteString("\n[scenario.sweep]\n")
+			for _, a := range sc.Axes {
+				vals := make([]string, len(a.Values))
+				for i, v := range a.Values {
+					vals[i] = ftoa(v)
+				}
+				fmt.Fprintf(&b, "%s = [%s]\n", a.Name, strings.Join(vals, ", "))
+			}
+		}
+		for _, f := range sc.Faults {
+			b.WriteString("\n[[scenario.fault]]\n")
+			fmt.Fprintf(&b, "kind = %q\n", f.Kind)
+			if f.Link != "" {
+				fmt.Fprintf(&b, "link = %q\n", f.Link)
+			}
+			if f.Switch != 0 {
+				fmt.Fprintf(&b, "switch = %d\n", f.Switch)
+			}
+			writeF := func(key string, v float64) {
+				if v != 0 {
+					fmt.Fprintf(&b, "%s = %s\n", key, ftoa(v))
+				}
+			}
+			writeI := func(key string, v int) {
+				if v != 0 {
+					fmt.Fprintf(&b, "%s = %d\n", key, v)
+				}
+			}
+			writeF("at_us", f.AtUs)
+			writeF("dur_us", f.DurUs)
+			writeF("rate", f.Rate)
+			writeI("count", f.Count)
+			writeI("steps", f.Steps)
+			writeF("period_us", f.PeriodUs)
+			writeF("duty", f.Duty)
+			writeI("min_pkts", f.MinPkts)
+			writeI("max_pkts", f.MaxPkts)
+		}
+	}
+	return []byte(b.String())
+}
+
+func ftoa(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func quoteList(vals []string) string {
+	q := make([]string, len(vals))
+	for i, v := range vals {
+		q[i] = strconv.Quote(v)
+	}
+	return "[" + strings.Join(q, ", ") + "]"
+}

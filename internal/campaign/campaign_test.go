@@ -1,0 +1,187 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validDoc is a minimal document that passes lint; the diagnostic cases
+// below are mutations of it.
+const validDoc = `
+name = "t"
+seed = 11
+scale = 0.02
+
+[[scenario]]
+id = "s"
+transports = ["dcp"]
+`
+
+func parseDiags(t *testing.T, src string) []Diag {
+	t.Helper()
+	_, diags := Parse([]byte(src), FormatTOML)
+	return diags
+}
+
+func TestLintClean(t *testing.T) {
+	if diags := parseDiags(t, validDoc); len(diags) != 0 {
+		t.Fatalf("valid doc produced diagnostics: %v", diags)
+	}
+}
+
+// TestLintDiagnostics covers one case per semantic lint class. Each case
+// must produce a diagnostic containing want; line > 0 additionally pins
+// the anchor.
+func TestLintDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+		line int
+	}{
+		{"missing-name", `scale = 0.5`, "campaign needs a name", 0},
+		{"bad-scale", "name = \"t\"\nscale = -1.0", "scale must be positive", 0},
+		{"unknown-experiment", "name = \"t\"\nexperiments = [\"nope\"]", `unknown experiment "nope"`, 2},
+		{"duplicate-experiment", "name = \"t\"\nexperiments = [\"fig10\", \"fig10\"]",
+			`duplicate cell key namespace "fig10"`, 2},
+		{"scenario-shadows-experiment",
+			"name = \"t\"\nexperiments = [\"fig10\"]\n\n[[scenario]]\nid = \"fig10\"\ntransports = [\"dcp\"]",
+			`duplicate cell key namespace "fig10"`, 4},
+		{"scenario-missing-id", "name = \"t\"\n\n[[scenario]]\ntransports = [\"dcp\"]",
+			"scenario needs an id", 3},
+		{"scenario-bad-id", "name = \"t\"\n\n[[scenario]]\nid = \"a/b\"\ntransports = [\"dcp\"]",
+			"must use letters, digits", 0},
+		{"unknown-topology", validDoc + "topology = \"ring\"\n", `unknown topology "ring"`, 0},
+		{"unknown-workload", validDoc + "workload = \"storm\"\n", `unknown workload "storm"`, 0},
+		{"unknown-transport", "name = \"t\"\n\n[[scenario]]\nid = \"s\"\ntransports = [\"quic\"]",
+			`unknown transport "quic"`, 5},
+		{"transport-twice", "name = \"t\"\n\n[[scenario]]\nid = \"s\"\ntransports = [\"dcp\", \"dcp\"]",
+			`transport "dcp" listed twice`, 0},
+		{"no-transports", "name = \"t\"\n\n[[scenario]]\nid = \"s\"",
+			"needs at least one transport", 0},
+		{"unknown-axis", validDoc + "\n[scenario.sweep]\nmtu = [1500]\n", `unknown sweep axis "mtu"`, 0},
+		{"empty-axis", validDoc + "\n[scenario.sweep]\nloss = []\n", `sweep axis "loss" has no values`, 0},
+		{"axis-out-of-range", validDoc + "\n[scenario.sweep]\nloss = [1.5]\n", "outside [0,1]", 0},
+		{"inconsistent-seeds", validDoc + "seeds = [1, 2]\nrepeat = 3\n",
+			"inconsistent seed counts: repeat = 3 but 2 seeds listed", 0},
+		{"incast-needs-fanin", validDoc + "workload = \"incast\"\n",
+			"incast workload needs fan_in", 0},
+		{"fanin-wrong-workload", validDoc + "fan_in = 2\nhosts_per_switch = 4\n",
+			"fan_in only applies to the incast workload", 0},
+		{"fanin-too-big", validDoc + "workload = \"incast\"\nfan_in = 2\n",
+			"fan_in 2 needs 3 hosts, topology has 2", 0},
+		{"severity-needs-fault", validDoc + "\n[scenario.sweep]\nseverity = [1, 2]\n",
+			"severity axis needs at least one [[scenario.fault]]", 0},
+		{"unknown-fault-kind", validDoc + "\n[[scenario.fault]]\nkind = \"gremlin\"\n",
+			`unknown fault kind "gremlin"`, 0},
+		{"fault-needs-link", validDoc + "\n[[scenario.fault]]\nkind = \"link-flap\"\n",
+			"requires a link name", 0},
+		{"unknown-key", validDoc + "speed = 9\n", `unknown key "speed"`, 0},
+		{"unknown-key-toplevel", "name = \"t\"\ncolor = \"red\"", `unknown key "color"`, 2},
+		{"bad-metrics-interval", "name = \"t\"\n\n[observe]\nmetrics_interval_us = 0",
+			"metrics_interval_us must be positive", 0},
+		{"observed-cell-unbound", "name = \"t\"\nexperiments = [\"fig10\"]\n\n[observe]\ntrace_cells = [\"wan/c000/s00\"]",
+			`observed cell "wan/c000/s00" names no declared experiment or scenario`, 0},
+		{"negative-expect", "name = \"t\"\n\n[expect]\nmax_violations = -1",
+			"max_violations must be non-negative", 0},
+		{"wrong-type", "name = 7", `key "name" must be a string, got integer`, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			diags := parseDiags(t, c.src)
+			for _, d := range diags {
+				if strings.Contains(d.Msg, c.want) {
+					if c.line > 0 && d.Line != c.line {
+						t.Fatalf("diagnostic %q anchored at line %d, want %d", d.Msg, d.Line, c.line)
+					}
+					return
+				}
+			}
+			t.Fatalf("no diagnostic containing %q in %v", c.want, diags)
+		})
+	}
+}
+
+func examplePaths(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "campaigns", "*.toml"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example campaigns found: %v", err)
+	}
+	return paths
+}
+
+// TestExamplesValidate pins that every shipped example parses with zero
+// diagnostics and compiles to at least one unit.
+func TestExamplesValidate(t *testing.T) {
+	for _, path := range examplePaths(t) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, diags := Parse(data, FormatForPath(path))
+		if len(diags) > 0 {
+			t.Errorf("%s: %v", path, diags)
+			continue
+		}
+		c, err := Compile(doc)
+		if err != nil {
+			t.Errorf("%s: compile: %v", path, err)
+			continue
+		}
+		if len(c.Units) == 0 {
+			t.Errorf("%s: compiled to zero units", path)
+		}
+	}
+}
+
+// TestEncodeTOMLRoundTrip pins the round-trip law on every example:
+// Parse(EncodeTOML(d)) rebinds to an equal Doc, and re-encoding is a
+// fixpoint (canonical form encodes to itself).
+func TestEncodeTOMLRoundTrip(t *testing.T) {
+	for _, path := range examplePaths(t) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, diags := Parse(data, FormatForPath(path))
+		if len(diags) > 0 {
+			t.Fatalf("%s: %v", path, diags)
+		}
+		enc1 := EncodeTOML(doc)
+		doc2, diags2 := Parse(enc1, FormatTOML)
+		if len(diags2) > 0 {
+			t.Fatalf("%s: canonical encoding does not re-parse cleanly: %v\n%s", path, diags2, enc1)
+		}
+		enc2 := EncodeTOML(doc2)
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("%s: canonical encoding is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", path, enc1, enc2)
+		}
+	}
+}
+
+// TestEncodeTOMLGolden pins the canonical encoding of the wan-sketch
+// example byte-for-byte against testdata, so encoder drift is a
+// reviewed diff rather than a silent change.
+func TestEncodeTOMLGolden(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "campaigns", "wan-sketch.toml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, diags := Parse(data, FormatTOML)
+	if len(diags) > 0 {
+		t.Fatal(diags)
+	}
+	got := EncodeTOML(doc)
+	goldenPath := filepath.Join("testdata", "wan-sketch.canonical.toml")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate by writing the got bytes): %v\ngot:\n%s", err, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("canonical encoding drifted from %s:\ngot:\n%s\nwant:\n%s", goldenPath, got, want)
+	}
+}

@@ -1,0 +1,304 @@
+package campaign
+
+import (
+	"fmt"
+
+	"dcpsim/internal/exp"
+	"dcpsim/internal/faults"
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/topo"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// This file lowers a validated Doc onto the experiment engine. A campaign
+// compiles to an ordered list of Units — independently executable,
+// independently checkpointable work items. Registry experiments become
+// coordinator units running the experiment's own cell-builder through the
+// shared pool (so their inner CellKeys match a plain dcpbench run
+// exactly — the registry/campaign parity guard pins this). Declarative
+// scenarios become one unit per cell of the transport × sweep-axis cross
+// product, each lowering onto exp.Cell with an explicit cell index, so
+// campaign sims live on the same CellKey-ordered deterministic-merge
+// contract as everything else.
+
+// UnitKind distinguishes how a unit executes and renders.
+type UnitKind string
+
+const (
+	UnitExperiment UnitKind = "experiment"
+	UnitCell       UnitKind = "cell"
+)
+
+// Unit is one checkpointable work item of a compiled campaign.
+type Unit struct {
+	// ID is the unit's checkpoint identity: the experiment id, or
+	// "<scenario>/cNNN" for a scenario cell.
+	ID   string
+	Kind UnitKind
+	Desc string
+
+	// ExpID is the CellKey namespace the unit's sims run under.
+	ExpID string
+
+	// Coordinator units fan their own cells into the shared pool and must
+	// run on a slot-free goroutine (pool.GoFree); cell units occupy one
+	// worker slot (pool.Go).
+	Coordinator bool
+
+	exper *exp.Experiment
+
+	sc        *Scenario
+	cell      int
+	transport string
+	axisVals  []float64 // aligned with sc.Axes
+}
+
+// Campaign is a compiled campaign: the source doc plus its unit list in
+// canonical (checkpoint and merge) order.
+type Campaign struct {
+	Doc   *Doc
+	Units []*Unit
+}
+
+// Compile lowers a bound Doc. The doc must have passed Parse with zero
+// diagnostics; Compile re-checks only what it depends on to execute.
+func Compile(doc *Doc) (*Campaign, error) {
+	c := &Campaign{Doc: doc}
+	for _, id := range doc.Experiments {
+		e := exp.ByID(id)
+		if e == nil {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		c.Units = append(c.Units, &Unit{
+			ID: e.ID, Kind: UnitExperiment, Desc: e.Desc,
+			ExpID: e.ID, Coordinator: true, exper: e,
+		})
+	}
+	for _, sc := range doc.Scenarios {
+		combos := 1
+		for _, a := range sc.Axes {
+			if len(a.Values) == 0 {
+				return nil, fmt.Errorf("scenario %q: empty sweep axis %q", sc.ID, a.Name)
+			}
+			combos *= len(a.Values)
+		}
+		if len(sc.Transports) == 0 {
+			return nil, fmt.Errorf("scenario %q: no transports", sc.ID)
+		}
+		cell := 0
+		for _, tr := range sc.Transports {
+			if _, ok := exp.SchemeByName(tr); !ok {
+				return nil, fmt.Errorf("scenario %q: unknown transport %q", sc.ID, tr)
+			}
+			for combo := 0; combo < combos; combo++ {
+				vals := make([]float64, len(sc.Axes))
+				stride := combos
+				for i, a := range sc.Axes {
+					stride /= len(a.Values)
+					vals[i] = a.Values[(combo/stride)%len(a.Values)]
+				}
+				c.Units = append(c.Units, &Unit{
+					ID:    fmt.Sprintf("%s/c%03d", sc.ID, cell),
+					Kind:  UnitCell,
+					Desc:  fmt.Sprintf("%s %s %s", sc.ID, sc.Workload, tr),
+					ExpID: sc.ID, sc: sc, cell: cell,
+					transport: tr, axisVals: vals,
+				})
+				cell++
+			}
+		}
+	}
+	if len(c.Units) == 0 {
+		return nil, fmt.Errorf("campaign %q compiles to no work: no experiments or scenarios", doc.Name)
+	}
+	return c, nil
+}
+
+// axis returns the cell's value for the named sweep axis (def if the
+// scenario does not sweep it).
+func (u *Unit) axis(name string, def float64) float64 {
+	for i, a := range u.sc.Axes {
+		if a.Name == name {
+			return u.axisVals[i]
+		}
+	}
+	return def
+}
+
+// seeds resolves the per-sim seed list of a scenario.
+func (sc *Scenario) seeds(docSeed int64) []int64 {
+	if len(sc.Seeds) > 0 {
+		return sc.Seeds
+	}
+	if sc.Repeat > 0 {
+		out := make([]int64, sc.Repeat)
+		for i := range out {
+			out[i] = docSeed + int64(i)
+		}
+		return out
+	}
+	return []int64{docSeed}
+}
+
+// scenarioColumns returns the header of a scenario's result table.
+func scenarioColumns(sc *Scenario) []string {
+	cols := []string{"cell"}
+	for _, a := range sc.Axes {
+		cols = append(cols, a.Name)
+	}
+	return append(cols, "transport", "goodput_Gbps", "fct_ms", "retrans_pkts", "unfinished")
+}
+
+// runCell executes one scenario cell under cfg (already labelled with the
+// scenario's experiment id and carrying the runner's hook, stats sink and
+// pool) and returns the cell's pre-formatted result row. Errors in the
+// declarative plan that only a concrete topology can surface (a fault
+// naming a link the topology doesn't build) panic with context, matching
+// the registry experiments' mustInject idiom; the pool re-raises them on
+// the merging goroutine.
+func (u *Unit) runCell(cfg exp.Config) []string {
+	sc := u.sc
+	severity := u.axis("severity", 1)
+	sizeMB := u.axis("size_mb", sc.SizeMB)
+	size := int64(sizeMB * cfg.Scale * 1e6)
+	if size < 64_000 {
+		size = 64_000
+	}
+	horizon := units.Scale(units.Millisecond, sc.HorizonMs)
+
+	var specs []faults.Spec
+	for _, f := range sc.Faults {
+		specs = append(specs, f.Scaled(severity))
+	}
+
+	var goodput, fctMs float64
+	var retrans int64
+	var done, unfinished int
+
+	exp.Cell(cfg, u.cell, func(sub exp.Config) {
+		for _, seed := range sc.seeds(cfg.Seed) {
+			simCfg := sub
+			simCfg.Seed = seed
+			sch, _ := exp.SchemeByName(u.transport)
+			s := exp.NewSimCfg(simCfg, sch, func(eng *sim.Engine) *topo.Network {
+				return u.buildTopo(eng, sch)
+			})
+			s.ScheduleFlows(u.flows(size))
+			if len(specs) > 0 {
+				plan, err := faults.FromSpecs(seed, specs)
+				if err != nil {
+					panic(fmt.Sprintf("campaign unit %s: %v", u.ID, err))
+				}
+				if _, err := s.Net.Inject(plan); err != nil {
+					panic(fmt.Sprintf("campaign unit %s: %v", u.ID, err))
+				}
+			}
+			unfinished += s.Run(horizon)
+			for _, rec := range s.Col.Flows() {
+				if !rec.Done {
+					continue
+				}
+				done++
+				goodput += stats.Goodput(rec.Size, rec.FCT())
+				fctMs += rec.FCT().Millis()
+				retrans += rec.RetransPkts
+			}
+			for _, rec := range s.Col.Flows() {
+				if !rec.Done {
+					retrans += rec.RetransPkts
+				}
+			}
+		}
+	})
+	if done > 0 {
+		goodput /= float64(done)
+		fctMs /= float64(done)
+	}
+
+	row := []string{fmt.Sprintf("c%03d", u.cell)}
+	for _, v := range u.axisVals {
+		row = append(row, ftoaCell(v))
+	}
+	return append(row,
+		u.transport,
+		ftoaCell(goodput),
+		ftoaCell(fctMs),
+		fmt.Sprintf("%d", retrans),
+		fmt.Sprintf("%d", unfinished),
+	)
+}
+
+// ftoaCell matches stats.Table.AddRow's float rendering so assembled
+// scenario tables format like every other table in the repo.
+func ftoaCell(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// buildTopo constructs the scenario's network with this cell's axis
+// values applied.
+func (u *Unit) buildTopo(eng *sim.Engine, sch exp.Scheme) *topo.Network {
+	sc := u.sc
+	swCfg := exp.SwitchConfigFor(sch)
+	if loss := u.axis("loss", 0); loss > 0 {
+		swCfg.LossRate = loss
+	}
+	delay := u.axis("cross_delay_us", 0)
+	if sc.Topology == "clos" {
+		cfg := topo.DefaultClos()
+		cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = sc.Leaves, sc.Spines, sc.HostsPerLeaf
+		cfg.Switch = swCfg
+		if delay > 0 {
+			cfg.SpineDelay = units.Scale(units.Microsecond, delay)
+		}
+		return topo.Clos(eng, cfg)
+	}
+	cfg := topo.DefaultDumbbell()
+	cfg.HostsPerSwitch = sc.HostsPerSwitch
+	cfg.CrossLinks = sc.CrossLinks
+	cfg.Switch = swCfg
+	if delay > 0 {
+		d := units.Scale(units.Microsecond, delay)
+		cfg.CrossDelays = make([]units.Time, sc.CrossLinks)
+		for i := range cfg.CrossDelays {
+			cfg.CrossDelays[i] = d
+		}
+	}
+	return topo.Dumbbell(eng, cfg)
+}
+
+// flows builds the scenario's workload. Host numbering follows the
+// topology builders: dumbbell hosts 0..H-1 sit on switch 1, H..2H-1 on
+// switch 2; clos host i lives under leaf i/HostsPerLeaf.
+func (u *Unit) flows(size int64) []*workload.Flow {
+	sc := u.sc
+	hosts := sc.hostCount()
+	half := hosts / 2
+	var out []*workload.Flow
+	switch sc.Workload {
+	case "incast":
+		fan := int(u.axis("fan_in", float64(sc.FanIn)))
+		dst := hosts - 1
+		for i := 0; i < fan; i++ {
+			out = append(out, &workload.Flow{
+				ID: uint64(i + 1), Src: hostID(i), Dst: hostID(dst),
+				Size: size, Class: "incast",
+			})
+		}
+	case "pairs":
+		for i := 0; i < half; i++ {
+			out = append(out, &workload.Flow{
+				ID: uint64(i + 1), Src: hostID(i), Dst: hostID(half + i),
+				Size: size, Class: "bg",
+			})
+		}
+	default: // single-flow
+		out = append(out, &workload.Flow{
+			ID: 1, Src: hostID(0), Dst: hostID(half),
+			Size: size, Class: "bg",
+		})
+	}
+	return out
+}
+
+func hostID(i int) packet.NodeID { return packet.NodeID(i) }

@@ -1,0 +1,309 @@
+package campaign
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcpsim/internal/exp"
+)
+
+// miniDoc is the runner-test campaign: 2 transports × 2 loss values = 4
+// cells, one sim each, with the first cell exporting trace + metrics.
+// Small enough that the full resume matrix runs in well under a second.
+const miniDoc = `
+name = "mini"
+seed = 11
+scale = 0.02
+
+[observe]
+check = true
+stats = true
+trace_cells = ["mini/c000/s00"]
+metrics_cells = ["mini/c000/s00"]
+
+[[scenario]]
+id = "mini"
+transports = ["dcp", "cx5"]
+size_mb = 1
+horizon_ms = 20
+seeds = [11]
+
+[scenario.sweep]
+loss = [0, 0.01]
+`
+
+func compileMini(t *testing.T) (*Campaign, []byte) {
+	t.Helper()
+	data := []byte(miniDoc)
+	doc, diags := Parse(data, FormatTOML)
+	if len(diags) > 0 {
+		t.Fatalf("miniDoc: %v", diags)
+	}
+	c, err := Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Units) != 4 {
+		t.Fatalf("miniDoc compiled to %d units, want 4", len(c.Units))
+	}
+	return c, data
+}
+
+// snapshotDir maps every file under dir to its contents, keyed by
+// slash-separated relative path.
+func snapshotDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	files := map[string][]byte{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		files[filepath.ToSlash(rel)] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func assertDirsIdentical(t *testing.T, dirA, dirB string) {
+	t.Helper()
+	a, b := snapshotDir(t, dirA), snapshotDir(t, dirB)
+	for rel, data := range a {
+		other, ok := b[rel]
+		if !ok {
+			t.Errorf("%s present in %s but missing in %s", rel, dirA, dirB)
+			continue
+		}
+		if !bytes.Equal(data, other) {
+			t.Errorf("%s differs between runs:\nA:\n%s\nB:\n%s", rel, data, other)
+		}
+	}
+	for rel := range b {
+		if _, ok := a[rel]; !ok {
+			t.Errorf("%s present in %s but missing in %s", rel, dirB, dirA)
+		}
+	}
+}
+
+// TestWorkerInvariance pins the determinism contract: the same campaign
+// produces identical digests and rendered tables at any worker count.
+func TestWorkerInvariance(t *testing.T) {
+	c, data := compileMini(t)
+	rep1, err := Run(c, data, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep4, err := Run(c, data, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep1.Digests) != len(rep4.Digests) {
+		t.Fatalf("digest counts differ: %d vs %d", len(rep1.Digests), len(rep4.Digests))
+	}
+	for i := range rep1.Digests {
+		if rep1.Digests[i] != rep4.Digests[i] {
+			t.Errorf("unit %s digest differs across worker counts: %s vs %s",
+				c.Units[i].ID, rep1.Digests[i], rep4.Digests[i])
+		}
+	}
+	if t1, t4 := RenderTables(c, rep1.Results), RenderTables(c, rep4.Results); t1 != t4 {
+		t.Errorf("rendered tables differ across worker counts:\nworkers=1:\n%s\nworkers=4:\n%s", t1, t4)
+	}
+}
+
+// TestResumeEquivalence is the headline runner contract: abort a
+// campaign after 2 of 4 fresh units, resume it at a different worker
+// count, and the finished bundle is byte-identical to an uninterrupted
+// run — every checkpoint, table, CSV, trace, metric and manifest byte.
+func TestResumeEquivalence(t *testing.T) {
+	c, data := compileMini(t)
+	dirFull, dirResumed := t.TempDir(), t.TempDir()
+
+	if _, err := Run(c, data, Options{Dir: dirFull, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Run(c, data, Options{Dir: dirResumed, Workers: 4, AbortAfter: 2})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("aborted run: err = %v, want ErrAborted", err)
+	}
+	if !rep.Aborted || rep.Executed != 2 {
+		t.Fatalf("aborted run: Aborted=%v Executed=%d, want true/2", rep.Aborted, rep.Executed)
+	}
+	cks, err := filepath.Glob(filepath.Join(dirResumed, "checkpoints", "*.json"))
+	if err != nil || len(cks) != 2 {
+		t.Fatalf("aborted run left %d checkpoints, want 2 (%v)", len(cks), err)
+	}
+	if _, err := os.Stat(filepath.Join(dirResumed, "manifest.json")); !os.IsNotExist(err) {
+		t.Fatalf("aborted run must not write a manifest, stat err = %v", err)
+	}
+
+	rep, err = Run(c, data, Options{Dir: dirResumed, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cached != 2 || rep.Executed != 2 {
+		t.Fatalf("resumed run: Cached=%d Executed=%d, want 2/2", rep.Cached, rep.Executed)
+	}
+	assertDirsIdentical(t, dirFull, dirResumed)
+}
+
+// TestCorruptCheckpointReexecutes: a truncated checkpoint (what a real
+// kill mid-write could leave without the atomic rename) is treated as
+// absent and the unit re-runs to the same digest.
+func TestCorruptCheckpointReexecutes(t *testing.T) {
+	c, data := compileMini(t)
+	dir := t.TempDir()
+	rep, err := Run(c, data, Options{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath := checkpointPath(dir, c.Units[1].ID)
+	raw, err := os.ReadFile(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckPath, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(c, data, Options{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Cached != 3 || rep2.Executed != 1 {
+		t.Fatalf("after corruption: Cached=%d Executed=%d, want 3/1", rep2.Cached, rep2.Executed)
+	}
+	if rep2.Digests[1] != rep.Digests[1] {
+		t.Fatalf("re-executed unit digest %s != original %s", rep2.Digests[1], rep.Digests[1])
+	}
+}
+
+// TestLockRejectsForeignDoc: a run dir is pinned to one document; a
+// different doc in the same dir is refused instead of mixing results.
+func TestLockRejectsForeignDoc(t *testing.T) {
+	c, data := compileMini(t)
+	dir := t.TempDir()
+	if _, err := Run(c, data, Options{Dir: dir, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	other := append([]byte(nil), data...)
+	other = append(other, []byte("# edited\n")...)
+	if _, err := Run(c, other, Options{Dir: dir, Workers: 1}); err == nil {
+		t.Fatal("Run accepted a modified document in a locked run dir")
+	}
+}
+
+// TestRecheck: the manifest digest of any unit can be re-verified by
+// re-executing just that unit from the document.
+func TestRecheck(t *testing.T) {
+	c, data := compileMini(t)
+	dir := t.TempDir()
+	if _, err := Run(c, data, Options{Dir: dir, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"mini/c000", "mini/c003"} {
+		rc, err := Recheck(c, dir, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rc.Match {
+			t.Errorf("recheck %s: recomputed %s != recorded %s", id, rc.Recomputed, rc.Recorded)
+		}
+	}
+	if _, err := Recheck(c, dir, "mini/c099"); err == nil {
+		t.Error("Recheck accepted a unit id absent from the manifest")
+	}
+}
+
+// TestRegistryCampaignParity pins that a campaign listing a registry
+// experiment produces exactly what a direct exp run produces — same
+// tables, same RunSummary — so the DSL adds no third execution path.
+func TestRegistryCampaignParity(t *testing.T) {
+	src := `
+name = "parity"
+seed = 11
+scale = 0.02
+experiments = ["fig10"]
+
+[observe]
+stats = true
+`
+	doc, diags := Parse([]byte(src), FormatTOML)
+	if len(diags) > 0 {
+		t.Fatal(diags)
+	}
+	c, err := Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(c, []byte(src), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(rep.Results))
+	}
+	res := rep.Results[0]
+
+	e := exp.ByID("fig10")
+	if e == nil {
+		t.Fatal("registry experiment fig10 missing")
+	}
+	acc := exp.NewStatsAccumulator()
+	cfg := exp.Config{Seed: 11, Scale: 0.02}.WithExperiment("fig10")
+	cfg.Stats = acc
+	direct := e.Run(cfg)
+
+	if len(res.Tables) != len(direct) {
+		t.Fatalf("campaign produced %d tables, direct run %d", len(res.Tables), len(direct))
+	}
+	for i := range direct {
+		if got, want := res.Tables[i].String(), direct[i].String(); got != want {
+			t.Errorf("table %d differs:\ncampaign:\n%s\ndirect:\n%s", i, got, want)
+		}
+	}
+	directSum := acc.Summary("fig10")
+	if res.Summary == nil || directSum == nil {
+		t.Fatalf("missing summaries: campaign=%v direct=%v", res.Summary, directSum)
+	}
+	if *res.Summary != *directSum {
+		t.Errorf("summaries differ:\ncampaign: %+v\ndirect:   %+v", *res.Summary, *directSum)
+	}
+}
+
+// TestRegistryExampleCoversAll guards the shipped registry campaign
+// against drift: it must list exactly the compiled-in experiments, in
+// registry order, so "campaign twin of dcpbench -run all" stays true.
+func TestRegistryExampleCoversAll(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "campaigns", "registry.toml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, diags := Parse(data, FormatTOML)
+	if len(diags) > 0 {
+		t.Fatal(diags)
+	}
+	all := exp.All()
+	if len(doc.Experiments) != len(all) {
+		t.Fatalf("registry.toml lists %d experiments, registry has %d", len(doc.Experiments), len(all))
+	}
+	for i, e := range all {
+		if doc.Experiments[i] != e.ID {
+			t.Errorf("registry.toml[%d] = %q, registry order has %q", i, doc.Experiments[i], e.ID)
+		}
+	}
+}

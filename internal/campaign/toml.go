@@ -1,0 +1,525 @@
+package campaign
+
+// This file is the document front end of the campaign DSL: a minimal,
+// dependency-free TOML-subset parser (the prifi simul.sh idiom — see
+// SNIPPETS.md) plus a JSON loader, both producing the same line-anchored
+// node tree the schema binder in campaign.go consumes. Line numbers are
+// carried on every node so `dcpcampaign -validate` can anchor semantic
+// diagnostics ("line 14: unknown transport") to the document.
+//
+// Supported TOML: comments, [table] and [[array-of-table]] headers with
+// dotted paths, bare keys, basic "..." strings with escapes, integers
+// (with _ separators), floats, booleans, and (possibly multi-line)
+// arrays. Inline tables are rejected with a pointer at the [[section]]
+// form. This subset covers the campaign schema exactly; anything outside
+// it is a parse error with a line number, never a silent skip.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+type valueKind int
+
+const (
+	kTable valueKind = iota
+	kArray
+	kString
+	kInt
+	kFloat
+	kBool
+)
+
+func (k valueKind) String() string {
+	switch k {
+	case kTable:
+		return "table"
+	case kArray:
+		return "array"
+	case kString:
+		return "string"
+	case kInt:
+		return "integer"
+	case kFloat:
+		return "float"
+	case kBool:
+		return "boolean"
+	}
+	return "value"
+}
+
+// node is one parsed value. Tables keep their keys in document order —
+// the campaign compiler enumerates sweep axes in the order the document
+// states them, so order is semantic, not cosmetic.
+type node struct {
+	kind valueKind
+	line int
+	used bool // consumed by the binder; unused keys become diagnostics
+
+	keys []string // kTable: insertion order
+	tab  map[string]*node
+	arr  []*node // kArray
+
+	str string
+	i   int64
+	f   float64
+	b   bool
+}
+
+func newTable(line int) *node {
+	return &node{kind: kTable, line: line, tab: map[string]*node{}}
+}
+
+func (n *node) child(key string) *node { return n.tab[key] }
+
+func (n *node) put(key string, v *node) {
+	if _, ok := n.tab[key]; !ok {
+		n.keys = append(n.keys, key)
+	}
+	n.tab[key] = v
+}
+
+// parseError is a syntax error with its document line.
+type parseError struct {
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+func perrf(line int, format string, args ...any) error {
+	return &parseError{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// stripComment removes a trailing # comment, respecting quoted strings.
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// bracketDepth returns the net [ ] nesting of s outside strings, used to
+// join multi-line arrays.
+func bracketDepth(s string) int {
+	depth := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '"':
+			inStr = !inStr
+		case '[':
+			if !inStr {
+				depth++
+			}
+		case ']':
+			if !inStr {
+				depth--
+			}
+		}
+	}
+	return depth
+}
+
+func validBareKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseTOML parses the campaign TOML subset into a node tree.
+func parseTOML(data []byte) (*node, error) {
+	root := newTable(1)
+	cur := root
+	lines := strings.Split(string(data), "\n")
+	for ln := 0; ln < len(lines); ln++ {
+		lineNo := ln + 1
+		s := strings.TrimSpace(stripComment(lines[ln]))
+		if s == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(s, "[["):
+			if !strings.HasSuffix(s, "]]") {
+				return nil, perrf(lineNo, "malformed [[section]] header")
+			}
+			path, err := splitPath(s[2:len(s)-2], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			parent, err := navigate(root, path[:len(path)-1], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			leaf := path[len(path)-1]
+			arr := parent.child(leaf)
+			if arr == nil {
+				arr = &node{kind: kArray, line: lineNo}
+				parent.put(leaf, arr)
+			} else if arr.kind != kArray {
+				return nil, perrf(lineNo, "key %q already defined as a %v", leaf, arr.kind)
+			}
+			t := newTable(lineNo)
+			arr.arr = append(arr.arr, t)
+			cur = t
+		case strings.HasPrefix(s, "["):
+			if !strings.HasSuffix(s, "]") {
+				return nil, perrf(lineNo, "malformed [section] header")
+			}
+			path, err := splitPath(s[1:len(s)-1], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			parent, err := navigate(root, path[:len(path)-1], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			leaf := path[len(path)-1]
+			t := parent.child(leaf)
+			if t == nil {
+				t = newTable(lineNo)
+				parent.put(leaf, t)
+			} else if t.kind != kTable {
+				return nil, perrf(lineNo, "key %q already defined as a %v", leaf, t.kind)
+			}
+			cur = t
+		default:
+			eq := indexTopLevel(s, '=')
+			if eq < 0 {
+				return nil, perrf(lineNo, "expected key = value")
+			}
+			key := strings.TrimSpace(s[:eq])
+			if !validBareKey(key) {
+				return nil, perrf(lineNo, "invalid key %q (bare keys only: letters, digits, _, -)", key)
+			}
+			val := strings.TrimSpace(s[eq+1:])
+			// Join multi-line arrays until brackets balance.
+			startLine := lineNo
+			for bracketDepth(val) > 0 && ln+1 < len(lines) {
+				ln++
+				val += " " + strings.TrimSpace(stripComment(lines[ln]))
+			}
+			if bracketDepth(val) != 0 {
+				return nil, perrf(startLine, "unbalanced brackets in value for %q", key)
+			}
+			if cur.child(key) != nil {
+				return nil, perrf(startLine, "duplicate key %q", key)
+			}
+			v, err := parseValue(val, startLine)
+			if err != nil {
+				return nil, err
+			}
+			cur.put(key, v)
+		}
+	}
+	return root, nil
+}
+
+// splitPath splits a dotted section path into bare-key segments.
+func splitPath(s string, line int) ([]string, error) {
+	parts := strings.Split(s, ".")
+	for i, p := range parts {
+		parts[i] = strings.TrimSpace(p)
+		if !validBareKey(parts[i]) {
+			return nil, perrf(line, "invalid section path segment %q", p)
+		}
+	}
+	return parts, nil
+}
+
+// navigate walks (creating as needed) intermediate tables of a dotted
+// header path; a segment naming an array of tables resolves to its last
+// element, the standard TOML [[x]] then [x.y] idiom.
+func navigate(root *node, path []string, line int) (*node, error) {
+	cur := root
+	for _, seg := range path {
+		next := cur.child(seg)
+		if next == nil {
+			next = newTable(line)
+			cur.put(seg, next)
+		}
+		if next.kind == kArray {
+			if len(next.arr) == 0 || next.arr[len(next.arr)-1].kind != kTable {
+				return nil, perrf(line, "cannot extend array %q with a sub-table", seg)
+			}
+			next = next.arr[len(next.arr)-1]
+		}
+		if next.kind != kTable {
+			return nil, perrf(line, "key %q is a %v, not a table", seg, next.kind)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// indexTopLevel finds the first c outside quoted strings.
+func indexTopLevel(s string, c byte) int {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '"':
+			inStr = !inStr
+		default:
+			if s[i] == c && !inStr {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseValue parses one TOML value (string, bool, array, number).
+func parseValue(s string, line int) (*node, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, perrf(line, "empty value")
+	}
+	switch {
+	case s[0] == '"':
+		str, rest, err := parseString(s, line)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, perrf(line, "trailing characters after string: %q", rest)
+		}
+		return &node{kind: kString, line: line, str: str}, nil
+	case s == "true" || s == "false":
+		return &node{kind: kBool, line: line, b: s == "true"}, nil
+	case s[0] == '[':
+		if s[len(s)-1] != ']' {
+			return nil, perrf(line, "malformed array")
+		}
+		items, err := splitItems(s[1:len(s)-1], line)
+		if err != nil {
+			return nil, err
+		}
+		arr := &node{kind: kArray, line: line}
+		for _, it := range items {
+			v, err := parseValue(it, line)
+			if err != nil {
+				return nil, err
+			}
+			arr.arr = append(arr.arr, v)
+		}
+		return arr, nil
+	case s[0] == '{':
+		return nil, perrf(line, "inline tables are not supported; use a [section] or [[section]]")
+	default:
+		num := strings.ReplaceAll(s, "_", "")
+		if i, err := strconv.ParseInt(num, 10, 64); err == nil {
+			return &node{kind: kInt, line: line, i: i}, nil
+		}
+		if f, err := strconv.ParseFloat(num, 64); err == nil {
+			return &node{kind: kFloat, line: line, f: f}, nil
+		}
+		return nil, perrf(line, "cannot parse value %q", s)
+	}
+}
+
+// parseString consumes a leading basic string and returns it plus the
+// remainder of the input.
+func parseString(s string, line int) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", perrf(line, "dangling escape in string")
+			}
+			i++
+			switch s[i] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", "", perrf(line, "unsupported escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", perrf(line, "unterminated string")
+}
+
+// splitItems splits an array body on top-level commas.
+func splitItems(s string, line int) ([]string, error) {
+	var items []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '"':
+			inStr = !inStr
+		case '[':
+			if !inStr {
+				depth++
+			}
+		case ']':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				items = append(items, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 || inStr {
+		return nil, perrf(line, "malformed array")
+	}
+	items = append(items, s[start:])
+	var out []string
+	for _, it := range items {
+		if strings.TrimSpace(it) != "" {
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+// parseJSON parses a JSON campaign document into the same node tree,
+// computing line anchors from the decoder's byte offsets so JSON
+// documents get the same line-anchored diagnostics TOML ones do.
+func parseJSON(data []byte) (*node, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	lineAt := func() int {
+		off := dec.InputOffset()
+		if off > int64(len(data)) {
+			off = int64(len(data))
+		}
+		return 1 + bytes.Count(data[:off], []byte{'\n'})
+	}
+	var walkValue func(tok json.Token) (*node, error)
+	walkObject := func() (*node, error) {
+		t := newTable(lineAt())
+		for dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				return nil, perrf(lineAt(), "bad JSON: %v", err)
+			}
+			key, _ := keyTok.(string)
+			valTok, err := dec.Token()
+			if err != nil {
+				return nil, perrf(lineAt(), "bad JSON: %v", err)
+			}
+			v, err := walkValue(valTok)
+			if err != nil {
+				return nil, err
+			}
+			t.put(key, v)
+		}
+		if _, err := dec.Token(); err != nil { // consume '}'
+			return nil, perrf(lineAt(), "bad JSON: %v", err)
+		}
+		return t, nil
+	}
+	walkValue = func(tok json.Token) (*node, error) {
+		line := lineAt()
+		switch v := tok.(type) {
+		case json.Delim:
+			switch v {
+			case '{':
+				return walkObject()
+			case '[':
+				arr := &node{kind: kArray, line: line}
+				for dec.More() {
+					t, err := dec.Token()
+					if err != nil {
+						return nil, perrf(lineAt(), "bad JSON: %v", err)
+					}
+					item, err := walkValue(t)
+					if err != nil {
+						return nil, err
+					}
+					arr.arr = append(arr.arr, item)
+				}
+				if _, err := dec.Token(); err != nil { // consume ']'
+					return nil, perrf(lineAt(), "bad JSON: %v", err)
+				}
+				return arr, nil
+			}
+			return nil, perrf(line, "unexpected delimiter %v", v)
+		case string:
+			return &node{kind: kString, line: line, str: v}, nil
+		case bool:
+			return &node{kind: kBool, line: line, b: v}, nil
+		case json.Number:
+			if i, err := v.Int64(); err == nil && !strings.ContainsAny(v.String(), ".eE") {
+				return &node{kind: kInt, line: line, i: i}, nil
+			}
+			f, err := v.Float64()
+			if err != nil {
+				return nil, perrf(line, "cannot parse number %q", v.String())
+			}
+			return &node{kind: kFloat, line: line, f: f}, nil
+		case nil:
+			return nil, perrf(line, "null is not a campaign value")
+		}
+		return nil, perrf(line, "unsupported JSON token %v", tok)
+	}
+	tok, err := dec.Token()
+	if err != nil {
+		if err == io.EOF {
+			return nil, perrf(1, "empty document")
+		}
+		return nil, perrf(lineAt(), "bad JSON: %v", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return nil, perrf(lineAt(), "campaign JSON must be an object")
+	}
+	root, err := walkObject()
+	if err != nil {
+		return nil, err
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		return nil, perrf(lineAt(), "trailing content after document: %v", tok)
+	}
+	return root, nil
+}

@@ -1,0 +1,170 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+const parserDoc = `# full syntax exercise
+name = "parser" # trailing comment
+seed = 1_000
+scale = 0.5
+
+experiments = [
+  "fig10",
+  "fig11", # multi-line array with comments
+]
+
+[observe]
+check = true
+trace_cells = ["fig10/c000/s00"]
+
+[[scenario]]
+id = "a"
+transports = ["dcp"]
+size_mb = 2.5
+
+[scenario.sweep]
+loss = [0.001, 0.01]
+
+[[scenario.fault]]
+kind = "link-flap"
+link = "cross0"
+at_us = 10
+
+[[scenario]]
+id = "b"
+transports = ["dcp", "irn"]
+`
+
+func TestParseTOMLTree(t *testing.T) {
+	root, err := parseTOML([]byte(parserDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.child("name"); got == nil || got.kind != kString || got.str != "parser" {
+		t.Fatalf("name = %+v", got)
+	}
+	if got := root.child("seed"); got == nil || got.kind != kInt || got.i != 1000 {
+		t.Fatalf("seed (underscored int) = %+v", got)
+	}
+	if got := root.child("scale"); got == nil || got.kind != kFloat || got.f != 0.5 {
+		t.Fatalf("scale = %+v", got)
+	}
+	exps := root.child("experiments")
+	if exps == nil || exps.kind != kArray || len(exps.arr) != 2 || exps.arr[1].str != "fig11" {
+		t.Fatalf("multi-line experiments array = %+v", exps)
+	}
+	if exps.line != 6 {
+		t.Fatalf("experiments anchored at line %d, want 6", exps.line)
+	}
+	obsT := root.child("observe")
+	if obsT == nil || obsT.kind != kTable || obsT.child("check").b != true {
+		t.Fatalf("[observe] = %+v", obsT)
+	}
+	scen := root.child("scenario")
+	if scen == nil || scen.kind != kArray || len(scen.arr) != 2 {
+		t.Fatalf("[[scenario]] = %+v", scen)
+	}
+	first := scen.arr[0]
+	if first.child("id").str != "a" || first.child("size_mb").f != 2.5 {
+		t.Fatalf("scenario a = %+v", first)
+	}
+	// Dotted headers resolve through the last array element.
+	sweep := first.child("sweep")
+	if sweep == nil || sweep.kind != kTable || len(sweep.child("loss").arr) != 2 {
+		t.Fatalf("[scenario.sweep] = %+v", sweep)
+	}
+	fault := first.child("fault")
+	if fault == nil || fault.kind != kArray || fault.arr[0].child("kind").str != "link-flap" {
+		t.Fatalf("[[scenario.fault]] = %+v", fault)
+	}
+	if scen.arr[1].child("sweep") != nil {
+		t.Fatal("sweep leaked into the second scenario")
+	}
+}
+
+func TestParseTOMLErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+		want string
+	}{
+		{"x = {a = 1}", 1, "inline tables"},
+		{"a = 1\na = 2", 2, "duplicate key"},
+		{"a = [1, 2", 1, "unbalanced brackets"},
+		{"[bad\na = 1", 1, "malformed [section]"},
+		{"a b = 1", 1, "invalid key"},
+		{"no-eq", 1, "expected key = value"},
+		{"a = \"x\" junk", 1, "trailing characters"},
+		{"a = \"unterminated", 1, "unterminated string"},
+		{"a = what", 1, "cannot parse value"},
+		{"k.ey! = 1", 1, "invalid key"},
+		{"v = 1\n[v.sub]", 2, "not a table"},
+	}
+	for _, c := range cases {
+		_, err := parseTOML([]byte(c.src))
+		if err == nil {
+			t.Errorf("parseTOML(%q) succeeded, want error %q", c.src, c.want)
+			continue
+		}
+		pe, ok := err.(*parseError)
+		if !ok || pe.line != c.line || !strings.Contains(pe.msg, c.want) {
+			t.Errorf("parseTOML(%q) = %v; want line %d containing %q", c.src, err, c.line, c.want)
+		}
+	}
+}
+
+// TestParseJSONEquivalence: the same campaign in TOML and JSON binds to
+// identical Docs (modulo line anchors).
+func TestParseJSONEquivalence(t *testing.T) {
+	tomlSrc := `
+name = "eq"
+seed = 7
+scale = 0.1
+
+[observe]
+check = true
+stats = true
+metrics_interval_us = 10
+
+[[scenario]]
+id = "s"
+transports = ["dcp", "irn"]
+size_mb = 2
+seeds = [7, 8]
+
+[scenario.sweep]
+loss = [0.001, 0.01]
+`
+	jsonSrc := `{
+  "name": "eq", "seed": 7, "scale": 0.1,
+  "observe": {"check": true, "stats": true, "metrics_interval_us": 10},
+  "scenario": [{
+    "id": "s", "transports": ["dcp", "irn"], "size_mb": 2, "seeds": [7, 8],
+    "sweep": {"loss": [0.001, 0.01]}
+  }]
+}`
+	dt, diagsT := Parse([]byte(tomlSrc), FormatTOML)
+	dj, diagsJ := Parse([]byte(jsonSrc), FormatJSON)
+	if len(diagsT) > 0 || len(diagsJ) > 0 {
+		t.Fatalf("diags: toml=%v json=%v", diagsT, diagsJ)
+	}
+	if !docsEqual(dt, dj) {
+		t.Fatalf("TOML and JSON bind differently:\ntoml %s\njson %s", EncodeTOML(dt), EncodeTOML(dj))
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	for _, src := range []string{``, `[1]`, `{"name": null}`, `{"name": "x"} trailing`} {
+		if _, err := parseJSON([]byte(src)); err == nil {
+			t.Errorf("parseJSON(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// docsEqual compares two bound documents through the canonical encoder,
+// which ignores unexported line anchors by construction.
+func docsEqual(a, b *Doc) bool {
+	return string(EncodeTOML(a)) == string(EncodeTOML(b))
+}

@@ -154,6 +154,32 @@ func sweep[R any](cfg Config, n int, cell func(Config, int) R) []R {
 	})
 }
 
+// Cell runs fn as one explicitly-indexed, isolated sweep cell: fn's
+// Config carries a fresh cell context, so every sim it builds through
+// NewSimCfg gets the deterministic CellKey {cfg's experiment id, cell,
+// sim#}, cfg.Hook fires per sim, and the sims' collectors are digested
+// into cfg.Stats when fn returns — exactly the contract sweep() gives
+// registry cells. It is the compilation hook internal/campaign lowers
+// declarative scenario cells onto: the campaign enumerates its own cell
+// indices (transport × sweep-axis cross product) and calls Cell once per
+// index from a pool worker, keeping campaign output on the same
+// CellKey-ordered deterministic-merge contract as the registry. The
+// Config must be labelled via WithExperiment first.
+func Cell(cfg Config, cell int, fn func(Config)) {
+	sub := cfg
+	sub.cell = &cellCtx{exp: cfg.expID, cell: cell}
+	fn(sub)
+	if cfg.Stats != nil {
+		var sum stats.RunSummary
+		for _, s := range sub.cell.sims {
+			sum.AddCollector(s.Col)
+			sum.Events += int64(s.Eng.Executed)
+		}
+		cfg.Stats.add(cfg.expID, &sum)
+	}
+	sub.cell.sims = nil
+}
+
 // grid flattens a two-axis sweep (outer × inner cells) and returns results
 // as [outer][inner], preserving deterministic ordering on both axes.
 func grid[R any](cfg Config, outer, inner int, cell func(Config, int, int) R) [][]R {

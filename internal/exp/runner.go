@@ -80,6 +80,16 @@ func (c Config) WithWorkers(n int) Config {
 // Workers reports the concurrency bound sweeps run at (1 = serial).
 func (c Config) Workers() int { return c.pool.Workers() }
 
+// WithPool returns a copy of c whose sweeps run on a caller-owned pool.
+// The campaign runner uses it to shard many experiment units over ONE
+// worker budget: every unit's Config shares the pool, so a campaign with
+// -workers 8 runs at most 8 cells at once no matter how many experiments
+// it spans. A nil pool selects the inline serial path.
+func (c Config) WithPool(p *pool.Pool) Config {
+	c.pool = p
+	return c
+}
+
 // WithExperiment returns a copy of c labelled with an experiment id, the
 // first component of the CellKeys its sweeps assign. RunRegistry does this
 // automatically; tests driving a single Experiment.Run directly use it to
@@ -188,6 +198,51 @@ func SchemeTCP() Scheme {
 // over the same trimming fabric DCP uses, with per-packet spraying.
 func SchemeNDP() Scheme {
 	return Scheme{Name: "NDP", Factory: ndp.New, Trimming: true, LB: fabric.LBAdaptive}
+}
+
+// schemeCatalog maps the campaign-facing transport names to scheme
+// constructors. Names are deliberately short and stable — campaign
+// documents reference them — while Scheme.Name keeps the paper's display
+// form ("DCP(AR)", "CX5(ECMP)", ...).
+var schemeCatalog = []struct {
+	name string
+	mk   func() Scheme
+}{
+	{"dcp", func() Scheme { return SchemeDCP(false) }},
+	{"dcp+cc", func() Scheme { return SchemeDCP(true) }},
+	{"cx5", func() Scheme { return SchemeGBNLossy(fabric.LBECMP) }},
+	{"gbn", func() Scheme { return SchemeGBNLossy(fabric.LBECMP) }},
+	{"irn", func() Scheme { return SchemeIRN(fabric.LBECMP, false) }},
+	{"irn+cc", func() Scheme { return SchemeIRN(fabric.LBECMP, true) }},
+	{"pfc", SchemePFC},
+	{"mprdma", SchemeMPRDMA},
+	{"rack-tlp", SchemeRACK},
+	{"timeout", SchemeTimeout},
+	{"tcp", SchemeTCP},
+	{"ndp", SchemeNDP},
+}
+
+// SchemeByName resolves a campaign transport name ("dcp", "cx5", "irn",
+// "pfc", "mprdma", "rack-tlp", "timeout", "tcp", "ndp", plus the "+cc"
+// variants) to its Scheme. The lookup is the single point campaign
+// documents bind transports through, so an unknown name is a document
+// error, not a silent default.
+func SchemeByName(name string) (Scheme, bool) {
+	for _, e := range schemeCatalog {
+		if e.name == name {
+			return e.mk(), true
+		}
+	}
+	return Scheme{}, false
+}
+
+// SchemeNames lists the names SchemeByName accepts, in catalog order.
+func SchemeNames() []string {
+	out := make([]string, len(schemeCatalog))
+	for i, e := range schemeCatalog {
+		out[i] = e.name
+	}
+	return out
 }
 
 // envT aliases the transport environment for concise Tweak closures.

@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"fmt"
+
+	"dcpsim/internal/units"
+)
+
+// This file is the declarative surface of the fault subsystem: a Spec is
+// one fault entry as a campaign document states it — kind by name, times
+// in microseconds — and FromSpecs compiles a list of them into the same
+// seeded Plan the builder methods produce. internal/campaign references
+// fault kinds only through this surface, so the campaign DSL can never
+// drift from the kinds the injector actually implements.
+
+// ParseKind maps a kind's String() name back to the Kind. It covers the
+// primitive event kinds; composite schedule names (link-flap, loss-ramp,
+// ...) are handled by FromSpecs directly.
+func ParseKind(name string) (Kind, bool) {
+	for k := LinkDown; k <= LinkDup; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Spec is one declarative fault entry. Kind names either a primitive
+// event kind (link-down, link-up, link-loss, link-burst, switch-loss,
+// pause-on, pause-off, switch-down, switch-up, link-dup) or a composite
+// schedule (link-down-for, link-flap, loss-ramp, switch-loss-ramp,
+// loss-bursts, dup-burst, blackout, pause-storm). Times are given in
+// microseconds — the natural magnitude for fault schedules — and are
+// converted to typed units on compilation.
+type Spec struct {
+	Kind string
+	// Link names the target link for link-scoped kinds.
+	Link string
+	// Switch indexes the target switch for switch-scoped kinds.
+	Switch int
+	// AtUs is the schedule start; DurUs the duration of composite kinds.
+	AtUs  float64
+	DurUs float64
+	// Rate is the loss probability (link-loss, switch-loss, and the peak
+	// of the ramps).
+	Rate float64
+	// Count is the burst length (link-burst, dup-burst), or the number of
+	// cycles (link-flap) / bursts (loss-bursts).
+	Count int
+	// Steps is the ramp step count (0 → builder default).
+	Steps int
+	// PeriodUs is the cycle period for link-flap and pause-storm.
+	PeriodUs float64
+	// Duty is the duty cycle for link-flap and pause-storm.
+	Duty float64
+	// MinPkts/MaxPkts bound the per-burst packet count for loss-bursts.
+	MinPkts int
+	MaxPkts int
+}
+
+// compositeKinds are the schedule-level names FromSpecs accepts on top of
+// the primitive Kind names.
+var compositeKinds = []string{
+	"link-down-for", "link-flap", "loss-ramp", "switch-loss-ramp",
+	"loss-bursts", "dup-burst", "blackout", "pause-storm",
+}
+
+// KnownSpecKinds lists every kind name a Spec may use: primitives in Kind
+// order, then the composite schedules.
+func KnownSpecKinds() []string {
+	var out []string
+	for k := LinkDown; k <= LinkDup; k++ {
+		out = append(out, k.String())
+	}
+	return append(out, compositeKinds...)
+}
+
+// linkScoped reports whether the spec kind targets a named link (and so
+// requires Spec.Link).
+func linkScoped(kind string) bool {
+	switch kind {
+	case "switch-loss", "switch-down", "switch-up", "switch-loss-ramp", "blackout":
+		return false
+	}
+	return true
+}
+
+// Validate checks the spec independent of any network: the kind must be
+// known, link-scoped kinds need a link name, and rates must be
+// probabilities.
+func (s Spec) Validate() error {
+	known := false
+	if _, ok := ParseKind(s.Kind); ok {
+		known = true
+	}
+	for _, c := range compositeKinds {
+		if s.Kind == c {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown fault kind %q (known: %v)", s.Kind, KnownSpecKinds())
+	}
+	if linkScoped(s.Kind) && s.Link == "" {
+		return fmt.Errorf("fault kind %q requires a link name", s.Kind)
+	}
+	if s.Rate < 0 || s.Rate > 1 {
+		return fmt.Errorf("fault rate %g outside [0,1]", s.Rate)
+	}
+	if s.AtUs < 0 || s.DurUs < 0 || s.PeriodUs < 0 {
+		return fmt.Errorf("fault times must be non-negative (at=%g dur=%g period=%g µs)", s.AtUs, s.DurUs, s.PeriodUs)
+	}
+	return nil
+}
+
+// Scaled returns a copy of s with its duration and rate multiplied by
+// severity — the declarative twin of the registry fault families'
+// severity ladder. Rates clamp to 1.
+func (s Spec) Scaled(severity float64) Spec {
+	if severity <= 0 || severity == 1 {
+		return s
+	}
+	s.DurUs *= severity
+	s.Rate *= severity
+	if s.Rate > 1 {
+		s.Rate = 1
+	}
+	return s
+}
+
+func us(v float64) units.Time { return units.Scale(units.Microsecond, v) }
+
+// FromSpecs compiles declarative fault specs into a seeded Plan,
+// preserving spec order (the plan's own Events() sort handles time
+// ordering). All randomness (loss-burst placement) derives from seed, so
+// equal (seed, specs) always compile to the identical event schedule.
+func FromSpecs(seed int64, specs []Spec) (*Plan, error) {
+	p := NewPlan(seed)
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("fault %d: %w", i, err)
+		}
+		at, dur, period := us(s.AtUs), us(s.DurUs), us(s.PeriodUs)
+		switch s.Kind {
+		case "link-down-for":
+			p.LinkDownFor(s.Link, at, dur)
+		case "link-flap":
+			count := s.Count
+			if count < 1 {
+				count = 1
+			}
+			p.LinkFlap(s.Link, at, period, s.Duty, count)
+		case "loss-ramp":
+			p.LossRamp(s.Link, at, dur, s.Rate, s.Steps)
+		case "switch-loss-ramp":
+			p.SwitchLossRamp(s.Switch, at, dur, s.Rate, s.Steps)
+		case "loss-bursts":
+			if dur <= 0 {
+				return nil, fmt.Errorf("fault %d: loss-bursts requires dur_us > 0", i)
+			}
+			minP, maxP := s.MinPkts, s.MaxPkts
+			if minP < 1 {
+				minP = 1
+			}
+			n := s.Count
+			if n < 1 {
+				n = 1
+			}
+			p.LossBursts(s.Link, at, dur, n, minP, maxP)
+		case "dup-burst":
+			p.DupBurst(s.Link, at, s.Count)
+		case "blackout":
+			p.Blackout(s.Switch, at, dur)
+		case "pause-storm":
+			p.PauseStorm(s.Link, at, dur, period, s.Duty)
+		default:
+			k, _ := ParseKind(s.Kind)
+			p.Add(Event{At: at, Kind: k, Link: s.Link, Switch: s.Switch, Rate: s.Rate, Count: s.Count})
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dcpsim/internal/units"
+)
+
+// TestParseKindRoundTrip: every primitive kind's String() parses back.
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := LinkDown; k <= LinkDup; k++ {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v, true", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := ParseKind("nope"); ok {
+		t.Error("ParseKind accepted an unknown kind")
+	}
+}
+
+// TestFromSpecsMatchesBuilders: the declarative compilation of each
+// composite kind must produce the identical event schedule as calling the
+// builder methods directly with the same seed.
+func TestFromSpecsMatchesBuilders(t *testing.T) {
+	specs := []Spec{
+		{Kind: "link-down-for", Link: "cross0", AtUs: 100, DurUs: 50},
+		{Kind: "link-flap", Link: "cross1", AtUs: 200, PeriodUs: 40, Duty: 0.5, Count: 3},
+		{Kind: "loss-ramp", Link: "cross0", AtUs: 10, DurUs: 400, Rate: 0.02, Steps: 8},
+		{Kind: "switch-loss-ramp", Switch: 1, AtUs: 10, DurUs: 400, Rate: 0.02, Steps: 8},
+		{Kind: "loss-bursts", Link: "cross2", AtUs: 0, DurUs: 500, Count: 4, MinPkts: 2, MaxPkts: 9},
+		{Kind: "dup-burst", Link: "cross0", AtUs: 77, Count: 5},
+		{Kind: "blackout", Switch: 0, AtUs: 300, DurUs: 100},
+		{Kind: "pause-storm", Link: "cross3", AtUs: 50, DurUs: 200, Duty: 1},
+		{Kind: "switch-loss", Switch: 1, AtUs: 20, Rate: 0.01},
+	}
+	got, err := FromSpecs(42, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u := func(v float64) units.Time { return units.Scale(units.Microsecond, v) }
+	want := NewPlan(42).
+		LinkDownFor("cross0", u(100), u(50)).
+		LinkFlap("cross1", u(200), u(40), 0.5, 3).
+		LossRamp("cross0", u(10), u(400), 0.02, 8).
+		SwitchLossRamp(1, u(10), u(400), 0.02, 8).
+		LossBursts("cross2", 0, u(500), 4, 2, 9).
+		DupBurst("cross0", u(77), 5).
+		Blackout(0, u(300), u(100)).
+		PauseStorm("cross3", u(50), u(200), 0, 1).
+		Add(Event{At: u(20), Kind: SwitchLoss, Switch: 1, Rate: 0.01})
+
+	if !reflect.DeepEqual(got.Events(), want.Events()) {
+		t.Fatalf("compiled schedule diverged:\ngot  %v\nwant %v", got.Events(), want.Events())
+	}
+}
+
+// TestFromSpecsDeterministic: equal (seed, specs) compile bit-identically;
+// a different seed moves the seeded burst placement.
+func TestFromSpecsDeterministic(t *testing.T) {
+	specs := []Spec{{Kind: "loss-bursts", Link: "cross0", DurUs: 1000, Count: 6, MinPkts: 1, MaxPkts: 12}}
+	a, err := FromSpecs(7, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromSpecs(7, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c, err := FromSpecs(8, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events(), c.Events()) {
+		t.Fatal("different seeds produced identical burst placement")
+	}
+}
+
+// TestSpecValidate covers the error diagnostics the campaign linter
+// surfaces with line anchors.
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Kind: "melt-core", Link: "x"}, "unknown fault kind"},
+		{Spec{Kind: "link-down"}, "requires a link"},
+		{Spec{Kind: "link-loss", Link: "cross0", Rate: 1.5}, "outside [0,1]"},
+		{Spec{Kind: "blackout", AtUs: -1}, "non-negative"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %v; want error containing %q", c.spec, err, c.want)
+		}
+	}
+	if err := (Spec{Kind: "pause-storm", Link: "cross0", DurUs: 10, Duty: 1}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestSpecScaled: severity multiplies duration and rate, clamping rates.
+func TestSpecScaled(t *testing.T) {
+	s := Spec{Kind: "loss-ramp", Link: "l", DurUs: 100, Rate: 0.6}
+	d := s.Scaled(2)
+	if d.DurUs != 200 || d.Rate != 1 {
+		t.Fatalf("Scaled(2) = dur %g rate %g; want 200, 1", d.DurUs, d.Rate)
+	}
+	if s.Scaled(1) != s {
+		t.Fatal("Scaled(1) must be identity")
+	}
+}

@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file gives the mergeable accumulators a byte-stable JSON form so
+// the campaign runner can checkpoint per-unit partials to disk and merge
+// them back after a resume. The encoding must round-trip exactly: the
+// resume contract compares merged CSV bytes, and merge_test.go's equality
+// checks compare RunSummary structs with ==, so Unmarshal(Marshal(h))
+// must reproduce the identical struct.
+
+// logHistJSON is the wire form of a LogHist: the occupied buckets as
+// ascending (index, count) pairs — the counts array is ~3700 entries but
+// real histograms occupy a handful of them.
+type logHistJSON struct {
+	N      int64      `json:"n"`
+	Min    int64      `json:"min,omitempty"`
+	Max    int64      `json:"max,omitempty"`
+	Counts [][2]int64 `json:"counts,omitempty"`
+}
+
+// MarshalJSON encodes the histogram as its sparse bucket list, in
+// ascending bucket order — byte-stable for a given histogram state.
+func (h *LogHist) MarshalJSON() ([]byte, error) {
+	out := logHistJSON{N: h.n, Min: h.min, Max: h.max}
+	for i, c := range h.counts {
+		if c != 0 {
+			out.Counts = append(out.Counts, [2]int64{int64(i), int64(c)})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a histogram from its sparse form, replacing any
+// prior state.
+func (h *LogHist) UnmarshalJSON(data []byte) error {
+	var in logHistJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*h = LogHist{n: in.N, min: in.Min, max: in.Max}
+	for _, pair := range in.Counts {
+		i, c := pair[0], pair[1]
+		if i < 0 || i >= logHistBuckets {
+			return fmt.Errorf("stats: LogHist bucket index %d out of range [0,%d)", i, logHistBuckets)
+		}
+		if c < 0 || c > int64(^uint32(0)) {
+			return fmt.Errorf("stats: LogHist bucket count %d out of range", c)
+		}
+		h.counts[i] = uint32(c)
+	}
+	return nil
+}

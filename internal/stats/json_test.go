@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// TestLogHistJSONRoundTrip: Unmarshal(Marshal(h)) must reproduce the
+// exact struct — the campaign checkpoint/resume path depends on it.
+func TestLogHistJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h LogHist
+	for i := 0; i < 10_000; i++ {
+		h.Record(rng.Int63n(1 << 40))
+	}
+	b, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LogHist
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("round trip diverged: got n=%d min=%d max=%d, want n=%d min=%d max=%d",
+			back.n, back.min, back.max, h.n, h.min, h.max)
+	}
+	// Byte stability: re-marshaling the round-tripped histogram must give
+	// the identical bytes.
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("re-marshal not byte-stable:\n%s\nvs\n%s", b, b2)
+	}
+}
+
+// TestLogHistJSONEmpty: the zero histogram round-trips to the zero value.
+func TestLogHistJSONEmpty(t *testing.T) {
+	var h LogHist
+	b, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LogHist
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != (LogHist{}) {
+		t.Fatalf("zero value did not round-trip: %+v", back)
+	}
+}
+
+// TestRunSummaryJSONRoundTrip: a populated summary must round-trip
+// exactly (RunSummary is comparable), and the restored summary must merge
+// identically to the original.
+func TestRunSummaryJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s RunSummary
+	s.Sims, s.Flows, s.Done, s.Bytes = 3, 40, 38, 1<<30
+	s.DataPkts, s.RetransPkts, s.Timeouts, s.HOTriggers = 9999, 42, 3, 17
+	s.Events = 123456
+	for i := 0; i < 5000; i++ {
+		s.FCT.Record(rng.Int63n(1 << 38))
+		s.Slowdown.Record(1000 + rng.Int63n(90_000))
+	}
+	b, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunSummary
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatal("RunSummary round trip diverged")
+	}
+	// Merging a round-tripped partial equals merging the original.
+	var a1, a2 RunSummary
+	a1.Merge(&s)
+	a2.Merge(&back)
+	if a1 != a2 {
+		t.Fatal("merge of round-tripped summary diverged")
+	}
+}
