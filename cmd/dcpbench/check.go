@@ -66,7 +66,9 @@ func runChecked(cfg exp.Config, todo []exp.Experiment) int64 {
 			for _, k := range keys {
 				if ck := checkers[k]; ck.Violations() > 0 {
 					fmt.Printf("autopsy %s\n", k)
-					ck.Finish().WriteText(os.Stdout)
+					if err := ck.Finish().WriteText(os.Stdout); err != nil {
+						fmt.Fprintln(os.Stderr, "dcpbench: writing autopsy:", err)
+					}
 				}
 			}
 		}
@@ -102,7 +104,9 @@ func checkSmoke(seed int64) int64 {
 	fmt.Printf("check incast-demo  %-8s unfinished=%d violations=%d\n",
 		verdict, unfinished, ob.Violations())
 	if ob.Violations() > 0 {
-		ob.WriteAutopsyText(os.Stdout)
+		if err := ob.WriteAutopsyText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dcpbench: writing autopsy:", err)
+		}
 	}
 	total += ob.Violations()
 
@@ -129,7 +133,9 @@ func checkSmoke(seed int64) int64 {
 	fmt.Printf("check link-flap    %-8s unfinished=%d violations=%d\n",
 		verdict, unfinished, fob.Violations())
 	if fob.Violations() > 0 {
-		fob.WriteAutopsyText(os.Stdout)
+		if err := fob.WriteAutopsyText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dcpbench: writing autopsy:", err)
+		}
 	}
 	return total + fob.Violations()
 }

@@ -1,11 +1,20 @@
-// Command dcplint is the repository's multichecker: it runs the four
-// dcpsim analyzers (detcheck, unitcheck, seqcheck, aliascheck — see
-// internal/lint) over the given package patterns and exits non-zero when
-// any finding survives the //lint:allow directives.
+// Command dcplint is the repository's multichecker: it runs the eight
+// dcpsim analyzers (detcheck, unitcheck, seqcheck, aliascheck, purecheck,
+// sharecheck, iocheck, ownercheck — see internal/lint) over the given
+// package patterns and exits non-zero when any finding survives the
+// //lint:allow directives. Stale directives that suppress nothing are
+// findings in their own right.
 //
 // Usage:
 //
-//	go run ./cmd/dcplint ./...
+//	go run ./cmd/dcplint ./...           # human-readable findings
+//	go run ./cmd/dcplint -json ./...     # machine-readable report on stdout
+//	go run ./cmd/dcplint -selfcheck      # assert each analyzer still fires
+//	go run ./cmd/dcplint -list           # analyzer inventory
+//
+// Under GitHub Actions (GITHUB_ACTIONS=true, or -gh anywhere) active
+// findings additionally surface as ::error workflow commands on stderr,
+// anchoring annotations to the offending lines in the diff view.
 //
 // It is a required CI step; the tree must stay clean.
 package main
@@ -14,11 +23,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"dcpsim/internal/lint"
 	"dcpsim/internal/lint/aliascheck"
+	"dcpsim/internal/lint/dataflow"
 	"dcpsim/internal/lint/detcheck"
+	"dcpsim/internal/lint/iocheck"
+	"dcpsim/internal/lint/ownercheck"
+	"dcpsim/internal/lint/purecheck"
 	"dcpsim/internal/lint/seqcheck"
+	"dcpsim/internal/lint/sharecheck"
 	"dcpsim/internal/lint/unitcheck"
 )
 
@@ -28,18 +43,45 @@ func analyzers() []*lint.Analyzer {
 		unitcheck.Analyzer,
 		seqcheck.Analyzer,
 		aliascheck.Analyzer,
+		purecheck.Analyzer,
+		sharecheck.Analyzer,
+		iocheck.Analyzer,
+		ownercheck.Analyzer,
 	}
+}
+
+// fixtures maps each analyzer to its fixture package: the path under the
+// analyzer's testdata/src tree that -selfcheck loads and on which the
+// analyzer must report at least one (raw) finding. An analyzer that goes
+// silent on its own fixture has regressed to a no-op.
+var fixtures = map[string]string{
+	"detcheck":   "dcpsim/internal/sim/detfix",
+	"unitcheck":  "dcpsim/internal/exp/unitfix",
+	"seqcheck":   "dcpsim/internal/transport/seqfix",
+	"aliascheck": "dcpsim/internal/fabric/aliasfix",
+	"purecheck":  "dcpsim/internal/exp/purefix",
+	"sharecheck": "dcpsim/internal/exp/sharefix",
+	"iocheck":    "dcpsim/internal/campaign/iofix",
+	"ownercheck": "dcpsim/internal/sim/ownfix",
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable report on stdout")
+	gh := flag.Bool("gh", false, "emit GitHub ::error annotations for active findings (implied by GITHUB_ACTIONS=true)")
+	selfcheck := flag.Bool("selfcheck", false, "run each analyzer over its own fixture and require at least one finding")
 	flag.Parse()
+
 	if *list {
 		for _, a := range analyzers() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
+	if *selfcheck {
+		os.Exit(runSelfcheck())
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -47,19 +89,91 @@ func main() {
 	ld := lint.NewLoader()
 	pkgs, err := ld.LoadPatterns(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dcplint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	diags, err := lint.Run(pkgs, analyzers())
+	diags, err := lint.RunWith(dataflow.Build(pkgs), pkgs, analyzers())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dcplint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	baseDir := ""
+	if root, _, err := lint.ModuleRoot(); err == nil {
+		baseDir = root
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "dcplint: %d finding(s)\n", len(diags))
+	active := lint.Active(diags)
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags, baseDir); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range active {
+			fmt.Println(d)
+		}
+	}
+	if *gh || os.Getenv("GITHUB_ACTIONS") == "true" {
+		if err := lint.WriteGitHubAnnotations(os.Stderr, diags, baseDir); err != nil {
+			fatal(err)
+		}
+	}
+	if len(active) > 0 {
+		fmt.Fprintf(os.Stderr, "dcplint: %d finding(s)\n", len(active))
 		os.Exit(1)
 	}
+}
+
+// runSelfcheck loads each analyzer's fixture and asserts the analyzer
+// still produces raw findings there — the CI leg that catches an analyzer
+// silently degrading into a no-op while the real tree stays green.
+func runSelfcheck() int {
+	root, _, err := lint.ModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	failed := 0
+	for _, a := range analyzers() {
+		fixture, ok := fixtures[a.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dcplint selfcheck: %s: no fixture registered\n", a.Name)
+			failed++
+			continue
+		}
+		dir := filepath.Join(root, "internal", "lint", a.Name, "testdata", "src", filepath.FromSlash(fixture))
+		ld := lint.NewLoader()
+		pkg, err := ld.Load(dir, fixture)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcplint selfcheck: %s: loading %s: %v\n", a.Name, dir, err)
+			failed++
+			continue
+		}
+		pkgs := []*lint.Package{pkg}
+		diags, err := lint.RunWith(dataflow.Build(pkgs), pkgs, []*lint.Analyzer{a})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcplint selfcheck: %s: %v\n", a.Name, err)
+			failed++
+			continue
+		}
+		n := 0
+		for _, d := range diags {
+			if d.Analyzer == a.Name {
+				n++
+			}
+		}
+		if n == 0 {
+			fmt.Fprintf(os.Stderr, "dcplint selfcheck: %s: no findings on its own fixture %s — analyzer regressed to a no-op\n", a.Name, fixture)
+			failed++
+			continue
+		}
+		fmt.Printf("selfcheck %-12s ok (%d finding(s) on %s)\n", a.Name, n, fixture)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "dcplint selfcheck: %d analyzer(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcplint:", err)
+	os.Exit(2)
 }

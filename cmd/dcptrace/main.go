@@ -79,7 +79,11 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				panic(err)
+			}
+		}()
 		if err := c.Capture(f); err != nil {
 			panic(err)
 		}

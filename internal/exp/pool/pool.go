@@ -77,9 +77,11 @@ func Go[T any](p *Pool, fn func() T) *Future[T] {
 	//lint:allow detcheck worker goroutine runs one isolated cell; results are merged in submission order, never completion order
 	go func() {
 		defer close(f.done)
+		//lint:allow sharecheck future completion handoff: the write happens-before close(f.done), and Wait reads only after <-f.done
 		defer func() { f.pan = recover() }()
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
+		//lint:allow sharecheck future completion handoff: the write happens-before close(f.done), and Wait reads only after <-f.done
 		f.val = fn()
 	}()
 	return f
@@ -98,7 +100,9 @@ func GoFree[T any](p *Pool, fn func() T) *Future[T] {
 	//lint:allow detcheck coordinator goroutine only submits cells and merges results in submission order
 	go func() {
 		defer close(f.done)
+		//lint:allow sharecheck future completion handoff: the write happens-before close(f.done), and Wait reads only after <-f.done
 		defer func() { f.pan = recover() }()
+		//lint:allow sharecheck future completion handoff: the write happens-before close(f.done), and Wait reads only after <-f.done
 		f.val = fn()
 	}()
 	return f

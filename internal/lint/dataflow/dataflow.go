@@ -1,0 +1,348 @@
+// Package dataflow is the shared cross-package layer under the dcplint
+// analyzers: one Program per run, built from every loaded package, holding
+// a module-wide call graph plus per-function write facts. Analyzers that
+// reason across package boundaries (purecheck's transitive purity walk,
+// sharecheck/ownercheck's goroutine-capture rules) query the Program
+// instead of re-walking the tree — one load and one index, N passes.
+//
+// The graph is deliberately conservative and syntax-driven:
+//
+//   - a Node is a declared function/method with a body, or a function
+//     literal; nested literals are their own nodes;
+//   - an edge exists wherever a function's body statically calls another
+//     module function, or merely references it (or a literal) as a value —
+//     a builder that constructs a closure and hands it somewhere is
+//     assumed to cause it to run;
+//   - dynamic dispatch (interface methods, calls through function-typed
+//     variables) has no edge; the determinism contract's enforcement
+//     points are all direct calls, so the approximation errs quiet, and
+//     the reference edges recover the common closure-passing shapes.
+//
+// Write facts cover a body excluding its nested literals (each literal
+// carries its own): GlobalWrites are assignments whose root resolves to a
+// package-level variable anywhere in the program; CapturedWrites are
+// assignments to variables declared outside the function's own span —
+// captured outer-scope state when the node is a literal.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"dcpsim/internal/lint"
+)
+
+// Write records one mutation of state that outlives the writing function.
+type Write struct {
+	Pos token.Pos
+	Obj *types.Var
+}
+
+// Node is one function in the program: a declared function or method
+// (Obj/Decl set) or a function literal (Lit set).
+type Node struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Pkg  *lint.Package
+
+	// Callees holds the static call + reference edges, in syntax order.
+	Callees []*Node
+	// GlobalWrites are writes to package-level variables in this body
+	// (excluding nested literals, which carry their own).
+	GlobalWrites []Write
+	// CapturedWrites are writes to variables declared outside this
+	// function's own source span.
+	CapturedWrites []Write
+}
+
+// Name renders the node for diagnostics: a declared function's qualified
+// name, or "func literal at <pos>".
+func (n *Node) Name() string {
+	if n.Obj != nil {
+		return n.Obj.FullName()
+	}
+	pos := n.Pkg.Fset.Position(n.Lit.Pos())
+	return "func literal at " + pos.String()
+}
+
+// Pos is the node's declaration position.
+func (n *Node) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// End is the node's source end.
+func (n *Node) End() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.End()
+	}
+	return n.Lit.End()
+}
+
+// Body returns the node's statement body.
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Program is the cross-package index shared by all passes of one run.
+type Program struct {
+	Pkgs []*lint.Package
+
+	funcs map[*types.Func]*Node
+	lits  map[*ast.FuncLit]*Node
+	nodes []*Node // every node, in package/file/position order
+
+	memo map[string]any
+}
+
+// Of recovers the Program a RunWith-driven pass carries, or nil when the
+// run was started without one (a Program-needing analyzer then has
+// nothing to do and must stay silent).
+func Of(pass *lint.Pass) *Program {
+	p, _ := pass.Prog.(*Program)
+	return p
+}
+
+// Build indexes the loaded packages into a Program: every function body
+// is walked exactly once, extracting call/reference edges and write
+// facts. Analyzer passes share the result read-only.
+func Build(pkgs []*lint.Package) *Program {
+	p := &Program{
+		Pkgs:  pkgs,
+		funcs: make(map[*types.Func]*Node),
+		lits:  make(map[*ast.FuncLit]*Node),
+		memo:  make(map[string]any),
+	}
+	// Pass 1: create nodes, so edges can point anywhere in the module.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body == nil {
+						return true
+					}
+					obj, _ := pkg.Info.Defs[n.Name].(*types.Func)
+					if obj == nil {
+						return true
+					}
+					node := &Node{Obj: obj, Decl: n, Pkg: pkg}
+					p.funcs[obj] = node
+					p.nodes = append(p.nodes, node)
+				case *ast.FuncLit:
+					node := &Node{Lit: n, Pkg: pkg}
+					p.lits[n] = node
+					p.nodes = append(p.nodes, node)
+				}
+				return true
+			})
+		}
+	}
+	// Pass 2: per-node facts, nested literals excluded from their parent.
+	for _, node := range p.nodes {
+		p.index(node)
+	}
+	return p
+}
+
+// FuncNode returns the node for a declared function object (nil when the
+// function is outside the loaded packages or has no body).
+func (p *Program) FuncNode(obj *types.Func) *Node { return p.funcs[obj] }
+
+// LitNode returns the node for a function literal.
+func (p *Program) LitNode(lit *ast.FuncLit) *Node { return p.lits[lit] }
+
+// Nodes returns every node in deterministic (package, position) order.
+func (p *Program) Nodes() []*Node { return p.nodes }
+
+// Memo caches an expensive derived fact (reachability sets, root scans)
+// across the sequential analyzer passes of one run.
+func (p *Program) Memo(key string, build func() any) any {
+	if v, ok := p.memo[key]; ok {
+		return v
+	}
+	v := build()
+	p.memo[key] = v
+	return v
+}
+
+// index extracts one node's facts. The walk stops at nested function
+// literals: each gets a reference edge and keeps its own facts.
+func (p *Program) index(node *Node) {
+	info := node.Pkg.Info
+	seen := make(map[*Node]bool)
+	addEdge := func(to *Node) {
+		if to != nil && to != node && !seen[to] {
+			seen[to] = true
+			node.Callees = append(node.Callees, to)
+		}
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if node.Lit != n {
+				addEdge(p.lits[n])
+				return false
+			}
+		case *ast.Ident:
+			// Call and reference edges alike: any mention of a module
+			// function wires it into the graph.
+			if fn, ok := info.Uses[n].(*types.Func); ok {
+				addEdge(p.funcs[fn])
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				p.recordWrite(node, lhs, info)
+			}
+		case *ast.IncDecStmt:
+			p.recordWrite(node, n.X, info)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				p.recordWrite(node, n.Key, info)
+				p.recordWrite(node, n.Value, info)
+			}
+		}
+		return true
+	}
+	ast.Inspect(node.Body(), walk)
+}
+
+// recordWrite classifies one assignment target. The root identifier of
+// the target expression decides: a package-level variable is a
+// GlobalWrite; a variable declared outside the node's span is a
+// CapturedWrite. Writes through a dereferenced local pointer (*p = v)
+// stay invisible — the analyzer layer documents that gap.
+func (p *Program) recordWrite(node *Node, target ast.Expr, info *types.Info) {
+	if target == nil {
+		return
+	}
+	id := rootIdent(target)
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id] // := defines; a define is not a capture
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	w := Write{Pos: target.Pos(), Obj: v}
+	if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		node.GlobalWrites = append(node.GlobalWrites, w)
+		return
+	}
+	if info.Defs[id] != nil {
+		return // freshly declared here
+	}
+	if v.Pos() < node.Pos() || v.Pos() > node.End() {
+		node.CapturedWrites = append(node.CapturedWrites, w)
+	}
+}
+
+// rootIdent walks an assignment target to its base identifier: x.F,
+// x[i], x.F[i].G all root at x. A *p deref root returns nil (the pointee
+// is unknown).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Reach is a reachability query result: the set of nodes transitively
+// reachable from a root set, with parent links for diagnostic chains.
+type Reach struct {
+	Set map[*Node]bool
+	// From maps each reached node to the node it was first discovered
+	// through (roots map to nil).
+	From map[*Node]*Node
+}
+
+// Reachable walks the call graph breadth-first from roots. Traversal
+// order is deterministic: roots in given order, edges in syntax order.
+func (p *Program) Reachable(roots []*Node) *Reach {
+	r := &Reach{Set: make(map[*Node]bool), From: make(map[*Node]*Node)}
+	var queue []*Node
+	for _, n := range roots {
+		if n != nil && !r.Set[n] {
+			r.Set[n] = true
+			r.From[n] = nil
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.Callees {
+			if !r.Set[c] {
+				r.Set[c] = true
+				r.From[c] = n
+				queue = append(queue, c)
+			}
+		}
+	}
+	return r
+}
+
+// Chain renders the discovery path root → ... → n for diagnostics, most
+// distant ancestor first.
+func (r *Reach) Chain(n *Node) []*Node {
+	var chain []*Node
+	for at := n; at != nil; at = r.From[at] {
+		chain = append(chain, at)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// NodesIn returns the program's nodes belonging to the given type-checked
+// package, in position order — the per-pass reporting filter that keeps
+// every diagnostic (and so every //lint:allow) inside the pass's own
+// package.
+func (p *Program) NodesIn(pkg *types.Package) []*Node {
+	var out []*Node
+	for _, n := range p.nodes {
+		if n.Pkg.Types == pkg {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// EnclosedLits returns the literals in the program lexically contained in
+// node's span (node's own nested closures, at any depth).
+func (p *Program) EnclosedLits(node *Node) []*Node {
+	var out []*Node
+	for _, n := range p.nodes {
+		if n.Lit != nil && n != node && n.Pkg == node.Pkg &&
+			n.Pos() >= node.Pos() && n.End() <= node.End() {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

@@ -1,0 +1,132 @@
+package dataflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"go/types"
+
+	"dcpsim/internal/lint"
+	"dcpsim/internal/lint/dataflow"
+)
+
+func buildFixture(t *testing.T) (*lint.Package, *dataflow.Program) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", "dcpsim", "internal", "dfix")
+	pkg, err := lint.NewLoader().Load(dir, "dcpsim/internal/dfix")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return pkg, dataflow.Build([]*lint.Package{pkg})
+}
+
+func declNode(t *testing.T, pkg *lint.Package, prog *dataflow.Program, name string) *dataflow.Node {
+	t.Helper()
+	obj, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %s in fixture", name)
+	}
+	n := prog.FuncNode(obj)
+	if n == nil {
+		t.Fatalf("no node for %s", name)
+	}
+	return n
+}
+
+func litNodes(prog *dataflow.Program) []*dataflow.Node {
+	var out []*dataflow.Node
+	for _, n := range prog.Nodes() {
+		if n.Lit != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func TestBuildGraph(t *testing.T) {
+	pkg, prog := buildFixture(t)
+	root := declNode(t, pkg, prog, "Root")
+	helper := declNode(t, pkg, prog, "helper")
+
+	lits := litNodes(prog)
+	if len(lits) != 2 {
+		t.Fatalf("expected 2 literal nodes, got %d", len(lits))
+	}
+	outer, inner := lits[0], lits[1]
+
+	hasCallee := func(n, want *dataflow.Node) bool {
+		for _, c := range n.Callees {
+			if c == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasCallee(root, helper) {
+		t.Error("Root should have a call edge to helper")
+	}
+	if !hasCallee(root, outer) {
+		t.Error("Root should have a reference edge to its closure")
+	}
+	if !hasCallee(outer, inner) {
+		t.Error("outer closure should have a reference edge to inner")
+	}
+
+	if len(helper.GlobalWrites) != 1 || helper.GlobalWrites[0].Obj.Name() != "counter" {
+		t.Errorf("helper global writes = %v, want one write to counter", helper.GlobalWrites)
+	}
+	if len(outer.GlobalWrites) != 1 || outer.GlobalWrites[0].Obj.Name() != "counter" {
+		t.Errorf("outer closure global writes = %v, want one write to counter", outer.GlobalWrites)
+	}
+	if len(inner.CapturedWrites) != 1 || inner.CapturedWrites[0].Obj.Name() != "x" {
+		t.Errorf("inner closure captured writes = %v, want one write to x", inner.CapturedWrites)
+	}
+
+	// untouched's local writes are neither global nor captured.
+	un := declNode(t, pkg, prog, "untouched")
+	if len(un.GlobalWrites)+len(un.CapturedWrites) != 0 {
+		t.Errorf("untouched should have no escaping writes, got %v / %v", un.GlobalWrites, un.CapturedWrites)
+	}
+}
+
+func TestReachabilityAndChains(t *testing.T) {
+	pkg, prog := buildFixture(t)
+	root := declNode(t, pkg, prog, "Root")
+	helper := declNode(t, pkg, prog, "helper")
+	un := declNode(t, pkg, prog, "untouched")
+	lits := litNodes(prog)
+	outer, inner := lits[0], lits[1]
+
+	r := prog.Reachable([]*dataflow.Node{root})
+	for _, want := range []*dataflow.Node{root, helper, outer, inner} {
+		if !r.Set[want] {
+			t.Errorf("%s should be reachable from Root", want.Name())
+		}
+	}
+	if r.Set[un] {
+		t.Error("untouched must not be reachable from Root")
+	}
+
+	chain := r.Chain(inner)
+	if len(chain) != 3 || chain[0] != root || chain[1] != outer || chain[2] != inner {
+		names := make([]string, len(chain))
+		for i, n := range chain {
+			names[i] = n.Name()
+		}
+		t.Errorf("chain to inner = %v, want Root -> outer literal -> inner literal", names)
+	}
+}
+
+func TestEnclosedLits(t *testing.T) {
+	_, prog := buildFixture(t)
+	lits := litNodes(prog)
+	outer, inner := lits[0], lits[1]
+
+	enc := prog.EnclosedLits(outer)
+	if len(enc) != 1 || enc[0] != inner {
+		t.Errorf("EnclosedLits(outer) = %v, want just the inner literal", enc)
+	}
+	if got := prog.EnclosedLits(inner); len(got) != 0 {
+		t.Errorf("EnclosedLits(inner) = %v, want none", got)
+	}
+}

@@ -1,0 +1,24 @@
+// Package dfix is the dataflow-layer fixture: a tiny call graph with a
+// global write two hops from the root, a closure chain, and a captured
+// write in the innermost literal.
+package dfix
+
+var counter int
+
+func Root() {
+	helper()
+	fn := func() {
+		counter++
+		x := 0
+		inner := func() { x++ }
+		inner()
+	}
+	fn()
+}
+
+func helper() { counter = 1 }
+
+func untouched() {
+	local := 0
+	local++
+}

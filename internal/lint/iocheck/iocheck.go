@@ -1,0 +1,216 @@
+// Package iocheck forbids dropping the error from durability-relevant IO
+// in the packages that persist results: internal/campaign (checkpoints,
+// bundles, provenance manifests), the internal/obs exporters, and every
+// cmd/* driver. A checkpoint whose Close or Rename error vanishes is
+// silent bundle corruption — the digest says the unit completed, the
+// bytes on disk disagree.
+//
+// Flagged when their final error result is discarded (expression
+// statement, blank assignment, or defer):
+//
+//   - package os file-mutation calls: Create, OpenFile, WriteFile,
+//     Rename, Remove, RemoveAll, Mkdir, MkdirAll, Chmod, Link, Symlink,
+//     Truncate — plus io.Copy;
+//   - Close / Sync / Write / WriteString / ReadFrom methods on *os.File,
+//     and Flush / Write / WriteString on *bufio.Writer;
+//   - module-declared writers and checkpoint/digest operations: any
+//     dcpsim function or method named write*/save*/export*/flush*/
+//     checkpoint*/digest* (case-insensitive prefix) whose last result is
+//     an error.
+//
+// Calls whose only sink is an in-memory buffer (*strings.Builder,
+// *bytes.Buffer argument) are exempt — those writes cannot fail. A
+// read-side close that genuinely cannot matter carries a
+// //lint:allow iocheck <reason>.
+package iocheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dcpsim/internal/lint"
+)
+
+// Analyzer is the iocheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "iocheck",
+	Doc:  "in campaign/obs/cmd packages, errors from file create/write/close/rename and checkpoint-digest operations must be consumed",
+	Run:  run,
+}
+
+// scopePrefixes are the durability-critical package path prefixes.
+var scopePrefixes = []string{
+	"dcpsim/internal/campaign",
+	"dcpsim/internal/obs",
+	"dcpsim/cmd/",
+}
+
+func inScope(path string) bool {
+	for _, p := range scopePrefixes {
+		if path == strings.TrimSuffix(p, "/") || strings.HasPrefix(path, p) || strings.HasPrefix(path, strings.TrimSuffix(p, "/")+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// osFuncs are package-level os file mutations.
+var osFuncs = map[string]bool{
+	"Create": true, "OpenFile": true, "WriteFile": true, "Rename": true,
+	"Remove": true, "RemoveAll": true, "Mkdir": true, "MkdirAll": true,
+	"Chmod": true, "Link": true, "Symlink": true, "Truncate": true,
+}
+
+// fileMethods / bufioMethods are receiver methods whose errors carry
+// durability information.
+var fileMethods = map[string]bool{
+	"Close": true, "Sync": true, "Write": true, "WriteString": true, "ReadFrom": true,
+}
+var bufioMethods = map[string]bool{"Flush": true, "Write": true, "WriteString": true}
+
+// modulePrefixes match module-declared IO operations by name.
+var modulePrefixes = []string{"write", "save", "export", "flush", "checkpoint", "digest"}
+
+func run(pass *lint.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(pass, call, "discarded")
+				}
+				return false // the call's own arguments can't drop errors
+			case *ast.DeferStmt:
+				check(pass, n.Call, "deferred and discarded")
+				return false
+			case *ast.AssignStmt:
+				checkBlank(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlank flags `_ = write(...)` / `x, _ := os.Create(...)` forms where
+// the blank swallows the call's final error.
+func checkBlank(pass *lint.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	check(pass, call, "assigned to _")
+}
+
+// check reports the call if it is a flagged IO operation whose last
+// result is an error the caller is dropping.
+func check(pass *lint.Pass, call *ast.CallExpr, how string) {
+	name, kind := flagged(pass, call)
+	if name == "" {
+		return
+	}
+	if buffersOnly(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s %s is %s; a dropped %s error is silent data loss — consume or handle it",
+		kind, name, how, name)
+}
+
+// flagged classifies the callee; empty name means not an IO operation.
+func flagged(pass *lint.Pass, call *ast.CallExpr) (name, kind string) {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil || !lastResultIsError(fn) {
+		return "", ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if fn.Pkg() != nil && sig.Recv() == nil {
+		switch fn.Pkg().Path() {
+		case "os":
+			if osFuncs[fn.Name()] {
+				return "os." + fn.Name(), "file operation"
+			}
+		case "io":
+			if fn.Name() == "Copy" {
+				return "io.Copy", "file operation"
+			}
+		}
+	}
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		if lint.IsPtrToNamed(rt, "os", "File") && fileMethods[fn.Name()] {
+			return "(*os.File)." + fn.Name(), "file method"
+		}
+		if lint.IsPtrToNamed(rt, "bufio", "Writer") && bufioMethods[fn.Name()] {
+			return "(*bufio.Writer)." + fn.Name(), "buffered-writer method"
+		}
+	}
+	if fn.Pkg() != nil && strings.HasPrefix(fn.Pkg().Path(), "dcpsim") {
+		lower := strings.ToLower(fn.Name())
+		for _, p := range modulePrefixes {
+			if strings.HasPrefix(lower, p) {
+				return fn.Name(), "IO operation"
+			}
+		}
+	}
+	return "", ""
+}
+
+// lastResultIsError reports whether the function's final result is error.
+func lastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// buffersOnly reports whether every writer-shaped argument is an
+// in-memory buffer, making the error statically impossible.
+func buffersOnly(pass *lint.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, a := range call.Args {
+		t := pass.Info.Types[a].Type
+		if t == nil {
+			continue
+		}
+		if lint.IsPtrToNamed(t, "strings", "Builder") || lint.IsPtrToNamed(t, "bytes", "Buffer") {
+			found = true
+			continue
+		}
+		if isWriterShaped(t) {
+			return false // a fallible sink is in play
+		}
+	}
+	return found
+}
+
+// isWriterShaped reports whether t implements io.Writer (heuristically:
+// has a Write method).
+func isWriterShaped(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == "Write" {
+			return true
+		}
+	}
+	return false
+}

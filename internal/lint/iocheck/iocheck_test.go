@@ -1,0 +1,40 @@
+package iocheck_test
+
+import (
+	"testing"
+
+	"dcpsim/internal/lint/iocheck"
+	"dcpsim/internal/lint/linttest"
+)
+
+func TestIocheck(t *testing.T) {
+	linttest.Run(t, iocheck.Analyzer, "dcpsim/internal/campaign/iofix")
+}
+
+// TestIocheckMutations degrades handled IO into dropped IO and asserts
+// the analyzer still catches each class.
+func TestIocheckMutations(t *testing.T) {
+	linttest.RunMutations(t, iocheck.Analyzer, "dcpsim/internal/campaign/iofix", []linttest.Mutation{
+		{
+			// A handled WriteFile loses its error check.
+			File: "iofix.go",
+			Old:  "\tif err := os.WriteFile(path, []byte(\"x\"), 0o644); err != nil {\n\t\treturn err\n\t}",
+			New:  "\tos.WriteFile(path, []byte(\"x\"), 0o644)",
+			Want: `os\.WriteFile`,
+		},
+		{
+			// A handled Close degrades to a bare defer.
+			File: "iofix.go",
+			Old:  "\tif err := f.Close(); err != nil {\n\t\treturn err\n\t}\n\treturn nil",
+			New:  "\tdefer f.Close()\n\treturn nil",
+			Want: `\(\*os\.File\)\.Close`,
+		},
+		{
+			// The in-memory sink becomes a fallible file sink.
+			File: "iofix.go",
+			Old:  "\twriteRow(&b, \"a,b,c\\n\") // in-memory sink cannot fail",
+			New:  "\twriteRow(io.MultiWriter(&b), \"a,b,c\\n\")",
+			Want: `writeRow`,
+		},
+	})
+}

@@ -1,0 +1,89 @@
+// Package iofix is an iocheck fixture: in the durability-critical
+// packages, errors from file create/write/close/rename and
+// checkpoint/digest operations must be consumed. Handled and
+// buffer-only patterns must stay silent.
+package iofix
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"strings"
+)
+
+func droppedWrites(dir string) {
+	os.WriteFile(dir+"/state.json", []byte("{}"), 0o644) // want `os\.WriteFile`
+	os.Rename(dir+"/state.json.tmp", dir+"/state.json")  // want `os\.Rename`
+}
+
+func blankCreate(path string) *os.File {
+	f, _ := os.Create(path) // want `os\.Create`
+	return f
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // want `\(\*os\.File\)\.Close`
+}
+
+func droppedFileWrite(f *os.File) {
+	f.WriteString("row") // want `\(\*os\.File\)\.WriteString`
+}
+
+func droppedFlush(w *bufio.Writer) {
+	w.Flush() // want `\(\*bufio\.Writer\)\.Flush`
+}
+
+// saveCheckpoint and digestOf are module IO operations by naming
+// convention: last result is an error.
+func saveCheckpoint(path string) error { return os.WriteFile(path, nil, 0o644) }
+
+func digestOf(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	return string(raw), err
+}
+
+func droppedModuleOps(path string) {
+	_ = saveCheckpoint(path) // want `saveCheckpoint`
+	s, _ := digestOf(path)   // want `digestOf`
+	_ = s
+}
+
+// writeRow is a module writer taking any sink.
+func writeRow(w io.Writer, row string) error {
+	_, err := io.WriteString(w, row)
+	return err
+}
+
+func bufferSinkIsFine() string {
+	var b strings.Builder
+	writeRow(&b, "a,b,c\n") // in-memory sink cannot fail
+	return b.String()
+}
+
+func fileSinkIsNot(f *os.File) {
+	writeRow(f, "a,b,c\n") // want `writeRow`
+}
+
+func handledIsFine(path string) error {
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func allowedReadClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	//lint:allow iocheck read-only descriptor: a Close error cannot lose data that was never written
+	defer f.Close()
+	return io.ReadAll(f)
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// JSONDiagnostic is the machine-readable form of one finding — the
+// dcplint -json wire format CI archives and turns into annotations.
+// Allowed reports the allow-state: true means a //lint:allow directive
+// suppressed the finding and AllowReason carries its audited reason.
+type JSONDiagnostic struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	Allowed     bool   `json:"allowed"`
+	AllowReason string `json:"allow_reason,omitempty"`
+}
+
+// JSONReport is the top-level dcplint -json document.
+type JSONReport struct {
+	// Findings is every diagnostic, suppressed included, in position
+	// order. Active counts the unsuppressed ones — the run fails iff
+	// Active > 0.
+	Findings []JSONDiagnostic `json:"findings"`
+	Active   int              `json:"active"`
+}
+
+// ToJSON converts diagnostics into the report form, rewriting file paths
+// relative to baseDir (slash-separated, for byte-stable output across
+// machines). Paths outside baseDir are left absolute.
+func ToJSON(diags []Diagnostic, baseDir string) JSONReport {
+	rep := JSONReport{Findings: []JSONDiagnostic{}}
+	for _, d := range diags {
+		if !d.Suppressed {
+			rep.Active++
+		}
+		rep.Findings = append(rep.Findings, JSONDiagnostic{
+			File:        relPath(baseDir, d.Pos.Filename),
+			Line:        d.Pos.Line,
+			Col:         d.Pos.Column,
+			Analyzer:    d.Analyzer,
+			Message:     d.Message,
+			Allowed:     d.Suppressed,
+			AllowReason: d.AllowReason,
+		})
+	}
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON.
+func WriteJSON(w io.Writer, diags []Diagnostic, baseDir string) error {
+	blob, err := json.MarshalIndent(ToJSON(diags, baseDir), "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", blob)
+	return err
+}
+
+// WriteGitHubAnnotations emits one ::error workflow command per active
+// finding, so a CI failure surfaces file/line-anchored annotations in the
+// pull-request diff view.
+func WriteGitHubAnnotations(w io.Writer, diags []Diagnostic, baseDir string) error {
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		_, err := fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=dcplint %s::%s\n",
+			relPath(baseDir, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func relPath(baseDir, file string) string {
+	if baseDir == "" {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(baseDir, file)
+	if err != nil || len(rel) >= 2 && rel[:2] == ".." {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,95 @@
+package lint_test
+
+import (
+	"bytes"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcpsim/internal/lint"
+)
+
+// boomcheck is a minimal analyzer for exercising the output formats: it
+// flags every call to a function whose name starts with "boom".
+var boomcheck = &lint.Analyzer{
+	Name: "boomcheck",
+	Doc:  "test analyzer: flags boom* calls",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && len(id.Name) >= 4 && id.Name[:4] == "boom" {
+					pass.Reportf(call.Pos(), "call to %s escapes containment", id.Name)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func loadJSONFixture(t *testing.T) []lint.Diagnostic {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", "dcpsim", "internal", "jsonfix")
+	pkg, err := lint.NewLoader().Load(dir, "dcpsim/internal/jsonfix")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{boomcheck})
+	if err != nil {
+		t.Fatalf("running boomcheck: %v", err)
+	}
+	return diags
+}
+
+// TestWriteJSONGolden pins the dcplint -json wire format: findings in
+// position order, allow-state and audited reason included, active count
+// covering only unsuppressed findings.
+func TestWriteJSONGolden(t *testing.T) {
+	diags := loadJSONFixture(t)
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, diags, "testdata"); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "jsonfix.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON output drifted from %s.\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestWriteGitHubAnnotations pins the workflow-command format and that
+// suppressed findings produce no annotation.
+func TestWriteGitHubAnnotations(t *testing.T) {
+	diags := loadJSONFixture(t)
+	var buf bytes.Buffer
+	if err := lint.WriteGitHubAnnotations(&buf, diags, "testdata"); err != nil {
+		t.Fatal(err)
+	}
+	want := "::error file=src/dcpsim/internal/jsonfix/jsonfix.go,line=8,col=2,title=dcplint boomcheck::call to boomNow escapes containment\n"
+	if buf.String() != want {
+		t.Errorf("annotations drifted.\ngot:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+// TestActiveCount double-checks the suppression split the formats rely on.
+func TestActiveCount(t *testing.T) {
+	diags := loadJSONFixture(t)
+	if len(diags) != 2 {
+		t.Fatalf("expected 2 findings (1 active, 1 allowed), got %d: %v", len(diags), diags)
+	}
+	active := lint.Active(diags)
+	if len(active) != 1 {
+		t.Fatalf("expected 1 active finding, got %d", len(active))
+	}
+	if !diags[1].Suppressed || diags[1].AllowReason == "" {
+		t.Errorf("second finding should be suppressed with a reason, got %+v", diags[1])
+	}
+}

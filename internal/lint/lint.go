@@ -14,7 +14,15 @@
 //	//lint:allow <analyzer> <reason>
 //
 // placed on the offending line or the line immediately above it. The
-// reason is mandatory; a directive without one is itself reported.
+// reason is mandatory; a directive without one is itself reported, and so
+// is a directive that suppresses nothing (stale suppressions fail the run
+// instead of rotting silently).
+//
+// Cross-package analyzers (purecheck, ownercheck and friends) consume a
+// shared dataflow program — a module-wide call graph with write facts,
+// built once per run by internal/lint/dataflow and handed to every pass
+// through RunWith — so the tree is loaded and indexed once no matter how
+// many analyzers run over it.
 package lint
 
 import (
@@ -46,6 +54,12 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Prog is the shared cross-package dataflow program (a
+	// *dataflow.Program) when the run was started through RunWith; nil
+	// otherwise. It is typed any here to keep this package free of the
+	// dataflow dependency; analyzers recover it via dataflow.Of.
+	Prog any
+
 	diags *[]Diagnostic
 }
 
@@ -58,11 +72,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostic is one finding, with the position resolved.
+// Diagnostic is one finding, with the position resolved. Suppressed
+// findings are retained (marked, with the directive's reason) so that
+// machine-readable output can report the allow-state of every site.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a finding waived by a //lint:allow directive.
+	Suppressed bool
+	// AllowReason is the directive's audited reason when Suppressed.
+	AllowReason string
 }
 
 func (d Diagnostic) String() string {
@@ -79,11 +99,19 @@ type allowKey struct {
 	analyzer string
 }
 
-// collectAllows scans a package's comments for //lint:allow directives.
-// Malformed directives (no analyzer name, or no reason) are returned as
-// diagnostics in their own right.
-func collectAllows(pkg *Package) (map[allowKey]bool, []Diagnostic) {
-	allows := make(map[allowKey]bool)
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+// collectDirectives scans a package's comments for //lint:allow
+// directives. Malformed directives (no analyzer name, or no reason) are
+// returned as diagnostics in their own right.
+func collectDirectives(pkg *Package) (map[allowKey]*directive, []Diagnostic) {
+	allows := make(map[allowKey]*directive)
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -102,19 +130,41 @@ func collectAllows(pkg *Package) (map[allowKey]bool, []Diagnostic) {
 					})
 					continue
 				}
-				allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+				allows[allowKey{pos.Filename, pos.Line, fields[0]}] = &directive{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      pos,
+				}
 			}
 		}
 	}
 	return allows, bad
 }
 
-// Run applies every analyzer to every package, filters findings through the
-// //lint:allow directives, and returns the survivors ordered by position.
+// Run applies every analyzer to every package. See RunWith.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWith(nil, pkgs, analyzers)
+}
+
+// RunWith applies every analyzer to every package, matches findings
+// against the //lint:allow directives, and returns every diagnostic —
+// suppressed ones marked with their directive's reason — ordered by
+// position. prog, when non-nil, is the shared cross-package dataflow
+// program (built once by the caller, typically dataflow.Build) exposed to
+// each pass as Pass.Prog.
+//
+// A directive that suppresses nothing is itself a diagnostic: stale
+// allows must be deleted, not accumulated. Directives naming analyzers
+// outside this run's set are left alone (a single-analyzer fixture run
+// must not condemn another analyzer's allows).
+func RunWith(prog any, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	inRun := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		inRun[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		allows, bad := collectAllows(pkg)
+		allows, bad := collectDirectives(pkg)
 		out = append(out, bad...)
 		var raw []Diagnostic
 		for _, a := range analyzers {
@@ -124,6 +174,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
 				diags:    &raw,
 			}
 			if err := a.Run(pass); err != nil {
@@ -131,11 +182,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 		for _, d := range raw {
-			if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
-				allows[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
-				continue
+			dir := allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+			if dir == nil {
+				dir = allows[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]
+			}
+			if dir != nil {
+				dir.used = true
+				d.Suppressed = true
+				d.AllowReason = dir.reason
 			}
 			out = append(out, d)
+		}
+		for _, dir := range allows {
+			if !dir.used && inRun[dir.analyzer] {
+				out = append(out, Diagnostic{
+					Analyzer: "lint",
+					Pos:      dir.pos,
+					Message:  fmt.Sprintf("unused //lint:allow %s directive: it suppresses nothing on this or the next line; delete it", dir.analyzer),
+				})
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -152,6 +217,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return a.Analyzer < b.Analyzer
 	})
 	return out, nil
+}
+
+// Active filters diags down to the findings that survived the allow
+// directives — the set that fails a run.
+func Active(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // IsNamed reports whether t is the named type pkgPath.name (ignoring any

@@ -10,15 +10,23 @@
 // where the backquoted text is a regexp that must match a diagnostic on
 // that line. Lines carrying a //lint:allow directive assert the opposite:
 // the fixture fails the test if a suppressed finding still surfaces.
+//
+// RunMutations is the self-test layer on top: it seeds one violation at a
+// time into a copy of the fixture and asserts the analyzer's finding
+// count for that pattern goes up — an analyzer that silently stopped
+// detecting (a no-op regression) fails here even if the static fixture
+// happens to still pass.
 package linttest
 
 import (
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
 
 	"dcpsim/internal/lint"
+	"dcpsim/internal/lint/dataflow"
 )
 
 // wantRe extracts the pattern from a `// want ...` comment.
@@ -31,21 +39,35 @@ type expectation struct {
 	matched bool
 }
 
+// sharedLoader caches type-checked dependencies across a test binary's
+// fixture and mutation loads: the heavy module packages a fixture imports
+// are source-imported once, not once per mutation.
+var sharedLoader = lint.NewLoader()
+
+// load parses, type-checks and analyzes one fixture directory under the
+// given import path, returning the full diagnostic set (suppressed
+// included).
+func load(t *testing.T, a *lint.Analyzer, dir, pkgPath string) (*lint.Package, []lint.Diagnostic) {
+	t.Helper()
+	pkg, err := sharedLoader.Load(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	pkgs := []*lint.Package{pkg}
+	diags, err := lint.RunWith(dataflow.Build(pkgs), pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return pkg, diags
+}
+
 // Run loads the fixture package rooted at testdata/src/<pkgPath>, applies
-// the analyzer, and compares the diagnostics against the // want
+// the analyzer, and compares the active diagnostics against the // want
 // expectations in the fixture sources.
 func Run(t *testing.T, a *lint.Analyzer, pkgPath string) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
-	ld := lint.NewLoader()
-	pkg, err := ld.Load(dir, pkgPath)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
-	}
-	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
-	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
-	}
+	pkg, diags := load(t, a, dir, pkgPath)
 
 	var wants []*expectation
 	for _, f := range pkg.Files {
@@ -65,7 +87,7 @@ func Run(t *testing.T, a *lint.Analyzer, pkgPath string) {
 			}
 		}
 	}
-	for _, d := range diags {
+	for _, d := range lint.Active(diags) {
 		var hit *expectation
 		for _, w := range wants {
 			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
@@ -84,4 +106,83 @@ func Run(t *testing.T, a *lint.Analyzer, pkgPath string) {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
 		}
 	}
+}
+
+// Mutation seeds one violation into a copy of a fixture: Old (which must
+// occur in File) is replaced with New, and the analyzer must then report
+// at least one additional diagnostic matching Want compared to the
+// unmutated copy.
+type Mutation struct {
+	File string // file name within the fixture package
+	Old  string // source text to replace (first occurrence)
+	New  string // replacement carrying the seeded violation
+	Want string // regexp a new diagnostic must match
+}
+
+// RunMutations applies each mutation to a scratch copy of the fixture
+// under testdata (kept inside the module so imports resolve exactly like
+// the fixture's own) and asserts the analyzer catches the seeded
+// violation.
+func RunMutations(t *testing.T, a *lint.Analyzer, pkgPath string, muts []Mutation) {
+	t.Helper()
+	srcDir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
+	for i, m := range muts {
+		re, err := regexp.Compile(m.Want)
+		if err != nil {
+			t.Fatalf("mutation %d: bad want regexp %q: %v", i, m.Want, err)
+		}
+		scratch, err := os.MkdirTemp("testdata", "mutation-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { os.RemoveAll(scratch) })
+
+		entries, err := os.ReadDir(srcDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutated := false
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(raw)
+			if e.Name() == m.File {
+				if !strings.Contains(src, m.Old) {
+					t.Fatalf("mutation %d: %s does not contain %q", i, m.File, m.Old)
+				}
+				src = strings.Replace(src, m.Old, m.New, 1)
+				mutated = true
+			}
+			if err := os.WriteFile(filepath.Join(scratch, e.Name()), []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !mutated {
+			t.Fatalf("mutation %d: file %s not found in fixture %s", i, m.File, srcDir)
+		}
+
+		baseline := countMatching(t, a, srcDir, pkgPath, re)
+		seeded := countMatching(t, a, scratch, pkgPath, re)
+		if seeded <= baseline {
+			t.Errorf("mutation %d (%s: %q -> %q): analyzer did not catch the seeded violation (matches %d -> %d, want an increase)",
+				i, m.File, m.Old, m.New, baseline, seeded)
+		}
+	}
+}
+
+func countMatching(t *testing.T, a *lint.Analyzer, dir, pkgPath string, re *regexp.Regexp) int {
+	t.Helper()
+	_, diags := load(t, a, dir, pkgPath)
+	n := 0
+	for _, d := range lint.Active(diags) {
+		if d.Analyzer == a.Name && re.MatchString(d.Message) {
+			n++
+		}
+	}
+	return n
 }

@@ -148,6 +148,17 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// ModuleRoot resolves the enclosing module's root directory and module
+// path from the current working directory — the anchor dcplint uses to
+// locate analyzer fixture trees for -selfcheck and to relativize paths.
+func ModuleRoot() (root, modpath string, err error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	return moduleRoot(cwd)
+}
+
 // moduleRoot walks up from dir to the enclosing go.mod and returns the
 // module root directory and module path.
 func moduleRoot(dir string) (root, modpath string, err error) {

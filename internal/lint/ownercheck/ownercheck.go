@@ -1,0 +1,110 @@
+// Package ownercheck statically approximates sim.Engine's runtime
+// ownership guard: an Engine (and the simulation hanging off it) belongs
+// to the goroutine that constructed it for its entire lifetime. The
+// engine's Run enforces this dynamically with an atomic re-entrancy flag;
+// ownercheck catches the escape at compile time, before the race ever
+// executes — the companion to aliascheck's packet-ownership rule, one
+// layer up.
+//
+// Flagged: a *sim.Engine (or sim.Engine) value declared outside a spawned
+// closure — a go statement's literal, or a closure handed to pool.Go /
+// pool.GoFree / pool.Map — that is referenced inside it; and an engine
+// passed as an argument in a go statement's call. An engine constructed
+// inside the closure is owned by it and free to use. Future
+// intra-engine sharding that legitimately hands an engine across a
+// barrier documents it with //lint:allow ownercheck <reason>.
+package ownercheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dcpsim/internal/lint"
+)
+
+// Analyzer is the ownercheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "ownercheck",
+	Doc:  "a sim.Engine may only be touched from the goroutine that constructed it; spawned closures may not capture one",
+	Run:  run,
+}
+
+const simPath = "dcpsim/internal/sim"
+
+// spawnArgs maps pool entry points to the index of their closure
+// argument.
+var spawnArgs = map[string]int{"Go": 1, "GoFree": 1, "Map": 2}
+
+const poolPath = "dcpsim/internal/exp/pool"
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkCaptures(pass, lit, "go statement")
+				}
+				for _, a := range n.Call.Args {
+					if isEngine(pass.Info.Types[a].Type) {
+						pass.Reportf(a.Pos(), "passes a sim.Engine into a spawned goroutine; the engine is owned by the goroutine that constructed it")
+					}
+				}
+			case *ast.CallExpr:
+				fn := callee(pass, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != poolPath {
+					return true
+				}
+				idx, ok := spawnArgs[fn.Name()]
+				if !ok || idx >= len(n.Args) {
+					return true
+				}
+				if lit, ok := ast.Unparen(n.Args[idx]).(*ast.FuncLit); ok {
+					checkCaptures(pass, lit, "pool."+fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCaptures flags engine-typed identifiers declared outside the
+// spawned literal but used within it. Struct fields are skipped: a field
+// selector roots at its base variable, and an engine hanging off a value
+// constructed inside the closure (s.Eng on a cell-built sim) is
+// closure-owned.
+func checkCaptures(pass *lint.Pass, lit *ast.FuncLit, via string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || !isEngine(obj.Type()) {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true // constructed or received inside: the closure owns it
+		}
+		pass.Reportf(id.Pos(), "closure spawned via %s captures engine %s constructed on the spawning goroutine; a sim.Engine is single-owner for its lifetime",
+			via, obj.Name())
+		return true
+	})
+}
+
+func isEngine(t types.Type) bool {
+	return t != nil && (lint.IsNamed(t, simPath, "Engine") || lint.IsPtrToNamed(t, simPath, "Engine"))
+}
+
+func callee(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

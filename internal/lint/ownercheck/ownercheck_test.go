@@ -1,0 +1,34 @@
+package ownercheck_test
+
+import (
+	"testing"
+
+	"dcpsim/internal/lint/linttest"
+	"dcpsim/internal/lint/ownercheck"
+)
+
+func TestOwnercheck(t *testing.T) {
+	linttest.Run(t, ownercheck.Analyzer, "dcpsim/internal/sim/ownfix")
+}
+
+// TestOwnercheckMutations turns owned engines into escaped ones and
+// asserts the analyzer still catches each class.
+func TestOwnercheckMutations(t *testing.T) {
+	linttest.RunMutations(t, ownercheck.Analyzer, "dcpsim/internal/sim/ownfix", []linttest.Mutation{
+		{
+			// A cell that constructs its own engine starts borrowing the
+			// spawner's instead.
+			File: "ownfix.go",
+			Old:  "\treturn pool.Map(p, 4, func(i int) int {\n\t\teng := sim.NewEngine(int64(i)) // the cell constructs, owns, and drops it",
+			New:  "\touter := sim.NewEngine(9)\n\treturn pool.Map(p, 4, func(i int) int {\n\t\teng := outer\n\t\t_ = int64(i)",
+			Want: `captures engine outer`,
+		},
+		{
+			// A same-goroutine engine escapes into a fresh go statement.
+			File: "ownfix.go",
+			Old:  "\teng.Stop() // same-goroutine use: fine",
+			New:  "\tgo drive(eng)",
+			Want: `passes a sim\.Engine`,
+		},
+	})
+}

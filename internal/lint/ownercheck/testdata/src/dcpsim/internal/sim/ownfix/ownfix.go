@@ -1,0 +1,66 @@
+// Package ownfix is an ownercheck fixture: a sim.Engine belongs to the
+// goroutine that constructed it; spawned closures may not capture one
+// and go statements may not smuggle one across as an argument.
+package ownfix
+
+import (
+	"dcpsim/internal/exp/pool"
+	"dcpsim/internal/sim"
+)
+
+func capturedEngine() {
+	eng := sim.NewEngine(1)
+	go func() {
+		eng.Stop() // want `captures engine eng`
+	}()
+}
+
+func engineAsGoArg() {
+	eng := sim.NewEngine(2)
+	go drive(eng) // want `passes a sim\.Engine`
+}
+
+func drive(e *sim.Engine) { e.Stop() }
+
+func capturedIntoPool(p *pool.Pool) *pool.Future[int] {
+	eng := sim.NewEngine(3)
+	return pool.Go(p, func() int {
+		return eng.Pending() // want `captures engine eng`
+	})
+}
+
+func ownedInsideCell(p *pool.Pool) []int {
+	return pool.Map(p, 4, func(i int) int {
+		eng := sim.NewEngine(int64(i)) // the cell constructs, owns, and drops it
+		eng.Stop()
+		return eng.Pending()
+	})
+}
+
+type harness struct {
+	Eng *sim.Engine
+}
+
+func fieldOfOwnedSim(p *pool.Pool) []int {
+	return pool.Map(p, 2, func(i int) int {
+		h := harness{Eng: sim.NewEngine(int64(i))}
+		return h.Eng.Pending() // field selector on a cell-built value: owned
+	})
+}
+
+func ownedOnSpawner() int {
+	eng := sim.NewEngine(5)
+	eng.Stop() // same-goroutine use: fine
+	return eng.Pending()
+}
+
+func allowedHandoff() {
+	eng := sim.NewEngine(6)
+	done := make(chan struct{})
+	go func() {
+		//lint:allow ownercheck construction handoff: the spawner never touches eng again and blocks on done
+		eng.Stop()
+		close(done)
+	}()
+	<-done
+}

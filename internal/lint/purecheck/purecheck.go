@@ -1,0 +1,216 @@
+// Package purecheck enforces the PR-5 purity contract on experiment
+// cell-builders: a function registered as a cell-builder — an
+// exp.Experiment's Run, or the cell closure handed to exp's sweep/grid,
+// exp.Cell, or pool.Map — and everything it transitively calls, may not
+// write package-level variables; and a closure spawned onto a pool worker
+// (sweep/grid/pool.Map) may not write state captured from its enclosing
+// scope. Cells execute concurrently, so either write is a cross-cell (or
+// cross-goroutine) leak that breaks the byte-identical parallel-merge
+// guarantee. exp.Cell closures run inline on the calling goroutine and
+// are exempt from the captured rule (but not the global one): campaign
+// units accumulate into caller locals through them by design.
+//
+// The walk runs over the shared dataflow program: roots are collected
+// once per run across every loaded package, the call graph (direct calls
+// plus closure references) is closed transitively, and each pass reports
+// only the violating write sites inside its own package — so a
+// //lint:allow purecheck <reason> lives next to the write it audits.
+// Dynamic dispatch is not followed; writes through dereferenced pointer
+// locals are invisible (the aliasing is untrackable without SSA).
+package purecheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dcpsim/internal/lint"
+	"dcpsim/internal/lint/dataflow"
+)
+
+// Analyzer is the purecheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "purecheck",
+	Doc:  "cell-builders (exp.Experiment Run funcs, sweep/Cell/pool.Map closures) and their transitive callees may not write package-level or captured state",
+	Run:  run,
+}
+
+const (
+	expPath  = "dcpsim/internal/exp"
+	poolPath = "dcpsim/internal/exp/pool"
+)
+
+// builderArgs maps (package, function) to the index of its cell-builder
+// argument and whether that builder is spawned onto a pool worker.
+// exp.Cell runs its closure inline on the caller's goroutine — captured
+// writes there stay same-goroutine, so only the global-purity rule
+// applies; sweep/grid/pool.Map hand the closure to workers, which adds
+// the no-captured-writes rule.
+var builderArgs = map[[2]string]struct {
+	idx     int
+	spawned bool
+}{
+	{expPath, "sweep"}: {2, true},
+	{expPath, "grid"}:  {3, true},
+	{expPath, "Cell"}:  {2, false},
+	{poolPath, "Map"}:  {2, true},
+}
+
+// facts is the run-wide purity state, computed once and memoized on the
+// Program.
+type facts struct {
+	// reach covers everything transitively reachable from any root.
+	reach *dataflow.Reach
+	// cellRoots are the cell closures/functions subject to the stricter
+	// no-captured-writes rule (Experiment Run roots are reach-only: they
+	// execute on their own coordinator goroutine and capture nothing).
+	cellRoots []*dataflow.Node
+}
+
+func run(pass *lint.Pass) error {
+	prog := dataflow.Of(pass)
+	if prog == nil {
+		return nil
+	}
+	f := prog.Memo("purecheck.facts", func() any { return compute(prog) }).(*facts)
+
+	for _, node := range prog.NodesIn(pass.Pkg) {
+		if !f.reach.Set[node] {
+			continue
+		}
+		for _, w := range node.GlobalWrites {
+			pass.Reportf(w.Pos, "impure cell-builder code: writes package-level variable %s (%s); cells run concurrently and must own all state they mutate",
+				w.Obj.Name(), chain(f.reach, node))
+		}
+	}
+	for _, root := range f.cellRoots {
+		if root.Pkg.Types != pass.Pkg {
+			continue
+		}
+		for _, node := range append([]*dataflow.Node{root}, prog.EnclosedLits(root)...) {
+			for _, w := range node.CapturedWrites {
+				if w.Obj.Pos() >= root.Pos() && w.Obj.Pos() <= root.End() {
+					continue // cell-local state captured by an inner helper
+				}
+				pass.Reportf(w.Pos, "cell-builder closure writes captured variable %s declared outside the cell; cells run on pool workers and may not mutate the spawning scope",
+					w.Obj.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// compute scans every package for builder registration sites and closes
+// the call graph over them.
+func compute(prog *dataflow.Program) *facts {
+	var roots, cellRoots []*dataflow.Node
+	addRoot := func(e ast.Expr, pkg *lint.Package, cell bool) {
+		n := nodeFor(prog, pkg, e)
+		if n == nil {
+			return
+		}
+		roots = append(roots, n)
+		if cell {
+			cellRoots = append(cellRoots, n)
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					if tv, ok := pkg.Info.Types[n]; ok && lint.IsNamed(tv.Type, expPath, "Experiment") {
+						if e := runField(pkg, n); e != nil {
+							addRoot(e, pkg, false)
+						}
+					}
+				case *ast.CallExpr:
+					fn := staticCallee(pkg, n)
+					if fn == nil || fn.Pkg() == nil {
+						return true
+					}
+					if ba, ok := builderArgs[[2]string{fn.Pkg().Path(), fn.Name()}]; ok && ba.idx < len(n.Args) {
+						addRoot(n.Args[ba.idx], pkg, ba.spawned)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return &facts{reach: prog.Reachable(roots), cellRoots: cellRoots}
+}
+
+// runField extracts the Run field value from an exp.Experiment composite
+// literal, keyed or positional.
+func runField(pkg *lint.Package, lit *ast.CompositeLit) ast.Expr {
+	st, ok := pkg.Info.Types[lit].Type.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Run" {
+				return kv.Value
+			}
+			continue
+		}
+		if i < st.NumFields() && st.Field(i).Name() == "Run" {
+			return el
+		}
+	}
+	return nil
+}
+
+// nodeFor resolves a function-valued expression to its program node:
+// a literal, or an identifier/selector naming a module function.
+func nodeFor(prog *dataflow.Program, pkg *lint.Package, e ast.Expr) *dataflow.Node {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return prog.LitNode(e)
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[e].(*types.Func); ok {
+			return prog.FuncNode(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[e.Sel].(*types.Func); ok {
+			return prog.FuncNode(fn)
+		}
+	}
+	return nil
+}
+
+// staticCallee resolves a call's target when it is a direct function
+// reference.
+func staticCallee(pkg *lint.Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// chain renders the reachability path to a node for the diagnostic.
+func chain(r *dataflow.Reach, n *dataflow.Node) string {
+	nodes := r.Chain(n)
+	parts := make([]string, len(nodes))
+	for i, c := range nodes {
+		parts[i] = shortName(c)
+	}
+	if len(parts) == 1 {
+		return "in cell-builder " + parts[0]
+	}
+	return fmt.Sprintf("reachable from cell-builder %s", strings.Join(parts, " → "))
+}
+
+func shortName(n *dataflow.Node) string {
+	if n.Obj != nil {
+		return n.Obj.Name()
+	}
+	pos := n.Pkg.Fset.Position(n.Pos())
+	return fmt.Sprintf("closure@%d", pos.Line)
+}

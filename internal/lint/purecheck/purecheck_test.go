@@ -1,0 +1,34 @@
+package purecheck_test
+
+import (
+	"testing"
+
+	"dcpsim/internal/lint/linttest"
+	"dcpsim/internal/lint/purecheck"
+)
+
+func TestPurecheck(t *testing.T) {
+	linttest.Run(t, purecheck.Analyzer, "dcpsim/internal/exp/purefix")
+}
+
+// TestPurecheckMutations seeds fresh violations into clean fixture code
+// and asserts the analyzer still catches each class — a no-op analyzer
+// fails here.
+func TestPurecheckMutations(t *testing.T) {
+	linttest.RunMutations(t, purecheck.Analyzer, "dcpsim/internal/exp/purefix", []linttest.Mutation{
+		{
+			// A clean Run root starts writing a global through a helper.
+			File: "purefix.go",
+			Old:  "func bump(n *int) { *n++ }",
+			New:  "func bump(n *int) { *n++; hits = *n }",
+			Want: `package-level variable hits`,
+		},
+		{
+			// A clean pool.Map cell starts leaking into the spawning scope.
+			File: "purefix.go",
+			Old:  "\tparts := pool.Map(p, 4, func(i int) int {\n\t\tacc := 0",
+			New:  "\tleak := 0\n\tparts := pool.Map(p, 4, func(i int) int {\n\t\tleak++\n\t\tacc := 0",
+			Want: `captured variable leak`,
+		},
+	})
+}

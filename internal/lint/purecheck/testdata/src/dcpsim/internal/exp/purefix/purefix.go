@@ -1,0 +1,98 @@
+// Package purefix is a purecheck fixture: cell-builders (exp.Experiment
+// Run functions, closures handed to exp.Cell / pool.Map) and their
+// transitive callees must not write package-level variables or captured
+// outer-scope state. Clean patterns below each violation must stay
+// silent.
+package purefix
+
+import (
+	"dcpsim/internal/exp"
+	"dcpsim/internal/exp/pool"
+	"dcpsim/internal/stats"
+)
+
+var hits int
+var rows []string
+
+// Registration mirrors internal/exp/registry.go: positional and keyed
+// composite literals both register Run roots.
+var experiments = []exp.Experiment{
+	{"dirty", "writes a global two calls deep", false, dirtyRun},
+	{ID: "clean", Desc: "pure sweep", Run: cleanRun},
+}
+
+func dirtyRun(exp.Config) []*stats.Table {
+	countGlobally()
+	return nil
+}
+
+// countGlobally is reached transitively from the dirtyRun root.
+func countGlobally() {
+	hits++ // want `package-level variable hits`
+}
+
+func cleanRun(exp.Config) []*stats.Table {
+	local := 0
+	bump(&local) // writes through a pointer parameter are untracked by design
+	return nil
+}
+
+func bump(n *int) { *n++ }
+
+func dirtyCell(cfg exp.Config) {
+	exp.Cell(cfg, 0, func(exp.Config) {
+		rows = append(rows, "x") // want `package-level variable rows`
+	})
+}
+
+func dirtyMapCell(p *pool.Pool) int {
+	total := 0
+	_ = pool.Map(p, 4, func(i int) int {
+		total += i // want `captured variable total`
+		return i
+	})
+	return total
+}
+
+func cleanMapCell(p *pool.Pool) int {
+	parts := pool.Map(p, 4, func(i int) int {
+		acc := 0 // cell-local accumulation merges by submission order
+		for j := 0; j <= i; j++ {
+			acc += j
+		}
+		return acc
+	})
+	sum := 0
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}
+
+func inlineCellAccumulator(cfg exp.Config) int {
+	sum := 0
+	exp.Cell(cfg, 2, func(exp.Config) {
+		sum++ // exp.Cell runs its closure inline: caller-local accumulation is fine
+	})
+	return sum
+}
+
+func nestedCellHelper(cfg exp.Config) {
+	exp.Cell(cfg, 1, func(exp.Config) {
+		cellLocal := 0
+		inner := func() { cellLocal++ } // writes cell-local state: fine
+		inner()
+	})
+}
+
+var seededOnce bool
+
+func allowedImpurity(exp.Config) []*stats.Table {
+	//lint:allow purecheck one-shot warm-up flag, set before any cell is submitted
+	seededOnce = true
+	return nil
+}
+
+var allowedExperiments = []exp.Experiment{
+	{ID: "allowed", Desc: "audited impurity", Run: allowedImpurity},
+}

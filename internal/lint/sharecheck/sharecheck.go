@@ -1,0 +1,122 @@
+// Package sharecheck forbids unsynchronized shared mutable state between
+// a spawning goroutine and the closures it spawns. A function literal
+// handed to a go statement or to the worker pool (pool.Go, pool.GoFree,
+// pool.Map) runs concurrently with its spawner, so a write to a variable
+// captured from the enclosing scope is a data race unless a sync
+// primitive guards it or ownership was handed off.
+//
+// The rule, over the shared dataflow program's write facts: every write
+// inside the spawned literal (nested closures included) whose target is
+// declared outside the literal is flagged, unless the literal's body
+// takes a sync lock (a Lock/RLock call resolving into package sync) —
+// a deliberately coarse approximation: the analyzer checks that *a* lock
+// is taken, not that it is the right one, held at the write, or paired
+// with the readers' lock. Channel sends and closes are not writes;
+// handoff-by-channel therefore passes. Anything subtler carries a
+// //lint:allow sharecheck <reason> naming the synchronization story
+// (the worker pool's future-completion handoff, for example).
+package sharecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dcpsim/internal/lint"
+	"dcpsim/internal/lint/dataflow"
+)
+
+// Analyzer is the sharecheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "sharecheck",
+	Doc:  "closures spawned via go / pool.Go / pool.GoFree / pool.Map may not write captured state without a sync primitive or channel handoff",
+	Run:  run,
+}
+
+const poolPath = "dcpsim/internal/exp/pool"
+
+// spawnArgs maps pool entry points to the index of their closure
+// argument.
+var spawnArgs = map[string]int{"Go": 1, "GoFree": 1, "Map": 2}
+
+func run(pass *lint.Pass) error {
+	prog := dataflow.Of(pass)
+	if prog == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkSpawn(pass, prog, lit, "go statement")
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				var fn *types.Func
+				if ok {
+					fn, _ = pass.Info.Uses[sel.Sel].(*types.Func)
+				} else if id, isIdent := n.Fun.(*ast.Ident); isIdent {
+					fn, _ = pass.Info.Uses[id].(*types.Func)
+				}
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != poolPath {
+					return true
+				}
+				idx, ok := spawnArgs[fn.Name()]
+				if !ok || idx >= len(n.Args) {
+					return true
+				}
+				if lit, ok := ast.Unparen(n.Args[idx]).(*ast.FuncLit); ok {
+					checkSpawn(pass, prog, lit, "pool."+fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSpawn flags captured writes escaping the spawned literal.
+func checkSpawn(pass *lint.Pass, prog *dataflow.Program, lit *ast.FuncLit, via string) {
+	root := prog.LitNode(lit)
+	if root == nil {
+		return
+	}
+	if takesLock(pass, lit) {
+		return
+	}
+	for _, node := range append([]*dataflow.Node{root}, prog.EnclosedLits(root)...) {
+		for _, w := range node.CapturedWrites {
+			if w.Obj.Pos() >= root.Pos() && w.Obj.Pos() <= root.End() {
+				continue // local to the spawned closure
+			}
+			pass.Reportf(w.Pos, "goroutine spawned via %s writes captured variable %s without a sync primitive; share by channel handoff or guard both sides with a lock",
+				via, w.Obj.Name())
+		}
+	}
+}
+
+// takesLock reports whether the literal's body (nested closures included)
+// calls a Lock/RLock that resolves into package sync.
+func takesLock(pass *lint.Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == "sync" && (fn.Name() == "Lock" || fn.Name() == "RLock") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

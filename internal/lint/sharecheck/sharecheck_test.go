@@ -1,0 +1,35 @@
+package sharecheck_test
+
+import (
+	"testing"
+
+	"dcpsim/internal/lint/linttest"
+	"dcpsim/internal/lint/sharecheck"
+)
+
+func TestSharecheck(t *testing.T) {
+	linttest.Run(t, sharecheck.Analyzer, "dcpsim/internal/exp/sharefix")
+}
+
+// TestSharecheckMutations seeds fresh races into clean fixture code and
+// asserts the analyzer still catches each class.
+func TestSharecheckMutations(t *testing.T) {
+	linttest.RunMutations(t, sharecheck.Analyzer, "dcpsim/internal/exp/sharefix", []linttest.Mutation{
+		{
+			// A clean pool.Go cell starts leaking a result into the
+			// spawning scope.
+			File: "sharefix.go",
+			Old:  "\treturn pool.Go(p, func() int {\n\t\tn := 0",
+			New:  "\tlast := 0\n\treturn pool.Go(p, func() int {\n\t\tlast++\n\t\tn := 0",
+			Want: `captured variable last`,
+		},
+		{
+			// Dropping the lock turns the guarded write into a race — this
+			// keeps the takesLock exemption load-bearing.
+			File: "sharefix.go",
+			Old:  "\t\tmu.Lock()\n\t\tdefer mu.Unlock()\n\t\tcount++",
+			New:  "\t\t_ = mu\n\t\tcount++",
+			Want: `captured variable count`,
+		},
+	})
+}

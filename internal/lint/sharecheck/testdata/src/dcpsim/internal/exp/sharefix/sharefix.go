@@ -1,0 +1,81 @@
+// Package sharefix is a sharecheck fixture: closures spawned via go
+// statements or the worker pool may not write captured state without a
+// sync primitive or channel handoff. Clean patterns must stay silent.
+package sharefix
+
+import (
+	"sync"
+
+	"dcpsim/internal/exp/pool"
+)
+
+func raceOnCapture(p *pool.Pool) int {
+	total := 0
+	pool.Map(p, 8, func(i int) int {
+		total += i // want `writes captured variable total`
+		return i
+	})
+	return total
+}
+
+func goStmtRace() bool {
+	done := false
+	go func() {
+		done = true // want `writes captured variable done`
+	}()
+	return done
+}
+
+func nestedEscape() {
+	x := 0
+	go func() {
+		inner := func() { x++ } // want `writes captured variable x`
+		inner()
+	}()
+}
+
+func futureStyleDropped(p *pool.Pool) {
+	var result int
+	_ = pool.Go(p, func() int {
+		result = 42 // want `writes captured variable result`
+		return result
+	})
+}
+
+func lockedIsFine(mu *sync.Mutex) int {
+	count := 0
+	go func() {
+		mu.Lock()
+		defer mu.Unlock()
+		count++
+	}()
+	return count
+}
+
+func channelHandoffIsFine(ch chan int) {
+	go func() {
+		ch <- 1 // sends transfer ownership; no captured write
+	}()
+}
+
+func spawnedLocalsAreFine(p *pool.Pool) *pool.Future[int] {
+	return pool.Go(p, func() int {
+		n := 0
+		for i := 0; i < 8; i++ {
+			n += i
+		}
+		return n
+	})
+}
+
+func allowedHandoff() int {
+	var result int
+	done := make(chan struct{})
+	go func() {
+		//lint:allow sharecheck write happens-before close(done); the reader blocks on done first
+		result = 42
+		close(done)
+	}()
+	<-done
+	return result
+}

@@ -1,0 +1,14 @@
+// Package jsonfix drives the JSON and annotation output golden test:
+// one active finding, one allowed finding.
+package jsonfix
+
+func boomNow() {}
+
+func active() {
+	boomNow()
+}
+
+func allowed() {
+	//lint:allow boomcheck audited: the golden test needs a suppressed finding
+	boomNow()
+}
