@@ -10,31 +10,23 @@ import (
 	"time"
 
 	"dcpsim"
+	"dcpsim/internal/bench"
 	"dcpsim/internal/exp"
 	"dcpsim/internal/exp/pool"
 )
 
-// benchSnapshot is one BENCH_*.json performance record: simulator speed
-// (events/sec, sim-time per wall-time) and memory high-water marks for a
-// fixed, seeded scenario. The sim results are deterministic; only the
-// wall-clock and heap numbers vary between hosts, which is exactly what a
-// perf-tracking artifact wants.
-type benchSnapshot struct {
-	Name          string  `json:"name"`
-	Seed          int64   `json:"seed"`
-	SimMillis     float64 `json:"sim_ms"`
-	WallMillis    float64 `json:"wall_ms"`
-	SimPerWall    float64 `json:"sim_per_wall"`
-	TraceEvents   int64   `json:"trace_events"`
-	EventsPerSec  float64 `json:"events_per_sec"`
-	Violations    int64   `json:"violations"`
-	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
-	TotalAlloc    uint64  `json:"total_alloc_bytes"`
-	GoVersion     string  `json:"go_version"`
+// benchOpts is the -bench-* flag surface.
+type benchOpts struct {
+	dir      string  // -bench-json: write one BENCH_<name>.json per record here ("" = skip)
+	seed     int64   // -seed
+	reps     int     // -bench-repeat: repetitions per workload; wall numbers are medians
+	history  string  // -bench-history: JSONL file to append honest records to
+	compare  string  // -bench-compare: JSONL baseline the regression fence runs against
+	handicap float64 // -bench-handicap: artificial wall multiplier (fence self-test)
 }
 
 // benchScenario builds a cluster and its workload; Run and measurement
-// happen in benchOne.
+// happen in benchScenarioRecord.
 type benchScenario struct {
 	name  string
 	setup func(seed int64) (*dcpsim.Cluster, *dcpsim.Observation)
@@ -69,86 +61,64 @@ func benchScenarios() []benchScenario {
 	}
 }
 
-// benchOne runs a scenario and measures it.
-func benchOne(sc benchScenario, seed int64) benchSnapshot {
-	c, ob := sc.setup(seed)
-	var before runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	//lint:allow detcheck wall clock measures simulator speed; sim state never reads it
-	start := time.Now()
-	c.Run()
-	//lint:allow detcheck wall clock measures simulator speed; sim state never reads it
-	wall := time.Since(start)
-	var after runtime.MemStats
-	runtime.ReadMemStats(&after)
-
-	events := int64(ob.Events()) + int64(ob.DroppedEvents())
-	snap := benchSnapshot{
-		Name:          sc.name,
-		Seed:          seed,
-		SimMillis:     c.NowNanos() / 1e6,
-		WallMillis:    float64(wall.Nanoseconds()) / 1e6,
-		TraceEvents:   events,
-		Violations:    ob.Violations(),
-		PeakHeapBytes: after.HeapSys,
-		TotalAlloc:    after.TotalAlloc - before.TotalAlloc,
-		GoVersion:     runtime.Version(),
+// finishRecord folds the per-rep host-side samples into the record:
+// medians for wall/heap/alloc, relative spread as the noise figure, and
+// the derived throughput ratios.
+func finishRecord(rec *bench.Record, walls, peaks, allocs []float64) {
+	rec.WallMillis = bench.Median(walls)
+	rec.Noise = bench.Spread(walls)
+	if rec.WallMillis > 0 {
+		rec.EventsPerSec = float64(rec.Events) / rec.WallMillis * 1e3
+		if rec.SimMillis > 0 {
+			rec.SimPerWall = rec.SimMillis / rec.WallMillis
+		}
 	}
-	if wall > 0 {
-		snap.SimPerWall = snap.SimMillis / snap.WallMillis
-		snap.EventsPerSec = float64(events) / wall.Seconds()
-	}
-	return snap
+	rec.PeakHeapBytes = uint64(bench.Median(peaks))
+	rec.TotalAllocBytes = uint64(bench.Median(allocs))
 }
 
-// benchJSON runs every scenario and writes one BENCH_<name>.json per
-// scenario into dir.
-func benchJSON(dir string, seed int64) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	for _, sc := range benchScenarios() {
-		snap := benchOne(sc, seed)
-		out, err := json.MarshalIndent(&snap, "", "  ")
-		if err != nil {
-			return err
-		}
-		out = append(out, '\n')
-		path := filepath.Join(dir, "BENCH_"+sc.name+".json")
-		if err := os.WriteFile(path, out, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("bench %-10s sim=%.1fms wall=%.1fms sim/wall=%.2f events/s=%.0f violations=%d → %s\n",
-			sc.name, snap.SimMillis, snap.WallMillis, snap.SimPerWall,
-			snap.EventsPerSec, snap.Violations, path)
-		if snap.Violations > 0 {
-			return fmt.Errorf("bench %s: %d invariant violations", sc.name, snap.Violations)
-		}
-	}
-	return benchRegistry(dir, seed)
-}
+// benchScenarioRecord runs one scenario o.reps times and folds the runs
+// into a single record. The deterministic half (engine events, simulated
+// time, violations) must be identical across reps — any drift is a
+// determinism bug, not noise — while the wall and heap numbers take the
+// median with the spread recorded as Noise.
+func benchScenarioRecord(sc benchScenario, o benchOpts, host bench.Host) (bench.Record, error) {
+	var rec bench.Record
+	var walls, peaks, allocs []float64
+	for r := 0; r < o.reps; r++ {
+		c, ob := sc.setup(o.seed)
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		//lint:allow detcheck wall clock measures simulator speed; sim state never reads it
+		start := time.Now()
+		c.Run()
+		//lint:allow detcheck wall clock measures simulator speed; sim state never reads it
+		wall := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
 
-// registrySnapshot is the BENCH_registry_*.json record: one registry smoke
-// run through the parallel experiment engine at a fixed worker count. The
-// serial and parallel variants share a seed and scale, so their rendered
-// tables must be byte-identical; only the wall-clock differs.
-type registrySnapshot struct {
-	Name        string  `json:"name"`
-	Seed        int64   `json:"seed"`
-	Scale       float64 `json:"scale"`
-	Workers     int     `json:"workers"`
-	Experiments int     `json:"experiments"`
-	WallMillis  float64 `json:"wall_ms"`
-	// Speedup is serial wall-clock divided by this run's wall-clock
-	// (1.0 for the serial record itself).
-	Speedup     float64 `json:"speedup_vs_serial"`
-	OutputBytes int     `json:"output_bytes"`
-	// Identical records the byte-comparison of this run's rendered tables
-	// against the serial run's — the deterministic-merge contract.
-	Identical bool   `json:"identical_to_serial"`
-	Cores     int    `json:"cores"`
-	GoVersion string `json:"go_version"`
+		es := c.EngineStats()
+		if r == 0 {
+			rec = bench.Record{
+				Schema: bench.SchemaVersion, Name: sc.name, Kind: "scenario",
+				Host: host, Seed: o.seed, Workers: 1, Reps: o.reps,
+				Events: es.Events, SimMillis: c.NowNanos() / 1e6,
+				Violations: ob.Violations(),
+			}
+			if o.handicap != 1 {
+				rec.Handicap = o.handicap
+			}
+		} else if es.Events != rec.Events || ob.Violations() != rec.Violations {
+			return rec, fmt.Errorf("bench %s: rep %d diverged (%d events, %d violations vs %d, %d) — determinism bug",
+				sc.name, r+1, es.Events, ob.Violations(), rec.Events, rec.Violations)
+		}
+		walls = append(walls, float64(wall.Nanoseconds())/1e6*o.handicap)
+		peaks = append(peaks, float64(after.HeapSys))
+		allocs = append(allocs, float64(after.TotalAlloc-before.TotalAlloc))
+	}
+	finishRecord(&rec, walls, peaks, allocs)
+	return rec, nil
 }
 
 // registryBenchIDs is the registry smoke matrix: cheap experiments covering
@@ -163,28 +133,36 @@ func registryBenchIDs() []string {
 }
 
 // benchRegistry runs the registry smoke serially and across the default
-// worker count, verifies the outputs are byte-identical, and writes
-// BENCH_registry_serial.json and BENCH_registry_parallel.json. It fails if
-// the parallel run diverges from the serial bytes or (with ≥2 cores) is
-// slower than the serial run — the wall-clock guard CI relies on.
-func benchRegistry(dir string, seed int64) error {
+// worker count o.reps times each, verifies every run renders byte-identical
+// tables and dispatches the same event count, and returns the
+// registry_serial / registry_parallel records. It fails if any parallel run
+// diverges from the serial bytes or (with ≥2 cores) the parallel median is
+// slower than the serial median — the wall-clock guard CI relies on.
+func benchRegistry(o benchOpts, host bench.Host) ([]bench.Record, error) {
 	const scale = 0.02
+	ids := registryBenchIDs()
 	var exps []exp.Experiment
-	for _, id := range registryBenchIDs() {
+	for _, id := range ids {
 		e := exp.ByID(id)
 		if e == nil {
-			return fmt.Errorf("bench registry: unknown experiment %q", id)
+			return nil, fmt.Errorf("bench registry: unknown experiment %q", id)
 		}
 		exps = append(exps, *e)
 	}
 
-	run := func(workers int) (string, time.Duration) {
-		cfg := exp.Config{Seed: seed, Scale: scale}.WithWorkers(workers)
+	run := func(workers int) (out string, wallMs float64, events uint64, peak, alloc float64) {
+		cfg := exp.Config{Seed: o.seed, Scale: scale}.WithWorkers(workers)
+		cfg.Stats = exp.NewStatsAccumulator()
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		//lint:allow detcheck wall clock measures engine speed; sim state never reads it
 		start := time.Now()
 		results := exp.RunRegistry(cfg, exps)
 		//lint:allow detcheck wall clock measures engine speed; sim state never reads it
 		wall := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
 		var b strings.Builder
 		for _, r := range results {
 			b.WriteString("### " + r.ID + "\n")
@@ -193,53 +171,161 @@ func benchRegistry(dir string, seed int64) error {
 				b.WriteString("\n")
 			}
 		}
-		return b.String(), wall
+		for _, id := range ids {
+			if s := cfg.Stats.Summary(id); s != nil {
+				events += uint64(s.Events)
+			}
+		}
+		return b.String(), float64(wall.Nanoseconds()) / 1e6 * o.handicap, events,
+			float64(after.HeapSys), float64(after.TotalAlloc - before.TotalAlloc)
 	}
 
-	serialOut, serialWall := run(1)
 	workers := pool.DefaultWorkers()
-	parOut, parWall := run(workers)
+	var refOut string
+	var refEvents uint64
+	var serialWalls, serialPeaks, serialAllocs []float64
+	var parWalls, parPeaks, parAllocs []float64
+	for r := 0; r < o.reps; r++ {
+		sOut, sWall, sEvents, sPeak, sAlloc := run(1)
+		pOut, pWall, pEvents, pPeak, pAlloc := run(workers)
+		if r == 0 {
+			refOut, refEvents = sOut, sEvents
+		} else if sOut != refOut || sEvents != refEvents {
+			return nil, fmt.Errorf("bench registry: serial rep %d diverged from rep 1 — determinism bug", r+1)
+		}
+		if pOut != refOut {
+			return nil, fmt.Errorf("bench registry: parallel output diverged from serial bytes (rep %d)", r+1)
+		}
+		if pEvents != refEvents {
+			return nil, fmt.Errorf("bench registry: parallel dispatched %d events, serial %d (rep %d)",
+				pEvents, refEvents, r+1)
+		}
+		serialWalls = append(serialWalls, sWall)
+		serialPeaks = append(serialPeaks, sPeak)
+		serialAllocs = append(serialAllocs, sAlloc)
+		parWalls = append(parWalls, pWall)
+		parPeaks = append(parPeaks, pPeak)
+		parAllocs = append(parAllocs, pAlloc)
+	}
 
-	mk := func(name string, w int, wall time.Duration, out string, identical bool) registrySnapshot {
-		snap := registrySnapshot{
-			Name: name, Seed: seed, Scale: scale, Workers: w,
-			Experiments: len(exps),
-			WallMillis:  float64(wall.Nanoseconds()) / 1e6,
-			Speedup:     1,
-			OutputBytes: len(out),
-			Identical:   identical,
-			Cores:       runtime.NumCPU(),
-			GoVersion:   runtime.Version(),
+	mk := func(name string, w int) bench.Record {
+		rec := bench.Record{
+			Schema: bench.SchemaVersion, Name: name, Kind: "registry",
+			Host: host, Seed: o.seed, Scale: scale, Workers: w, Reps: o.reps,
+			Events: refEvents, Experiments: len(exps),
+			OutputBytes: len(refOut), Identical: true,
 		}
-		if wall > 0 {
-			snap.Speedup = float64(serialWall.Nanoseconds()) / float64(wall.Nanoseconds())
+		if o.handicap != 1 {
+			rec.Handicap = o.handicap
 		}
-		return snap
+		return rec
 	}
-	snaps := []registrySnapshot{
-		mk("registry_serial", 1, serialWall, serialOut, true),
-		mk("registry_parallel", workers, parWall, parOut, parOut == serialOut),
+	serial := mk("registry_serial", 1)
+	finishRecord(&serial, serialWalls, serialPeaks, serialAllocs)
+	serial.Speedup = 1
+	par := mk("registry_parallel", workers)
+	finishRecord(&par, parWalls, parPeaks, parAllocs)
+	if par.WallMillis > 0 {
+		par.Speedup = serial.WallMillis / par.WallMillis
 	}
-	for _, snap := range snaps {
-		out, err := json.MarshalIndent(&snap, "", "  ")
+
+	if workers >= 2 && par.WallMillis > serial.WallMillis {
+		return nil, fmt.Errorf("bench registry: parallel median (%.0fms) slower than serial (%.0fms) on %d workers",
+			par.WallMillis, serial.WallMillis, workers)
+	}
+	return []bench.Record{serial, par}, nil
+}
+
+// runBench is the -bench-* entry point: measure every workload, write the
+// per-record JSON snapshots, append honest records to the history, and run
+// the regression fence. The fence baseline is loaded before anything is
+// appended, so a run that both appends and compares never fences against
+// itself.
+func runBench(o benchOpts) error {
+	if o.reps < 1 {
+		o.reps = 1
+	}
+	if o.handicap <= 0 {
+		o.handicap = 1
+	}
+	host := bench.LocalHost()
+
+	var baseline []bench.Record
+	if o.compare != "" {
+		var err error
+		baseline, err = bench.Load(o.compare)
 		if err != nil {
 			return err
 		}
-		out = append(out, '\n')
-		path := filepath.Join(dir, "BENCH_"+snap.Name+".json")
-		if err := os.WriteFile(path, out, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("bench %-17s workers=%d wall=%.0fms speedup=%.2fx identical=%v → %s\n",
-			snap.Name, snap.Workers, snap.WallMillis, snap.Speedup, snap.Identical, path)
 	}
 
-	if parOut != serialOut {
-		return fmt.Errorf("bench registry: parallel output diverged from serial bytes")
+	var recs []bench.Record
+	for _, sc := range benchScenarios() {
+		rec, err := benchScenarioRecord(sc, o, host)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bench %-17s sim=%.1fms wall=%.1fms ±%.0f%% sim/wall=%.2f events/s=%.0f violations=%d\n",
+			rec.Name, rec.SimMillis, rec.WallMillis, 100*rec.Noise,
+			rec.SimPerWall, rec.EventsPerSec, rec.Violations)
+		if rec.Violations > 0 {
+			return fmt.Errorf("bench %s: %d invariant violations", rec.Name, rec.Violations)
+		}
+		recs = append(recs, rec)
 	}
-	if workers >= 2 && parWall > serialWall {
-		return fmt.Errorf("bench registry: parallel run (%v) slower than serial (%v) on %d workers",
-			parWall.Round(time.Millisecond), serialWall.Round(time.Millisecond), workers)
+	regRecs, err := benchRegistry(o, host)
+	if err != nil {
+		return err
+	}
+	for _, rec := range regRecs {
+		fmt.Printf("bench %-17s workers=%d wall=%.0fms ±%.0f%% speedup=%.2fx identical=%v\n",
+			rec.Name, rec.Workers, rec.WallMillis, 100*rec.Noise, rec.Speedup, rec.Identical)
+	}
+	recs = append(recs, regRecs...)
+
+	if o.dir != "" {
+		if err := os.MkdirAll(o.dir, 0o755); err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			out, err := json.MarshalIndent(&rec, "", "  ")
+			if err != nil {
+				return err
+			}
+			out = append(out, '\n')
+			path := filepath.Join(o.dir, "BENCH_"+rec.Name+".json")
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
+	}
+
+	if o.history != "" {
+		if o.handicap != 1 {
+			fmt.Fprintln(os.Stderr, "bench: handicapped run — not appending to history")
+		} else {
+			stamped := append([]bench.Record(nil), recs...)
+			//lint:allow detcheck record timestamp is informational metadata; the comparator ignores it
+			now := time.Now().Unix()
+			for i := range stamped {
+				stamped[i].UnixSec = now
+			}
+			if err := bench.Append(o.history, stamped...); err != nil {
+				return err
+			}
+			fmt.Printf("bench: appended %d records to %s\n", len(stamped), o.history)
+		}
+	}
+
+	if o.compare != "" {
+		vs := bench.Fence(baseline, recs, bench.DefaultThresholds())
+		if err := bench.WriteVerdicts(os.Stdout, vs); err != nil {
+			return err
+		}
+		if bench.HasRegression(vs) {
+			return fmt.Errorf("bench fence: performance regression against %s", o.compare)
+		}
 	}
 	return nil
 }

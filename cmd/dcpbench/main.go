@@ -10,6 +10,11 @@
 //	dcpbench -check                # invariant-checked incast+link-flap smoke
 //	dcpbench -check -run quick     # every non-heavy experiment under the checker
 //	dcpbench -bench-json artifacts # BENCH_*.json perf snapshots
+//	dcpbench -bench-json artifacts -bench-repeat 3   # median-of-3 wall numbers
+//	dcpbench -bench-history artifacts/BENCH_HISTORY.jsonl   # append records
+//	dcpbench -bench-compare artifacts/BENCH_BASELINE.jsonl  # regression fence
+//	dcpbench -profile -run quick   # engine-dispatch attribution report
+//	dcpbench -profile -profile-wall -profile-json p.json    # + host wall section
 //
 // Output is the same rows/series the paper reports; absolute values differ
 // from the authors' testbed (this substrate is a simulator) but the shapes
@@ -46,7 +51,16 @@ func main() {
 
 		check    = flag.Bool("check", false, "run under the flight-recorder invariant checker; exit 1 on any violation (alone: incast+link-flap smoke; with -run/-fault: those experiments)")
 		campDoc  = flag.String("campaign", "", "run a declarative campaign document ephemerally (same spec as dcpcampaign; tables to stdout, no bundle)")
-		benchDir = flag.String("bench-json", "", "run the perf scenarios and write BENCH_*.json snapshots (events/sec, sim/wall, peak heap) into this directory")
+		benchDir = flag.String("bench-json", "", "run the perf workloads and write one BENCH_<name>.json record per workload into this directory")
+
+		benchReps = flag.Int("bench-repeat", 1, "repetitions per benchmark workload; wall numbers report the median, the spread becomes the record's noise figure")
+		benchHist = flag.String("bench-history", "", "append this bench run's records to this JSONL history file (skipped for handicapped runs)")
+		benchCmp  = flag.String("bench-compare", "", "run the noise-aware regression fence against this JSONL baseline; exit 1 on regression")
+		benchHand = flag.Float64("bench-handicap", 1, "artificial wall-time multiplier for fence self-tests; handicapped records never enter the history")
+
+		profile     = flag.Bool("profile", false, "run the selected experiments (default: all) under the engine profiler and print the per-component attribution report")
+		profileJSON = flag.String("profile-json", "", "with -profile: also write the report as JSON to this file")
+		profileWall = flag.Bool("profile-wall", false, "with -profile: inject the host clock to add the machine-varying wall-time and phase section")
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the observed demo run to this file")
 		jsonlOut   = flag.String("trace-jsonl", "", "write the observed demo run's trace events as JSON lines to this file")
@@ -71,12 +85,20 @@ func main() {
 		return
 	}
 
-	if *benchDir != "" {
-		if err := benchJSON(*benchDir, *seed); err != nil {
+	if *benchDir != "" || *benchHist != "" || *benchCmp != "" {
+		err := runBench(benchOpts{
+			dir: *benchDir, seed: *seed, reps: *benchReps,
+			history: *benchHist, compare: *benchCmp, handicap: *benchHand,
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *profile && *run == "" && !*fault {
+		*run = "all"
 	}
 
 	if *check && *run == "" && !*fault {
@@ -101,7 +123,8 @@ func main() {
 			fmt.Println("\nusage: dcpbench -run <id>|all|quick [-scale 0.25] [-seed 42] [-workers N] [-stats-csv out.csv]")
 			fmt.Println("       dcpbench -fault [-fault-severity 1] [-scale 0.25]")
 			fmt.Println("       dcpbench -check [-run <id>|all|quick]")
-			fmt.Println("       dcpbench -bench-json <dir>")
+			fmt.Println("       dcpbench -bench-json <dir> [-bench-repeat N] [-bench-history h.jsonl] [-bench-compare base.jsonl]")
+			fmt.Println("       dcpbench -profile [-run <id>|all|quick] [-profile-json p.json] [-profile-wall]")
 		}
 		return
 	}
@@ -133,6 +156,14 @@ func main() {
 			os.Exit(1)
 		}
 		todo = []exp.Experiment{*e}
+	}
+
+	if *profile {
+		if err := runProfile(cfg, todo, profileOpts{jsonOut: *profileJSON, wall: *profileWall}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *check {

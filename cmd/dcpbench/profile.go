@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"time"
+
+	"dcpsim/internal/exp"
+	"dcpsim/internal/obs/perf"
+)
+
+// profileOpts is the -profile flag surface.
+type profileOpts struct {
+	jsonOut string // -profile-json: also write the report as JSON to this file
+	wall    bool   // -profile-wall: add the machine-varying wall-time section
+}
+
+// runProfile executes the selected experiments with the engine profiler
+// attached to every cell and writes the hierarchical attribution report to
+// stdout (tables are rendered but not printed — the report is the output).
+// Without -profile-wall the report holds only deterministic event counts
+// and is byte-identical across runs and worker counts; -profile-wall
+// injects the host clock and adds a wall-time section labelled
+// machine-varying.
+func runProfile(cfg exp.Config, todo []exp.Experiment, o profileOpts) error {
+	opt := perf.Options{}
+	if o.wall {
+		//lint:allow detcheck wall-clock injection for profiler self-measurement only; sim state never reads it
+		opt.Wall = func() int64 { return time.Now().UnixNano() }
+	}
+	prof := perf.New(opt)
+	prev := cfg.Hook
+	cfg.Hook = func(key exp.CellKey, s *exp.Sim) {
+		if prev != nil {
+			prev(key, s)
+		}
+		prof.Attach(key.String(), s.Scheme, s.Eng)
+	}
+
+	prof.Phase("simulate")
+	results := exp.RunRegistry(cfg, todo)
+	prof.Phase("render")
+	var rendered int
+	for _, r := range results {
+		for _, t := range r.Tables {
+			rendered += len(t.String())
+		}
+	}
+	prof.EndPhases()
+
+	rep := prof.Report()
+	w := bufio.NewWriter(os.Stdout)
+	if err := rep.WriteText(w); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// Run shape goes to stderr: stdout stays byte-identical across -workers.
+	fmt.Fprintf(os.Stderr, "(%d experiments profiled, %d table bytes rendered, workers=%d)\n",
+		len(results), rendered, cfg.Workers())
+
+	if o.jsonOut != "" {
+		j, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonOut, append(j, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote profile JSON: %s\n", o.jsonOut)
+	}
+	return nil
+}

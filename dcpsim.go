@@ -220,6 +220,32 @@ func (c *Cluster) RunFor(ns int64) int {
 // NowNanos returns the simulated clock in nanoseconds.
 func (c *Cluster) NowNanos() float64 { return c.sim.Eng.Now().Nanos() }
 
+// EngineStats reports the discrete-event engine's own counters for the run
+// so far. All four are deterministic for a given seed — the benchmark
+// records use Events as the workload signature that must not drift between
+// comparable runs.
+type EngineStats struct {
+	// Events counts dispatched events.
+	Events uint64
+	// CancelledDrops counts cancelled events discarded from the queue head
+	// (scheduling churn the heap paid for without doing work).
+	CancelledDrops uint64
+	// MaxHeapDepth is the event-queue high-water mark.
+	MaxHeapDepth int
+	// MaxLive is the high-water mark of pending not-cancelled events.
+	MaxLive int
+}
+
+// EngineStats returns the engine's dispatch counters for the run so far.
+func (c *Cluster) EngineStats() EngineStats {
+	return EngineStats{
+		Events:         c.sim.Eng.Executed,
+		CancelledDrops: c.sim.Eng.CancelledDrops,
+		MaxHeapDepth:   c.sim.Eng.MaxHeapDepth,
+		MaxLive:        c.sim.Eng.MaxLive,
+	}
+}
+
 // FabricStats summarizes switch-side behaviour.
 type FabricStats struct {
 	TrimmedPackets int64

@@ -1,0 +1,224 @@
+// Package bench defines the versioned benchmark-record schema, the
+// append-only BENCH history, and the noise-aware regression comparator
+// behind `dcpbench -bench-*` and the CI regression fence.
+//
+// A Record separates two kinds of fields. The deterministic half — event
+// counts, simulated time, violations — depends only on the seed and must
+// be identical on every host; the comparator treats any drift there as a
+// workload change, not a perf delta. The host half — wall time, events/sec,
+// heap — varies by machine, so every record carries a host fingerprint and
+// records are only ever compared against baselines from the same
+// fingerprint. Wall-clock timestamps are injected by callers (this package
+// never reads the host clock; the detcheck contract applies module-wide).
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the record layout. Version 1 was the pair of
+// ad-hoc benchSnapshot shapes cmd/dcpbench wrote before the history
+// existed; version 2 is this unified schema. The comparator refuses
+// cross-version comparisons.
+const SchemaVersion = 2
+
+// Host is the machine fingerprint attached to every record. Two records
+// are comparable only when their fingerprints are equal — an events/sec
+// delta between different machines is a hardware review, not a perf
+// regression.
+type Host struct {
+	Cores     int    `json:"cores"`
+	MaxProcs  int    `json:"maxprocs"`
+	GoVersion string `json:"go_version"`
+	CPU       string `json:"cpu,omitempty"`
+}
+
+// Equal reports whether two fingerprints identify the same execution
+// environment.
+func (h Host) Equal(o Host) bool { return h == o }
+
+// LocalHost fingerprints the current process: core count, GOMAXPROCS, Go
+// version, and (best-effort, Linux) the CPU model from /proc/cpuinfo.
+func LocalHost() Host {
+	h := Host{
+		Cores:     runtime.NumCPU(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion: runtime.Version(),
+	}
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				h.CPU = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+				break
+			}
+		}
+	}
+	return h
+}
+
+// Record is one benchmark measurement: a named workload, the machine it
+// ran on, the deterministic workload signature, and the median host-side
+// numbers over Reps repetitions.
+type Record struct {
+	Schema int    `json:"schema"`
+	Name   string `json:"name"`
+	Kind   string `json:"kind"` // "scenario" or "registry"
+	// UnixSec is the caller-stamped record time; informational only (the
+	// comparator ignores it, keeping records themselves deterministic to
+	// construct).
+	UnixSec int64 `json:"unix_sec,omitempty"`
+	Host    Host  `json:"host"`
+
+	// Workload signature: two records compare only when these match.
+	Seed    int64   `json:"seed"`
+	Scale   float64 `json:"scale,omitempty"`
+	Workers int     `json:"workers"`
+	Reps    int     `json:"reps"`
+	// Handicap is the artificial wall-time multiplier applied to this
+	// record's host half (`-bench-handicap`), the CI fence's self-test
+	// lever: a handicapped record must be classified as a regression
+	// against an honest same-host baseline. Handicapped records are never
+	// appended to the history. 0 or 1 means no handicap.
+	Handicap float64 `json:"handicap,omitempty"`
+
+	// Deterministic half — identical for a given seed on every host.
+	Events      uint64  `json:"events"` // engine-dispatched events
+	SimMillis   float64 `json:"sim_millis"`
+	Violations  int64   `json:"violations"`
+	Experiments int     `json:"experiments,omitempty"`
+	OutputBytes int     `json:"output_bytes,omitempty"`
+	Identical   bool    `json:"identical,omitempty"` // registry: parallel bytes == serial bytes
+
+	// Host half — medians over Reps runs; varies by machine.
+	WallMillis float64 `json:"wall_millis"`
+	// Noise is the relative spread (max−min)/median of wall time across
+	// reps; the comparator widens its threshold by the baseline's and the
+	// candidate's noise so a wide-spread sample cannot fake a regression.
+	Noise           float64 `json:"noise"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	SimPerWall      float64 `json:"sim_per_wall"`
+	PeakHeapBytes   uint64  `json:"peak_heap_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	Speedup         float64 `json:"speedup,omitempty"` // registry: serial wall / parallel wall
+}
+
+// Median returns the median of xs (mean of the middle pair for even
+// lengths); 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Spread returns the relative spread (max−min)/median of xs; 0 when there
+// are fewer than two samples or the median is zero.
+func Spread(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	med := Median(xs)
+	if med == 0 {
+		return 0
+	}
+	return (max - min) / med
+}
+
+// Append appends records to the JSONL history at path (one canonical JSON
+// object per line), creating the file and its directory as needed.
+func Append(path string, recs ...Record) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("bench: creating history dir: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("bench: opening history: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("bench: encoding record %q: %w", r.Name, err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			f.Close()
+			return fmt.Errorf("bench: writing history: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("bench: flushing history: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("bench: closing history: %w", err)
+	}
+	return nil
+}
+
+// Load reads a JSONL history. Blank lines are skipped; a malformed line is
+// an error naming its line number. Records of any schema version load (the
+// comparator decides comparability).
+func Load(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reading history: %w", err)
+	}
+	var recs []Record
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("bench: %s:%d: %w", path, i+1, err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}
+
+// Baseline picks the most recent comparable baseline for cur from recs:
+// same name, same schema version, same host fingerprint, not handicapped.
+// Later records win (a history file is appended chronologically).
+func Baseline(recs []Record, cur Record) (Record, bool) {
+	var best Record
+	found := false
+	for _, r := range recs {
+		if r.Name != cur.Name || r.Schema != cur.Schema {
+			continue
+		}
+		if !r.Host.Equal(cur.Host) {
+			continue
+		}
+		if r.Handicap != 0 && r.Handicap != 1 {
+			continue
+		}
+		best, found = r, true
+	}
+	return best, found
+}

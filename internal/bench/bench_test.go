@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baseRecord() Record {
+	return Record{
+		Schema: SchemaVersion, Name: "incast", Kind: "scenario",
+		Host: Host{Cores: 8, MaxProcs: 8, GoVersion: "go1.24", CPU: "testcpu"},
+		Seed: 42, Workers: 1, Reps: 3,
+		Events: 1_000_000, SimMillis: 12.5, WallMillis: 100, Noise: 0.02,
+		EventsPerSec: 10_000_000, SimPerWall: 0.125,
+		PeakHeapBytes: 64 << 20, TotalAllocBytes: 512 << 20,
+	}
+}
+
+func TestCompareWithinNoise(t *testing.T) {
+	base := baseRecord()
+	cur := base
+	cur.EventsPerSec = base.EventsPerSec * 0.95 // −5%, inside 10%+noise window
+	v := Compare(base, cur, DefaultThresholds())
+	if v.Class != WithinNoise {
+		t.Fatalf("class = %v, want within-noise: %+v", v.Class, v)
+	}
+	if v.Window <= 0.10 {
+		t.Fatalf("window %v should include both records' noise", v.Window)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	base := baseRecord()
+	cur := base
+	cur.EventsPerSec = base.EventsPerSec * 0.5 // −50%
+	v := Compare(base, cur, DefaultThresholds())
+	if v.Class != Regression {
+		t.Fatalf("class = %v, want regression: %+v", v.Class, v)
+	}
+	if !v.Deltas[0].Flagged {
+		t.Fatalf("events/sec delta not flagged: %+v", v.Deltas)
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	base := baseRecord()
+	cur := base
+	cur.EventsPerSec = base.EventsPerSec * 1.5
+	v := Compare(base, cur, DefaultThresholds())
+	if v.Class != Improvement {
+		t.Fatalf("class = %v, want improvement: %+v", v.Class, v)
+	}
+}
+
+// A regression hiding inside wide spread must not fire: the window widens
+// by the measured noise of both records.
+func TestCompareNoiseConsumesSpread(t *testing.T) {
+	base := baseRecord()
+	base.Noise = 0.15
+	cur := base
+	cur.Noise = 0.10
+	cur.EventsPerSec = base.EventsPerSec * 0.70 // −30% < 10%+15%+10% window
+	v := Compare(base, cur, DefaultThresholds())
+	if v.Class != WithinNoise {
+		t.Fatalf("class = %v, want within-noise with window %.2f", v.Class, v.Window)
+	}
+	cur.EventsPerSec = base.EventsPerSec * 0.60 // −40% > 35% window
+	if v := Compare(base, cur, DefaultThresholds()); v.Class != Regression {
+		t.Fatalf("class = %v, want regression beyond widened window", v.Class)
+	}
+}
+
+func TestComparePeakHeapRegression(t *testing.T) {
+	base := baseRecord()
+	cur := base
+	cur.PeakHeapBytes = base.PeakHeapBytes * 2
+	v := Compare(base, cur, DefaultThresholds())
+	if v.Class != Regression {
+		t.Fatalf("class = %v, want regression on heap growth", v.Class)
+	}
+	if !v.Deltas[1].Flagged {
+		t.Fatalf("heap delta not flagged: %+v", v.Deltas)
+	}
+}
+
+func TestCompareHostMismatch(t *testing.T) {
+	base := baseRecord()
+	cur := base
+	cur.Host.Cores = 2
+	v := Compare(base, cur, DefaultThresholds())
+	if v.Class != Incomparable {
+		t.Fatalf("class = %v, want incomparable across hosts", v.Class)
+	}
+	if len(v.Notes) == 0 || !strings.Contains(v.Notes[0], "host fingerprint") {
+		t.Fatalf("missing host note: %+v", v.Notes)
+	}
+}
+
+func TestCompareSchemaSkew(t *testing.T) {
+	base := baseRecord()
+	base.Schema = 1
+	v := Compare(base, baseRecord(), DefaultThresholds())
+	if v.Class != Incomparable || !strings.Contains(v.Notes[0], "schema skew") {
+		t.Fatalf("want schema-skew incomparable, got %+v", v)
+	}
+}
+
+func TestCompareWorkloadDrift(t *testing.T) {
+	base := baseRecord()
+	cur := base
+	cur.Events = base.Events * 2 // deterministic count moved → workload changed
+	v := Compare(base, cur, DefaultThresholds())
+	if v.Class != Incomparable || !strings.Contains(v.Notes[0], "workload drift") {
+		t.Fatalf("want workload-drift incomparable, got %+v", v)
+	}
+	cur = base
+	cur.Seed = 7
+	if v := Compare(base, cur, DefaultThresholds()); v.Class != Incomparable {
+		t.Fatalf("seed change must be incomparable, got %v", v.Class)
+	}
+}
+
+func TestFenceMissingBaseline(t *testing.T) {
+	cur := baseRecord()
+	vs := Fence(nil, []Record{cur}, DefaultThresholds())
+	if len(vs) != 1 || vs[0].Class != Incomparable {
+		t.Fatalf("want incomparable for empty history, got %+v", vs)
+	}
+	if HasRegression(vs) {
+		t.Fatal("missing baseline must not be a regression")
+	}
+
+	// A history with only foreign-host records is as good as empty.
+	foreign := baseRecord()
+	foreign.Host.CPU = "othercpu"
+	vs = Fence([]Record{foreign}, []Record{cur}, DefaultThresholds())
+	if vs[0].Class != Incomparable {
+		t.Fatalf("foreign-host baseline must be skipped, got %+v", vs[0])
+	}
+}
+
+// The fence picks the latest comparable baseline and skips handicapped
+// self-test records.
+func TestBaselineSelection(t *testing.T) {
+	old := baseRecord()
+	old.EventsPerSec = 1
+	newer := baseRecord()
+	newer.EventsPerSec = 2
+	handicapped := baseRecord()
+	handicapped.Handicap = 2
+	handicapped.EventsPerSec = 3
+	got, ok := Baseline([]Record{old, newer, handicapped}, baseRecord())
+	if !ok || got.EventsPerSec != 2 {
+		t.Fatalf("Baseline = %+v ok=%v, want the latest honest record", got, ok)
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "BENCH_HISTORY.jsonl")
+	r1 := baseRecord()
+	r2 := baseRecord()
+	r2.Name = "linkflap"
+	if err := Append(path, r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, r2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0] != r1 || recs[1] != r2 {
+		t.Fatalf("round trip lost data: %+v", recs)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	if err := Append(path, baseRecord()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("not json\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("want line-numbered parse error, got %v", err)
+	}
+}
+
+func TestMedianSpread(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("Median even = %v", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Fatalf("Median empty = %v", got)
+	}
+	if got := Spread([]float64{90, 100, 110}); got != 0.2 {
+		t.Fatalf("Spread = %v, want 0.2", got)
+	}
+	if got := Spread([]float64{100}); got != 0 {
+		t.Fatalf("Spread single = %v", got)
+	}
+}
+
+func TestWriteVerdicts(t *testing.T) {
+	base := baseRecord()
+	cur := base
+	cur.EventsPerSec = base.EventsPerSec * 0.5
+	var buf bytes.Buffer
+	vs := []Verdict{Compare(base, cur, DefaultThresholds())}
+	if err := WriteVerdicts(&buf, vs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "! events_per_sec") {
+		t.Fatalf("verdict rendering missing pieces:\n%s", out)
+	}
+}

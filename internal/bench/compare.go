@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Thresholds are the relative-change limits the comparator applies. Each
+// is a fraction: 0.10 flags a >10% drop in events/sec. The events/sec
+// threshold is additionally widened by the measured noise of both records.
+type Thresholds struct {
+	EventsPerSec float64 // relative slowdown in events/sec that flags a regression
+	PeakHeap     float64 // relative growth in peak heap that flags a regression
+	TotalAlloc   float64 // relative growth in total allocations that flags a regression
+}
+
+// DefaultThresholds: 10% throughput, 30% heap, 30% allocations. Heap and
+// alloc limits are looser because they are near-deterministic — a real
+// growth there is a code change, not scheduler noise.
+func DefaultThresholds() Thresholds {
+	return Thresholds{EventsPerSec: 0.10, PeakHeap: 0.30, TotalAlloc: 0.30}
+}
+
+// Class is the comparator's verdict for one record.
+type Class uint8
+
+const (
+	// Incomparable: no verdict — schema skew, host mismatch, workload
+	// drift, or a baseline without wall measurements. The fence treats it
+	// as a soft pass with an explanatory note.
+	Incomparable Class = iota
+	WithinNoise
+	Improvement
+	Regression
+)
+
+func (c Class) String() string {
+	switch c {
+	case Incomparable:
+		return "incomparable"
+	case WithinNoise:
+		return "within-noise"
+	case Improvement:
+		return "improvement"
+	case Regression:
+		return "REGRESSION"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Delta is one metric's relative change against baseline.
+type Delta struct {
+	Metric  string  `json:"metric"`
+	Base    float64 `json:"base"`
+	Cur     float64 `json:"cur"`
+	Rel     float64 `json:"rel"` // (cur−base)/base; sign convention per metric
+	Flagged bool    `json:"flagged"`
+}
+
+// Verdict is the comparison result for one record.
+type Verdict struct {
+	Name   string   `json:"name"`
+	Class  Class    `json:"-"`
+	ClassS string   `json:"class"`
+	Window float64  `json:"window"` // effective events/sec noise window applied
+	Deltas []Delta  `json:"deltas,omitempty"`
+	Notes  []string `json:"notes,omitempty"`
+}
+
+func incomparable(name string, format string, args ...any) Verdict {
+	return Verdict{Name: name, Class: Incomparable, ClassS: Incomparable.String(),
+		Notes: []string{fmt.Sprintf(format, args...)}}
+}
+
+func relChange(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base
+}
+
+// Compare classifies cur against base. The events/sec threshold widens by
+// both records' measured noise: window = threshold + base.Noise +
+// cur.Noise — a single noisy sample cannot fake (or hide behind) a
+// regression larger than the combined spread plus the configured margin.
+func Compare(base, cur Record, th Thresholds) Verdict {
+	if base.Name != cur.Name {
+		return incomparable(cur.Name, "baseline is %q, not %q", base.Name, cur.Name)
+	}
+	if base.Schema != cur.Schema {
+		return incomparable(cur.Name, "schema skew: baseline v%d vs current v%d", base.Schema, cur.Schema)
+	}
+	if !base.Host.Equal(cur.Host) {
+		return incomparable(cur.Name, "host fingerprint differs (baseline %d cores %s %q, current %d cores %s %q)",
+			base.Host.Cores, base.Host.GoVersion, base.Host.CPU,
+			cur.Host.Cores, cur.Host.GoVersion, cur.Host.CPU)
+	}
+	if base.Seed != cur.Seed || base.Scale != cur.Scale || base.Workers != cur.Workers {
+		return incomparable(cur.Name, "workload drift: seed/scale/workers %d/%g/%d vs %d/%g/%d",
+			base.Seed, base.Scale, base.Workers, cur.Seed, cur.Scale, cur.Workers)
+	}
+	if base.Events > 0 && math.Abs(relChange(float64(base.Events), float64(cur.Events))) > 0.01 {
+		return incomparable(cur.Name, "workload drift: deterministic event count moved %d → %d (the workload changed; re-baseline)",
+			base.Events, cur.Events)
+	}
+	if base.EventsPerSec == 0 || cur.EventsPerSec == 0 {
+		return incomparable(cur.Name, "missing wall measurements (baseline %.0f ev/s, current %.0f ev/s)",
+			base.EventsPerSec, cur.EventsPerSec)
+	}
+
+	v := Verdict{Name: cur.Name, Window: th.EventsPerSec + base.Noise + cur.Noise}
+
+	eps := relChange(base.EventsPerSec, cur.EventsPerSec)
+	epsDelta := Delta{Metric: "events_per_sec", Base: base.EventsPerSec, Cur: cur.EventsPerSec, Rel: eps}
+	regressed, improved := false, false
+	if eps < -v.Window {
+		epsDelta.Flagged = true
+		regressed = true
+	} else if eps > v.Window {
+		epsDelta.Flagged = true
+		improved = true
+	}
+	v.Deltas = append(v.Deltas, epsDelta)
+
+	heap := relChange(float64(base.PeakHeapBytes), float64(cur.PeakHeapBytes))
+	heapDelta := Delta{Metric: "peak_heap_bytes", Base: float64(base.PeakHeapBytes), Cur: float64(cur.PeakHeapBytes), Rel: heap}
+	if base.PeakHeapBytes > 0 && heap > th.PeakHeap {
+		heapDelta.Flagged = true
+		regressed = true
+	}
+	v.Deltas = append(v.Deltas, heapDelta)
+
+	alloc := relChange(float64(base.TotalAllocBytes), float64(cur.TotalAllocBytes))
+	allocDelta := Delta{Metric: "total_alloc_bytes", Base: float64(base.TotalAllocBytes), Cur: float64(cur.TotalAllocBytes), Rel: alloc}
+	if base.TotalAllocBytes > 0 && alloc > th.TotalAlloc {
+		allocDelta.Flagged = true
+		regressed = true
+	}
+	v.Deltas = append(v.Deltas, allocDelta)
+
+	switch {
+	case regressed:
+		v.Class = Regression
+	case improved:
+		v.Class = Improvement
+	default:
+		v.Class = WithinNoise
+	}
+	v.ClassS = v.Class.String()
+	return v
+}
+
+// Fence compares each current record against its best baseline in history.
+// A record with no comparable baseline yields an Incomparable verdict (a
+// fresh machine or a fresh workload is not a regression).
+func Fence(history, current []Record, th Thresholds) []Verdict {
+	out := make([]Verdict, 0, len(current))
+	for _, cur := range current {
+		base, ok := Baseline(history, cur)
+		if !ok {
+			out = append(out, incomparable(cur.Name, "no comparable baseline in history (name, schema v%d, host fingerprint)", cur.Schema))
+			continue
+		}
+		out = append(out, Compare(base, cur, th))
+	}
+	return out
+}
+
+// HasRegression reports whether any verdict is a Regression.
+func HasRegression(vs []Verdict) bool {
+	for _, v := range vs {
+		if v.Class == Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteVerdicts renders one line per verdict plus flagged deltas and notes.
+func WriteVerdicts(w io.Writer, vs []Verdict) error {
+	for _, v := range vs {
+		if _, err := fmt.Fprintf(w, "fence %-24s %-12s window=±%.1f%%\n", v.Name, v.Class, 100*v.Window); err != nil {
+			return err
+		}
+		for _, d := range v.Deltas {
+			mark := " "
+			if d.Flagged {
+				mark = "!"
+			}
+			if _, err := fmt.Fprintf(w, "  %s %-18s %14.1f → %14.1f  (%+.1f%%)\n", mark, d.Metric, d.Base, d.Cur, 100*d.Rel); err != nil {
+				return err
+			}
+		}
+		for _, n := range v.Notes {
+			if _, err := fmt.Fprintf(w, "    note: %s\n", n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"dcpsim/internal/exp/pool"
 	"dcpsim/internal/obs"
 	"dcpsim/internal/obs/flight"
+	"dcpsim/internal/sim"
 	"dcpsim/internal/stats"
 	"dcpsim/internal/units"
 )
@@ -54,6 +55,15 @@ type Options struct {
 	AbortAfter int
 }
 
+// CompCount is one engine component's dispatched-event count, aggregated
+// across a unit's cells. Counts come from the sim.Prof dispatch profiler
+// (counts-only, no wall clock), so they are deterministic for a given
+// seed and safe inside the byte-identical bundle.
+type CompCount struct {
+	Comp   string `json:"comp"`
+	Events uint64 `json:"events"`
+}
+
 // UnitResult is everything one unit's execution produced. It is the
 // checkpoint payload, so every field must marshal canonically (fixed
 // field order, no maps) and round-trip exactly.
@@ -67,6 +77,9 @@ type UnitResult struct {
 	Summary *stats.RunSummary `json:"summary,omitempty"`
 	Sims    int               `json:"sims"`
 	Events  int64             `json:"events"`
+	// Comps attributes the unit's dispatched events to engine components
+	// (enum order, zero rows omitted).
+	Comps []CompCount `json:"comps,omitempty"`
 	// CheckEvents/Violations/Autopsy come from the flight-recorder
 	// checkers (observe.check).
 	CheckEvents  int64    `json:"check_events"`
@@ -109,6 +122,7 @@ type unitObs struct {
 	checkers map[exp.CellKey]*flight.Checker
 	tracers  map[exp.CellKey]*obs.Tracer
 	meters   map[exp.CellKey]*obs.Metrics
+	profs    map[exp.CellKey]*sim.Prof
 }
 
 func newUnitObs(o Observe) *unitObs {
@@ -120,6 +134,7 @@ func newUnitObs(o Observe) *unitObs {
 		checkers: map[exp.CellKey]*flight.Checker{},
 		tracers:  map[exp.CellKey]*obs.Tracer{},
 		meters:   map[exp.CellKey]*obs.Metrics{},
+		profs:    map[exp.CellKey]*sim.Prof{},
 	}
 	for _, k := range o.TraceCells {
 		u.traces[k] = true
@@ -153,9 +168,14 @@ func (uo *unitObs) hook(key exp.CellKey, s *exp.Sim) {
 	if tr != nil || m != nil {
 		s.Attach(tr, m)
 	}
+	// Counts-only dispatch profiler on every cell: deterministic component
+	// attribution for the bundle's bench snapshot, no wall clock.
+	pr := &sim.Prof{}
+	s.Eng.AttachProf(pr)
 	uo.mu.Lock()
 	defer uo.mu.Unlock()
 	uo.keys = append(uo.keys, key)
+	uo.profs[key] = pr
 	if ck != nil {
 		uo.checkers[key] = ck
 	}
@@ -220,8 +240,14 @@ func (pd *pending) finish(obsDir string) (*UnitResult, error) {
 	}
 	keys := pd.obs.sortedKeys()
 	res.Sims = len(keys)
+	var totalProf sim.Prof
 	var autopsy strings.Builder
 	for _, k := range keys {
+		if pr := pd.obs.profs[k]; pr != nil {
+			for i := range pr.Counts {
+				totalProf.Counts[i] += pr.Counts[i]
+			}
+		}
 		if ck := pd.obs.checkers[k]; ck != nil {
 			res.CheckEvents += ck.Events()
 			res.Violations += ck.Violations()
@@ -252,6 +278,11 @@ func (pd *pending) finish(obsDir string) (*UnitResult, error) {
 		}
 	}
 	res.Autopsy = autopsy.String()
+	for c := sim.Comp(0); c < sim.NumComps; c++ {
+		if totalProf.Counts[c] > 0 {
+			res.Comps = append(res.Comps, CompCount{Comp: c.String(), Events: totalProf.Counts[c]})
+		}
+	}
 	return res, nil
 }
 
@@ -581,9 +612,10 @@ type benchSnapshot struct {
 }
 
 type benchUnit struct {
-	ID     string `json:"id"`
-	Sims   int    `json:"sims"`
-	Events int64  `json:"events"`
+	ID     string      `json:"id"`
+	Sims   int         `json:"sims"`
+	Events int64       `json:"events"`
+	Comps  []CompCount `json:"comps,omitempty"`
 }
 
 // manifest is the bundle's provenance record: enough to re-execute and
@@ -661,7 +693,7 @@ func writeBundle(dir string, c *Campaign, docBytes []byte, docSHA string, rep *R
 	}
 	for i, u := range c.Units {
 		r := rep.Results[i]
-		bench.Units = append(bench.Units, benchUnit{ID: u.ID, Sims: r.Sims, Events: r.Events})
+		bench.Units = append(bench.Units, benchUnit{ID: u.ID, Sims: r.Sims, Events: r.Events, Comps: r.Comps})
 		bench.TotalEvents += r.Events
 		bench.TotalSims += int64(r.Sims)
 		man.Units = append(man.Units, manifestUnit{

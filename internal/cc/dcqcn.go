@@ -69,6 +69,10 @@ func NewDCQCNFactory(cfg DCQCNConfig) Factory {
 		d := &DCQCN{cfg: cfg, eng: eng, link: link, rc: link, rt: link, alpha: 1}
 		d.alphaT = sim.NewTimer(eng, d.alphaTick)
 		d.incT = sim.NewTimer(eng, d.timerTick)
+		// Rate-machine ticks profile as congestion-control work, not as
+		// generic timer expiries.
+		d.alphaT.Comp = sim.CompCC
+		d.incT.Comp = sim.CompCC
 		return d
 	}
 }

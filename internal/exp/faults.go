@@ -90,10 +90,10 @@ func runFaultScenario(cfg Config, sch Scheme, size int64, bin, horizon units.Tim
 			tr.Sample(s.Net.Hosts[faultHosts+i].DeliveredBytes)
 		}
 		if s.Eng.Now() < horizon {
-			s.Eng.After(bin, sample)
+			s.Eng.AfterComp(bin, sim.CompProbe, sample)
 		}
 	}
-	s.Eng.After(bin, sample)
+	s.Eng.AfterComp(bin, sim.CompProbe, sample)
 	unfinished := s.Run(horizon)
 	return &faultRun{Sim: s, Inj: inj, Traces: traces, Unfinished: unfinished}
 }

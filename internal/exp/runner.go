@@ -255,6 +255,10 @@ type Sim struct {
 	Col *stats.Collector
 	Env *base.Env
 
+	// Scheme is the transport scheme name this sim was wired with
+	// (NewSimCfg records it); the perf profiler groups attribution by it.
+	Scheme string
+
 	listeners map[uint64]func(*stats.FlowRecord)
 }
 
@@ -298,7 +302,8 @@ func NewSimCfg(cfg Config, sch Scheme, build func(*sim.Engine) *topo.Network) *S
 		sch.Tweak(env)
 	}
 	net.Install(sch.Factory, env)
-	s := &Sim{Eng: eng, Net: net, Col: col, Env: env, listeners: make(map[uint64]func(*stats.FlowRecord))}
+	s := &Sim{Eng: eng, Net: net, Col: col, Env: env, Scheme: sch.Name,
+		listeners: make(map[uint64]func(*stats.FlowRecord))}
 	col.OnDone = func(f *stats.FlowRecord) {
 		if cb := s.listeners[f.ID]; cb != nil {
 			delete(s.listeners, f.ID)
@@ -368,7 +373,7 @@ func (s *Sim) ScheduleFlows(flows []*workload.Flow) {
 		rec.Class = f.Class
 		rec.Group = f.Group
 		rec.IdealFCT = s.IdealFCT(f)
-		s.Eng.At(f.Start, func() {
+		s.Eng.AtComp(f.Start, sim.CompWorkload, func() {
 			s.Net.Transports[f.Src].StartFlow(f)
 		})
 	}
@@ -409,7 +414,7 @@ func (s *Sim) RunCoflow(cf *workload.Coflow, start units.Time, done func(at unit
 					startStep(i+1, last)
 				}
 			})
-			s.Eng.At(at, func() { s.Net.Transports[f.Src].StartFlow(f) })
+			s.Eng.AtComp(at, sim.CompWorkload, func() { s.Net.Transports[f.Src].StartFlow(f) })
 		}
 	}
 	startStep(0, start)

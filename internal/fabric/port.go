@@ -25,8 +25,9 @@ type Wire struct {
 	eng     *sim.Engine
 	delay   units.Time
 	dst     Receiver
-	ingress int   // ingress index at dst
-	src     *Port // the port that transmits onto this wire
+	ingress int      // ingress index at dst
+	src     *Port    // the port that transmits onto this wire
+	comp    sim.Comp // profiler attribution of delivery events at dst
 
 	// Fault-injection state (package faults drives these): an admin-down
 	// wire silently discards everything handed to it; lossRate models
@@ -51,7 +52,7 @@ type Wire struct {
 // NewWire creates a wire with the given propagation delay, terminating at
 // dst's ingress index.
 func NewWire(eng *sim.Engine, delay units.Time, dst Receiver, ingress int) *Wire {
-	return &Wire{eng: eng, delay: delay, dst: dst, ingress: ingress}
+	return &Wire{eng: eng, delay: delay, dst: dst, ingress: ingress, comp: sim.CompFabric}
 }
 
 // IngressNode is a receiver that tracks its arriving wires (switches need
@@ -64,10 +65,17 @@ type IngressNode interface {
 // Attach creates a wire into dst and registers it as an ingress, returning
 // the wire ready to be used as a port's output.
 func Attach(eng *sim.Engine, delay units.Time, dst IngressNode) *Wire {
-	w := &Wire{eng: eng, delay: delay, dst: dst}
+	w := &Wire{eng: eng, delay: delay, dst: dst, comp: sim.CompFabric}
 	w.ingress = dst.AddIngress(w)
 	return w
 }
+
+// SetDeliverComp overrides the profiler component delivery events at this
+// wire's destination are attributed to. Wires default to CompFabric; a NIC
+// registering an arriving wire retags it CompNIC so host-side receive
+// processing (transport Handle and everything it causes) is attributed to
+// the host, not the fabric.
+func (w *Wire) SetDeliverComp(c sim.Comp) { w.comp = c }
 
 // Delay returns the propagation delay.
 func (w *Wire) Delay() units.Time { return w.delay }
@@ -100,11 +108,11 @@ func (w *Wire) Deliver(p *packet.Packet) {
 		// duplicate. The original arrives first, the copy right behind it
 		// (same arrival time, FIFO event order).
 		cp := *p
-		w.eng.After(w.delay, func() { w.dst.Receive(p, w.ingress) })
-		w.eng.After(w.delay, func() { w.dst.Receive(&cp, w.ingress) })
+		w.eng.AfterComp(w.delay, w.comp, func() { w.dst.Receive(p, w.ingress) })
+		w.eng.AfterComp(w.delay, w.comp, func() { w.dst.Receive(&cp, w.ingress) })
 		return
 	}
-	w.eng.After(w.delay, func() { w.dst.Receive(p, w.ingress) })
+	w.eng.AfterComp(w.delay, w.comp, func() { w.dst.Receive(p, w.ingress) })
 }
 
 // SetAdminDown takes the wire administratively down or up. While down,
@@ -150,7 +158,7 @@ func (w *Wire) PauseSource(on bool) {
 	if w.src == nil {
 		return
 	}
-	w.eng.After(w.delay, func() { w.src.SetDataPaused(on) })
+	w.eng.AfterComp(w.delay, sim.CompFabric, func() { w.src.SetDataPaused(on) })
 }
 
 // Scheduler is a port's queue discipline. Next returns the next packet to
@@ -172,6 +180,7 @@ type Port struct {
 	rate  units.Rate
 	wire  *Wire
 	sched Scheduler
+	comp  sim.Comp // profiler attribution of tx-completion events
 
 	busy        bool
 	dataPaused  bool
@@ -195,12 +204,18 @@ type Port struct {
 
 // NewPort creates a port transmitting at rate onto wire, fed by sched.
 func NewPort(eng *sim.Engine, rate units.Rate, wire *Wire, sched Scheduler) *Port {
-	p := &Port{eng: eng, rate: rate, wire: wire, sched: sched}
+	p := &Port{eng: eng, rate: rate, wire: wire, sched: sched, comp: sim.CompFabric}
 	if wire != nil {
 		wire.src = p
 	}
 	return p
 }
+
+// SetComp overrides the profiler component this port's tx-completion
+// events are attributed to (a host NIC's egress port tags CompNIC — the
+// completion closure pulls the next packet from the transport, which is
+// host work).
+func (p *Port) SetComp(c sim.Comp) { p.comp = c }
 
 // Rate returns the port's line rate.
 func (p *Port) Rate() units.Rate { return p.rate }
@@ -273,7 +288,7 @@ func (p *Port) Kick() {
 	tx := units.TxTime(pkt.Size, p.rate)
 	p.TxBytes += int64(pkt.Size)
 	p.TxPackets++
-	p.eng.After(tx, func() {
+	p.eng.AfterComp(tx, p.comp, func() {
 		p.busy = false
 		p.wire.Deliver(pkt)
 		p.Kick()

@@ -317,7 +317,7 @@ func Inject(eng *sim.Engine, p *Plan, tgt Targets) (*Injector, error) {
 		if ev.At < eng.Now() {
 			return nil, fmt.Errorf("faults: event %v is in the past (now %v)", ev, eng.Now())
 		}
-		eng.At(ev.At, func() { in.apply(ev) })
+		eng.AtComp(ev.At, sim.CompFaults, func() { in.apply(ev) })
 	}
 	return in, nil
 }

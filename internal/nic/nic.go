@@ -73,6 +73,9 @@ func (n *NIC) Transport() Transport { return n.tr }
 // fabric.Attach toward the first-hop switch or peer NIC).
 func (n *NIC) SetUplink(w *fabric.Wire) {
 	n.port = fabric.NewPort(n.eng, n.rate, w, &fabric.PullScheduler{Pull: n.pull})
+	// The egress tx-completion closure pulls the next packet from the
+	// transport — host work, so the profiler books it to the NIC.
+	n.port.SetComp(sim.CompNIC)
 }
 
 // Port returns the egress port (nil before SetUplink).
@@ -86,8 +89,12 @@ func (n *NIC) pull(dataPaused bool) *packet.Packet {
 }
 
 // AddIngress implements fabric.IngressNode; NICs do not track arriving
-// wires.
-func (n *NIC) AddIngress(w *fabric.Wire) int { return 0 }
+// wires, but retag them so delivery events (Receive → transport Handle)
+// profile as host-side work rather than fabric propagation.
+func (n *NIC) AddIngress(w *fabric.Wire) int {
+	w.SetDeliverComp(sim.CompNIC)
+	return 0
+}
 
 // SetTrace attaches (or with nil detaches) the observability trace sink.
 func (n *NIC) SetTrace(tr *obs.Tracer) { n.trace = tr }
@@ -129,7 +136,7 @@ func (n *NIC) KickAt(t units.Time) {
 		n.kickEv.Cancel()
 	}
 	n.kickAt = t
-	n.kickEv = n.eng.At(t, func() {
+	n.kickEv = n.eng.AtComp(t, sim.CompNIC, func() {
 		n.kickEv = nil
 		n.Kick()
 	})

@@ -7,7 +7,9 @@ package obs
 import (
 	"testing"
 
+	"dcpsim/internal/obs/perf"
 	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
 	"dcpsim/internal/units"
 )
 
@@ -29,5 +31,51 @@ func TestDisabledHooksAllocationFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled hook path allocates %.0f bytes-equivalents/op, want 0", allocs)
+	}
+}
+
+// TestDisabledProfilerAllocationFree extends the zero-overhead contract to
+// the dispatch profiler: every method on a nil *perf.Profiler no-ops
+// without allocating, matching the nil *Tracer / *Metrics discipline.
+func TestDisabledProfilerAllocationFree(t *testing.T) {
+	var p *perf.Profiler
+	eng := sim.NewEngine(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Attach("cell", "scheme", eng)
+		p.Phase("simulate")
+		p.EndPhases()
+		if p.Cells() != 0 {
+			t.Fatal("nil profiler attached something")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil profiler path allocates %.0f bytes-equivalents/op, want 0", allocs)
+	}
+}
+
+// TestEngineProfNoExtraAllocs pins the disabled path inside the dispatch
+// loop itself: running the same event pattern with a counts-only Prof
+// attached allocates exactly as much as running without one — the
+// profiling hook is a nil check plus array increments, never a heap write.
+func TestEngineProfNoExtraAllocs(t *testing.T) {
+	prof := &sim.Prof{}
+	run := func(attach bool) float64 {
+		return testing.AllocsPerRun(200, func() {
+			eng := sim.NewEngine(1)
+			if attach {
+				eng.AttachProf(prof)
+			}
+			for i := 0; i < 16; i++ {
+				eng.AtComp(units.Time(i), sim.CompFabric, func() {
+					eng.After(1, func() {})
+				})
+			}
+			eng.Run(0)
+		})
+	}
+	without := run(false)
+	with := run(true)
+	if with > without {
+		t.Fatalf("profiled dispatch allocates more (%.1f) than unprofiled (%.1f)", with, without)
 	}
 }

@@ -142,7 +142,7 @@ func (m *Metrics) Start() {
 		return
 	}
 	m.started = true
-	m.eng.After(m.interval, m.tick)
+	m.eng.AfterComp(m.interval, sim.CompProbe, m.tick)
 }
 
 func (m *Metrics) tick() {
@@ -159,7 +159,7 @@ func (m *Metrics) tick() {
 	// alive by itself. Stop, so Engine.Run(0) still terminates at the last
 	// real event rather than chasing a lingering cancelled timer.
 	if m.eng.PendingActive() > 0 {
-		m.eng.After(m.interval, m.tick)
+		m.eng.AfterComp(m.interval, sim.CompProbe, m.tick)
 	}
 }
 

@@ -1,0 +1,210 @@
+// Package perf is the engine-dispatch profiler: it attaches sim.Prof
+// accounting to every engine in a run and aggregates the per-component
+// event counts (and, when a wall clock is injected, wall nanoseconds)
+// into an attribution report — "where does an event-second go?".
+//
+// The report has two halves with different determinism guarantees. The
+// deterministic half — per-component and per-scheme event counts, heap
+// and live high-water marks, cancelled-drop churn — depends only on the
+// seed and is byte-identical across hosts, runs, and worker counts. The
+// host half — wall-time attribution, phase timings, allocation deltas —
+// exists only when Options.Wall is non-nil and is explicitly labelled as
+// machine-varying. The profiler itself never reads the host clock (the
+// detcheck contract); callers inject one, exactly like obs.Metrics.
+//
+// A nil *Profiler is the disabled path: every method no-ops without
+// allocating, mirroring the nil *Tracer / *Metrics discipline.
+package perf
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"dcpsim/internal/sim"
+)
+
+// Options configures a Profiler.
+type Options struct {
+	// Wall, when non-nil, supplies monotonic wall-clock nanoseconds. It
+	// enables per-component wall attribution and phase timing, and must be
+	// safe for concurrent use when cells run on a worker pool.
+	Wall func() int64
+}
+
+// cell is one profiled engine with its run identity.
+type cell struct {
+	label  string
+	scheme string
+	prof   *sim.Prof
+	eng    *sim.Engine
+}
+
+// phase is one wall-clock phase bracket (only recorded with a wall clock).
+type phase struct {
+	name    string
+	wallNs  int64
+	allocB  uint64
+	started bool
+}
+
+// Profiler aggregates dispatch profiles across the engines of a run.
+// Attach is safe to call from worker goroutines (the parallel runner fires
+// Config.Hook concurrently); each engine still writes its own *sim.Prof
+// without synchronization, preserving the engines' single-goroutine
+// ownership contract.
+type Profiler struct {
+	mu     sync.Mutex
+	wall   func() int64
+	cells  []cell
+	phases []phase
+}
+
+// New returns a profiler. New(Options{}) profiles deterministic counts
+// only; inject Options.Wall for host wall attribution.
+func New(opt Options) *Profiler {
+	return &Profiler{wall: opt.Wall}
+}
+
+// Attach hooks one engine: allocates its sim.Prof and registers the cell
+// under label (its CellKey string) and scheme (the transport name). Call
+// it from exp.Config.Hook before the cell runs. Nil-safe no-op.
+func (p *Profiler) Attach(label, scheme string, eng *sim.Engine) {
+	if p == nil || eng == nil {
+		return
+	}
+	pr := &sim.Prof{Wall: p.wall}
+	eng.AttachProf(pr)
+	p.mu.Lock()
+	p.cells = append(p.cells, cell{label: label, scheme: scheme, prof: pr, eng: eng})
+	p.mu.Unlock()
+}
+
+// Cells returns the number of engines attached so far.
+func (p *Profiler) Cells() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cells)
+}
+
+// Phase closes the previous phase (if any) and opens a new wall-clock
+// bracket named name. Phases measure host time and allocation between
+// marks, so they are recorded only when a wall clock was injected;
+// without one (and on a nil profiler) Phase is a no-op, keeping the
+// deterministic report free of host-varying data. Call EndPhases (or
+// Report, which does it) to close the last bracket.
+func (p *Profiler) Phase(name string) {
+	if p == nil || p.wall == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closeLastLocked()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.phases = append(p.phases, phase{name: name, wallNs: p.wall(), allocB: ms.TotalAlloc, started: true})
+}
+
+// EndPhases closes the currently open phase bracket, if any.
+func (p *Profiler) EndPhases() {
+	if p == nil || p.wall == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closeLastLocked()
+}
+
+func (p *Profiler) closeLastLocked() {
+	if n := len(p.phases); n > 0 && p.phases[n-1].started {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		ph := &p.phases[n-1]
+		ph.wallNs = p.wall() - ph.wallNs
+		ph.allocB = ms.TotalAlloc - ph.allocB
+		ph.started = false
+	}
+}
+
+// Report aggregates everything attached so far. Cells are sorted by label
+// before aggregation so the report is independent of worker scheduling
+// order. The returned report's deterministic half is byte-stable for a
+// given seed; the Host half is present only with an injected wall clock.
+func (p *Profiler) Report() *Report {
+	r := &Report{}
+	if p == nil {
+		return r
+	}
+	p.mu.Lock()
+	p.closeLastLocked()
+	cells := make([]cell, len(p.cells))
+	copy(cells, p.cells)
+	phases := make([]phase, len(p.phases))
+	copy(phases, p.phases)
+	wall := p.wall
+	p.mu.Unlock()
+
+	sort.Slice(cells, func(i, j int) bool { return cells[i].label < cells[j].label })
+
+	var total sim.Prof
+	perScheme := map[string]*SchemeRow{}
+	for _, c := range cells {
+		for i := range c.prof.Counts {
+			total.Counts[i] += c.prof.Counts[i]
+			total.WallNs[i] += c.prof.WallNs[i]
+		}
+		sr := perScheme[c.scheme]
+		if sr == nil {
+			sr = &SchemeRow{Scheme: c.scheme}
+			perScheme[c.scheme] = sr
+		}
+		sr.Cells++
+		for i := sim.Comp(0); i < sim.NumComps; i++ {
+			sr.Counts[i] += c.prof.Counts[i]
+			sr.Events += c.prof.Counts[i]
+		}
+		// Engine extremes: strict > keeps the first (lexicographically
+		// smallest, post-sort) label on ties — deterministic.
+		if c.eng.MaxHeapDepth > r.Engine.MaxHeapDepth {
+			r.Engine.MaxHeapDepth = c.eng.MaxHeapDepth
+			r.Engine.MaxHeapCell = c.label
+		}
+		if c.eng.MaxLive > r.Engine.MaxLive {
+			r.Engine.MaxLive = c.eng.MaxLive
+			r.Engine.MaxLiveCell = c.label
+		}
+		r.Engine.CancelledDrops += c.eng.CancelledDrops
+	}
+
+	r.Cells = len(cells)
+	r.Events = total.Total()
+	r.Attributed = r.Events - total.Counts[sim.CompOther]
+	for i := sim.Comp(0); i < sim.NumComps; i++ {
+		r.Comps[i] = total.Counts[i]
+	}
+	schemes := make([]string, 0, len(perScheme))
+	for s := range perScheme {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	for _, s := range schemes {
+		r.PerScheme = append(r.PerScheme, *perScheme[s])
+	}
+	r.Schemes = len(r.PerScheme)
+
+	if wall != nil {
+		h := &HostReport{}
+		for i := sim.Comp(0); i < sim.NumComps; i++ {
+			h.WallNs[i] = total.WallNs[i]
+			h.TotalWallNs += total.WallNs[i]
+		}
+		for _, ph := range phases {
+			h.Phases = append(h.Phases, PhaseRow{Name: ph.name, WallNs: ph.wallNs, AllocBytes: ph.allocB})
+		}
+		r.Host = h
+	}
+	return r
+}

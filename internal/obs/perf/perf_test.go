@@ -1,0 +1,233 @@
+package perf
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcpsim/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs/perf -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden (run with -update after intentional format changes)\n got: %s\nwant: %s",
+			name, got, want)
+	}
+}
+
+// goldenReport is a fully hand-determined report: every renderable section
+// appears (per-scheme rows, engine extremes, a host half with phases), so
+// the golden pins both the deterministic and the host formatting.
+func goldenReport() *Report {
+	r := &Report{Cells: 3, Schemes: 2}
+	r.Comps[sim.CompWorkload] = 24
+	r.Comps[sim.CompTransport] = 1200
+	r.Comps[sim.CompFabric] = 5400
+	r.Comps[sim.CompNIC] = 3300
+	r.Comps[sim.CompCC] = 420
+	r.Comps[sim.CompTimer] = 96
+	r.Comps[sim.CompFaults] = 4
+	r.Comps[sim.CompProbe] = 51
+	r.Comps[sim.CompOther] = 5
+	for _, n := range r.Comps {
+		r.Events += n
+	}
+	r.Attributed = r.Events - r.Comps[sim.CompOther]
+	dcp := SchemeRow{Scheme: "DCP", Cells: 2}
+	dcp.Counts[sim.CompFabric] = 3600
+	dcp.Counts[sim.CompNIC] = 2200
+	dcp.Counts[sim.CompTransport] = 800
+	gbn := SchemeRow{Scheme: "GBN", Cells: 1}
+	gbn.Counts[sim.CompFabric] = 1800
+	gbn.Counts[sim.CompNIC] = 1100
+	gbn.Counts[sim.CompTimer] = 96
+	for i := range dcp.Counts {
+		dcp.Events += dcp.Counts[i]
+		gbn.Events += gbn.Counts[i]
+	}
+	r.PerScheme = []SchemeRow{dcp, gbn}
+	r.Engine = EngineHigh{MaxHeapDepth: 482, MaxHeapCell: "fig10/c003/s00",
+		MaxLive: 401, MaxLiveCell: "fig10/c001/s00", CancelledDrops: 1439}
+	r.Host = &HostReport{TotalWallNs: 48_000_000}
+	r.Host.WallNs[sim.CompFabric] = 21_000_000
+	r.Host.WallNs[sim.CompNIC] = 14_500_000
+	r.Host.WallNs[sim.CompTransport] = 9_000_000
+	r.Host.WallNs[sim.CompCC] = 2_000_000
+	r.Host.WallNs[sim.CompTimer] = 1_500_000
+	r.Host.Phases = []PhaseRow{
+		{Name: "simulate", WallNs: 52_000_000, AllocBytes: 45_000_000},
+		{Name: "report", WallNs: 1_200_000, AllocBytes: 300_000},
+	}
+	return r
+}
+
+func TestReportGoldenText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.golden.txt", buf.Bytes())
+}
+
+func TestReportGoldenJSON(t *testing.T) {
+	got, err := goldenReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.golden.json", got)
+}
+
+// deterministic-half golden: no wall clock → no host section, the exact
+// shape `dcpbench -profile` promises to keep byte-identical across runs.
+func TestReportGoldenDeterministicText(t *testing.T) {
+	r := goldenReport()
+	r.Host = nil
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("host wall-time")) {
+		t.Fatal("counts-only report leaked a host section")
+	}
+	checkGolden(t, "report_det.golden.txt", buf.Bytes())
+}
+
+// TestProfilerAggregation drives synthetic engines through Attach and
+// checks grouping, totals, and attach-order independence.
+func TestProfilerAggregation(t *testing.T) {
+	build := func(p *Profiler, reverse bool) *Report {
+		mk := func(label, scheme string, fab, nic int) {
+			eng := sim.NewEngine(1)
+			p.Attach(label, scheme, eng)
+			for i := 0; i < fab; i++ {
+				eng.AtComp(1, sim.CompFabric, func() {})
+			}
+			for i := 0; i < nic; i++ {
+				eng.AtComp(2, sim.CompNIC, func() {})
+			}
+			eng.Run(0)
+		}
+		if reverse {
+			mk("b/c001/s00", "GBN", 3, 1)
+			mk("a/c000/s00", "DCP", 5, 2)
+		} else {
+			mk("a/c000/s00", "DCP", 5, 2)
+			mk("b/c001/s00", "GBN", 3, 1)
+		}
+		return p.Report()
+	}
+	r1 := build(New(Options{}), false)
+	r2 := build(New(Options{}), true)
+
+	j1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := r2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("report depends on attach order:\n%s\nvs\n%s", j1, j2)
+	}
+	if r1.Cells != 2 || r1.Schemes != 2 || r1.Events != 11 {
+		t.Fatalf("aggregation wrong: %+v", r1)
+	}
+	if r1.Comps[sim.CompFabric] != 8 || r1.Comps[sim.CompNIC] != 3 {
+		t.Fatalf("comp totals wrong: %v", r1.Comps)
+	}
+	if r1.PerScheme[0].Scheme != "DCP" || r1.PerScheme[0].Events != 7 {
+		t.Fatalf("per-scheme wrong: %+v", r1.PerScheme)
+	}
+	if r1.AttributedShare() != 1 {
+		t.Fatalf("attributed share = %v, want 1", r1.AttributedShare())
+	}
+	// MaxLive high water: 7 events queued before the first Run on the DCP
+	// cell — and the tie-break keeps a deterministic label.
+	if r1.Engine.MaxLive != 7 || r1.Engine.MaxLiveCell != "a/c000/s00" {
+		t.Fatalf("engine extremes wrong: %+v", r1.Engine)
+	}
+}
+
+// TestNilProfiler: the disabled path must be safe on every method.
+func TestNilProfiler(t *testing.T) {
+	var p *Profiler
+	p.Attach("x", "DCP", sim.NewEngine(1))
+	p.Phase("simulate")
+	p.EndPhases()
+	if p.Cells() != 0 {
+		t.Fatal("nil profiler reported cells")
+	}
+	r := p.Report()
+	if r.Events != 0 || r.Host != nil {
+		t.Fatalf("nil profiler report not empty: %+v", r)
+	}
+}
+
+// TestPhases: phase brackets measure the injected wall clock; without a
+// wall clock Phase is a no-op so the report stays deterministic.
+func TestPhases(t *testing.T) {
+	var fake int64
+	p := New(Options{Wall: func() int64 { fake += 1000; return fake }})
+	p.Phase("simulate")
+	p.Phase("report")
+	r := p.Report()
+	if r.Host == nil || len(r.Host.Phases) != 2 {
+		t.Fatalf("phases missing: %+v", r.Host)
+	}
+	for _, ph := range r.Host.Phases {
+		if ph.WallNs <= 0 {
+			t.Fatalf("phase %q has no wall time", ph.Name)
+		}
+	}
+	if r.Host.Phases[0].Name != "simulate" || r.Host.Phases[1].Name != "report" {
+		t.Fatalf("phase order wrong: %+v", r.Host.Phases)
+	}
+
+	counts := New(Options{})
+	counts.Phase("simulate")
+	if r2 := counts.Report(); r2.Host != nil {
+		t.Fatal("counts-only profiler grew a host section")
+	}
+}
+
+// TestWallAttribution end-to-end through Attach: the per-component wall
+// totals must come from the engine's dispatch accounting.
+func TestWallAttribution(t *testing.T) {
+	var fake int64
+	p := New(Options{Wall: func() int64 { fake += 7; return fake }})
+	eng := sim.NewEngine(1)
+	p.Attach("a/c000/s00", "DCP", eng)
+	eng.AtComp(1, sim.CompFabric, func() {})
+	eng.AtComp(2, sim.CompCC, func() {})
+	eng.Run(0)
+	r := p.Report()
+	if r.Host == nil {
+		t.Fatal("no host section with wall clock")
+	}
+	if r.Host.WallNs[sim.CompFabric] != 7 || r.Host.WallNs[sim.CompCC] != 7 {
+		t.Fatalf("wall attribution wrong: %v", r.Host.WallNs)
+	}
+	if r.Host.TotalWallNs != 14 {
+		t.Fatalf("total wall = %d, want 14", r.Host.TotalWallNs)
+	}
+}

@@ -1,0 +1,150 @@
+package perf_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dcpsim/internal/exp"
+	"dcpsim/internal/obs"
+	"dcpsim/internal/obs/flight"
+	"dcpsim/internal/obs/perf"
+)
+
+// profiledIDs is a cheap cross-section of the registry: testbed sweeps,
+// an ablation, and a fault scenario — every component in the taxonomy
+// fires somewhere in this set.
+func profiledIDs(t *testing.T) []exp.Experiment {
+	t.Helper()
+	var exps []exp.Experiment
+	for _, id := range []string{"fig10", "ab-track", "fault-flap"} {
+		e := exp.ByID(id)
+		if e == nil {
+			t.Fatalf("unknown experiment id %q", id)
+		}
+		exps = append(exps, *e)
+	}
+	return exps
+}
+
+func profiledRun(t *testing.T, workers int) (*perf.Report, string) {
+	t.Helper()
+	prof := perf.New(perf.Options{})
+	cfg := exp.Config{Seed: 11, Scale: 0.02}.WithWorkers(workers)
+	cfg.Hook = func(key exp.CellKey, s *exp.Sim) {
+		prof.Attach(key.String(), s.Scheme, s.Eng)
+	}
+	results := exp.RunRegistry(cfg, profiledIDs(t))
+	var tb strings.Builder
+	for _, r := range results {
+		tb.WriteString("### " + r.ID + "\n")
+		for _, tab := range r.Tables {
+			tb.WriteString(tab.String())
+			tb.WriteString("\n")
+		}
+	}
+	return prof.Report(), tb.String()
+}
+
+// TestRegistryAttribution is the acceptance check behind `dcpbench
+// -profile`: on a real registry cross-section, ≥95% of dispatched events
+// land in a named component, and the counts-only report is byte-identical
+// across repeated runs and across worker counts.
+func TestRegistryAttribution(t *testing.T) {
+	r1, _ := profiledRun(t, 1)
+	if r1.Events == 0 || r1.Cells == 0 {
+		t.Fatal("profiled run dispatched nothing")
+	}
+	if got := r1.AttributedShare(); got < 0.95 {
+		j, _ := r1.JSON()
+		t.Fatalf("attributed share %.4f < 0.95:\n%s", got, j)
+	}
+	if r1.Schemes < 2 {
+		t.Fatalf("expected multiple schemes, got %d", r1.Schemes)
+	}
+
+	j1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := profiledRun(t, 1)
+	j2, err := r2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("profile report not byte-identical across identical runs")
+	}
+
+	r4, _ := profiledRun(t, 4)
+	j4, err := r4.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j4) {
+		t.Fatal("profile report depends on worker count")
+	}
+
+	var t1, t2 bytes.Buffer
+	if err := r1.WriteText(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r4.WriteText(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Fatal("text report depends on worker count")
+	}
+}
+
+// TestProfiledBitIdentity: attaching the profiler — alone or alongside the
+// flight-recorder checker — must not change simulation results. This
+// extends the checked-vs-unchecked contract to the profiled path.
+func TestProfiledBitIdentity(t *testing.T) {
+	run := func(hook func(exp.CellKey, *exp.Sim)) string {
+		cfg := exp.Config{Seed: 11, Scale: 0.02}.WithWorkers(1)
+		cfg.Hook = hook
+		results := exp.RunRegistry(cfg, profiledIDs(t))
+		var tb strings.Builder
+		for _, r := range results {
+			for _, tab := range r.Tables {
+				tb.WriteString(tab.String())
+			}
+		}
+		return tb.String()
+	}
+
+	plain := run(nil)
+	if plain == "" {
+		t.Fatal("empty tables — comparison is vacuous")
+	}
+
+	prof := perf.New(perf.Options{})
+	profiled := run(func(key exp.CellKey, s *exp.Sim) {
+		prof.Attach(key.String(), s.Scheme, s.Eng)
+	})
+	if profiled != plain {
+		t.Fatal("profiler attachment changed simulation output")
+	}
+
+	prof2 := perf.New(perf.Options{})
+	var viol int64
+	checkedProfiled := run(func(key exp.CellKey, s *exp.Sim) {
+		tr := obs.NewTracer()
+		tr.SetLimit(1)
+		ck := flight.New(flight.Config{})
+		tr.Tee(ck)
+		s.Attach(tr, nil)
+		prof2.Attach(key.String(), s.Scheme, s.Eng)
+		viol += ck.Violations()
+	})
+	if checkedProfiled != plain {
+		t.Fatal("checker+profiler attachment changed simulation output")
+	}
+	if viol != 0 {
+		t.Fatalf("checker reported %d violations on the profiled run", viol)
+	}
+	if prof2.Report().Events != prof.Report().Events {
+		t.Fatal("profiler counts differ with checker attached")
+	}
+}

@@ -1,0 +1,249 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dcpsim/internal/sim"
+)
+
+// SchemeRow is one transport scheme's aggregated attribution.
+type SchemeRow struct {
+	Scheme string
+	Cells  int
+	Events uint64
+	Counts [sim.NumComps]uint64
+}
+
+// EngineHigh carries engine extremes across all cells: the high-water
+// marks name the cell that hit them (ties keep the lexicographically
+// smallest label, so the field is deterministic).
+type EngineHigh struct {
+	MaxHeapDepth   int
+	MaxHeapCell    string
+	MaxLive        int
+	MaxLiveCell    string
+	CancelledDrops uint64
+}
+
+// PhaseRow is one wall-clock phase bracket.
+type PhaseRow struct {
+	Name       string
+	WallNs     int64
+	AllocBytes uint64
+}
+
+// HostReport is the machine-varying half: wall attribution and phases.
+type HostReport struct {
+	TotalWallNs int64
+	WallNs      [sim.NumComps]int64
+	Phases      []PhaseRow
+}
+
+// Report is an aggregated attribution report. Everything outside Host is
+// deterministic for a given seed.
+type Report struct {
+	Cells      int
+	Schemes    int
+	Events     uint64
+	Attributed uint64
+	Comps      [sim.NumComps]uint64
+	PerScheme  []SchemeRow
+	Engine     EngineHigh
+	Host       *HostReport
+}
+
+// AttributedShare is the fraction of dispatched events attributed to a
+// named (non-other) component.
+func (r *Report) AttributedShare() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return float64(r.Attributed) / float64(r.Events)
+}
+
+// compOrder lists components for rendering: named components in enum
+// order, the unattributed bucket last.
+func compOrder() []sim.Comp {
+	out := make([]sim.Comp, 0, sim.NumComps)
+	for c := sim.CompOther + 1; c < sim.NumComps; c++ {
+		out = append(out, c)
+	}
+	return append(out, sim.CompOther)
+}
+
+func share(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// jsonCompRow / jsonReport mirror Report with named component rows in a
+// fixed order, so the JSON encoding is byte-stable.
+type jsonCompRow struct {
+	Comp   string  `json:"comp"`
+	Events uint64  `json:"events"`
+	Share  float64 `json:"share_pct"`
+}
+
+type jsonSchemeRow struct {
+	Scheme string        `json:"scheme"`
+	Cells  int           `json:"cells"`
+	Events uint64        `json:"events"`
+	Comps  []jsonCompRow `json:"comps"`
+}
+
+type jsonHostComp struct {
+	Comp      string  `json:"comp"`
+	WallNs    int64   `json:"wall_ns"`
+	Share     float64 `json:"share_pct"`
+	NsPerEvnt float64 `json:"ns_per_event"`
+}
+
+type jsonPhase struct {
+	Name       string `json:"name"`
+	WallNs     int64  `json:"wall_ns"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+type jsonHost struct {
+	TotalWallNs int64          `json:"total_wall_ns"`
+	Comps       []jsonHostComp `json:"comps"`
+	Phases      []jsonPhase    `json:"phases"`
+}
+
+type jsonReport struct {
+	Cells          int             `json:"cells"`
+	Schemes        int             `json:"schemes"`
+	Events         uint64          `json:"events"`
+	Attributed     uint64          `json:"attributed"`
+	AttributedPct  float64         `json:"attributed_pct"`
+	Comps          []jsonCompRow   `json:"comps"`
+	PerScheme      []jsonSchemeRow `json:"per_scheme"`
+	MaxHeapDepth   int             `json:"max_heap_depth"`
+	MaxHeapCell    string          `json:"max_heap_cell"`
+	MaxLive        int             `json:"max_live"`
+	MaxLiveCell    string          `json:"max_live_cell"`
+	CancelledDrops uint64          `json:"cancelled_drops"`
+	Host           *jsonHost       `json:"host,omitempty"`
+}
+
+// JSON renders the report as indented, byte-stable JSON. The host section
+// appears only when a wall clock was injected.
+func (r *Report) JSON() ([]byte, error) {
+	jr := jsonReport{
+		Cells:          r.Cells,
+		Schemes:        r.Schemes,
+		Events:         r.Events,
+		Attributed:     r.Attributed,
+		AttributedPct:  share(r.Attributed, r.Events),
+		MaxHeapDepth:   r.Engine.MaxHeapDepth,
+		MaxHeapCell:    r.Engine.MaxHeapCell,
+		MaxLive:        r.Engine.MaxLive,
+		MaxLiveCell:    r.Engine.MaxLiveCell,
+		CancelledDrops: r.Engine.CancelledDrops,
+	}
+	for _, c := range compOrder() {
+		jr.Comps = append(jr.Comps, jsonCompRow{Comp: c.String(), Events: r.Comps[c], Share: share(r.Comps[c], r.Events)})
+	}
+	for _, sr := range r.PerScheme {
+		jsr := jsonSchemeRow{Scheme: sr.Scheme, Cells: sr.Cells, Events: sr.Events}
+		for _, c := range compOrder() {
+			jsr.Comps = append(jsr.Comps, jsonCompRow{Comp: c.String(), Events: sr.Counts[c], Share: share(sr.Counts[c], sr.Events)})
+		}
+		jr.PerScheme = append(jr.PerScheme, jsr)
+	}
+	if r.Host != nil {
+		h := &jsonHost{TotalWallNs: r.Host.TotalWallNs}
+		for _, c := range compOrder() {
+			row := jsonHostComp{Comp: c.String(), WallNs: r.Host.WallNs[c],
+				Share: share(uint64(max64(r.Host.WallNs[c], 0)), uint64(max64(r.Host.TotalWallNs, 0)))}
+			if r.Comps[c] > 0 {
+				row.NsPerEvnt = float64(r.Host.WallNs[c]) / float64(r.Comps[c])
+			}
+			h.Comps = append(h.Comps, row)
+		}
+		for _, ph := range r.Host.Phases {
+			h.Phases = append(h.Phases, jsonPhase{Name: ph.Name, WallNs: ph.WallNs, AllocBytes: ph.AllocBytes})
+		}
+		jr.Host = h
+	}
+	return json.MarshalIndent(jr, "", "  ")
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// errWriter folds the first write error; later writes become no-ops.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
+// WriteText renders the hierarchical human-readable report. The
+// deterministic half is byte-stable for a given seed; the host half (only
+// with a wall clock) is labelled machine-varying.
+func (r *Report) WriteText(w io.Writer) error {
+	ew := &errWriter{w: w}
+	ew.printf("perf profile: %d cells, %d schemes, %d events dispatched\n", r.Cells, r.Schemes, r.Events)
+	ew.printf("attributed: %d/%d events (%.2f%%) to named components\n\n", r.Attributed, r.Events, share(r.Attributed, r.Events))
+
+	ew.printf("%-10s %12s %8s\n", "component", "events", "share")
+	for _, c := range compOrder() {
+		ew.printf("%-10s %12d %7.2f%%\n", c.String(), r.Comps[c], share(r.Comps[c], r.Events))
+	}
+
+	if len(r.PerScheme) > 0 {
+		ew.printf("\nper-scheme events by component:\n")
+		ew.printf("%-16s %6s %12s", "scheme", "cells", "events")
+		for _, c := range compOrder() {
+			ew.printf(" %10s", c.String())
+		}
+		ew.printf("\n")
+		for _, sr := range r.PerScheme {
+			ew.printf("%-16s %6d %12d", sr.Scheme, sr.Cells, sr.Events)
+			for _, c := range compOrder() {
+				ew.printf(" %10d", sr.Counts[c])
+			}
+			ew.printf("\n")
+		}
+	}
+
+	ew.printf("\nengine: max heap %d (%s) · max live %d (%s) · cancelled drops %d (%.2f%% of dispatched)\n",
+		r.Engine.MaxHeapDepth, r.Engine.MaxHeapCell, r.Engine.MaxLive, r.Engine.MaxLiveCell,
+		r.Engine.CancelledDrops, share(r.Engine.CancelledDrops, r.Events))
+
+	if h := r.Host; h != nil {
+		ew.printf("\nhost wall-time (machine-varying; excluded from deterministic comparisons):\n")
+		ew.printf("total in-dispatch wall: %.2f ms\n", float64(h.TotalWallNs)/1e6)
+		ew.printf("%-10s %12s %8s %12s\n", "component", "wall_ms", "share", "ns/event")
+		for _, c := range compOrder() {
+			var nsPer float64
+			if r.Comps[c] > 0 {
+				nsPer = float64(h.WallNs[c]) / float64(r.Comps[c])
+			}
+			ew.printf("%-10s %12.3f %7.2f%% %12.1f\n", c.String(),
+				float64(h.WallNs[c])/1e6, share(uint64(max64(h.WallNs[c], 0)), uint64(max64(h.TotalWallNs, 0))), nsPer)
+		}
+		if len(h.Phases) > 0 {
+			ew.printf("phases:\n")
+			for _, ph := range h.Phases {
+				ew.printf("  %-12s %10.2f ms %10.2f MB allocated\n", ph.Name, float64(ph.WallNs)/1e6, float64(ph.AllocBytes)/1e6)
+			}
+		}
+	}
+	return ew.err
+}

@@ -8,10 +8,92 @@ package sim
 import (
 	"container/heap"
 	"math/rand"
+	"strconv"
 	"sync/atomic"
 
 	"dcpsim/internal/units"
 )
+
+// Comp labels the component whose code a scheduled event runs — the unit
+// the dispatch profiler attributes events and wall-time to. Every event
+// carries a Comp stamped at scheduling time: the root scheduling sites
+// (wire delivery, port serialization, NIC kicks, retransmission timers,
+// DCQCN timers, fault plans, metrics probes, flow starts) tag themselves
+// explicitly via AtComp/AfterComp or Timer.Comp; everything scheduled from
+// inside a dispatched event inherits that event's component, so untagged
+// nested scheduling stays causally attributed.
+type Comp uint8
+
+// The component taxonomy. CompOther is the zero value: an event scheduled
+// outside any dispatch by untagged code (tests, ad-hoc drivers).
+const (
+	CompOther Comp = iota
+	CompWorkload
+	CompTransport
+	CompFabric
+	CompNIC
+	CompCC
+	CompTimer
+	CompFaults
+	CompProbe
+	NumComps
+)
+
+func (c Comp) String() string {
+	switch c {
+	case CompOther:
+		return "other"
+	case CompWorkload:
+		return "workload"
+	case CompTransport:
+		return "transport"
+	case CompFabric:
+		return "fabric"
+	case CompNIC:
+		return "nic"
+	case CompCC:
+		return "cc"
+	case CompTimer:
+		return "timer"
+	case CompFaults:
+		return "faults"
+	case CompProbe:
+		return "probe"
+	default:
+		return "comp(" + strconv.Itoa(int(c)) + ")"
+	}
+}
+
+// Prof is the engine's dispatch profiler: per-component event counts and,
+// when a wall clock is injected, per-component wall-nanosecond totals.
+// Attach one with Engine.AttachProf before Run. The two halves have
+// different determinism guarantees — Counts depend only on the seed and
+// are byte-identical across hosts and runs; WallNs varies by host and is
+// only populated when Wall is non-nil.
+//
+// The engine never reads the host clock itself (the detcheck contract);
+// callers that want wall attribution inject Wall with their own lint
+// allowance, exactly like obs.Metrics.WallNanos.
+type Prof struct {
+	// Wall, when non-nil, supplies monotonic wall-clock nanoseconds read
+	// around every dispatched event. Nil keeps profiling counts-only and
+	// fully deterministic.
+	Wall func() int64
+	// Counts tallies dispatched events per component.
+	Counts [NumComps]uint64
+	// WallNs accumulates wall nanoseconds spent inside dispatched events
+	// per component (all zero when Wall is nil).
+	WallNs [NumComps]int64
+}
+
+// Total returns the total dispatched events across all components.
+func (p *Prof) Total() uint64 {
+	var n uint64
+	for _, c := range p.Counts {
+		n += c
+	}
+	return n
+}
 
 // Event is a scheduled callback. It can be cancelled before it fires.
 type Event struct {
@@ -19,6 +101,7 @@ type Event struct {
 	seq       uint64
 	fn        func()
 	eng       *Engine
+	comp      Comp
 	cancelled bool
 	index     int // heap index, -1 once popped
 }
@@ -91,6 +174,14 @@ type Engine struct {
 	stopped bool
 	running atomic.Bool // guards Run against concurrent/re-entrant drivers
 
+	// comp is the component of the event currently being dispatched; events
+	// scheduled during dispatch inherit it. Between dispatches it is the
+	// last dispatched component, which is irrelevant because the tagged root
+	// sites cover all out-of-dispatch scheduling.
+	comp Comp
+	// prof, when attached, receives per-component dispatch accounting.
+	prof *Prof
+
 	// Executed counts events that have fired, for progress reporting.
 	Executed uint64
 	// CancelledDrops counts cancelled events discarded from the head of the
@@ -99,6 +190,9 @@ type Engine struct {
 	CancelledDrops uint64
 	// MaxHeapDepth is the high-water mark of the event queue.
 	MaxHeapDepth int
+	// MaxLive is the high-water mark of pending not-cancelled events — the
+	// heap depth net of cancellation churn.
+	MaxLive int
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic
@@ -114,26 +208,51 @@ func (e *Engine) Now() units.Time { return e.now }
 // simulation must come from here so runs are reproducible.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it would silently reorder causality.
+// At schedules fn to run at absolute time t, attributed to the component
+// currently dispatching (CompOther outside any dispatch). Scheduling in
+// the past panics: it would silently reorder causality.
 func (e *Engine) At(t units.Time, fn func()) *Event {
+	return e.AtComp(t, e.comp, fn)
+}
+
+// AtComp schedules fn at absolute time t attributed to component c,
+// overriding inheritance. The root scheduling sites (wire delivery, NIC
+// kicks, fault plans, probes, flow starts) use this to anchor attribution;
+// everything they transitively schedule inherits via At/After.
+func (e *Engine) AtComp(t units.Time, c Comp, fn func()) *Event {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
+	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e, comp: c}
 	heap.Push(&e.events, ev)
 	e.live++
 	if len(e.events) > e.MaxHeapDepth {
 		e.MaxHeapDepth = len(e.events)
+	}
+	if e.live > e.MaxLive {
+		e.MaxLive = e.live
 	}
 	return ev
 }
 
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d units.Time, fn func()) *Event {
-	return e.At(e.now+d, fn)
+	return e.AtComp(e.now+d, e.comp, fn)
 }
+
+// AfterComp schedules fn d after the current time attributed to component c.
+func (e *Engine) AfterComp(d units.Time, c Comp, fn func()) *Event {
+	return e.AtComp(e.now+d, c, fn)
+}
+
+// Comp returns the component of the event currently being dispatched.
+func (e *Engine) Comp() Comp { return e.comp }
+
+// AttachProf attaches (or, with nil, detaches) a dispatch profiler. The
+// disabled path — no profiler attached — costs one nil check per dispatch
+// and allocates nothing.
+func (e *Engine) AttachProf(p *Prof) { e.prof = p }
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
@@ -169,6 +288,16 @@ func (e *Engine) Run(until units.Time) units.Time {
 		fn := ev.fn
 		ev.fn = nil
 		e.Executed++
+		e.comp = ev.comp
+		if p := e.prof; p != nil {
+			p.Counts[ev.comp]++
+			if p.Wall != nil {
+				w0 := p.Wall()
+				fn()
+				p.WallNs[ev.comp] += p.Wall() - w0
+				continue
+			}
+		}
 		fn()
 	}
 	if !e.stopped && until > 0 && e.now < until {
@@ -195,18 +324,23 @@ type Timer struct {
 	ev  *Event
 	// Fn runs when the timer expires.
 	Fn func()
+	// Comp attributes the timer's expiry dispatch; NewTimer defaults it to
+	// CompTimer so retransmission timeouts profile as timer work. Owners
+	// with a more specific identity (DCQCN rate timers → CompCC, NDP pacer
+	// → CompTransport) override it after construction.
+	Comp Comp
 }
 
-// NewTimer returns a timer bound to the engine.
+// NewTimer returns a timer bound to the engine, attributed to CompTimer.
 func NewTimer(eng *Engine, fn func()) *Timer {
-	return &Timer{eng: eng, Fn: fn}
+	return &Timer{eng: eng, Fn: fn, Comp: CompTimer}
 }
 
 // Reset (re)arms the timer to fire d from now, cancelling any earlier
 // deadline.
 func (t *Timer) Reset(d units.Time) {
 	t.Stop()
-	t.ev = t.eng.After(d, func() {
+	t.ev = t.eng.AfterComp(d, t.Comp, func() {
 		t.ev = nil
 		t.Fn()
 	})

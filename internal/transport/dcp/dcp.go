@@ -283,7 +283,7 @@ func (qp *senderQP) maybeFetch() {
 	env := qp.h.Env
 	if env.DCP.PerHOFetch {
 		// Strawman: one entry per WQE fetch + data fetch (two PCIe RTTs).
-		qp.h.Eng.After(2*env.DCP.PCIe.RTT, func() {
+		qp.h.Eng.AfterComp(2*env.DCP.PCIe.RTT, sim.CompTransport, func() {
 			qp.fetching = false
 			batch := qp.rq.FetchBatch(1)
 			qp.fetched = append(qp.fetched, batch...)
@@ -292,7 +292,7 @@ func (qp *senderQP) maybeFetch() {
 		})
 		return
 	}
-	qp.h.Eng.After(env.DCP.PCIe.RTT, func() {
+	qp.h.Eng.AfterComp(env.DCP.PCIe.RTT, sim.CompTransport, func() {
 		qp.fetching = false
 		batch := qp.rq.FetchBatch(nic.BatchLimit)
 		qp.fetched = append(qp.fetched, batch...)

@@ -45,6 +45,8 @@ func New(n *nic.NIC, env *base.Env) base.Transport {
 		recv: make(map[uint64]*recvQP),
 	}
 	h.pacer = sim.NewTimer(n.Engine(), h.pullTick)
+	// The pull pacer is the protocol's clock, not a retransmission timeout.
+	h.pacer.Comp = sim.CompTransport
 	return h
 }
 

@@ -52,7 +52,7 @@ func (h *Host) StartFlow(f *workload.Flow) {
 // Handle implements nic.Transport: arrivals pay the receive-side stack
 // delay before protocol processing.
 func (h *Host) Handle(p *packet.Packet) {
-	h.Eng.After(StackDelay, func() {
+	h.Eng.AfterComp(StackDelay, sim.CompTransport, func() {
 		switch p.Kind {
 		case packet.KindData:
 			h.recvData(p)
