@@ -10,11 +10,14 @@
 //	dcpcampaign -out run/ -workers 8 doc.toml         # checkpointed run + bundle
 //	dcpcampaign -out run/ doc.toml                    # again: resumes, skipping checkpoints
 //	dcpcampaign -out run/ -recheck wan/c003 doc.toml  # re-verify one unit against the manifest
+//	dcpcampaign -diff runA/ runB/                     # structured drift report, exit 1 on drift
+//	dcpcampaign -diff -json runA/ runB/               # same comparison as a JSON artifact
 //
 // A run interrupted at any point (kill, crash, or the deterministic
 // -abort-after test hook, exit code 3) resumes from its checkpoint
 // directory and produces a bundle byte-identical to an uninterrupted
-// run at any -workers count. See DESIGN.md "Campaign runner".
+// run at any -workers count. See DESIGN.md "Campaign runner" and
+// "Differential observability".
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 
 	"dcpsim/internal/campaign"
 	"dcpsim/internal/exp/pool"
+	"dcpsim/internal/obs/diff"
 )
 
 func main() {
@@ -35,13 +39,22 @@ func main() {
 		workers    = flag.Int("workers", pool.DefaultWorkers(), "worker goroutines (1 = serial; bundle bytes are identical at any count)")
 		abortAfter = flag.Int("abort-after", 0, "abort after N freshly executed units (deterministic kill for resume testing; exit 3)")
 		recheck    = flag.String("recheck", "", "re-execute one unit by id and compare its digest against the bundle manifest")
+		doDiff     = flag.Bool("diff", false, "compare two bundle directories (baseline current) and report drift; exit 1 on drift")
+		jsonOut    = flag.Bool("json", false, "with -diff: emit the full report as JSON instead of text")
+		th         = diff.DefaultThresholds()
 	)
+	flag.Float64Var(&th.Stats, "drift-stats", th.Stats, "with -diff: relative window for statistics and numeric table cells")
+	flag.Float64Var(&th.Comps, "drift-comps", th.Comps, "with -diff: relative window for per-component event counts")
+	flag.Float64Var(&th.Events, "drift-events", th.Events, "with -diff: relative window for per-unit total event counts")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dcpcampaign [-validate|-list|-out dir [-workers N] [-abort-after N] [-recheck unit]] doc.toml...")
+		fmt.Fprintln(os.Stderr, "usage: dcpcampaign [-validate|-list|-out dir [-workers N] [-abort-after N] [-recheck unit]] doc.toml...\n       dcpcampaign -diff [-json] [-drift-stats X] [-drift-comps X] [-drift-events X] baseDir curDir")
 		os.Exit(2)
 	}
 
+	if *doDiff {
+		os.Exit(diffBundles(flag.Args(), th, *jsonOut))
+	}
 	if *validate {
 		os.Exit(validateDocs(flag.Args()))
 	}
@@ -76,6 +89,39 @@ func main() {
 	default:
 		runCampaign(c, docBytes, campaign.Options{Dir: *out, Workers: *workers, AbortAfter: *abortAfter})
 	}
+}
+
+// diffBundles loads two bundle directories and writes the drift report.
+// Exit codes: 0 no drift, 1 drift (or unloadable bundle), 2 usage.
+func diffBundles(args []string, th diff.Thresholds, jsonOut bool) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "-diff expects exactly two bundle directories: baseline current")
+		return 2
+	}
+	base, err := diff.LoadBundle(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cur, err := diff.LoadBundle(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	r := diff.Compare(base, cur, th)
+	if jsonOut {
+		err = diff.WriteJSON(os.Stdout, r)
+	} else {
+		err = diff.WriteText(os.Stdout, r)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if r.Drift() {
+		return 1
+	}
+	return 0
 }
 
 // validateDocs lints every document; diagnostics print as

@@ -198,6 +198,45 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestClassifyMatchesCompare pins that the exported classification
+// plumbing (RelChange/Window/Classify) agrees with the full Compare path
+// on fixture pairs — the bundle diff engine calls the exported helpers
+// directly, and a divergence here would mean the two callers could
+// classify the same pair differently.
+func TestClassifyMatchesCompare(t *testing.T) {
+	th := DefaultThresholds()
+	for _, factor := range []float64{0.5, 0.85, 0.95, 1.0, 1.05, 1.2, 1.5} {
+		base := baseRecord()
+		cur := base
+		cur.EventsPerSec = base.EventsPerSec * factor
+		full := Compare(base, cur, th)
+		window := Window(th.EventsPerSec, base.Noise, cur.Noise)
+		direct := Classify(RelChange(base.EventsPerSec, cur.EventsPerSec), window)
+		if full.Window != window {
+			t.Errorf("factor %g: Compare window %v != Window() %v", factor, full.Window, window)
+		}
+		if full.Class != direct {
+			t.Errorf("factor %g: Compare class %v != Classify %v", factor, full.Class, direct)
+		}
+	}
+}
+
+func TestClassifyBoundaries(t *testing.T) {
+	// Exactly on the window edge is within noise; strictly beyond is not.
+	if got := Classify(-0.10, 0.10); got != WithinNoise {
+		t.Errorf("Classify(-0.10, 0.10) = %v, want within-noise", got)
+	}
+	if got := Classify(-0.1001, 0.10); got != Regression {
+		t.Errorf("Classify(-0.1001, 0.10) = %v, want regression", got)
+	}
+	if got := Classify(0.1001, 0.10); got != Improvement {
+		t.Errorf("Classify(0.1001, 0.10) = %v, want improvement", got)
+	}
+	if got := Classify(0, 0); got != WithinNoise {
+		t.Errorf("Classify(0, 0) = %v, want within-noise", got)
+	}
+}
+
 func TestMedianSpread(t *testing.T) {
 	if got := Median([]float64{3, 1, 2}); got != 2 {
 		t.Fatalf("Median odd = %v", got)

@@ -81,6 +81,36 @@ func relChange(base, cur float64) float64 {
 	return (cur - base) / base
 }
 
+// RelChange returns the signed relative change (cur−base)/base, 0 when
+// base is 0. Exported so the bundle diff engine (internal/obs/diff)
+// computes deltas with exactly the comparator's arithmetic.
+func RelChange(base, cur float64) float64 { return relChange(base, cur) }
+
+// Window returns the effective noise window for a symmetric metric: the
+// configured threshold widened by the measured noise of both records. A
+// fully deterministic metric (campaign bundles) passes zero noise and
+// gets the bare threshold.
+func Window(threshold, baseNoise, curNoise float64) float64 {
+	return threshold + baseNoise + curNoise
+}
+
+// Classify places a signed relative change against a symmetric window:
+// below −window is a Regression, above +window an Improvement, inside is
+// WithinNoise. This is the single classification rule shared by the BENCH
+// fence (events/sec, where negative means slower) and the campaign bundle
+// diff (deterministic per-unit deltas, where either sign beyond the
+// window is drift); a test pins that both callers agree on fixtures.
+func Classify(rel, window float64) Class {
+	switch {
+	case rel < -window:
+		return Regression
+	case rel > window:
+		return Improvement
+	default:
+		return WithinNoise
+	}
+}
+
 // Compare classifies cur against base. The events/sec threshold widens by
 // both records' measured noise: window = threshold + base.Noise +
 // cur.Noise — a single noisy sample cannot fake (or hide behind) a
@@ -110,15 +140,16 @@ func Compare(base, cur Record, th Thresholds) Verdict {
 			base.EventsPerSec, cur.EventsPerSec)
 	}
 
-	v := Verdict{Name: cur.Name, Window: th.EventsPerSec + base.Noise + cur.Noise}
+	v := Verdict{Name: cur.Name, Window: Window(th.EventsPerSec, base.Noise, cur.Noise)}
 
 	eps := relChange(base.EventsPerSec, cur.EventsPerSec)
 	epsDelta := Delta{Metric: "events_per_sec", Base: base.EventsPerSec, Cur: cur.EventsPerSec, Rel: eps}
 	regressed, improved := false, false
-	if eps < -v.Window {
+	switch Classify(eps, v.Window) {
+	case Regression:
 		epsDelta.Flagged = true
 		regressed = true
-	} else if eps > v.Window {
+	case Improvement:
 		epsDelta.Flagged = true
 		improved = true
 	}

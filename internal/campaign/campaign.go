@@ -20,6 +20,7 @@ import (
 
 	"dcpsim/internal/exp"
 	"dcpsim/internal/faults"
+	"dcpsim/internal/stats"
 )
 
 // Diag is one line-anchored diagnostic from parsing or semantic lint.
@@ -80,6 +81,68 @@ type Expect struct {
 	MaxViolations int64
 	// RequireDone demands every scheduled flow completes.
 	RequireDone bool
+	// Cells are [[expect.cell]] predicates over rendered table cells.
+	Cells []*CellPredicate
+	// Stats are [[expect.stat]] predicates over per-unit RunSummary
+	// metrics, including histogram percentiles.
+	Stats []*StatPredicate
+}
+
+// scalarsDefault reports whether the scalar half of the spec is all
+// defaults (the encoder then omits the [expect] header and emits only the
+// predicate sections).
+func (e Expect) scalarsDefault() bool { return e.MaxViolations == 0 && !e.RequireDone }
+
+// CellPredicate is one [[expect.cell]] assertion: select table cells by
+// (unit namespace, optional table-name substring, row key, column) and
+// compare their numeric value. Row "" or "*" matches every row.
+type CellPredicate struct {
+	// Table names the unit namespace the cells live in: a scenario id (its
+	// assembled result table) or a registry experiment id (its rendered
+	// tables).
+	Table string
+	// Name, for experiment units only, narrows to tables whose Name
+	// contains it (experiments render several tables).
+	Name string
+	// Row selects rows by their first-column value; empty or "*" selects
+	// all rows.
+	Row string
+	// Column names the asserted column.
+	Column string
+	// Op is the comparator: lt, le, gt, ge, eq, or within.
+	Op string
+	// Value is the comparison operand; Tol is the half-width of the
+	// "within" band (|cell − Value| ≤ Tol).
+	Value float64
+	Tol   float64
+
+	line int
+}
+
+// StatPredicate is one [[expect.stat]] assertion over a unit's merged
+// RunSummary: counters (flows, done, retrans_pkts, …) or histogram
+// percentiles (fct_pNN_us, fct_max_us, slowdown_pNN).
+type StatPredicate struct {
+	// Unit names the unit namespace (experiment or scenario id) whose
+	// summaries are asserted; every unit in the namespace is checked.
+	Unit   string
+	Metric string
+	Op     string
+	Value  float64
+	Tol    float64
+
+	line int
+}
+
+// cmpOps lists the comparators a predicate may use, in diagnostic order.
+const cmpOps = "lt, le, gt, ge, eq, within"
+
+func validOp(op string) bool {
+	switch op {
+	case "lt", "le", "gt", "ge", "eq", "within":
+		return true
+	}
+	return false
 }
 
 // Axis is one sweep dimension of a scenario; the cell cross product
@@ -373,6 +436,12 @@ func (b *binder) bindDoc(root *node) *Doc {
 		if doc.Expect.MaxViolations < 0 {
 			b.diag(t.line, "max_violations must be non-negative")
 		}
+		for _, ct := range b.tableList(t, "cell") {
+			doc.Expect.Cells = append(doc.Expect.Cells, b.bindCellPredicate(ct))
+		}
+		for _, st := range b.tableList(t, "stat") {
+			doc.Expect.Stats = append(doc.Expect.Stats, b.bindStatPredicate(st))
+		}
 	}
 
 	for _, st := range b.tableList(root, "scenario") {
@@ -399,7 +468,115 @@ func (b *binder) bindDoc(root *node) *Doc {
 			}
 		}
 	}
+
+	// Predicate selectors likewise: tables and units must be declared, and
+	// a scenario's columns are known statically, so a typo'd column is a
+	// lint error here rather than a matched-no-cells failure at run time.
+	scByID := map[string]*Scenario{}
+	for _, sc := range doc.Scenarios {
+		scByID[sc.ID] = sc
+	}
+	for _, p := range doc.Expect.Cells {
+		if p.Table == "" {
+			continue // already diagnosed
+		}
+		if _, ok := ids[p.Table]; !ok {
+			b.diag(p.line, "expect.cell table %q names no declared experiment or scenario", p.Table)
+			continue
+		}
+		sc := scByID[p.Table]
+		if sc == nil {
+			continue // experiment tables: columns known only at run time
+		}
+		if p.Name != "" {
+			b.diag(p.line, "expect.cell name only applies to experiment tables, %q is a scenario", p.Table)
+		}
+		if p.Column != "" {
+			cols := scenarioColumns(sc)
+			found := false
+			for _, c := range cols {
+				if c == p.Column {
+					found = true
+				}
+			}
+			if !found {
+				b.diag(p.line, "expect.cell column %q not in scenario %q table (columns: %s)",
+					p.Column, p.Table, strings.Join(cols, ", "))
+			}
+		}
+	}
+	for _, p := range doc.Expect.Stats {
+		if p.Unit == "" {
+			continue
+		}
+		if _, ok := ids[p.Unit]; !ok {
+			b.diag(p.line, "expect.stat unit %q names no declared experiment or scenario", p.Unit)
+		}
+	}
 	return doc
+}
+
+// bindCellPredicate binds one [[expect.cell]] table.
+func (b *binder) bindCellPredicate(t *node) *CellPredicate {
+	p := &CellPredicate{line: t.line}
+	p.Table = b.str(t, "table", "")
+	if p.Table == "" {
+		b.diag(t.line, "expect.cell needs a table (experiment or scenario id)")
+	}
+	p.Name = b.str(t, "name", "")
+	p.Row = b.str(t, "row", "")
+	p.Column = b.str(t, "column", "")
+	if p.Column == "" {
+		b.diag(t.line, "expect.cell needs a column")
+	}
+	b.bindComparator(t, "expect.cell", &p.Op, &p.Value, &p.Tol)
+	return p
+}
+
+// bindStatPredicate binds one [[expect.stat]] table.
+func (b *binder) bindStatPredicate(t *node) *StatPredicate {
+	p := &StatPredicate{line: t.line}
+	p.Unit = b.str(t, "unit", "")
+	if p.Unit == "" {
+		b.diag(t.line, "expect.stat needs a unit (experiment or scenario id)")
+	}
+	p.Metric = b.str(t, "metric", "")
+	if p.Metric == "" {
+		b.diag(t.line, "expect.stat needs a metric")
+	} else if _, ok := (&stats.RunSummary{}).Metric(p.Metric); !ok {
+		b.diag(b.listLine(t, "metric"), "unknown stat metric %q (counters: %s; percentiles: fct_pNN_us, fct_max_us, slowdown_pNN)",
+			p.Metric, strings.Join(stats.CounterMetrics(), ", "))
+	}
+	b.bindComparator(t, "expect.stat", &p.Op, &p.Value, &p.Tol)
+	return p
+}
+
+// bindComparator binds the shared op/value/tol triple of a predicate,
+// diagnosing malformed comparators and negative thresholds.
+func (b *binder) bindComparator(t *node, section string, op *string, value, tol *float64) {
+	*op = b.str(t, "op", "")
+	switch {
+	case *op == "":
+		b.diag(t.line, "%s needs an op (%s)", section, cmpOps)
+	case !validOp(*op):
+		b.diag(b.listLine(t, "op"), "%s: unknown comparator %q (%s)", section, *op, cmpOps)
+	}
+	if n := b.val(t, "value", kFloat); n != nil {
+		*value = num(n)
+	} else if t.child("value") == nil {
+		b.diag(t.line, "%s needs a value", section)
+	}
+	if n := b.val(t, "tol", kFloat); n != nil {
+		*tol = num(n)
+		if *tol < 0 {
+			b.diag(n.line, "%s: tol must be non-negative, got %g", section, *tol)
+		}
+		if *op != "within" && validOp(*op) {
+			b.diag(n.line, "%s: tol only applies to the \"within\" comparator", section)
+		}
+	} else if *op == "within" && t.child("tol") == nil {
+		b.diag(t.line, "%s: comparator \"within\" needs a tol", section)
+	}
 }
 
 // listLine anchors a diagnostic at a section's declaration line.
@@ -626,10 +803,36 @@ func EncodeTOML(doc *Doc) []byte {
 			fmt.Fprintf(&b, "metrics_cells = %s\n", quoteList(o.MetricsCells))
 		}
 	}
-	if doc.Expect != (Expect{}) {
+	if !doc.Expect.scalarsDefault() {
 		b.WriteString("\n[expect]\n")
 		fmt.Fprintf(&b, "max_violations = %d\n", doc.Expect.MaxViolations)
 		fmt.Fprintf(&b, "require_done = %v\n", doc.Expect.RequireDone)
+	}
+	for _, p := range doc.Expect.Cells {
+		b.WriteString("\n[[expect.cell]]\n")
+		fmt.Fprintf(&b, "table = %q\n", p.Table)
+		if p.Name != "" {
+			fmt.Fprintf(&b, "name = %q\n", p.Name)
+		}
+		if p.Row != "" {
+			fmt.Fprintf(&b, "row = %q\n", p.Row)
+		}
+		fmt.Fprintf(&b, "column = %q\n", p.Column)
+		fmt.Fprintf(&b, "op = %q\n", p.Op)
+		fmt.Fprintf(&b, "value = %s\n", ftoa(p.Value))
+		if p.Op == "within" {
+			fmt.Fprintf(&b, "tol = %s\n", ftoa(p.Tol))
+		}
+	}
+	for _, p := range doc.Expect.Stats {
+		b.WriteString("\n[[expect.stat]]\n")
+		fmt.Fprintf(&b, "unit = %q\n", p.Unit)
+		fmt.Fprintf(&b, "metric = %q\n", p.Metric)
+		fmt.Fprintf(&b, "op = %q\n", p.Op)
+		fmt.Fprintf(&b, "value = %s\n", ftoa(p.Value))
+		if p.Op == "within" {
+			fmt.Fprintf(&b, "tol = %s\n", ftoa(p.Tol))
+		}
 	}
 	for _, sc := range doc.Scenarios {
 		b.WriteString("\n[[scenario]]\n")

@@ -87,6 +87,45 @@ func TestLintDiagnostics(t *testing.T) {
 			`observed cell "wan/c000/s00" names no declared experiment or scenario`, 0},
 		{"negative-expect", "name = \"t\"\n\n[expect]\nmax_violations = -1",
 			"max_violations must be non-negative", 0},
+		{"cell-unknown-table",
+			validDoc + "\n[[expect.cell]]\ntable = \"nope\"\ncolumn = \"fct_ms\"\nop = \"lt\"\nvalue = 5.0",
+			`expect.cell table "nope" names no declared experiment or scenario`, 10},
+		{"cell-unknown-column",
+			validDoc + "\n[[expect.cell]]\ntable = \"s\"\ncolumn = \"zzz\"\nop = \"lt\"\nvalue = 5.0",
+			`expect.cell column "zzz" not in scenario "s" table (columns: cell, transport, goodput_Gbps, fct_ms, retrans_pkts, unfinished)`, 10},
+		{"cell-name-on-scenario",
+			validDoc + "\n[[expect.cell]]\ntable = \"s\"\nname = \"summary\"\ncolumn = \"fct_ms\"\nop = \"lt\"\nvalue = 5.0",
+			"expect.cell name only applies to experiment tables", 10},
+		{"cell-missing-column",
+			validDoc + "\n[[expect.cell]]\ntable = \"s\"\nop = \"lt\"\nvalue = 5.0",
+			"expect.cell needs a column", 10},
+		{"cell-missing-op",
+			validDoc + "\n[[expect.cell]]\ntable = \"s\"\ncolumn = \"fct_ms\"\nvalue = 5.0",
+			"expect.cell needs an op (lt, le, gt, ge, eq, within)", 10},
+		{"cell-unknown-comparator",
+			validDoc + "\n[[expect.cell]]\ntable = \"s\"\ncolumn = \"fct_ms\"\nop = \"approx\"\nvalue = 5.0",
+			`expect.cell: unknown comparator "approx" (lt, le, gt, ge, eq, within)`, 13},
+		{"cell-missing-value",
+			validDoc + "\n[[expect.cell]]\ntable = \"s\"\ncolumn = \"fct_ms\"\nop = \"lt\"",
+			"expect.cell needs a value", 10},
+		{"cell-negative-tol",
+			validDoc + "\n[[expect.cell]]\ntable = \"s\"\ncolumn = \"fct_ms\"\nop = \"within\"\nvalue = 5.0\ntol = -0.5",
+			"expect.cell: tol must be non-negative, got -0.5", 15},
+		{"cell-tol-without-within",
+			validDoc + "\n[[expect.cell]]\ntable = \"s\"\ncolumn = \"fct_ms\"\nop = \"lt\"\nvalue = 5.0\ntol = 0.5",
+			`expect.cell: tol only applies to the "within" comparator`, 0},
+		{"cell-within-without-tol",
+			validDoc + "\n[[expect.cell]]\ntable = \"s\"\ncolumn = \"fct_ms\"\nop = \"within\"\nvalue = 5.0",
+			`expect.cell: comparator "within" needs a tol`, 0},
+		{"stat-unknown-unit",
+			validDoc + "\n[[expect.stat]]\nunit = \"nope\"\nmetric = \"events\"\nop = \"gt\"\nvalue = 0.0",
+			`expect.stat unit "nope" names no declared experiment or scenario`, 10},
+		{"stat-unknown-metric",
+			validDoc + "\n[[expect.stat]]\nunit = \"s\"\nmetric = \"latency\"\nop = \"lt\"\nvalue = 5.0",
+			`unknown stat metric "latency" (counters: sims, flows, done, bytes, data_pkts, retrans_pkts, timeouts, ho_triggers, events; percentiles: fct_pNN_us, fct_max_us, slowdown_pNN)`, 12},
+		{"stat-bad-percentile",
+			validDoc + "\n[[expect.stat]]\nunit = \"s\"\nmetric = \"fct_p0_us\"\nop = \"lt\"\nvalue = 5.0",
+			`unknown stat metric "fct_p0_us"`, 0},
 		{"wrong-type", "name = 7", `key "name" must be a string, got integer`, 1},
 	}
 	for _, c := range cases {
@@ -160,6 +199,60 @@ func TestEncodeTOMLRoundTrip(t *testing.T) {
 		if !bytes.Equal(enc1, enc2) {
 			t.Fatalf("%s: canonical encoding is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", path, enc1, enc2)
 		}
+	}
+}
+
+// TestEncodeTOMLPredicates pins the round-trip law on the [[expect.cell]]
+// and [[expect.stat]] sections specifically: the canonical encoding
+// reproduces every predicate field, re-parses cleanly, and is a fixpoint.
+func TestEncodeTOMLPredicates(t *testing.T) {
+	src := validDoc + `
+[expect]
+max_violations = 2
+require_done = true
+
+[[expect.cell]]
+table = "s"
+row = "c000"
+column = "fct_ms"
+op = "lt"
+value = 5.5
+
+[[expect.cell]]
+table = "s"
+column = "goodput_Gbps"
+op = "within"
+value = 1.5
+tol = 0.25
+
+[[expect.stat]]
+unit = "s"
+metric = "fct_p99.9_us"
+op = "le"
+value = 1200
+`
+	doc, diags := Parse([]byte(src), FormatTOML)
+	if len(diags) > 0 {
+		t.Fatal(diags)
+	}
+	enc1 := EncodeTOML(doc)
+	for _, want := range []string{
+		"[[expect.cell]]", "[[expect.stat]]", `row = "c000"`,
+		`op = "within"`, "tol = 0.25", `metric = "fct_p99.9_us"`,
+	} {
+		if !bytes.Contains(enc1, []byte(want)) {
+			t.Errorf("canonical encoding missing %q:\n%s", want, enc1)
+		}
+	}
+	doc2, diags2 := Parse(enc1, FormatTOML)
+	if len(diags2) > 0 {
+		t.Fatalf("canonical encoding does not re-parse cleanly: %v\n%s", diags2, enc1)
+	}
+	if len(doc2.Expect.Cells) != 2 || len(doc2.Expect.Stats) != 1 {
+		t.Fatalf("predicates lost in round trip: %d cells, %d stats", len(doc2.Expect.Cells), len(doc2.Expect.Stats))
+	}
+	if enc2 := EncodeTOML(doc2); !bytes.Equal(enc1, enc2) {
+		t.Fatalf("canonical encoding is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", enc1, enc2)
 	}
 }
 

@@ -143,6 +143,11 @@ func (sc *Scenario) seeds(docSeed int64) []int64 {
 	return []int64{docSeed}
 }
 
+// ScenarioColumns exposes a scenario table's header to bundle consumers:
+// the diff engine in internal/obs/diff labels cell-level deltas with the
+// same column names the rendered tables use.
+func ScenarioColumns(sc *Scenario) []string { return scenarioColumns(sc) }
+
 // scenarioColumns returns the header of a scenario's result table.
 func scenarioColumns(sc *Scenario) []string {
 	cols := []string{"cell"}

@@ -1,0 +1,189 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file evaluates the [expect] section against a run's merged unit
+// results. Every failure string names the predicate's document line and
+// the offending unit, so a red campaign points at both the expectation
+// that fired and the work item that violated it. Failures are emitted in
+// a deterministic order: the violation bound, then require_done in unit
+// order, then cell and stat predicates in document order (each walking
+// units in unit order), so the manifest's expect_failures list is
+// byte-stable across worker counts and resumes.
+
+// evalExpect checks the doc's [expect] section against the merged
+// results; each failure is one human-readable string.
+func evalExpect(c *Campaign, results []*UnitResult) []string {
+	doc := c.Doc
+	var fails []string
+	if doc.Observe.Check {
+		var viol int64
+		var parts []string
+		for _, r := range results {
+			viol += r.Violations
+			if r.Violations > 0 {
+				parts = append(parts, fmt.Sprintf("%s: %d", r.ID, r.Violations))
+			}
+		}
+		if viol > doc.Expect.MaxViolations {
+			msg := fmt.Sprintf("invariant violations %d exceed max_violations %d", viol, doc.Expect.MaxViolations)
+			if len(parts) > 0 {
+				msg += " (" + strings.Join(parts, ", ") + ")"
+			}
+			fails = append(fails, msg)
+		}
+	}
+	if doc.Expect.RequireDone {
+		for _, r := range results {
+			if s := r.Summary; s != nil && s.Done < s.Flows {
+				fails = append(fails, fmt.Sprintf("unit %s left %d of %d flows unfinished", r.ID, s.Flows-s.Done, s.Flows))
+			}
+		}
+	}
+	for _, p := range doc.Expect.Cells {
+		fails = append(fails, p.eval(c, results)...)
+	}
+	for _, p := range doc.Expect.Stats {
+		fails = append(fails, p.eval(c, results)...)
+	}
+	return fails
+}
+
+// holds applies a predicate comparator to an actual value.
+func holds(op string, actual, value, tol float64) bool {
+	switch op {
+	case "lt":
+		return actual < value
+	case "le":
+		return actual <= value
+	case "gt":
+		return actual > value
+	case "ge":
+		return actual >= value
+	case "eq":
+		return actual == value
+	case "within":
+		return math.Abs(actual-value) <= tol
+	}
+	return false
+}
+
+// opString renders a comparator for failure messages.
+func opString(op string, value, tol float64) string {
+	if op == "within" {
+		return fmt.Sprintf("within %s ±%s", ftoa(value), ftoa(tol))
+	}
+	return fmt.Sprintf("%s %s", op, ftoa(value))
+}
+
+// eval checks one cell predicate against every matching cell. A selector
+// that matches nothing is itself a failure — a typo'd row key must not
+// pass silently.
+func (p *CellPredicate) eval(c *Campaign, results []*UnitResult) []string {
+	var fails []string
+	matched := 0
+	for i, u := range c.Units {
+		if u.ExpID != p.Table || results[i] == nil {
+			continue
+		}
+		r := results[i]
+		switch u.Kind {
+		case UnitCell:
+			cols := scenarioColumns(u.sc)
+			ci := columnIndex(cols, p.Column)
+			if ci < 0 || ci >= len(r.Row) {
+				continue
+			}
+			if !p.rowMatches(r.Row[0]) {
+				continue
+			}
+			matched++
+			ref := fmt.Sprintf("%s[%s].%s", p.Table, r.Row[0], p.Column)
+			fails = append(fails, p.checkCell(u.ID, ref, r.Row[ci])...)
+		case UnitExperiment:
+			for _, tbl := range r.Tables {
+				if p.Name != "" && !strings.Contains(tbl.Name, p.Name) {
+					continue
+				}
+				ci := columnIndex(tbl.Columns, p.Column)
+				if ci < 0 {
+					continue
+				}
+				for _, row := range tbl.Rows {
+					if ci >= len(row) || len(row) == 0 || !p.rowMatches(row[0]) {
+						continue
+					}
+					matched++
+					ref := fmt.Sprintf("%s[%s].%s", p.Table, row[0], p.Column)
+					fails = append(fails, p.checkCell(u.ID, ref, row[ci])...)
+				}
+			}
+		}
+	}
+	if matched == 0 {
+		fails = append(fails, fmt.Sprintf("expect.cell (line %d): selector table=%q row=%q column=%q matched no cells",
+			p.line, p.Table, p.Row, p.Column))
+	}
+	return fails
+}
+
+func (p *CellPredicate) rowMatches(key string) bool {
+	return p.Row == "" || p.Row == "*" || p.Row == key
+}
+
+// checkCell parses one rendered cell and applies the comparator,
+// attributing any failure to the owning unit.
+func (p *CellPredicate) checkCell(unitID, ref, raw string) []string {
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return []string{fmt.Sprintf("expect.cell (line %d): unit %s cell %s = %q is not numeric",
+			p.line, unitID, ref, raw)}
+	}
+	if !holds(p.Op, v, p.Value, p.Tol) {
+		return []string{fmt.Sprintf("expect.cell (line %d): unit %s cell %s = %s violates %s",
+			p.line, unitID, ref, raw, opString(p.Op, p.Value, p.Tol))}
+	}
+	return nil
+}
+
+func columnIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// eval checks one stat predicate against every unit in its namespace.
+func (p *StatPredicate) eval(c *Campaign, results []*UnitResult) []string {
+	var fails []string
+	matched := 0
+	for i, u := range c.Units {
+		if u.ExpID != p.Unit || results[i] == nil || results[i].Summary == nil {
+			continue
+		}
+		matched++
+		v, ok := results[i].Summary.Metric(p.Metric)
+		if !ok {
+			// Unreachable after lint; kept so a stale compiled campaign
+			// fails loudly instead of passing vacuously.
+			fails = append(fails, fmt.Sprintf("expect.stat (line %d): unknown metric %q", p.line, p.Metric))
+			continue
+		}
+		if !holds(p.Op, v, p.Value, p.Tol) {
+			fails = append(fails, fmt.Sprintf("expect.stat (line %d): unit %s %s = %s violates %s",
+				p.line, u.ID, p.Metric, ftoa(v), opString(p.Op, p.Value, p.Tol)))
+		}
+	}
+	if matched == 0 {
+		fails = append(fails, fmt.Sprintf("expect.stat (line %d): unit %q matched no unit with statistics (observe.stats off?)",
+			p.line, p.Unit))
+	}
+	return fails
+}

@@ -1,0 +1,228 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dcpsim/internal/stats"
+)
+
+// expectDoc extends the runner-test campaign with one cell predicate and
+// one stat predicate, both satisfiable by the fabricated results below.
+const expectDoc = miniDoc + `
+[[expect.cell]]
+table = "mini"
+row = "*"
+column = "retrans_pkts"
+op = "le"
+value = 100
+
+[[expect.stat]]
+unit = "mini"
+metric = "retrans_pkts"
+op = "lt"
+value = 1000
+`
+
+// lineOf returns the 1-based line of the nth occurrence of needle.
+func lineOf(t *testing.T, src, needle string, nth int) int {
+	t.Helper()
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, needle) {
+			if nth--; nth == 0 {
+				return i + 1
+			}
+		}
+	}
+	t.Fatalf("%q not found %d times in doc", needle, nth)
+	return 0
+}
+
+func compileExpectDoc(t *testing.T, src string) *Campaign {
+	t.Helper()
+	doc, diags := Parse([]byte(src), FormatTOML)
+	if len(diags) > 0 {
+		t.Fatalf("expect doc: %v", diags)
+	}
+	c, err := Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// fakeCellResults fabricates one plausible rendered row per unit, shaped
+// exactly like runCell's output, so predicate evaluation can be tested
+// without running simulations.
+func fakeCellResults(c *Campaign) []*UnitResult {
+	var out []*UnitResult
+	for _, u := range c.Units {
+		row := []string{fmt.Sprintf("c%03d", u.cell)}
+		for _, v := range u.axisVals {
+			row = append(row, ftoaCell(v))
+		}
+		row = append(row, u.transport, "1.5", "2.5", "0", "0")
+		out = append(out, &UnitResult{
+			ID: u.ID, Kind: string(u.Kind), Row: row,
+			Summary: &stats.RunSummary{Sims: 1, Flows: 2, Done: 2, RetransPkts: 5},
+		})
+	}
+	return out
+}
+
+func TestEvalExpectPass(t *testing.T) {
+	c := compileExpectDoc(t, expectDoc)
+	if fails := evalExpect(c, fakeCellResults(c)); len(fails) != 0 {
+		t.Fatalf("satisfied predicates produced failures: %v", fails)
+	}
+}
+
+// TestEvalExpectCellAttribution pins the acceptance shape of a cell
+// predicate failure: the message names the predicate's document line, the
+// offending unit, the cell reference with its actual value, and the
+// comparator — and only the violating units appear.
+func TestEvalExpectCellAttribution(t *testing.T) {
+	c := compileExpectDoc(t, expectDoc)
+	results := fakeCellResults(c)
+	cols := scenarioColumns(c.Units[0].sc)
+	ci := columnIndex(cols, "retrans_pkts")
+	results[2].Row[ci] = "250" // only unit 2 violates le 100
+	fails := evalExpect(c, results)
+	if len(fails) != 1 {
+		t.Fatalf("want exactly one failure, got %v", fails)
+	}
+	line := lineOf(t, expectDoc, "[[expect.cell]]", 1)
+	for _, want := range []string{
+		fmt.Sprintf("expect.cell (line %d)", line),
+		"unit " + c.Units[2].ID,
+		"= 250",
+		"violates le 100",
+	} {
+		if !strings.Contains(fails[0], want) {
+			t.Errorf("failure %q missing %q", fails[0], want)
+		}
+	}
+	for i, u := range c.Units {
+		if i != 2 && strings.Contains(fails[0], u.ID) {
+			t.Errorf("failure %q blames non-violating unit %s", fails[0], u.ID)
+		}
+	}
+}
+
+func TestEvalExpectCellRowSelector(t *testing.T) {
+	c := compileExpectDoc(t, expectDoc)
+	doc := c.Doc
+	doc.Expect.Cells[0].Row = "c001" // pin to one cell
+	results := fakeCellResults(c)
+	cols := scenarioColumns(c.Units[0].sc)
+	ci := columnIndex(cols, "retrans_pkts")
+	for i := range results {
+		results[i].Row[ci] = "250" // every cell violates ...
+	}
+	fails := evalExpect(c, results)
+	if len(fails) != 1 { // ... but only the selected row is checked
+		t.Fatalf("row selector should bound the check to one cell, got %v", fails)
+	}
+	if !strings.Contains(fails[0], "mini[c001].retrans_pkts") {
+		t.Fatalf("failure %q does not reference the selected cell", fails[0])
+	}
+}
+
+func TestEvalExpectCellMatchedNothing(t *testing.T) {
+	c := compileExpectDoc(t, expectDoc)
+	c.Doc.Expect.Cells[0].Row = "c999"
+	fails := evalExpect(c, fakeCellResults(c))
+	if len(fails) != 1 || !strings.Contains(fails[0], "matched no cells") {
+		t.Fatalf("typo'd row selector must fail loudly, got %v", fails)
+	}
+	if !strings.Contains(fails[0], `row="c999"`) {
+		t.Fatalf("failure %q does not echo the selector", fails[0])
+	}
+}
+
+func TestEvalExpectCellNonNumeric(t *testing.T) {
+	c := compileExpectDoc(t, expectDoc)
+	c.Doc.Expect.Cells[0].Column = "transport" // text column under a numeric comparator
+	fails := evalExpect(c, fakeCellResults(c))
+	if len(fails) == 0 || !strings.Contains(fails[0], "is not numeric") {
+		t.Fatalf("text cell under numeric comparator must fail, got %v", fails)
+	}
+}
+
+func TestEvalExpectStatAttribution(t *testing.T) {
+	c := compileExpectDoc(t, expectDoc)
+	results := fakeCellResults(c)
+	results[1].Summary.RetransPkts = 5000 // only unit 1 violates lt 1000
+	fails := evalExpect(c, results)
+	if len(fails) != 1 {
+		t.Fatalf("want exactly one failure, got %v", fails)
+	}
+	line := lineOf(t, expectDoc, "[[expect.stat]]", 1)
+	for _, want := range []string{
+		fmt.Sprintf("expect.stat (line %d)", line),
+		"unit " + c.Units[1].ID,
+		"retrans_pkts = 5000",
+		"violates lt 1000",
+	} {
+		if !strings.Contains(fails[0], want) {
+			t.Errorf("failure %q missing %q", fails[0], want)
+		}
+	}
+}
+
+func TestEvalExpectStatNoStatistics(t *testing.T) {
+	c := compileExpectDoc(t, expectDoc)
+	results := fakeCellResults(c)
+	for i := range results {
+		results[i].Summary = nil // observe.stats effectively off
+	}
+	fails := evalExpect(c, results)
+	if len(fails) != 1 || !strings.Contains(fails[0], "matched no unit with statistics") {
+		t.Fatalf("stat predicate without summaries must fail loudly, got %v", fails)
+	}
+}
+
+// TestEvalExpectViolationAttribution pins the satellite fix: the
+// max_violations failure names the offending unit(s) with their counts,
+// and stays silent about clean units.
+func TestEvalExpectViolationAttribution(t *testing.T) {
+	c := compileExpectDoc(t, miniDoc)
+	results := fakeCellResults(c)
+	results[0].Violations = 3
+	results[3].Violations = 1
+	fails := evalExpect(c, results)
+	if len(fails) != 1 {
+		t.Fatalf("want exactly one failure, got %v", fails)
+	}
+	want := fmt.Sprintf("invariant violations 4 exceed max_violations 0 (%s: 3, %s: 1)",
+		c.Units[0].ID, c.Units[3].ID)
+	if fails[0] != want {
+		t.Fatalf("violation attribution:\ngot  %q\nwant %q", fails[0], want)
+	}
+}
+
+// TestEvalExpectWithin exercises the tolerance comparator on both sides
+// of the band edge.
+func TestEvalExpectWithin(t *testing.T) {
+	src := miniDoc + `
+[[expect.cell]]
+table = "mini"
+column = "goodput_Gbps"
+op = "within"
+value = 1.5
+tol = 0.25
+`
+	c := compileExpectDoc(t, src)
+	if fails := evalExpect(c, fakeCellResults(c)); len(fails) != 0 {
+		t.Fatalf("goodput 1.5 is within 1.5±0.25, got %v", fails)
+	}
+	results := fakeCellResults(c)
+	cols := scenarioColumns(c.Units[0].sc)
+	ci := columnIndex(cols, "goodput_Gbps")
+	results[0].Row[ci] = "1.76"
+	fails := evalExpect(c, results)
+	if len(fails) != 1 || !strings.Contains(fails[0], "violates within 1.5 ±0.25") {
+		t.Fatalf("1.76 is outside 1.5±0.25, got %v", fails)
+	}
+}

@@ -463,7 +463,7 @@ func Run(c *Campaign, docBytes []byte, opts Options) (*Report, error) {
 	for _, res := range rep.Results {
 		rep.Violations += res.Violations
 	}
-	rep.ExpectFailures = evalExpect(doc, rep.Results)
+	rep.ExpectFailures = evalExpect(c, rep.Results)
 
 	if opts.Dir != "" {
 		if err := writeBundle(opts.Dir, c, docBytes, docSHA, rep); err != nil {
@@ -471,29 +471,6 @@ func Run(c *Campaign, docBytes []byte, opts Options) (*Report, error) {
 		}
 	}
 	return rep, nil
-}
-
-// evalExpect checks the doc's [expect] section against the merged
-// results; each failure is one human-readable string.
-func evalExpect(doc *Doc, results []*UnitResult) []string {
-	var fails []string
-	if doc.Observe.Check {
-		var viol int64
-		for _, r := range results {
-			viol += r.Violations
-		}
-		if viol > doc.Expect.MaxViolations {
-			fails = append(fails, fmt.Sprintf("invariant violations %d exceed max_violations %d", viol, doc.Expect.MaxViolations))
-		}
-	}
-	if doc.Expect.RequireDone {
-		for _, r := range results {
-			if s := r.Summary; s != nil && s.Done < s.Flows {
-				fails = append(fails, fmt.Sprintf("unit %s left %d of %d flows unfinished", r.ID, s.Flows-s.Done, s.Flows))
-			}
-		}
-	}
-	return fails
 }
 
 // RenderTables renders every unit's tables plus one assembled table per
@@ -598,47 +575,85 @@ func renderChecks(c *Campaign, results []*UnitResult) string {
 	return b.String()
 }
 
-// benchSnapshot is the deterministic half of a BENCH record: simulated
+// BenchSnapshot is the deterministic half of a BENCH record: simulated
 // events per unit. Wall-clock throughput is deliberately absent — it
 // would break resumed-bundle byte-identity — and can be recomputed from
-// events/s of any live dcpbench run.
-type benchSnapshot struct {
+// events/s of any live dcpbench run. Exported (with Manifest) as the
+// bundle surface the diff engine in internal/obs/diff loads.
+type BenchSnapshot struct {
 	Campaign    string      `json:"campaign"`
 	Seed        int64       `json:"seed"`
 	Scale       float64     `json:"scale"`
 	TotalEvents int64       `json:"total_events"`
 	TotalSims   int64       `json:"total_sims"`
-	Units       []benchUnit `json:"units"`
+	Units       []BenchUnit `json:"units"`
 }
 
-type benchUnit struct {
+// BenchUnit is one unit's slice of a BenchSnapshot.
+type BenchUnit struct {
 	ID     string      `json:"id"`
 	Sims   int         `json:"sims"`
 	Events int64       `json:"events"`
 	Comps  []CompCount `json:"comps,omitempty"`
 }
 
-// manifest is the bundle's provenance record: enough to re-execute and
-// re-verify any single unit by id (Recheck does exactly that).
-type manifest struct {
+// Manifest is the bundle's provenance record: enough to re-execute and
+// re-verify any single unit by id (Recheck does exactly that), and the
+// per-unit digest index a bundle diff aligns on.
+type Manifest struct {
 	Campaign       string         `json:"campaign"`
 	DocSHA256      string         `json:"doc_sha256"`
 	GoVersion      string         `json:"go_version"`
 	BinarySHA256   string         `json:"binary_sha256,omitempty"`
 	Seed           int64          `json:"seed"`
 	Scale          float64        `json:"scale"`
-	Units          []manifestUnit `json:"units"`
+	Units          []ManifestUnit `json:"units"`
 	Violations     int64          `json:"violations"`
 	ExpectFailures []string       `json:"expect_failures,omitempty"`
 }
 
-type manifestUnit struct {
+// ManifestUnit is one unit's provenance row.
+type ManifestUnit struct {
 	ID         string `json:"id"`
 	Kind       string `json:"kind"`
 	Digest     string `json:"sha256"`
 	Events     int64  `json:"events"`
 	Sims       int    `json:"sims"`
 	Violations int64  `json:"violations"`
+}
+
+// LoadManifest reads a completed bundle's manifest.json.
+func LoadManifest(dir string) (*Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("no manifest in %s (campaign incomplete?): %w", dir, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("unreadable manifest in %s: %w", dir, err)
+	}
+	return &man, nil
+}
+
+// LoadBenchSnapshot reads a completed bundle's bench.json.
+func LoadBenchSnapshot(dir string) (*BenchSnapshot, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "bench.json"))
+	if err != nil {
+		return nil, fmt.Errorf("no bench snapshot in %s: %w", dir, err)
+	}
+	var bs BenchSnapshot
+	if err := json.Unmarshal(raw, &bs); err != nil {
+		return nil, fmt.Errorf("unreadable bench snapshot in %s: %w", dir, err)
+	}
+	return &bs, nil
+}
+
+// LoadCheckpoint restores unit unitID's checkpointed result from a run
+// directory, verifying its recorded digest; a missing, truncated or
+// digest-mismatched checkpoint returns (nil, ""). The digest returned is
+// the unit's canonical content hash, equal to its Manifest entry.
+func LoadCheckpoint(dir, unitID string) (*UnitResult, string) {
+	return loadCheckpoint(dir, unitID)
 }
 
 // binaryDigest hashes the running executable — recorded so a bundle can
@@ -680,8 +695,8 @@ func writeBundle(dir string, c *Campaign, docBytes []byte, docSHA string, rep *R
 		}
 	}
 
-	bench := benchSnapshot{Campaign: c.Doc.Name, Seed: c.Doc.Seed, Scale: c.Doc.Scale}
-	man := manifest{
+	bench := BenchSnapshot{Campaign: c.Doc.Name, Seed: c.Doc.Seed, Scale: c.Doc.Scale}
+	man := Manifest{
 		Campaign:       c.Doc.Name,
 		DocSHA256:      docSHA,
 		GoVersion:      runtime.Version(),
@@ -693,10 +708,10 @@ func writeBundle(dir string, c *Campaign, docBytes []byte, docSHA string, rep *R
 	}
 	for i, u := range c.Units {
 		r := rep.Results[i]
-		bench.Units = append(bench.Units, benchUnit{ID: u.ID, Sims: r.Sims, Events: r.Events, Comps: r.Comps})
+		bench.Units = append(bench.Units, BenchUnit{ID: u.ID, Sims: r.Sims, Events: r.Events, Comps: r.Comps})
 		bench.TotalEvents += r.Events
 		bench.TotalSims += int64(r.Sims)
-		man.Units = append(man.Units, manifestUnit{
+		man.Units = append(man.Units, ManifestUnit{
 			ID: u.ID, Kind: string(u.Kind), Digest: rep.Digests[i],
 			Events: r.Events, Sims: r.Sims, Violations: r.Violations,
 		})
@@ -727,12 +742,8 @@ type RecheckResult struct {
 // compares its fresh result digest against the manifest — the "re-verify
 // any cell from the bundle alone" half of the provenance contract.
 func Recheck(c *Campaign, dir, unitID string) (*RecheckResult, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	man, err := LoadManifest(dir)
 	if err != nil {
-		return nil, fmt.Errorf("no manifest in %s (campaign incomplete?): %w", dir, err)
-	}
-	var man manifest
-	if err := json.Unmarshal(raw, &man); err != nil {
 		return nil, err
 	}
 	recorded := ""

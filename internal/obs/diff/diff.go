@@ -1,0 +1,583 @@
+// Package diff compares two campaign provenance bundles and reports
+// structured drift. A bundle is the directory a dcpcampaign run writes:
+// manifest.json (per-unit digests), bench.json (per-unit event counts and
+// component matrices), checkpoints/ (digest-validated unit results), plus
+// the campaign document itself. The engine aligns units by id, proves
+// equality cheaply through the manifest digests, and only deep-compares
+// units whose digests differ — producing cell-level table deltas,
+// summary-statistic shifts and component-count deltas, each classified
+// through the same noise-window arithmetic the bench comparator uses.
+//
+// Everything here is deterministic: unit order follows the baseline
+// manifest (current-only units appended in current order), all floats
+// render through one formatter, and no map iteration reaches the output.
+package diff
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"dcpsim/internal/bench"
+	"dcpsim/internal/campaign"
+	"dcpsim/internal/obs/perf"
+)
+
+// Thresholds are the relative noise windows of the deep comparison, one
+// per delta family. A delta is flagged when its |relative change| exceeds
+// the window (bench.Classify arithmetic: exactly on the edge is within
+// noise).
+type Thresholds struct {
+	// Stats windows summary metrics, percentile shifts and numeric
+	// table cells.
+	Stats float64 `json:"stats"`
+	// Comps windows per-component event counts.
+	Comps float64 `json:"comps"`
+	// Events windows a unit's total simulated event count. Tight by
+	// default: event counts are deterministic, so any shift is a real
+	// behaviour change, but tiny scheduling deltas under perturbation
+	// are expected.
+	Events float64 `json:"events"`
+}
+
+// DefaultThresholds matches the repo's bench comparator spirit: 5%
+// windows on noisy aggregates, 1% on deterministic event counts.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Stats: 0.05, Comps: 0.05, Events: 0.01}
+}
+
+// Verdict is one unit's comparison outcome, ordered by severity.
+type Verdict int
+
+const (
+	// Identical units share a manifest digest: byte-equal results.
+	Identical Verdict = iota
+	// WithinNoise units differ, but every delta sits inside its window.
+	WithinNoise
+	// Drifted units have at least one delta beyond its window.
+	Drifted
+	// Missing units exist in only one bundle.
+	Missing
+	// Incomparable units cannot be compared: kind mismatch, absent or
+	// corrupt checkpoint, or result shapes that do not line up.
+	Incomparable
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Identical:
+		return "identical"
+	case WithinNoise:
+		return "within-noise"
+	case Drifted:
+		return "drifted"
+	case Missing:
+		return "missing"
+	case Incomparable:
+		return "incomparable"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// MarshalJSON renders verdicts as their names; the JSON report is meant
+// to be read by humans and CI log scrapers, not reimported.
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(v.String())), nil
+}
+
+// CellDelta is one rendered table cell that changed: old → new with the
+// relative change when both sides parse as numbers.
+type CellDelta struct {
+	Table   string  `json:"table"`
+	Row     string  `json:"row"`
+	Column  string  `json:"column"`
+	Old     string  `json:"old"`
+	New     string  `json:"new"`
+	Rel     float64 `json:"rel"`
+	Flagged bool    `json:"flagged"`
+}
+
+// StatDelta is one summary metric that changed (stats.Metric names).
+type StatDelta struct {
+	Metric  string  `json:"metric"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	Rel     float64 `json:"rel"`
+	Flagged bool    `json:"flagged"`
+}
+
+// CompDelta is one engine component whose dispatched-event count moved.
+type CompDelta struct {
+	Comp    string  `json:"comp"`
+	Old     uint64  `json:"old"`
+	New     uint64  `json:"new"`
+	Rel     float64 `json:"rel"`
+	Flagged bool    `json:"flagged"`
+}
+
+// EventDelta classifies a unit's total simulated event count.
+type EventDelta struct {
+	Old     int64   `json:"old"`
+	New     int64   `json:"new"`
+	Rel     float64 `json:"rel"`
+	Flagged bool    `json:"flagged"`
+}
+
+// UnitDiff is one unit's full comparison record. Deltas are only
+// populated for non-identical comparable units, and hold every observed
+// change (flagged or not) so within-noise drift remains visible.
+type UnitDiff struct {
+	ID      string      `json:"id"`
+	Kind    string      `json:"kind"`
+	Verdict Verdict     `json:"verdict"`
+	Notes   []string    `json:"notes,omitempty"`
+	Events  *EventDelta `json:"events,omitempty"`
+	Cells   []CellDelta `json:"cells,omitempty"`
+	Stats   []StatDelta `json:"stats,omitempty"`
+	Comps   []CompDelta `json:"comps,omitempty"`
+}
+
+// Summary counts units per verdict.
+type Summary struct {
+	Identical    int `json:"identical"`
+	WithinNoise  int `json:"within_noise"`
+	Drifted      int `json:"drifted"`
+	Missing      int `json:"missing"`
+	Incomparable int `json:"incomparable"`
+}
+
+// Report is the complete diff of two bundles.
+type Report struct {
+	BaseDir    string     `json:"base_dir"`
+	CurDir     string     `json:"cur_dir"`
+	Campaign   string     `json:"campaign"`
+	Notes      []string   `json:"notes,omitempty"`
+	Thresholds Thresholds `json:"thresholds"`
+	Units      []UnitDiff `json:"units"`
+	Summary    Summary    `json:"summary"`
+}
+
+// Drift reports whether the comparison demands attention: any drifted,
+// missing or incomparable unit.
+func (r *Report) Drift() bool {
+	return r.Summary.Drifted+r.Summary.Missing+r.Summary.Incomparable > 0
+}
+
+// Bundle is one loaded run directory.
+type Bundle struct {
+	Dir   string
+	Man   *campaign.Manifest
+	Bench *campaign.BenchSnapshot
+	Doc   *campaign.Doc
+	// Units holds the digest-validated checkpoint payloads, keyed by
+	// unit id; absent entries mean the checkpoint is missing or corrupt.
+	Units map[string]*campaign.UnitResult
+}
+
+// LoadBundle reads a completed run directory. The manifest is mandatory
+// (it is written last, so its presence certifies completeness); a broken
+// bench snapshot or campaign doc degrades the comparison rather than
+// failing the load, surfacing as notes on the report.
+func LoadBundle(dir string) (*Bundle, error) {
+	man, err := campaign.LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bundle{Dir: dir, Man: man, Units: map[string]*campaign.UnitResult{}}
+	b.Bench, _ = campaign.LoadBenchSnapshot(dir)
+	b.Doc = loadDoc(dir)
+	for _, mu := range man.Units {
+		if res, _ := campaign.LoadCheckpoint(dir, mu.ID); res != nil {
+			b.Units[mu.ID] = res
+		}
+	}
+	return b, nil
+}
+
+// loadDoc best-effort parses the bundled campaign document for scenario
+// column labels. A missing or unparseable doc only costs label quality.
+func loadDoc(dir string) *campaign.Doc {
+	raw, err := os.ReadFile(filepath.Join(dir, "campaign.doc"))
+	if err != nil {
+		return nil
+	}
+	format := campaign.FormatTOML
+	if bytes.HasPrefix(bytes.TrimSpace(raw), []byte("{")) {
+		format = campaign.FormatJSON
+	}
+	doc, diags := campaign.Parse(raw, format)
+	if len(diags) > 0 {
+		return nil
+	}
+	return doc
+}
+
+// columnsFor resolves a cell unit's table header from the bundle's own
+// campaign document; nil when the doc is unavailable.
+func (b *Bundle) columnsFor(unitID string) []string {
+	if b.Doc == nil {
+		return nil
+	}
+	scID, _, ok := strings.Cut(unitID, "/")
+	if !ok {
+		return nil
+	}
+	for _, sc := range b.Doc.Scenarios {
+		if sc.ID == scID {
+			return campaign.ScenarioColumns(sc)
+		}
+	}
+	return nil
+}
+
+// Compare diffs two loaded bundles under the given thresholds.
+func Compare(base, cur *Bundle, th Thresholds) *Report {
+	r := &Report{
+		BaseDir: base.Dir, CurDir: cur.Dir,
+		Campaign: base.Man.Campaign, Thresholds: th,
+	}
+	r.Notes = bundleNotes(base, cur)
+
+	curUnits := map[string]campaign.ManifestUnit{}
+	for _, mu := range cur.Man.Units {
+		curUnits[mu.ID] = mu
+	}
+	baseSeen := map[string]bool{}
+	for _, bu := range base.Man.Units {
+		baseSeen[bu.ID] = true
+		cu, ok := curUnits[bu.ID]
+		if !ok {
+			r.add(UnitDiff{ID: bu.ID, Kind: bu.Kind, Verdict: Missing,
+				Notes: []string{fmt.Sprintf("absent from %s", cur.Dir)}})
+			continue
+		}
+		r.add(compareUnit(base, cur, bu, cu, th))
+	}
+	for _, cu := range cur.Man.Units {
+		if !baseSeen[cu.ID] {
+			r.add(UnitDiff{ID: cu.ID, Kind: cu.Kind, Verdict: Missing,
+				Notes: []string{fmt.Sprintf("absent from %s", base.Dir)}})
+		}
+	}
+	return r
+}
+
+func (r *Report) add(u UnitDiff) {
+	r.Units = append(r.Units, u)
+	switch u.Verdict {
+	case Identical:
+		r.Summary.Identical++
+	case WithinNoise:
+		r.Summary.WithinNoise++
+	case Drifted:
+		r.Summary.Drifted++
+	case Missing:
+		r.Summary.Missing++
+	case Incomparable:
+		r.Summary.Incomparable++
+	}
+}
+
+// bundleNotes records campaign-level context differences. None of these
+// alone constitute drift — diffing a deliberately perturbed document is
+// the tool's main use — but the reader must see them.
+func bundleNotes(base, cur *Bundle) []string {
+	var notes []string
+	if base.Man.Campaign != cur.Man.Campaign {
+		notes = append(notes, fmt.Sprintf("campaign name differs: %q vs %q", base.Man.Campaign, cur.Man.Campaign))
+	}
+	if base.Man.DocSHA256 != cur.Man.DocSHA256 {
+		notes = append(notes, "campaign documents differ")
+	}
+	if base.Man.Seed != cur.Man.Seed {
+		notes = append(notes, fmt.Sprintf("seed differs: %d vs %d", base.Man.Seed, cur.Man.Seed))
+	}
+	if base.Man.Scale != cur.Man.Scale {
+		notes = append(notes, fmt.Sprintf("scale differs: %s vs %s", fnum(base.Man.Scale), fnum(cur.Man.Scale)))
+	}
+	if base.Man.GoVersion != cur.Man.GoVersion {
+		notes = append(notes, fmt.Sprintf("go version differs: %s vs %s", base.Man.GoVersion, cur.Man.GoVersion))
+	}
+	return notes
+}
+
+// compareUnit deep-compares one unit present in both manifests.
+func compareUnit(base, cur *Bundle, bu, cu campaign.ManifestUnit, th Thresholds) UnitDiff {
+	d := UnitDiff{ID: bu.ID, Kind: bu.Kind}
+	if bu.Kind != cu.Kind {
+		d.Verdict = Incomparable
+		d.Notes = append(d.Notes, fmt.Sprintf("kind mismatch: %s vs %s", bu.Kind, cu.Kind))
+		return d
+	}
+	if bu.Digest == cu.Digest {
+		d.Verdict = Identical
+		return d
+	}
+	br, cr := base.Units[bu.ID], cur.Units[cu.ID]
+	if br == nil || cr == nil {
+		d.Verdict = Incomparable
+		if br == nil {
+			d.Notes = append(d.Notes, fmt.Sprintf("checkpoint absent or corrupt in %s", base.Dir))
+		}
+		if cr == nil {
+			d.Notes = append(d.Notes, fmt.Sprintf("checkpoint absent or corrupt in %s", cur.Dir))
+		}
+		// The bench snapshot carries the unit's event count and component
+		// matrix independently of the checkpoint, so even an incomparable
+		// unit can still show what moved.
+		if bb, cb := benchUnitOf(base, bu.ID), benchUnitOf(cur, cu.ID); bb != nil && cb != nil {
+			d.Events = &EventDelta{Old: bb.Events, New: cb.Events}
+			d.Events.Rel = bench.RelChange(float64(bb.Events), float64(cb.Events))
+			d.Events.Flagged = flagged(float64(bb.Events), float64(cb.Events), d.Events.Rel, th.Events)
+			d.Comps = diffCompCounts(bb.Comps, cb.Comps, th)
+		}
+		return d
+	}
+
+	d.Events = &EventDelta{Old: br.Events, New: cr.Events}
+	d.Events.Rel = bench.RelChange(float64(br.Events), float64(cr.Events))
+	d.Events.Flagged = flagged(float64(br.Events), float64(cr.Events), d.Events.Rel, th.Events)
+
+	d.Cells = append(d.Cells, diffRow(base, br, cr, &d, th)...)
+	d.Cells = append(d.Cells, diffTables(br, cr, &d, th)...)
+	d.Stats = diffStats(br, cr, &d, th)
+	d.Comps = diffComps(br, cr, th)
+
+	switch {
+	case len(d.Notes) > 0:
+		d.Verdict = Incomparable
+	case anyFlagged(&d):
+		d.Verdict = Drifted
+	default:
+		d.Verdict = WithinNoise
+	}
+	return d
+}
+
+func anyFlagged(d *UnitDiff) bool {
+	if d.Events != nil && d.Events.Flagged {
+		return true
+	}
+	for _, c := range d.Cells {
+		if c.Flagged {
+			return true
+		}
+	}
+	for _, s := range d.Stats {
+		if s.Flagged {
+			return true
+		}
+	}
+	for _, c := range d.Comps {
+		if c.Flagged {
+			return true
+		}
+	}
+	return false
+}
+
+// flagged applies the bench classification to a delta, with one
+// tightening: a zero baseline moving to non-zero is always flagged
+// (RelChange reports 0 there, which must not read as "no change").
+func flagged(old, new, rel, window float64) bool {
+	if old == 0 {
+		return new != 0
+	}
+	return bench.Classify(rel, window) != bench.WithinNoise
+}
+
+// diffRow compares a scenario cell's pre-formatted result row.
+func diffRow(base *Bundle, br, cr *campaign.UnitResult, d *UnitDiff, th Thresholds) []CellDelta {
+	if len(br.Row) == 0 && len(cr.Row) == 0 {
+		return nil
+	}
+	if len(br.Row) != len(cr.Row) {
+		d.Notes = append(d.Notes, fmt.Sprintf("row shape mismatch: %d vs %d columns", len(br.Row), len(cr.Row)))
+		return nil
+	}
+	cols := base.columnsFor(br.ID)
+	scID, _, _ := strings.Cut(br.ID, "/")
+	var out []CellDelta
+	for i := 1; i < len(br.Row); i++ { // column 0 is the row key
+		if br.Row[i] == cr.Row[i] {
+			continue
+		}
+		out = append(out, cellDelta(scID, br.Row[0], columnName(cols, i), br.Row[i], cr.Row[i], th))
+	}
+	return out
+}
+
+// diffTables compares a registry experiment's rendered tables, aligning
+// tables by name and rows by their first-column key.
+func diffTables(br, cr *campaign.UnitResult, d *UnitDiff, th Thresholds) []CellDelta {
+	curByName := map[string]int{}
+	for i, t := range cr.Tables {
+		curByName[t.Name] = i
+	}
+	var out []CellDelta
+	matched := map[string]bool{}
+	for _, bt := range br.Tables {
+		ci, ok := curByName[bt.Name]
+		if !ok {
+			d.Notes = append(d.Notes, fmt.Sprintf("table %q absent from current bundle", bt.Name))
+			continue
+		}
+		matched[bt.Name] = true
+		ct := cr.Tables[ci]
+		if !equalStrings(bt.Columns, ct.Columns) {
+			d.Notes = append(d.Notes, fmt.Sprintf("table %q column mismatch: [%s] vs [%s]",
+				bt.Name, strings.Join(bt.Columns, " "), strings.Join(ct.Columns, " ")))
+			continue
+		}
+		curRows := map[string][]string{}
+		for _, row := range ct.Rows {
+			if len(row) > 0 {
+				curRows[row[0]] = row
+			}
+		}
+		seen := map[string]bool{}
+		for _, brow := range bt.Rows {
+			if len(brow) == 0 {
+				continue
+			}
+			crow, ok := curRows[brow[0]]
+			if !ok {
+				d.Notes = append(d.Notes, fmt.Sprintf("table %q row %q absent from current bundle", bt.Name, brow[0]))
+				continue
+			}
+			seen[brow[0]] = true
+			for i := 1; i < len(brow) && i < len(crow); i++ {
+				if brow[i] == crow[i] {
+					continue
+				}
+				out = append(out, cellDelta(bt.Name, brow[0], columnName(bt.Columns, i), brow[i], crow[i], th))
+			}
+		}
+		for _, crow := range ct.Rows {
+			if len(crow) > 0 && !seen[crow[0]] {
+				d.Notes = append(d.Notes, fmt.Sprintf("table %q row %q absent from baseline bundle", bt.Name, crow[0]))
+			}
+		}
+	}
+	for _, ct := range cr.Tables {
+		if !matched[ct.Name] {
+			d.Notes = append(d.Notes, fmt.Sprintf("table %q absent from baseline bundle", ct.Name))
+		}
+	}
+	return out
+}
+
+// cellDelta builds one cell comparison. Numeric pairs are classified
+// through the stats window; a non-numeric change is always flagged.
+func cellDelta(table, row, col, old, new string, th Thresholds) CellDelta {
+	cd := CellDelta{Table: table, Row: row, Column: col, Old: old, New: new}
+	ov, oerr := strconv.ParseFloat(old, 64)
+	nv, nerr := strconv.ParseFloat(new, 64)
+	if oerr != nil || nerr != nil {
+		cd.Flagged = true
+		return cd
+	}
+	cd.Rel = bench.RelChange(ov, nv)
+	cd.Flagged = flagged(ov, nv, cd.Rel, th.Stats)
+	return cd
+}
+
+func columnName(cols []string, i int) string {
+	if i < len(cols) {
+		return cols[i]
+	}
+	return fmt.Sprintf("col%d", i)
+}
+
+// statMetrics is the fixed probe set of summary metrics the diff tracks:
+// the workload-shape counters plus the tail-latency percentiles the paper
+// cares about.
+var statMetrics = []string{
+	"flows", "done", "retrans_pkts", "timeouts", "ho_triggers",
+	"fct_p50_us", "fct_p99_us", "fct_max_us", "slowdown_p50", "slowdown_p99",
+}
+
+// diffStats compares the units' merged RunSummary digests.
+func diffStats(br, cr *campaign.UnitResult, d *UnitDiff, th Thresholds) []StatDelta {
+	bs, cs := br.Summary, cr.Summary
+	if bs == nil && cs == nil {
+		return nil
+	}
+	if (bs == nil) != (cs == nil) {
+		d.Notes = append(d.Notes, "statistics present in only one bundle (observe.stats toggled?)")
+		return nil
+	}
+	var out []StatDelta
+	for _, name := range statMetrics {
+		ov, _ := bs.Metric(name)
+		nv, _ := cs.Metric(name)
+		if ov == nv {
+			continue
+		}
+		sd := StatDelta{Metric: name, Old: ov, New: nv, Rel: bench.RelChange(ov, nv)}
+		sd.Flagged = flagged(ov, nv, sd.Rel, th.Stats)
+		out = append(out, sd)
+	}
+	return out
+}
+
+// benchUnitOf finds a unit's slice of a bundle's bench snapshot.
+func benchUnitOf(b *Bundle, id string) *campaign.BenchUnit {
+	if b.Bench == nil {
+		return nil
+	}
+	for i := range b.Bench.Units {
+		if b.Bench.Units[i].ID == id {
+			return &b.Bench.Units[i]
+		}
+	}
+	return nil
+}
+
+// diffComps compares checkpointed component-count matrices.
+func diffComps(br, cr *campaign.UnitResult, th Thresholds) []CompDelta {
+	return diffCompCounts(br.Comps, cr.Comps, th)
+}
+
+// diffCompCounts compares two component-count matrices in perf report
+// order.
+func diffCompCounts(bc, cc []campaign.CompCount, th Thresholds) []CompDelta {
+	if len(bc) == 0 && len(cc) == 0 {
+		return nil
+	}
+	old := map[string]uint64{}
+	for _, c := range bc {
+		old[c.Comp] = c.Events
+	}
+	cur := map[string]uint64{}
+	for _, c := range cc {
+		cur[c.Comp] = c.Events
+	}
+	var out []CompDelta
+	for _, comp := range perf.CompOrder() {
+		name := comp.String()
+		ov, nv := old[name], cur[name]
+		if ov == nv {
+			continue
+		}
+		cd := CompDelta{Comp: name, Old: ov, New: nv, Rel: bench.RelChange(float64(ov), float64(nv))}
+		cd.Flagged = flagged(float64(ov), float64(nv), cd.Rel, th.Comps)
+		out = append(out, cd)
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,408 @@
+package diff
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcpsim/internal/campaign"
+	"dcpsim/internal/stats"
+)
+
+// miniDoc mirrors the campaign runner's test campaign: 2 transports × 2
+// loss values, one tiny sim per cell, stats + checks + dispatch profile
+// on, so checkpoints carry every comparable surface.
+const miniDoc = `
+name = "mini"
+seed = 11
+scale = 0.02
+
+[observe]
+check = true
+stats = true
+
+[[scenario]]
+id = "mini"
+transports = ["dcp", "cx5"]
+size_mb = 1
+horizon_ms = 20
+seeds = [11]
+
+[scenario.sweep]
+loss = [0, 0.01]
+`
+
+// perturbedDoc shifts one sweep axis value — the canonical "same campaign,
+// one knob turned" comparison the diff engine exists for.
+var perturbedDoc = strings.Replace(miniDoc, "loss = [0, 0.01]", "loss = [0, 0.05]", 1)
+
+func runCampaign(t *testing.T, src, dir string) {
+	t.Helper()
+	doc, diags := campaign.Parse([]byte(src), campaign.FormatTOML)
+	if len(diags) > 0 {
+		t.Fatalf("parse: %v", diags)
+	}
+	c, err := campaign.Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Run(c, []byte(src), campaign.Options{Dir: dir, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdenticalBundles pins the zero-drift contract: two runs of the same
+// campaign produce a report that is all-identical and drift-free.
+func TestIdenticalBundles(t *testing.T) {
+	dirA := filepath.Join(t.TempDir(), "a")
+	dirB := filepath.Join(t.TempDir(), "b")
+	runCampaign(t, miniDoc, dirA)
+	runCampaign(t, miniDoc, dirB)
+	a, err := LoadBundle(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Compare(a, b, DefaultThresholds())
+	if r.Drift() {
+		t.Fatalf("identical bundles reported drift: %+v", r.Summary)
+	}
+	if r.Summary.Identical != 4 {
+		t.Fatalf("summary = %+v, want 4 identical", r.Summary)
+	}
+	for _, u := range r.Units {
+		if u.Verdict != Identical {
+			t.Errorf("unit %s verdict %s, want identical", u.ID, u.Verdict)
+		}
+	}
+	if len(r.Notes) != 0 {
+		t.Errorf("same-doc comparison produced notes: %v", r.Notes)
+	}
+}
+
+// TestPerturbedBundles is the headline acceptance path: perturbing one
+// sweep axis value drifts exactly the cells that sample it, with
+// cell-level old→new deltas, and leaves the untouched cells identical.
+func TestPerturbedBundles(t *testing.T) {
+	dirA := filepath.Join(t.TempDir(), "a")
+	dirB := filepath.Join(t.TempDir(), "b")
+	runCampaign(t, miniDoc, dirA)
+	runCampaign(t, perturbedDoc, dirB)
+	a, err := LoadBundle(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Compare(a, b, DefaultThresholds())
+	if !r.Drift() {
+		t.Fatalf("perturbed rerun not flagged: %+v", r.Summary)
+	}
+	// The loss=0 cells are untouched by the perturbation and must stay
+	// byte-identical; the loss-axis cells must drift.
+	if r.Summary.Identical == 0 || r.Summary.Drifted == 0 {
+		t.Fatalf("summary = %+v, want a mix of identical and drifted units", r.Summary)
+	}
+	if len(r.Notes) == 0 || !strings.Contains(strings.Join(r.Notes, "\n"), "campaign documents differ") {
+		t.Errorf("doc perturbation not noted: %v", r.Notes)
+	}
+	foundLossCell := false
+	for _, u := range r.Units {
+		if u.Verdict != Drifted {
+			continue
+		}
+		for _, c := range u.Cells {
+			if c.Column == "loss" && c.Old == "0.01" && c.New == "0.05" {
+				foundLossCell = true
+				if !c.Flagged {
+					t.Errorf("loss cell delta not flagged: %+v", c)
+				}
+			}
+		}
+	}
+	if !foundLossCell {
+		t.Error("no cell-level delta for the perturbed loss axis; column labels or row diffing broke")
+	}
+	// Drift must also be visible in the JSON artifact.
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"verdict": "drifted"`) {
+		t.Errorf("JSON report missing drifted verdict:\n%s", buf.String())
+	}
+}
+
+// TestDiffDeterminism pins that comparing the same pair twice renders
+// byte-identical text and JSON.
+func TestDiffDeterminism(t *testing.T) {
+	dirA := filepath.Join(t.TempDir(), "a")
+	dirB := filepath.Join(t.TempDir(), "b")
+	runCampaign(t, miniDoc, dirA)
+	runCampaign(t, perturbedDoc, dirB)
+	render := func() (string, string) {
+		a, err := LoadBundle(dirA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := LoadBundle(dirB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Compare(a, b, DefaultThresholds())
+		var text, js bytes.Buffer
+		if err := WriteText(&text, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&js, r); err != nil {
+			t.Fatal(err)
+		}
+		return text.String(), js.String()
+	}
+	t1, j1 := render()
+	t2, j2 := render()
+	if t1 != t2 {
+		t.Errorf("text report not deterministic:\nfirst:\n%s\nsecond:\n%s", t1, t2)
+	}
+	if j1 != j2 {
+		t.Errorf("JSON report not deterministic")
+	}
+}
+
+// TestMissingUnits pins the Missing verdict on both sides of the union.
+func TestMissingUnits(t *testing.T) {
+	base := &Bundle{Dir: "A", Man: &campaign.Manifest{Campaign: "m", Units: []campaign.ManifestUnit{
+		{ID: "m/c000", Kind: "cell", Digest: "x"},
+		{ID: "m/c001", Kind: "cell", Digest: "y"},
+	}}, Units: map[string]*campaign.UnitResult{}}
+	cur := &Bundle{Dir: "B", Man: &campaign.Manifest{Campaign: "m", Units: []campaign.ManifestUnit{
+		{ID: "m/c000", Kind: "cell", Digest: "x"},
+		{ID: "m/c002", Kind: "cell", Digest: "z"},
+	}}, Units: map[string]*campaign.UnitResult{}}
+	r := Compare(base, cur, DefaultThresholds())
+	if r.Summary.Missing != 2 || r.Summary.Identical != 1 {
+		t.Fatalf("summary = %+v, want 1 identical + 2 missing", r.Summary)
+	}
+	if !r.Drift() {
+		t.Error("missing units must count as drift")
+	}
+	if got := r.Units[1]; got.ID != "m/c001" || got.Verdict != Missing ||
+		!strings.Contains(got.Notes[0], "absent from B") {
+		t.Errorf("baseline-only unit: %+v", got)
+	}
+	if got := r.Units[2]; got.ID != "m/c002" || !strings.Contains(got.Notes[0], "absent from A") {
+		t.Errorf("current-only unit: %+v", got)
+	}
+}
+
+// TestIncomparableUnits covers the remaining lattice corners: kind
+// mismatch and an absent checkpoint behind a digest mismatch.
+func TestIncomparableUnits(t *testing.T) {
+	base := &Bundle{Dir: "A", Man: &campaign.Manifest{Campaign: "m", Units: []campaign.ManifestUnit{
+		{ID: "u", Kind: "cell", Digest: "x"},
+	}}, Units: map[string]*campaign.UnitResult{}}
+	cur := &Bundle{Dir: "B", Man: &campaign.Manifest{Campaign: "m", Units: []campaign.ManifestUnit{
+		{ID: "u", Kind: "experiment", Digest: "y"},
+	}}, Units: map[string]*campaign.UnitResult{}}
+	r := Compare(base, cur, DefaultThresholds())
+	if r.Summary.Incomparable != 1 || !strings.Contains(r.Units[0].Notes[0], "kind mismatch") {
+		t.Fatalf("kind mismatch: %+v", r.Units[0])
+	}
+
+	cur.Man.Units[0].Kind = "cell"
+	r = Compare(base, cur, DefaultThresholds())
+	if r.Summary.Incomparable != 1 || !strings.Contains(r.Units[0].Notes[0], "checkpoint absent or corrupt") {
+		t.Fatalf("absent checkpoints: %+v", r.Units[0])
+	}
+
+	// With bench snapshots present, an incomparable unit still reports
+	// its event and component deltas from bench.json.
+	base.Bench = &campaign.BenchSnapshot{Units: []campaign.BenchUnit{
+		{ID: "u", Events: 1000, Comps: []campaign.CompCount{{Comp: "transport", Events: 400}}},
+	}}
+	cur.Bench = &campaign.BenchSnapshot{Units: []campaign.BenchUnit{
+		{ID: "u", Events: 1500, Comps: []campaign.CompCount{{Comp: "transport", Events: 700}}},
+	}}
+	r = Compare(base, cur, DefaultThresholds())
+	u := r.Units[0]
+	if u.Verdict != Incomparable {
+		t.Fatalf("bench fallback must not upgrade the verdict: %+v", u)
+	}
+	if u.Events == nil || u.Events.Old != 1000 || u.Events.New != 1500 || !u.Events.Flagged {
+		t.Fatalf("bench-snapshot event delta: %+v", u.Events)
+	}
+	if len(u.Comps) != 1 || u.Comps[0].Comp != "transport" || !u.Comps[0].Flagged {
+		t.Fatalf("bench-snapshot comp delta: %+v", u.Comps)
+	}
+}
+
+// fabUnit builds a checkpoint-shaped result for the synthetic tests.
+func fabUnit(id string, events int64, row []string, retrans int64) *campaign.UnitResult {
+	return &campaign.UnitResult{
+		ID: id, Kind: "cell", Row: row, Events: events,
+		Summary: &stats.RunSummary{Sims: 1, Flows: 4, Done: 4, RetransPkts: retrans},
+		Comps: []campaign.CompCount{
+			{Comp: "transport", Events: uint64(events / 2)},
+			{Comp: "fabric", Events: uint64(events / 4)},
+		},
+	}
+}
+
+func synthPair(baseRow, curRow []string, baseEvents, curEvents, baseRetrans, curRetrans int64) (*Bundle, *Bundle) {
+	base := &Bundle{Dir: "A", Man: &campaign.Manifest{Campaign: "m", Units: []campaign.ManifestUnit{
+		{ID: "m/c000", Kind: "cell", Digest: "x"},
+	}}, Units: map[string]*campaign.UnitResult{
+		"m/c000": fabUnit("m/c000", baseEvents, baseRow, baseRetrans),
+	}}
+	cur := &Bundle{Dir: "B", Man: &campaign.Manifest{Campaign: "m", Units: []campaign.ManifestUnit{
+		{ID: "m/c000", Kind: "cell", Digest: "y"},
+	}}, Units: map[string]*campaign.UnitResult{
+		"m/c000": fabUnit("m/c000", curEvents, curRow, curRetrans),
+	}}
+	return base, cur
+}
+
+// TestWithinNoiseVerdict: digests differ but every delta is inside its
+// window → within-noise, and no drift.
+func TestWithinNoiseVerdict(t *testing.T) {
+	row := []string{"c000", "dcp", "1.5", "2.5", "10", "0"}
+	curRow := []string{"c000", "dcp", "1.52", "2.5", "10", "0"}   // +1.3% < 5%
+	base, cur := synthPair(row, curRow, 10_000, 10_050, 100, 100) // +0.5% < 1%
+	r := Compare(base, cur, DefaultThresholds())
+	if r.Summary.WithinNoise != 1 || r.Drift() {
+		t.Fatalf("summary = %+v, want 1 within-noise and no drift", r.Summary)
+	}
+	u := r.Units[0]
+	if len(u.Cells) != 1 || u.Cells[0].Flagged {
+		t.Fatalf("within-noise cell delta must be reported unflagged: %+v", u.Cells)
+	}
+	if u.Events == nil || u.Events.Flagged {
+		t.Fatalf("within-noise event delta must be reported unflagged: %+v", u.Events)
+	}
+}
+
+// TestDriftVerdicts: each delta family beyond its window flips the unit
+// to drifted.
+func TestDriftVerdicts(t *testing.T) {
+	row := []string{"c000", "dcp", "1.5", "2.5", "10", "0"}
+
+	// Cell drift: goodput −20%.
+	base, cur := synthPair(row, []string{"c000", "dcp", "1.2", "2.5", "10", "0"}, 10_000, 10_000, 100, 100)
+	r := Compare(base, cur, DefaultThresholds())
+	if r.Summary.Drifted != 1 || !r.Units[0].Cells[0].Flagged {
+		t.Fatalf("cell drift not flagged: %+v", r.Units[0])
+	}
+
+	// Event drift: +20% > 1% window.
+	base, cur = synthPair(row, row, 10_000, 12_000, 100, 100)
+	r = Compare(base, cur, DefaultThresholds())
+	u := r.Units[0]
+	if u.Verdict != Drifted || u.Events == nil || !u.Events.Flagged {
+		t.Fatalf("event drift not flagged: %+v", u)
+	}
+	// The fabricated comps scale with events, so the comp matrix must
+	// drift too, in perf rendering order (transport before fabric).
+	if len(u.Comps) != 2 || u.Comps[0].Comp != "transport" || !u.Comps[0].Flagged {
+		t.Fatalf("comp drift not flagged in order: %+v", u.Comps)
+	}
+
+	// Stat drift: retransmissions 100 → 200.
+	base, cur = synthPair(row, row, 10_000, 10_000, 100, 200)
+	r = Compare(base, cur, DefaultThresholds())
+	u = r.Units[0]
+	if u.Verdict != Drifted {
+		t.Fatalf("stat drift verdict = %s: %+v", u.Verdict, u)
+	}
+	found := false
+	for _, s := range u.Stats {
+		if s.Metric == "retrans_pkts" && s.Flagged && s.Old == 100 && s.New == 200 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("retrans_pkts stat delta missing: %+v", u.Stats)
+	}
+}
+
+// TestZeroBaselineFlagged pins the RelChange(0, x) tightening: a count
+// appearing from zero is drift even though the relative change reads 0.
+func TestZeroBaselineFlagged(t *testing.T) {
+	row := []string{"c000", "dcp", "1.5", "2.5", "0", "0"}
+	curRow := []string{"c000", "dcp", "1.5", "2.5", "40", "0"}
+	base, cur := synthPair(row, curRow, 10_000, 10_000, 0, 0)
+	r := Compare(base, cur, DefaultThresholds())
+	if r.Units[0].Verdict != Drifted || !r.Units[0].Cells[0].Flagged {
+		t.Fatalf("zero-baseline cell change not flagged: %+v", r.Units[0])
+	}
+}
+
+// goldenReport is a handcrafted report exercising every rendering path,
+// pinned against testdata so output drift is a reviewed diff.
+func goldenReport() *Report {
+	r := &Report{
+		BaseDir: "runs/base", CurDir: "runs/perturbed",
+		Campaign:   "wan",
+		Notes:      []string{"campaign documents differ"},
+		Thresholds: DefaultThresholds(),
+	}
+	r.add(UnitDiff{ID: "wan/c000", Kind: "cell", Verdict: Identical})
+	r.add(UnitDiff{ID: "wan/c001", Kind: "cell", Verdict: WithinNoise,
+		Events: &EventDelta{Old: 10_000, New: 10_020, Rel: 0.002},
+		Cells: []CellDelta{
+			{Table: "wan", Row: "c001", Column: "goodput_Gbps", Old: "1.5", New: "1.52", Rel: 0.0133},
+		},
+	})
+	r.add(UnitDiff{ID: "wan/c002", Kind: "cell", Verdict: Drifted,
+		Events: &EventDelta{Old: 10_000, New: 12_000, Rel: 0.2, Flagged: true},
+		Cells: []CellDelta{
+			{Table: "wan", Row: "c002", Column: "fct_ms", Old: "2.5", New: "3.9", Rel: 0.56, Flagged: true},
+			{Table: "wan", Row: "c002", Column: "transport", Old: "dcp", New: "cx5", Flagged: true},
+		},
+		Stats: []StatDelta{
+			{Metric: "retrans_pkts", Old: 100, New: 250, Rel: 1.5, Flagged: true},
+		},
+		Comps: []CompDelta{
+			{Comp: "transport", Old: 5000, New: 6500, Rel: 0.3, Flagged: true},
+		},
+	})
+	r.add(UnitDiff{ID: "wan/c003", Kind: "cell", Verdict: Missing,
+		Notes: []string{"absent from runs/perturbed"}})
+	r.add(UnitDiff{ID: "fig10", Kind: "experiment", Verdict: Incomparable,
+		Notes: []string{"checkpoint absent or corrupt in runs/base"}})
+	return r
+}
+
+func checkGolden(t *testing.T, got []byte, name string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate by writing the got bytes to %s): %v\ngot:\n%s", path, err, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output drifted from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+func TestReportGoldenText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, buf.Bytes(), "report.golden.txt")
+}
+
+func TestReportGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, buf.Bytes(), "report.golden.json")
+}

@@ -1,0 +1,97 @@
+package diff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file renders a Report for humans (text) and machines (JSON). Both
+// forms are deterministic byte-for-byte: the text lists only units that
+// need reading (non-identical ones), the JSON carries every unit so a
+// CI artifact preserves the full comparison.
+
+// WriteText renders the report in reading order: header, campaign-level
+// notes, one block per non-identical unit, then the verdict census.
+func WriteText(w io.Writer, r *Report) error {
+	fmt.Fprintf(w, "bundle diff: %s vs %s\n", r.BaseDir, r.CurDir)
+	fmt.Fprintf(w, "campaign %q, thresholds: stats %s, comps %s, events %s\n",
+		r.Campaign, pct(r.Thresholds.Stats), pct(r.Thresholds.Comps), pct(r.Thresholds.Events))
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	for i := range r.Units {
+		u := &r.Units[i]
+		if u.Verdict == Identical {
+			continue
+		}
+		fmt.Fprintf(w, "\nunit %s [%s]\n", u.ID, u.Verdict)
+		for _, n := range u.Notes {
+			fmt.Fprintf(w, "  note: %s\n", n)
+		}
+		if u.Events != nil && (u.Events.Flagged || u.Events.Old != u.Events.New) {
+			fmt.Fprintf(w, "  events: %d -> %d (%s)%s\n", u.Events.Old, u.Events.New,
+				pctSigned(u.Events.Rel), mark(u.Events.Flagged))
+		}
+		for _, c := range u.Cells {
+			fmt.Fprintf(w, "  cell %s[%s].%s: %s -> %s (%s)%s\n",
+				c.Table, c.Row, c.Column, c.Old, c.New, relString(c), mark(c.Flagged))
+		}
+		for _, s := range u.Stats {
+			fmt.Fprintf(w, "  stat %s: %s -> %s (%s)%s\n",
+				s.Metric, fnum(s.Old), fnum(s.New), pctSigned(s.Rel), mark(s.Flagged))
+		}
+		for _, c := range u.Comps {
+			fmt.Fprintf(w, "  comp %s: %d -> %d (%s)%s\n",
+				c.Comp, c.Old, c.New, pctSigned(c.Rel), mark(c.Flagged))
+		}
+	}
+	s := r.Summary
+	_, err := fmt.Fprintf(w, "\nsummary: %d identical, %d within-noise, %d drifted, %d missing, %d incomparable\n",
+		s.Identical, s.WithinNoise, s.Drifted, s.Missing, s.Incomparable)
+	return err
+}
+
+// WriteJSON renders the full report as indented canonical JSON (struct
+// field order, trailing newline), matching the repo's bundle files.
+func WriteJSON(w io.Writer, r *Report) error {
+	blob, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}
+
+// mark renders the drift flag the way bench verdicts do.
+func mark(flagged bool) string {
+	if flagged {
+		return "  !"
+	}
+	return ""
+}
+
+// relString renders a cell delta's magnitude: a percentage for numeric
+// cells, a fixed tag when either side is text (where Rel is meaningless).
+func relString(c CellDelta) string {
+	if _, err := strconv.ParseFloat(c.Old, 64); err != nil {
+		return "text"
+	}
+	if _, err := strconv.ParseFloat(c.New, 64); err != nil {
+		return "text"
+	}
+	return pctSigned(c.Rel)
+}
+
+func pct(v float64) string { return fnum(v*100) + "%" }
+
+func pctSigned(rel float64) string {
+	return fmt.Sprintf("%+.1f%%", rel*100)
+}
+
+// fnum formats floats compactly and stably (no exponent drift between
+// platforms: strconv's shortest representation is deterministic).
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -63,9 +63,11 @@ func (r *Report) AttributedShare() float64 {
 	return float64(r.Attributed) / float64(r.Events)
 }
 
-// compOrder lists components for rendering: named components in enum
-// order, the unattributed bucket last.
-func compOrder() []sim.Comp {
+// CompOrder lists components for rendering: named components in enum
+// order, the unattributed bucket last. Exported so the campaign bundle
+// diff renders its component-count matrices in the same order as every
+// perf report.
+func CompOrder() []sim.Comp {
 	out := make([]sim.Comp, 0, sim.NumComps)
 	for c := sim.CompOther + 1; c < sim.NumComps; c++ {
 		out = append(out, c)
@@ -145,19 +147,19 @@ func (r *Report) JSON() ([]byte, error) {
 		MaxLiveCell:    r.Engine.MaxLiveCell,
 		CancelledDrops: r.Engine.CancelledDrops,
 	}
-	for _, c := range compOrder() {
+	for _, c := range CompOrder() {
 		jr.Comps = append(jr.Comps, jsonCompRow{Comp: c.String(), Events: r.Comps[c], Share: share(r.Comps[c], r.Events)})
 	}
 	for _, sr := range r.PerScheme {
 		jsr := jsonSchemeRow{Scheme: sr.Scheme, Cells: sr.Cells, Events: sr.Events}
-		for _, c := range compOrder() {
+		for _, c := range CompOrder() {
 			jsr.Comps = append(jsr.Comps, jsonCompRow{Comp: c.String(), Events: sr.Counts[c], Share: share(sr.Counts[c], sr.Events)})
 		}
 		jr.PerScheme = append(jr.PerScheme, jsr)
 	}
 	if r.Host != nil {
 		h := &jsonHost{TotalWallNs: r.Host.TotalWallNs}
-		for _, c := range compOrder() {
+		for _, c := range CompOrder() {
 			row := jsonHostComp{Comp: c.String(), WallNs: r.Host.WallNs[c],
 				Share: share(uint64(max64(r.Host.WallNs[c], 0)), uint64(max64(r.Host.TotalWallNs, 0)))}
 			if r.Comps[c] > 0 {
@@ -202,20 +204,20 @@ func (r *Report) WriteText(w io.Writer) error {
 	ew.printf("attributed: %d/%d events (%.2f%%) to named components\n\n", r.Attributed, r.Events, share(r.Attributed, r.Events))
 
 	ew.printf("%-10s %12s %8s\n", "component", "events", "share")
-	for _, c := range compOrder() {
+	for _, c := range CompOrder() {
 		ew.printf("%-10s %12d %7.2f%%\n", c.String(), r.Comps[c], share(r.Comps[c], r.Events))
 	}
 
 	if len(r.PerScheme) > 0 {
 		ew.printf("\nper-scheme events by component:\n")
 		ew.printf("%-16s %6s %12s", "scheme", "cells", "events")
-		for _, c := range compOrder() {
+		for _, c := range CompOrder() {
 			ew.printf(" %10s", c.String())
 		}
 		ew.printf("\n")
 		for _, sr := range r.PerScheme {
 			ew.printf("%-16s %6d %12d", sr.Scheme, sr.Cells, sr.Events)
-			for _, c := range compOrder() {
+			for _, c := range CompOrder() {
 				ew.printf(" %10d", sr.Counts[c])
 			}
 			ew.printf("\n")
@@ -230,7 +232,7 @@ func (r *Report) WriteText(w io.Writer) error {
 		ew.printf("\nhost wall-time (machine-varying; excluded from deterministic comparisons):\n")
 		ew.printf("total in-dispatch wall: %.2f ms\n", float64(h.TotalWallNs)/1e6)
 		ew.printf("%-10s %12s %8s %12s\n", "component", "wall_ms", "share", "ns/event")
-		for _, c := range compOrder() {
+		for _, c := range CompOrder() {
 			var nsPer float64
 			if r.Comps[c] > 0 {
 				nsPer = float64(h.WallNs[c]) / float64(r.Comps[c])

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file names RunSummary metrics so campaign expectation predicates
+// and the bundle diff engine can address them by string. The counter
+// names match the RunSummaryCSVHeader columns; percentile names
+// generalize the CSV's fixed fct_p50_us/fct_p99_us pair to any percentile
+// (fct_p99.9_us is valid), scaled to the same units the CSV reports
+// (microseconds for FCT, plain ratio for slowdown).
+
+// CounterMetrics lists the plain-counter metric names, in CSV column
+// order.
+func CounterMetrics() []string {
+	return []string{"sims", "flows", "done", "bytes", "data_pkts",
+		"retrans_pkts", "timeouts", "ho_triggers", "events"}
+}
+
+// Metric returns the named summary metric and whether the name is valid.
+// Valid names are the counters of CounterMetrics plus fct_pNN_us,
+// fct_max_us and slowdown_pNN, where NN is a percentile in (0, 100].
+func (s *RunSummary) Metric(name string) (float64, bool) {
+	switch name {
+	case "sims":
+		return float64(s.Sims), true
+	case "flows":
+		return float64(s.Flows), true
+	case "done":
+		return float64(s.Done), true
+	case "bytes":
+		return float64(s.Bytes), true
+	case "data_pkts":
+		return float64(s.DataPkts), true
+	case "retrans_pkts":
+		return float64(s.RetransPkts), true
+	case "timeouts":
+		return float64(s.Timeouts), true
+	case "ho_triggers":
+		return float64(s.HOTriggers), true
+	case "events":
+		return float64(s.Events), true
+	case "fct_max_us":
+		return float64(s.FCT.Max()) / 1e6, true
+	}
+	if p, ok := cutPercentile(name, "fct_p", "_us"); ok {
+		return float64(s.FCT.Percentile(p)) / 1e6, true
+	}
+	if p, ok := cutPercentile(name, "slowdown_p", ""); ok {
+		return float64(s.Slowdown.Percentile(p)) / slowdownScale, true
+	}
+	return 0, false
+}
+
+// cutPercentile extracts the percentile from names like "fct_p99.9_us":
+// strip prefix and suffix, parse the rest as a percentile in (0, 100].
+func cutPercentile(name, prefix, suffix string) (float64, bool) {
+	body, ok := strings.CutPrefix(name, prefix)
+	if !ok {
+		return 0, false
+	}
+	if suffix != "" {
+		if body, ok = strings.CutSuffix(body, suffix); !ok {
+			return 0, false
+		}
+	}
+	p, err := strconv.ParseFloat(body, 64)
+	if err != nil || p <= 0 || p > 100 {
+		return 0, false
+	}
+	return p, true
+}

@@ -1,0 +1,58 @@
+package stats
+
+import "testing"
+
+// TestMetricCounters pins that every advertised counter name resolves and
+// returns the matching field.
+func TestMetricCounters(t *testing.T) {
+	s := &RunSummary{Sims: 1, Flows: 2, Done: 3, Bytes: 4, DataPkts: 5,
+		RetransPkts: 6, Timeouts: 7, HOTriggers: 8, Events: 9}
+	want := map[string]float64{
+		"sims": 1, "flows": 2, "done": 3, "bytes": 4, "data_pkts": 5,
+		"retrans_pkts": 6, "timeouts": 7, "ho_triggers": 8, "events": 9,
+	}
+	for _, name := range CounterMetrics() {
+		v, ok := s.Metric(name)
+		if !ok {
+			t.Errorf("advertised counter %q does not resolve", name)
+			continue
+		}
+		if v != want[name] {
+			t.Errorf("Metric(%q) = %v, want %v", name, v, want[name])
+		}
+	}
+	if len(want) != len(CounterMetrics()) {
+		t.Errorf("CounterMetrics lists %d names, test covers %d", len(CounterMetrics()), len(want))
+	}
+}
+
+// TestMetricPercentiles pins unit scaling: FCT metrics come back in
+// microseconds (picos/1e6), slowdown as a plain ratio.
+func TestMetricPercentiles(t *testing.T) {
+	s := &RunSummary{}
+	s.FCT.Record(2_000_000)              // 2 µs in picos
+	s.Slowdown.Record(3 * slowdownScale) // slowdown 3.0
+	for _, name := range []string{"fct_p50_us", "fct_p99_us", "fct_p99.9_us", "fct_max_us"} {
+		v, ok := s.Metric(name)
+		if !ok {
+			t.Fatalf("Metric(%q) did not resolve", name)
+		}
+		// Log buckets quantize; the single sample must land near 2 µs.
+		if v < 1 || v > 4 {
+			t.Errorf("Metric(%q) = %v µs, want ≈2", name, v)
+		}
+	}
+	if v, ok := s.Metric("slowdown_p50"); !ok || v < 1.5 || v > 6 {
+		t.Errorf("Metric(slowdown_p50) = %v ok=%v, want ≈3", v, ok)
+	}
+}
+
+func TestMetricRejectsUnknown(t *testing.T) {
+	s := &RunSummary{}
+	for _, name := range []string{"", "latency", "fct_p_us", "fct_p0_us",
+		"fct_p101_us", "fct_pxx_us", "slowdown_p", "fct_p50", "p50"} {
+		if _, ok := s.Metric(name); ok {
+			t.Errorf("Metric(%q) resolved, want rejection", name)
+		}
+	}
+}
