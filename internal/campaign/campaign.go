@@ -157,7 +157,10 @@ type Axis struct {
 type Scenario struct {
 	ID       string
 	Topology string // dumbbell | clos
-	Workload string // single-flow | incast | pairs
+	// Workload picks the traffic pattern: single-flow | incast | pairs |
+	// collective (a ring all-reduce over every host, size_mb per member;
+	// step-completion times land in the step_* metrics).
+	Workload string
 
 	// Dumbbell shape.
 	HostsPerSwitch int
@@ -544,7 +547,7 @@ func (b *binder) bindStatPredicate(t *node) *StatPredicate {
 	if p.Metric == "" {
 		b.diag(t.line, "expect.stat needs a metric")
 	} else if _, ok := (&stats.RunSummary{}).Metric(p.Metric); !ok {
-		b.diag(b.listLine(t, "metric"), "unknown stat metric %q (counters: %s; percentiles: fct_pNN_us, fct_max_us, slowdown_pNN)",
+		b.diag(b.listLine(t, "metric"), "unknown stat metric %q (counters: %s; percentiles: fct_pNN_us, fct_max_us, step_pNN_us, step_max_us, slowdown_pNN)",
 			p.Metric, strings.Join(stats.CounterMetrics(), ", "))
 	}
 	b.bindComparator(t, "expect.stat", &p.Op, &p.Value, &p.Tol)
@@ -612,9 +615,9 @@ func (b *binder) bindScenario(t *node) *Scenario {
 	}
 	sc.Workload = b.str(t, "workload", sc.Workload)
 	switch sc.Workload {
-	case "single-flow", "incast", "pairs":
+	case "single-flow", "incast", "pairs", "collective":
 	default:
-		b.diag(t.line, "unknown workload %q (single-flow, incast, pairs)", sc.Workload)
+		b.diag(t.line, "unknown workload %q (single-flow, incast, pairs, collective)", sc.Workload)
 	}
 	sc.HostsPerSwitch = int(b.i64(t, "hosts_per_switch", int64(sc.HostsPerSwitch)))
 	sc.CrossLinks = int(b.i64(t, "cross_links", int64(sc.CrossLinks)))

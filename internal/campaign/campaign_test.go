@@ -122,7 +122,7 @@ func TestLintDiagnostics(t *testing.T) {
 			`expect.stat unit "nope" names no declared experiment or scenario`, 10},
 		{"stat-unknown-metric",
 			validDoc + "\n[[expect.stat]]\nunit = \"s\"\nmetric = \"latency\"\nop = \"lt\"\nvalue = 5.0",
-			`unknown stat metric "latency" (counters: sims, flows, done, bytes, data_pkts, retrans_pkts, timeouts, ho_triggers, events; percentiles: fct_pNN_us, fct_max_us, slowdown_pNN)`, 12},
+			`unknown stat metric "latency" (counters: sims, flows, done, bytes, data_pkts, retrans_pkts, timeouts, ho_triggers, events, state_bytes, steps; percentiles: fct_pNN_us, fct_max_us, step_pNN_us, step_max_us, slowdown_pNN)`, 12},
 		{"stat-bad-percentile",
 			validDoc + "\n[[expect.stat]]\nunit = \"s\"\nmetric = \"fct_p0_us\"\nop = \"lt\"\nvalue = 5.0",
 			`unknown stat metric "fct_p0_us"`, 0},

@@ -191,7 +191,18 @@ func (u *Unit) runCell(cfg exp.Config) []string {
 			s := exp.NewSimCfg(simCfg, sch, func(eng *sim.Engine) *topo.Network {
 				return u.buildTopo(eng, sch)
 			})
-			s.ScheduleFlows(u.flows(size))
+			if sc.Workload == "collective" {
+				// One ring all-reduce over every host; RunCoflow records
+				// per-step completion times into the collector, which the
+				// stats sink folds into the step_* metrics.
+				members := make([]packet.NodeID, sc.hostCount())
+				for i := range members {
+					members[i] = hostID(i)
+				}
+				s.RunCoflow(workload.RingAllReduce(members, size, 1, 1), 0, nil)
+			} else {
+				s.ScheduleFlows(u.flows(size))
+			}
 			if len(specs) > 0 {
 				plan, err := faults.FromSpecs(seed, specs)
 				if err != nil {

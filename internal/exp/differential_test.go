@@ -60,13 +60,43 @@ func (r *deliveryRecorder) Dequeue(now units.Time, dataPaused bool) *packet.Pack
 	return r.inner.Dequeue(now, dataPaused)
 }
 
-// differentialSchemes is the full transport lineup under test.
+// differentialSchemes is the full transport lineup under test: every
+// registry entry, deduplicated by display name (aliases like cx5/gbn
+// resolve to one scheme), so a newly registered transport joins the matrix
+// on day one instead of waiting for a hand-edit here.
 func differentialSchemes() []Scheme {
-	return []Scheme{
-		SchemeDCP(false), SchemeDCP(true),
-		SchemeIRN(0, false), SchemeGBNLossy(0), SchemePFC(),
-		SchemeMPRDMA(), SchemeRACK(), SchemeTimeout(),
-		SchemeTCP(), SchemeNDP(),
+	var out []Scheme
+	seen := map[string]bool{}
+	for _, name := range SchemeNames() {
+		sch, ok := SchemeByName(name)
+		if !ok {
+			panic("SchemeNames listed a name SchemeByName rejects: " + name)
+		}
+		if seen[sch.Name] {
+			continue
+		}
+		seen[sch.Name] = true
+		out = append(out, sch)
+	}
+	return out
+}
+
+// TestDifferentialCoversRegistry fails when a registered scheme is missing
+// from the differential matrix — the "new transport silently skips the
+// suite" gap this suite exists to close.
+func TestDifferentialCoversRegistry(t *testing.T) {
+	covered := map[string]bool{}
+	for _, sch := range differentialSchemes() {
+		covered[sch.Name] = true
+	}
+	for _, name := range SchemeNames() {
+		sch, ok := SchemeByName(name)
+		if !ok {
+			t.Fatalf("SchemeNames lists %q but SchemeByName rejects it", name)
+		}
+		if !covered[sch.Name] {
+			t.Errorf("registered scheme %q (%s) is missing from the differential matrix", name, sch.Name)
+		}
 	}
 }
 

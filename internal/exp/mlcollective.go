@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"fmt"
+
+	"dcpsim/internal/faults"
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/topo"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// The ML-collective family treats the tail of step-completion time — not
+// mean goodput — as the headline metric, following the "RDMA through the
+// lens of ML" framing: a ring all-reduce step finishes when its SLOWEST
+// member flow finishes, so one straggler (a flapping host link) stretches
+// every step it touches and the damage shows up at p99/p99.9, not p50.
+// The family compares how DCP's HO-driven recovery, SDR's SACK-bitmap
+// recovery and IRN's episode recovery bound that tail, and reports the
+// per-flow tracking state each design pays for it.
+
+// collectiveMembers is the ring size: hosts 0..7 of a 4+4 dumbbell, so the
+// ring crosses the inter-switch links twice per step.
+const collectiveMembers = 8
+
+// collectiveSchemes is the lineup tail latency is compared across.
+func collectiveSchemes() []Scheme {
+	return []Scheme{SchemeDCP(false), SchemeSDR(), SchemeIRN(0, false)}
+}
+
+// collectiveNet is the 4+4 dumbbell the ring runs on.
+func collectiveNet(sch Scheme) func(*sim.Engine) *topo.Network {
+	return func(eng *sim.Engine) *topo.Network {
+		c := topo.DefaultDumbbell()
+		c.HostsPerSwitch = collectiveMembers / 2
+		c.Switch = SwitchConfigFor(sch)
+		return topo.Dumbbell(eng, c)
+	}
+}
+
+// collectiveRun drives iters chained ring all-reduces (each 2(N-1) steps)
+// of total bytes per member under sch, flapping the straggler's host link,
+// and returns the sim after the horizon.
+func collectiveRun(sub Config, sch Scheme, total int64, iters int, mkPlan func(stepT units.Time) *faults.Plan) (*Sim, int) {
+	s := NewSimCfg(sub, sch, collectiveNet(sch))
+	members := make([]packet.NodeID, collectiveMembers)
+	for i := range members {
+		members[i] = packet.NodeID(i)
+	}
+	slice := total / collectiveMembers
+	// Nominal unloaded step time: one slice serialized (~8% header
+	// overhead) plus a round trip — the yardstick fault timing and the
+	// horizon scale from.
+	stepT := units.TxTime(int(float64(slice)*1.08), 100*units.Gbps) + 50*units.Microsecond
+	var launch func(iter int, at units.Time)
+	launch = func(iter int, at units.Time) {
+		if iter >= iters {
+			return
+		}
+		cf := workload.RingAllReduce(members, total, iter+1,
+			uint64(iter)*uint64(collectiveMembers)*uint64(2*(collectiveMembers-1))+1)
+		s.RunCoflow(cf, at, func(end units.Time) { launch(iter+1, end) })
+	}
+	launch(0, 0)
+	mustInject(s.Net, mkPlan(stepT))
+	nsteps := int64(iters * 2 * (collectiveMembers - 1))
+	horizon := units.Mul(8*stepT, nsteps) + 200*units.Millisecond
+	unfinished := s.Run(horizon)
+	return s, unfinished
+}
+
+// collectiveCell is one (severity, scheme) measurement.
+type collectiveCell struct {
+	steps               int
+	p50, p99, p999, max float64
+	stateB              int64
+	retrans, timeouts   int64
+	unfinished          int
+}
+
+// MLCollective runs the straggler-flap ring all-reduce per scheme and
+// severity: the straggler's host link flaps periodically while the ring
+// turns, and the table reports the step-completion tail (p50/p99/p99.9/max
+// in µs), recovery-event counts, and mean per-flow tracking state.
+func MLCollective(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name: "ML collective: ring all-reduce step-completion tail under straggler link flap",
+		Columns: []string{"severity", "scheme", "steps", "step_p50_us",
+			"step_p99_us", "step_p99.9_us", "step_max_us",
+			"retrans_pkts", "timeouts", "state_B_per_flow", "unfinished"},
+	}
+	total := cfg.bytes(16 << 20)
+	iters := cfg.events(3)
+	sevs := severities(cfg)
+	schemes := collectiveSchemes()
+	cells := grid(cfg, len(sevs), len(schemes), func(sub Config, vi, si int) collectiveCell {
+		sev, sch := sevs[vi], schemes[si]
+		s, unfinished := collectiveRun(sub, sch, total, iters, func(stepT units.Time) *faults.Plan {
+			// The straggler: host2's link flaps with severity-scaled
+			// millisecond outages — long enough that a scheme's
+			// step-completion tail reveals whether it is bound by the
+			// outage itself or by its own recovery timer.
+			period := units.Scale(5*units.Millisecond, sev)
+			return faults.NewPlan(sub.Seed).LinkFlap("host2", stepT, period, 0.5, 3)
+		})
+		c := collectiveCell{unfinished: unfinished}
+		var vals []float64
+		for _, d := range s.Col.StepTimes() {
+			vals = append(vals, d.Micros())
+		}
+		c.steps = len(vals)
+		if len(vals) > 0 {
+			c.p50 = stats.Percentile(vals, 50)
+			c.p99 = stats.Percentile(vals, 99)
+			c.p999 = stats.Percentile(vals, 99.9)
+			c.max = stats.Percentile(vals, 100)
+		}
+		flows := s.Col.Flows()
+		for _, f := range flows {
+			c.stateB += f.SendStateBytes + f.RecvStateBytes
+			c.retrans += f.RetransPkts
+			c.timeouts += f.Timeouts
+		}
+		if len(flows) > 0 {
+			c.stateB /= int64(len(flows))
+		}
+		return c
+	})
+	for vi, sev := range sevs {
+		for si, sch := range schemes {
+			c := cells[vi][si]
+			t.AddRow(fmt.Sprintf("%.2g", sev), sch.Name, c.steps,
+				c.p50, c.p99, c.p999, c.max,
+				c.retrans, c.timeouts, c.stateB, c.unfinished)
+		}
+	}
+	return []*stats.Table{t}
+}

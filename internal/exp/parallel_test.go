@@ -20,6 +20,7 @@ func equivalenceIDs(short bool) []string {
 	return []string{
 		"fig8", "fig10", "fig11", "fig12", "longhaul", "fig17",
 		"ab-batch", "ab-track", "ab-b2s", "ext-ndp",
+		"wan-crossover", "ml-collective",
 		"fault-flap", "fault-pause",
 	}
 }

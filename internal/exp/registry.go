@@ -47,6 +47,8 @@ func All() []Experiment {
 		{"ab-ccretx", "Ablation: CC-regulated retransmission", true, AblationUncontrolledRetrans},
 		{"ab-b2s", "Ablation: direct back-to-sender HO return (§7)", false, AblationBackToSender},
 		{"ext-ndp", "Extension: DCP vs receiver-driven NDP on trimming fabric", false, ExtensionNDP},
+		{"wan-crossover", "WAN: DCP counters vs SDR SACK-bitmap over RTT×BER", false, WANCrossover},
+		{"ml-collective", "ML: ring all-reduce step tail under straggler flap", false, MLCollective},
 		{"fault-flap", "Fault: mid-transfer link flap, blackout + time-to-recover", false, FaultFlap},
 		{"fault-degrade", "Fault: silent wire BER ramp vs visible switch loss", true, FaultDegrade},
 		{"fault-pause", "Fault: forced PFC pause storm on cross links", false, FaultPauseStorm},

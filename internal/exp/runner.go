@@ -22,6 +22,7 @@ import (
 	"dcpsim/internal/transport/mprdma"
 	"dcpsim/internal/transport/ndp"
 	"dcpsim/internal/transport/racktlp"
+	"dcpsim/internal/transport/sdr"
 	"dcpsim/internal/transport/tcpish"
 	"dcpsim/internal/transport/timeoutonly"
 	"dcpsim/internal/units"
@@ -200,6 +201,14 @@ func SchemeNDP() Scheme {
 	return Scheme{Name: "NDP", Factory: ndp.New, Trimming: true, LB: fabric.LBAdaptive}
 }
 
+// SchemeSDR is the SDR-RDMA-style receiver-driven SACK-bitmap baseline: a
+// fixed sliding-window bitmap at both endpoints over a plain lossy ECMP
+// fabric — the bitmap-tracking design point the WAN and ML-collective
+// families compare against DCP's counters.
+func SchemeSDR() Scheme {
+	return Scheme{Name: "SDR", Factory: sdr.New, LB: fabric.LBECMP}
+}
+
 // schemeCatalog maps the campaign-facing transport names to scheme
 // constructors. Names are deliberately short and stable — campaign
 // documents reference them — while Scheme.Name keeps the paper's display
@@ -220,6 +229,7 @@ var schemeCatalog = []struct {
 	{"timeout", SchemeTimeout},
 	{"tcp", SchemeTCP},
 	{"ndp", SchemeNDP},
+	{"sdr", SchemeSDR},
 }
 
 // SchemeByName resolves a campaign transport name ("dcp", "cx5", "irn",
@@ -411,6 +421,7 @@ func (s *Sim) RunCoflow(cf *workload.Coflow, start units.Time, done func(at unit
 					last = r.End
 				}
 				if remaining == 0 {
+					s.Col.AddStepTime(last - at)
 					startStep(i+1, last)
 				}
 			})

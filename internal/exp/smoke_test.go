@@ -14,7 +14,8 @@ import (
 // scheme and verifies completion.
 func TestSmokeDirect(t *testing.T) {
 	schemes := []Scheme{SchemeDCP(false), SchemeDCP(true), SchemeIRN(0, false),
-		SchemeGBNLossy(0), SchemeMPRDMA(), SchemeRACK(), SchemeTimeout(), SchemeTCP()}
+		SchemeGBNLossy(0), SchemeMPRDMA(), SchemeRACK(), SchemeTimeout(), SchemeTCP(),
+		SchemeSDR()}
 	for _, sch := range schemes {
 		sch := sch
 		t.Run(sch.Name, func(t *testing.T) {

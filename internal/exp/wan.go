@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+
+	"dcpsim/internal/faults"
+	"dcpsim/internal/packet"
+	"dcpsim/internal/sim"
+	"dcpsim/internal/stats"
+	"dcpsim/internal/topo"
+	"dcpsim/internal/units"
+	"dcpsim/internal/workload"
+)
+
+// The WAN crossover family: DCP's counter-based reliability against the
+// SDR SACK-bitmap design over long-fat lossy paths. The two schemes fail
+// in opposite directions. DCP tracks per-message counters and recovers
+// dropped packets from switch HO notifications — but silent wire BER
+// produces no HO, so its only fallback is the coarse whole-message timeout
+// resend, whose per-attempt success probability (1-p)^N collapses once
+// p×N gets large. SDR recovers any hole the SACK ranges expose within
+// ~1 RTT regardless of where the loss happened, but its fixed tracking
+// window caps the rate at WindowPkts×MTU per RTT, which on a 100 ms path
+// is far below the line rate DCP sustains when nothing is lost. Sweeping
+// RTT × BER makes the crossover a table row rather than an argument.
+
+const (
+	// wanWindowPkts sizes SDR's tracking window for the WAN family: 4096
+	// packets ≈ 4 MB of tracked span — 3.3 Gbps at 10 ms RTT but only
+	// 330 Mbps at 100 ms, the state-vs-rate trade-off the table reports
+	// alongside goodput.
+	wanWindowPkts = 4096
+	wanRate       = 10 * units.Gbps
+)
+
+// wanRTTsMs and wanBERs are the sweep axes: metro to intercontinental
+// RTTs, and silent wire BER from zero through the 0.1–1 % regime.
+var (
+	wanRTTsMs = []float64{10, 50, 100}
+	wanBERs   = []float64{0, 0.001, 0.01}
+)
+
+// wanSchemes returns the two contenders with their WAN tuning: DCP's
+// coarse timeout scaled to the path RTT (the stock 10 ms default would
+// fire mid-flight on a 100 ms path), SDR with the WAN tracking window.
+func wanSchemes() []Scheme {
+	dcp := SchemeDCP(false)
+	dcp.Tweak = func(e *envT) {
+		if t := 4 * e.BaseRTT; t > e.DCP.Timeout {
+			e.DCP.Timeout = t
+		}
+	}
+	sdr := SchemeSDR()
+	sdr.Tweak = func(e *envT) {
+		e.SDR.WindowPkts = wanWindowPkts
+		// RTT-proportional timeouts: the LAN-tuned defaults (20×RTT)
+		// would stall a lost retransmission for seconds on a 100 ms path.
+		e.RTOLow = 2 * e.BaseRTT
+		e.RTOHigh = 4 * e.BaseRTT
+	}
+	return []Scheme{dcp, sdr}
+}
+
+// wanNet builds the long-haul pipeline: host—switch—switch—host with one
+// cross link carrying the full one-way path delay.
+func wanNet(sch Scheme, rtt units.Time) func(*sim.Engine) *topo.Network {
+	return func(eng *sim.Engine) *topo.Network {
+		c := topo.DefaultDumbbell()
+		c.HostsPerSwitch = 1
+		c.CrossLinks = 1
+		c.HostRate = wanRate
+		c.CrossDelays = []units.Time{rtt / 2}
+		c.Switch = SwitchConfigFor(sch)
+		return topo.Dumbbell(eng, c)
+	}
+}
+
+// wanCap returns the window-imposed rate ceiling of an SDR sender on this
+// path (never above the line rate).
+func wanCap(rtt units.Time) units.Rate {
+	// The sender can keep the wire busy for at most one window's
+	// serialization time out of every RTT.
+	windowTx := units.TxTime(wanWindowPkts*packet.DefaultMTU, wanRate)
+	if windowTx >= rtt {
+		return wanRate
+	}
+	return units.ScaleRate(wanRate, windowTx.Seconds()/rtt.Seconds())
+}
+
+// wanCell is one (rtt, ber, scheme) measurement.
+type wanCell struct {
+	goodput    float64
+	stateBytes int64
+	unfinished int
+}
+
+// WANCrossover sweeps RTT × silent-wire BER for DCP and SDR over the
+// long-haul pipeline, reporting application goodput (zero when the
+// transfer never completes — an unfinished WAN bulk transfer has delivered
+// nothing the application can use) and the peak per-flow tracking state of
+// both endpoints.
+func WANCrossover(cfg Config) []*stats.Table {
+	t := &stats.Table{
+		Name: "WAN crossover: DCP counters vs SDR SACK-bitmap, silent wire BER on a long-haul path",
+		Columns: []string{"rtt_ms", "ber", "DCP_Gbps", "SDR_Gbps",
+			"DCP_state_B", "SDR_state_B", "DCP_unfin", "SDR_unfin"},
+	}
+	// Floor the transfer at twice the SDR window span so the window cap is
+	// visible (and the loss-free crossover cell exists) at every Scale.
+	size := cfg.bytes(64 << 20)
+	if size < 8<<20 {
+		size = 8 << 20
+	}
+	schemes := wanSchemes()
+	cells := grid(cfg, len(wanRTTsMs)*len(wanBERs), len(schemes), func(sub Config, ri, si int) wanCell {
+		rtt := units.Scale(units.Millisecond, wanRTTsMs[ri/len(wanBERs)])
+		ber := wanBERs[ri%len(wanBERs)]
+		sch := schemes[si]
+		s := NewSimCfg(sub, sch, wanNet(sch, rtt))
+		s.ScheduleFlows([]*workload.Flow{{ID: 1, Src: 0, Dst: 1, Size: size}})
+		if ber > 0 {
+			// Silent wire BER on the long-haul span: invisible to both
+			// switches, so no trimming/HO signal ever fires.
+			mustInject(s.Net, faults.NewPlan(sub.Seed).Add(faults.Event{
+				Kind: faults.LinkLoss, Link: "cross0", Rate: ber,
+			}))
+		}
+		// Horizon: generous multiple of the window-capped serialization
+		// time plus timeout headroom, so a healthy transfer always fits.
+		horizon := 10*units.TxTime(int(size), wanCap(rtt)) + 100*rtt + 500*units.Millisecond
+		unfinished := s.Run(horizon)
+		c := wanCell{unfinished: unfinished}
+		rec := s.Col.Flow(1)
+		if rec.Done {
+			c.goodput = stats.Goodput(rec.Size, rec.FCT())
+		}
+		c.stateBytes = rec.SendStateBytes + rec.RecvStateBytes
+		return c
+	})
+	for ri, cell := range cells {
+		rttMs, ber := wanRTTsMs[ri/len(wanBERs)], wanBERs[ri%len(wanBERs)]
+		t.AddRow(fmt.Sprintf("%g", rttMs), fmt.Sprintf("%.3f", ber),
+			cell[0].goodput, cell[1].goodput,
+			cell[0].stateBytes, cell[1].stateBytes,
+			cell[0].unfinished, cell[1].unfinished)
+	}
+	return []*stats.Table{t}
+}

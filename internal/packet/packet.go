@@ -140,6 +140,10 @@ type Packet struct {
 	Ack AckFlavor
 	// SackPSN is the out-of-order PSN reported by an IRN SACK.
 	SackPSN uint32
+	// SackBlob is the SDR SACK extension: the receiver's cumulative PSN
+	// plus selective-ACK ranges in the 24-bit wrap-safe wire encoding of
+	// package transport/sdr. Its length is included in Size.
+	SackBlob []byte
 
 	// PathKey perturbs the ECMP hash; multipath transports (MP-RDMA) set
 	// it per virtual path, mimicking distinct UDP source ports.

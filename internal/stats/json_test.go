@@ -62,9 +62,13 @@ func TestRunSummaryJSONRoundTrip(t *testing.T) {
 	s.Sims, s.Flows, s.Done, s.Bytes = 3, 40, 38, 1<<30
 	s.DataPkts, s.RetransPkts, s.Timeouts, s.HOTriggers = 9999, 42, 3, 17
 	s.Events = 123456
+	s.StateBytes, s.Steps = 4096, 14
 	for i := 0; i < 5000; i++ {
 		s.FCT.Record(rng.Int63n(1 << 38))
 		s.Slowdown.Record(1000 + rng.Int63n(90_000))
+	}
+	for i := 0; i < 14; i++ {
+		s.StepTime.Record(rng.Int63n(1 << 30))
 	}
 	b, err := json.Marshal(&s)
 	if err != nil {

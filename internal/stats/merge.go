@@ -59,11 +59,19 @@ type RunSummary struct {
 	// Events counts simulator events executed across the folded engines.
 	Events int64
 
+	// StateBytes sums the peak per-flow reliability tracking state across
+	// both endpoints of every flow (the bitmap-vs-counter memory cost).
+	StateBytes int64
+	// Steps counts collective steps folded in.
+	Steps int64
+
 	// FCT holds completion times of finished flows in picoseconds.
 	FCT LogHist
 	// Slowdown holds FCT/IdealFCT of finished flows, scaled by
 	// slowdownScale.
 	Slowdown LogHist
+	// StepTime holds collective step-completion times in picoseconds.
+	StepTime LogHist
 }
 
 // AddFlow folds one flow record in.
@@ -73,6 +81,7 @@ func (s *RunSummary) AddFlow(f *FlowRecord) {
 	s.RetransPkts += f.RetransPkts
 	s.Timeouts += f.Timeouts
 	s.HOTriggers += f.HOTriggers
+	s.StateBytes += f.SendStateBytes + f.RecvStateBytes
 	if !f.Done {
 		return
 	}
@@ -88,6 +97,10 @@ func (s *RunSummary) AddCollector(c *Collector) {
 	s.Sims++
 	for _, f := range c.Flows() {
 		s.AddFlow(f)
+	}
+	for _, d := range c.StepTimes() {
+		s.Steps++
+		s.StepTime.Record(d.Picos())
 	}
 }
 
@@ -105,12 +118,15 @@ func (s *RunSummary) Merge(o *RunSummary) {
 	s.Timeouts += o.Timeouts
 	s.HOTriggers += o.HOTriggers
 	s.Events += o.Events
+	s.StateBytes += o.StateBytes
+	s.Steps += o.Steps
 	s.FCT.Merge(&o.FCT)
 	s.Slowdown.Merge(&o.Slowdown)
+	s.StepTime.Merge(&o.StepTime)
 }
 
 // RunSummaryCSVHeader is the column row WriteCSVRow's output aligns with.
-const RunSummaryCSVHeader = "experiment,sims,flows,done,bytes,data_pkts,retrans_pkts,timeouts,ho_triggers,events,fct_p50_us,fct_p99_us,fct_max_us,slowdown_p50,slowdown_p99"
+const RunSummaryCSVHeader = "experiment,sims,flows,done,bytes,data_pkts,retrans_pkts,timeouts,ho_triggers,events,fct_p50_us,fct_p99_us,fct_max_us,slowdown_p50,slowdown_p99,state_bytes,steps,step_p99_us"
 
 // WriteCSVRow writes one label-prefixed CSV row of the summary. Numbers
 // are rendered with fixed formats so the row is byte-stable for identical
@@ -122,10 +138,11 @@ func (s *RunSummary) WriteCSVRow(w io.Writer, label string) error {
 	sd := func(scaled int64) string {
 		return strconv.FormatFloat(float64(scaled)/slowdownScale, 'f', 3, 64)
 	}
-	_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%s\n",
+	_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%s,%d,%d,%s\n",
 		label, s.Sims, s.Flows, s.Done, s.Bytes,
 		s.DataPkts, s.RetransPkts, s.Timeouts, s.HOTriggers, s.Events,
 		us(s.FCT.Percentile(50)), us(s.FCT.Percentile(99)), us(s.FCT.Max()),
-		sd(s.Slowdown.Percentile(50)), sd(s.Slowdown.Percentile(99)))
+		sd(s.Slowdown.Percentile(50)), sd(s.Slowdown.Percentile(99)),
+		s.StateBytes, s.Steps, us(s.StepTime.Percentile(99)))
 	return err
 }

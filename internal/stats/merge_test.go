@@ -80,6 +80,8 @@ func randomFlow(rng *rand.Rand, id uint64) *FlowRecord {
 	f.RetransPkts = rng.Int63n(1 << 10)
 	f.Timeouts = rng.Int63n(8)
 	f.HOTriggers = rng.Int63n(1 << 10)
+	f.NoteSendState(rng.Int63n(1 << 12))
+	f.NoteRecvState(rng.Int63n(1 << 12))
 	if rng.Intn(8) != 0 {
 		f.Done = true
 		f.End = f.Start + units.Time(1+rng.Int63n(int64(100*units.Millisecond)))

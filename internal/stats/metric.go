@@ -16,12 +16,14 @@ import (
 // order.
 func CounterMetrics() []string {
 	return []string{"sims", "flows", "done", "bytes", "data_pkts",
-		"retrans_pkts", "timeouts", "ho_triggers", "events"}
+		"retrans_pkts", "timeouts", "ho_triggers", "events",
+		"state_bytes", "steps"}
 }
 
 // Metric returns the named summary metric and whether the name is valid.
 // Valid names are the counters of CounterMetrics plus fct_pNN_us,
-// fct_max_us and slowdown_pNN, where NN is a percentile in (0, 100].
+// fct_max_us, step_pNN_us, step_max_us and slowdown_pNN, where NN is a
+// percentile in (0, 100].
 func (s *RunSummary) Metric(name string) (float64, bool) {
 	switch name {
 	case "sims":
@@ -42,11 +44,20 @@ func (s *RunSummary) Metric(name string) (float64, bool) {
 		return float64(s.HOTriggers), true
 	case "events":
 		return float64(s.Events), true
+	case "state_bytes":
+		return float64(s.StateBytes), true
+	case "steps":
+		return float64(s.Steps), true
 	case "fct_max_us":
 		return float64(s.FCT.Max()) / 1e6, true
+	case "step_max_us":
+		return float64(s.StepTime.Max()) / 1e6, true
 	}
 	if p, ok := cutPercentile(name, "fct_p", "_us"); ok {
 		return float64(s.FCT.Percentile(p)) / 1e6, true
+	}
+	if p, ok := cutPercentile(name, "step_p", "_us"); ok {
+		return float64(s.StepTime.Percentile(p)) / 1e6, true
 	}
 	if p, ok := cutPercentile(name, "slowdown_p", ""); ok {
 		return float64(s.Slowdown.Percentile(p)) / slowdownScale, true

@@ -6,10 +6,12 @@ import "testing"
 // returns the matching field.
 func TestMetricCounters(t *testing.T) {
 	s := &RunSummary{Sims: 1, Flows: 2, Done: 3, Bytes: 4, DataPkts: 5,
-		RetransPkts: 6, Timeouts: 7, HOTriggers: 8, Events: 9}
+		RetransPkts: 6, Timeouts: 7, HOTriggers: 8, Events: 9,
+		StateBytes: 10, Steps: 11}
 	want := map[string]float64{
 		"sims": 1, "flows": 2, "done": 3, "bytes": 4, "data_pkts": 5,
 		"retrans_pkts": 6, "timeouts": 7, "ho_triggers": 8, "events": 9,
+		"state_bytes": 10, "steps": 11,
 	}
 	for _, name := range CounterMetrics() {
 		v, ok := s.Metric(name)
@@ -32,7 +34,9 @@ func TestMetricPercentiles(t *testing.T) {
 	s := &RunSummary{}
 	s.FCT.Record(2_000_000)              // 2 µs in picos
 	s.Slowdown.Record(3 * slowdownScale) // slowdown 3.0
-	for _, name := range []string{"fct_p50_us", "fct_p99_us", "fct_p99.9_us", "fct_max_us"} {
+	s.StepTime.Record(2_000_000)
+	for _, name := range []string{"fct_p50_us", "fct_p99_us", "fct_p99.9_us", "fct_max_us",
+		"step_p50_us", "step_p99.9_us", "step_max_us"} {
 		v, ok := s.Metric(name)
 		if !ok {
 			t.Fatalf("Metric(%q) did not resolve", name)

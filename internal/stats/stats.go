@@ -32,6 +32,27 @@ type FlowRecord struct {
 	RetransPkts int64 // retransmitted data packets sent
 	Timeouts    int64 // retransmission timeout events
 	HOTriggers  int64 // HO packets received back at the sender (DCP)
+
+	// SendStateBytes/RecvStateBytes record the peak per-flow reliability
+	// tracking state (bitmaps, counters, retransmission queues) at the two
+	// endpoints — the bitmap-vs-counter memory cost the SDR/DCP comparison
+	// measures rather than asserts.
+	SendStateBytes int64
+	RecvStateBytes int64
+}
+
+// NoteSendState raises the sender-side tracking-state peak to n bytes.
+func (f *FlowRecord) NoteSendState(n int64) {
+	if n > f.SendStateBytes {
+		f.SendStateBytes = n
+	}
+}
+
+// NoteRecvState raises the receiver-side tracking-state peak to n bytes.
+func (f *FlowRecord) NoteRecvState(n int64) {
+	if n > f.RecvStateBytes {
+		f.RecvStateBytes = n
+	}
 }
 
 // FCT returns the flow completion time (valid once Done).
@@ -58,6 +79,7 @@ func (f *FlowRecord) RetransRatio() float64 {
 type Collector struct {
 	flows map[uint64]*FlowRecord
 	order []uint64
+	steps []units.Time
 
 	// OnDone, if set, is invoked when a flow completes (collective
 	// schedulers use it to release dependent flows).
@@ -92,6 +114,14 @@ func (c *Collector) Done(id uint64, t units.Time) {
 		c.OnDone(f)
 	}
 }
+
+// AddStepTime records the completion time of one collective step (start of
+// step to last member flow done) — the tail-latency sample the ML-collective
+// family reports at p99/p99.9.
+func (c *Collector) AddStepTime(d units.Time) { c.steps = append(c.steps, d) }
+
+// StepTimes returns the recorded collective step durations in order.
+func (c *Collector) StepTimes() []units.Time { return c.steps }
 
 // Flows returns all records in registration order.
 func (c *Collector) Flows() []*FlowRecord {

@@ -58,6 +58,7 @@ type Env struct {
 	// Scheme-specific knobs.
 	DCP DCPOptions
 	MP  MPOptions
+	SDR SDROptions
 }
 
 // DCPOptions tunes the DCP transport.
@@ -89,6 +90,18 @@ type MPOptions struct {
 	// OOOWindow L: packets beyond ePSN+L are dropped by the receiver
 	// (default 64).
 	OOOWindow int
+}
+
+// SDROptions tunes the SDR SACK-bitmap transport.
+type SDROptions struct {
+	// WindowPkts bounds the sliding tracking window in packets: both the
+	// receiver's reassembly bitmap and the sender's SACK scoreboard hold
+	// WindowPkts bits, so per-flow state is fixed regardless of message
+	// size — but so is the achievable rate, WindowPkts×MTU per RTT
+	// (default 1024; rounded up to a power of two).
+	WindowPkts int
+	// MaxRanges caps the selective-ACK ranges carried per ACK (default 8).
+	MaxRanges int
 }
 
 // Defaults fills zero fields.
@@ -128,6 +141,12 @@ func (e *Env) Defaults() {
 	}
 	if e.MP.OOOWindow == 0 {
 		e.MP.OOOWindow = 64
+	}
+	if e.SDR.WindowPkts == 0 {
+		e.SDR.WindowPkts = 1024
+	}
+	if e.SDR.MaxRanges == 0 {
+		e.SDR.MaxRanges = 8
 	}
 }
 

@@ -95,6 +95,17 @@ type senderMsg struct {
 	acked   bool
 }
 
+// Per-QP NIC tracking state, for the bitmap-vs-counter memory accounting
+// (§4.5): the sender holds sequence cursors plus one small entry per
+// outstanding message; the receiver holds a counter entry per incomplete
+// message (plus the bitmap words only in the ReceiverBitmap ablation).
+const (
+	senderFixedState = 48
+	senderMsgState   = 24
+	recvFixedState   = 24
+	recvMsgState     = 16
+)
+
 type senderQP struct {
 	h    *Host
 	flow *workload.Flow
@@ -139,6 +150,11 @@ func newSenderQP(h *Host, f *workload.Flow) *senderQP {
 		psn += n
 	}
 	qp.totalPkts = psn
+	outstanding := len(qp.msgs)
+	if outstanding > env.DCP.MaxOutstandingMsgs {
+		outstanding = env.DCP.MaxOutstandingMsgs
+	}
+	qp.rec.NoteSendState(senderFixedState + int64(outstanding)*senderMsgState)
 	qp.timer = sim.NewTimer(h.Eng, qp.onTimeout)
 	qp.timer.Reset(env.DCP.Timeout)
 	if env.Metrics != nil {
@@ -480,10 +496,15 @@ func (h *Host) recvData(p *packet.Packet) {
 	m := qp.msgs[p.MSN]
 	if m == nil {
 		m = &recvMsg{total: p.MsgLen}
+		var bitmapBytes int64
 		if h.Env.DCP.ReceiverBitmap {
 			m.bitmap = make([]uint64, (p.MsgLen+63)/64)
+			bitmapBytes = int64(len(m.bitmap)) * 8
 		}
 		qp.msgs[p.MSN] = m
+		if rec := h.Env.Collector.Flow(p.FlowID); rec != nil {
+			rec.NoteRecvState(recvFixedState + int64(len(qp.msgs))*(recvMsgState+bitmapBytes))
+		}
 	}
 	// Retry-epoch check (§4.5). Note rxBytes stays cumulative across the
 	// reset: packets of the discarded epoch remain counted, which can

@@ -1,0 +1,269 @@
+package sdr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// ---------- 24-bit sequence space ----------
+
+// TestExpandAcrossWrap pins Expand's contract — the unique full-space value
+// congruent to the wire PSN within [ref, ref+2^24) — at references sitting
+// right on the 2^24 boundary, deep inside the space, and at the uint32 wrap.
+func TestExpandAcrossWrap(t *testing.T) {
+	refs := []uint32{0, 1, psnSpace - 1, psnSpace, psnSpace + 1,
+		7 * psnSpace, 0xFFFFFFFF - 3, 0xFFFFFFFF}
+	for _, ref := range refs {
+		for delta := uint32(0); delta < 1<<12; delta += 37 {
+			want := ref + delta // may wrap uint32: still the right answer
+			wire := want & psnMask
+			if got := Expand(ref, wire); got != want {
+				t.Fatalf("Expand(%#x, %#x) = %#x, want %#x", ref, wire, got, want)
+			}
+		}
+	}
+}
+
+// TestSeq24Order pins the wrap-safe comparison across the 2^24 boundary.
+func TestSeq24Order(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		less bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{5, 5, false},
+		{psnMask, 0, true},        // wrap: 2^24-1 < 0
+		{0, psnMask, false},       // and not the reverse
+		{psnMask - 10, 10, true},  // across the boundary
+		{10, psnMask - 10, false}, // half-space apart the other way
+		{0, 1 << 22, true},        // quarter space
+		{0, (1 << 23) - 1, true},  // just under half space
+		{(1 << 23) - 1, 0, false}, // mirrored
+	}
+	for _, c := range cases {
+		if got := seq24Less(c.a&psnMask, c.b&psnMask); got != c.less {
+			t.Errorf("seq24Less(%#x, %#x) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+// ---------- codec round-trip ----------
+
+// randomSack builds a valid (epsn, ranges) pair: sorted, disjoint,
+// non-contiguous ranges strictly above epsn, all within a window-sized span.
+func randomSack(rng *rand.Rand) (uint32, []Range) {
+	epsn := rng.Uint32()
+	n := rng.Intn(9)
+	ranges := make([]Range, 0, n)
+	cursor := epsn
+	for i := 0; i < n; i++ {
+		cursor += 1 + uint32(rng.Intn(64)) // gap ≥ 1 keeps ranges above prev
+		lo := cursor
+		cursor += 1 + uint32(rng.Intn(64)) // width ≥ 1
+		ranges = append(ranges, Range{Lo: lo, Hi: cursor})
+	}
+	return epsn, ranges
+}
+
+// TestEncodeDecodeRoundTrip: any valid SACK state encodes to a blob that
+// decodes back to the same state once lifted with Expand against a
+// reference at or below the cumulative point (the sender's una).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		epsn, ranges := randomSack(rng)
+		buf := EncodeSack(epsn, ranges)
+		wireE, wireR, err := DecodeSack(buf)
+		if err != nil {
+			t.Fatalf("case %d: decode failed: %v (epsn=%#x ranges=%v)", i, err, epsn, ranges)
+		}
+		ref := epsn - uint32(rng.Intn(1<<20)) // una somewhere at/below epsn
+		if got := Expand(ref, wireE); got != epsn {
+			t.Fatalf("case %d: epsn %#x round-tripped to %#x (ref %#x)", i, epsn, got, ref)
+		}
+		if len(wireR) != len(ranges) {
+			t.Fatalf("case %d: %d ranges round-tripped to %d", i, len(ranges), len(wireR))
+		}
+		for j, r := range ranges {
+			lo, hi := Expand(epsn, wireR[j].Lo), Expand(epsn, wireR[j].Hi)
+			if lo != r.Lo || hi != r.Hi {
+				t.Fatalf("case %d range %d: [%#x,%#x) round-tripped to [%#x,%#x)",
+					i, j, r.Lo, r.Hi, lo, hi)
+			}
+		}
+	}
+}
+
+// FuzzDecodeSack: arbitrary bytes must never panic, and any blob that
+// decodes successfully must re-encode byte-identically (the codec has one
+// canonical form).
+func FuzzDecodeSack(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(EncodeSack(0, nil))
+	f.Add(EncodeSack(psnMask, []Range{{Lo: psnSpace + 2, Hi: psnSpace + 5}}))
+	f.Add(EncodeSack(100, []Range{{Lo: 102, Hi: 104}, {Lo: 110, Hi: 111}}))
+	f.Add([]byte{0, 0, 5, 1, 0, 0, 3, 0, 0, 9}) // range below epsn: invalid
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		epsn, ranges, err := DecodeSack(buf)
+		if err != nil {
+			return
+		}
+		if re := EncodeSack(epsn, ranges); !bytes.Equal(re, buf) {
+			t.Fatalf("decode(%x) re-encoded to %x", buf, re)
+		}
+	})
+}
+
+// ---------- window vs naive reference model ----------
+
+// naiveWindow is the obviously-correct model: an explicit PSN set plus a
+// base cursor, no rings, no words.
+type naiveWindow struct {
+	set  map[uint32]bool
+	base uint32
+	size uint32
+}
+
+func (n *naiveWindow) contains(psn uint32) bool {
+	d := psn - n.base
+	return d < n.size
+}
+
+func (n *naiveWindow) setBit(psn uint32) bool {
+	if !n.contains(psn) || n.set[psn] {
+		return false
+	}
+	n.set[psn] = true
+	return true
+}
+
+func (n *naiveWindow) advance() uint32 {
+	for n.set[n.base] {
+		delete(n.set, n.base)
+		n.base++
+	}
+	return n.base
+}
+
+func (n *naiveWindow) slideTo(newBase uint32) {
+	if newBase-n.base >= 1<<31 { // behind: no-op, mirroring Window
+		return
+	}
+	for psn := n.base; psn != newBase; psn++ {
+		delete(n.set, psn)
+	}
+	n.base = newBase
+}
+
+func (n *naiveWindow) ranges(max int) []Range {
+	var out []Range
+	psn := n.base
+	for len(out) < max {
+		// Find the next set PSN within the window span.
+		for n.contains(psn) && !n.set[psn] {
+			psn++
+		}
+		if !n.contains(psn) {
+			break
+		}
+		lo := psn
+		for n.contains(psn) && n.set[psn] {
+			psn++
+		}
+		out = append(out, Range{Lo: lo, Hi: psn})
+	}
+	return out
+}
+
+func rangesEqual(a, b []Range) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWindowVsNaive drives the ring-indexed Window and the naive model
+// through the same random op sequence — Set, Advance, SlideTo, Ranges —
+// from several starting bases, including ones that cross the 2^24 wire
+// boundary and the uint32 wrap itself.
+func TestWindowVsNaive(t *testing.T) {
+	starts := []uint32{0, 1000, psnSpace - 300, 0xFFFFFFFF - 500}
+	for _, start := range starts {
+		rng := rand.New(rand.NewSource(int64(start) + 7))
+		const size = 256
+		w := NewWindow(size)
+		// Reach the start in two hops: a single slide of >= 2^31 would read
+		// as "behind the base" to the wrap-safe comparison and no-op.
+		w.SlideTo(start / 2)
+		w.SlideTo(start)
+		n := &naiveWindow{set: map[uint32]bool{}, base: start, size: w.Size()}
+		for op := 0; op < 20000; op++ {
+			switch rng.Intn(10) {
+			case 0: // cumulative advance over the in-order prefix
+				if got, want := w.Advance(), n.advance(); got != want {
+					t.Fatalf("start %#x op %d: Advance = %#x, naive %#x", start, op, got, want)
+				}
+			case 1: // sender-style cumulative slide
+				nb := n.base + uint32(rng.Intn(size/2))
+				w.SlideTo(nb)
+				n.slideTo(nb)
+			default: // arrival, sometimes out of window / duplicate
+				psn := n.base + uint32(rng.Intn(size+size/4))
+				if got, want := w.Set(psn), n.setBit(psn); got != want {
+					t.Fatalf("start %#x op %d: Set(%#x) = %v, naive %v", start, op, psn, got, want)
+				}
+			}
+			max := 1 + rng.Intn(9)
+			if got, want := w.Ranges(max), n.ranges(max); !rangesEqual(got, want) {
+				t.Fatalf("start %#x op %d: Ranges(%d) = %v, naive %v", start, op, max, got, want)
+			}
+			if w.Base() != n.base {
+				t.Fatalf("start %#x op %d: base %#x, naive %#x", start, op, w.Base(), n.base)
+			}
+			if w.Count() != len(n.set) {
+				t.Fatalf("start %#x op %d: count %d, naive %d", start, op, w.Count(), len(n.set))
+			}
+		}
+	}
+}
+
+// TestWindowCodecAcrossPSNWrap runs the full receiver→wire→sender path with
+// the flow offset crossing the 2^24 boundary: the receiver's window state
+// encodes, and a sender whose una trails by up to a window span expands the
+// blob back to the exact full-space PSNs.
+func TestWindowCodecAcrossPSNWrap(t *testing.T) {
+	w := NewWindow(128)
+	base := uint32(psnSpace - 40) // receiver cumulative point below the wrap
+	w.SlideTo(base)
+	for _, off := range []uint32{0, 1, 2, 50, 51, 52, 53, 90} { // holes at 3..49, 54..89
+		w.Set(base + off)
+	}
+	w.Advance() // base moves to psnSpace-37
+	blob := EncodeSack(w.Base()&psnMask, w.Ranges(8))
+	wireE, wireR, err := DecodeSack(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	una := base - 10 // sender trails the receiver
+	if got, want := Expand(una, wireE), base+3; got != want {
+		t.Fatalf("epsn expanded to %#x, want %#x", got, want)
+	}
+	want := []Range{{Lo: base + 50, Hi: base + 54}, {Lo: base + 90, Hi: base + 91}}
+	if len(wireR) != len(want) {
+		t.Fatalf("got %d ranges, want %d", len(wireR), len(want))
+	}
+	for i, r := range want {
+		lo, hi := Expand(una, wireR[i].Lo), Expand(una, wireR[i].Hi)
+		if lo != r.Lo || hi != r.Hi {
+			t.Fatalf("range %d: [%#x,%#x), want [%#x,%#x)", i, lo, hi, r.Lo, r.Hi)
+		}
+	}
+}

@@ -1,11 +1,10 @@
-// Package irn implements the IRN baseline (Mittal et al., SIGCOMM'18), the
-// paper's representative RNIC-SR scheme: BDP-bounded transmission, per-QP
-// bitmaps, SACK-triggered loss recovery episodes (each lost packet
-// retransmitted at most once per episode), and the RTOlow/RTOhigh timeout
-// pair. Its two failure modes under packet-level load balancing — spurious
-// retransmissions on reordering and excessive RTOs for tail/retransmitted
-// losses — are exactly what the paper's Figs. 1, 2, 13–17 measure.
-package irn
+// This file holds the SDR endpoint state machines. The sender is
+// BDP/window-bounded and retransmits straight from SACK holes (each hole
+// at most once per recovery episode, IRN-style, with the RTOlow/RTOhigh
+// timeout pair as the last resort); the receiver is the driving side: it
+// answers every data packet with a cumulative ACK carrying the encoded
+// SACK state of its sliding window bitmap.
+package sdr
 
 import (
 	"dcpsim/internal/cc"
@@ -19,25 +18,26 @@ import (
 	"dcpsim/internal/workload"
 )
 
-// rtoLowThreshold is IRN's N: with fewer than N packets outstanding the
-// short timeout applies (there may be no later packet to trigger a SACK).
+// rtoLowThreshold mirrors IRN's N: with fewer than N packets outstanding
+// there may be no later packet to trigger a SACK, so the short timeout
+// applies.
 const rtoLowThreshold = 3
 
-// Fixed per-QP tracking state beyond the full-message bitmaps, for the
-// bitmap-vs-counter memory accounting (§4.5).
-const (
-	senderFixedState = 64
-	recvFixedState   = 24
-)
+// senderFixedState approximates the non-bitmap per-QP sender footprint
+// (sequence cursors, timer, episode state), for the state-bytes account.
+const senderFixedState = 64
 
-// Host is an IRN endpoint on one NIC.
+// recvFixedState approximates the non-bitmap per-QP receiver footprint.
+const recvFixedState = 32
+
+// Host is an SDR endpoint on one NIC.
 type Host struct {
 	base.Host
 	send map[uint64]*senderQP
 	recv map[uint64]*recvQP
 }
 
-// New builds an IRN endpoint.
+// New builds an SDR endpoint.
 func New(n *nic.NIC, env *base.Env) base.Transport {
 	return &Host{
 		Host: base.NewHost(n, env),
@@ -47,7 +47,7 @@ func New(n *nic.NIC, env *base.Env) base.Transport {
 }
 
 // Name implements base.Transport.
-func (h *Host) Name() string { return "irn" }
+func (h *Host) Name() string { return "sdr" }
 
 // StartFlow implements base.Transport.
 func (h *Host) StartFlow(f *workload.Flow) {
@@ -80,29 +80,6 @@ func (h *Host) Dequeue(now units.Time, dataPaused bool) *packet.Packet {
 	return h.Host.Dequeue(now, dataPaused)
 }
 
-// bitset is a fixed-size bitmap, the per-QP tracking structure whose
-// memory/processing trade-offs §4.5 discusses.
-type bitset struct {
-	words []uint64
-	count int
-}
-
-func newBitset(n uint32) *bitset { return &bitset{words: make([]uint64, (n+63)/64)} }
-
-func (b *bitset) set(i uint32) bool {
-	w, m := i/64, uint64(1)<<(i%64)
-	if b.words[w]&m != 0 {
-		return false
-	}
-	b.words[w] |= m
-	b.count++
-	return true
-}
-
-func (b *bitset) get(i uint32) bool {
-	return b.words[i/64]&(uint64(1)<<(i%64)) != 0
-}
-
 type senderQP struct {
 	h    *Host
 	flow *workload.Flow
@@ -112,22 +89,24 @@ type senderQP struct {
 	totalPkts uint32
 	lastPay   int
 
-	una      uint32
-	nextPSN  uint32
-	sacked   *bitset
-	highSack uint32 // highest SACKed PSN + 1 (0 = none)
+	una     uint32
+	nextPSN uint32
+	// sacked is the SACK scoreboard: a window bitmap whose base follows
+	// una. highSack is one past the highest SACKed PSN (0 = none).
+	sacked   *Window
+	highSack uint32
 
-	// Loss recovery episode state (§2.2 issue #2): entered once, left only
-	// when una passes recoverPSN; each packet retransmitted at most once
-	// per episode.
+	// Loss recovery episode: entered on the first SACK that exposes a hole
+	// (or on timeout), left when una passes recoverPSN; each hole is
+	// retransmitted at most once per episode.
 	inRecovery    bool
-	timeoutMode   bool // entered via RTO: all unSACKed count as lost
+	timeoutMode   bool
 	recoverPSN    uint32
-	retransmitted *bitset
-	scan          uint32 // retransmission scan cursor
+	retransmitted *Window
+	scan          uint32
 
 	timer     *sim.Timer
-	sackedOut int // SACKed PSNs at or above una (outstanding window credit)
+	sackedOut int // SACKed PSNs at or above una (window credit already returned)
 	done      bool
 }
 
@@ -141,8 +120,9 @@ func newSenderQP(h *Host, f *workload.Flow) *senderQP {
 	qp.ctl = env.CC(h.Eng, h.NIC.Rate(), env.BaseRTT)
 	qp.totalPkts = base.NumPackets(f.Size, env.MTU)
 	qp.lastPay = base.PayloadAt(f.Size, env.MTU, qp.totalPkts-1)
-	qp.sacked = newBitset(qp.totalPkts)
-	qp.rec.NoteSendState(senderFixedState + 2*int64(len(qp.sacked.words))*8)
+	qp.sacked = NewWindow(env.SDR.WindowPkts)
+	qp.retransmitted = NewWindow(env.SDR.WindowPkts)
+	qp.rec.NoteSendState(qp.sacked.StateBytes() + qp.retransmitted.StateBytes() + senderFixedState)
 	qp.timer = sim.NewTimer(h.Eng, qp.onTimeout)
 	qp.resetTimer()
 	return qp
@@ -155,10 +135,8 @@ func (qp *senderQP) payloadAt(psn uint32) int {
 	return qp.h.Env.MTU
 }
 
-// inflightBytes approximates IRN's BDP flow control: the span of
-// outstanding (sent, neither cumulatively nor selectively acknowledged)
-// packets. Retransmissions do not widen it, so spurious retransmissions
-// cannot starve the window.
+// inflightBytes is the BDP window charge: the span of outstanding packets,
+// minus the ones already SACKed out of it. Retransmissions never widen it.
 func (qp *senderQP) inflightBytes() int {
 	n := int(base.SeqDiff(qp.nextPSN, qp.una)) - qp.sackedOut
 	if n < 0 {
@@ -179,7 +157,9 @@ func (qp *senderQP) resetTimer() {
 func (qp *senderQP) Finished() bool { return qp.done }
 
 // Next implements base.QP: retransmissions (while in a recovery episode)
-// take priority over new data; both share the BDP window.
+// take priority over new data; new data additionally respects the sliding
+// tracking window — the sender never runs more than WindowPkts past una,
+// so the receiver's fixed bitmap always covers everything in flight.
 func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 	if qp.done {
 		return nil, 0
@@ -187,15 +167,13 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 	if qp.inRecovery {
 		if psn, ok := qp.nextLost(); ok {
 			size := qp.payloadAt(psn)
-			// BDP-FC caps the un-acked span; a retransmission stays inside
-			// that span, so only rate pacing applies (inflight 0). Charging
-			// the window here deadlocks after a whole-window loss (link
-			// flap): no ACK ever arrives to reopen it.
+			// Retransmissions stay inside the already-charged window span:
+			// charging them again deadlocks after a whole-window loss.
 			ok2, at := qp.ctl.CanSend(now, 0, size)
 			if !ok2 {
 				return nil, at
 			}
-			qp.retransmitted.set(psn)
+			qp.retransmitted.Set(psn)
 			qp.scan = psn + 1
 			qp.rec.RetransPkts++
 			if env := qp.h.Env; env.Trace != nil {
@@ -206,7 +184,8 @@ func (qp *senderQP) Next(now units.Time) (*packet.Packet, units.Time) {
 			return qp.emit(now, psn, size, true), 0
 		}
 	}
-	if base.SeqLess(qp.nextPSN, qp.totalPkts) {
+	if base.SeqLess(qp.nextPSN, qp.totalPkts) &&
+		base.SeqLess(qp.nextPSN, qp.una+qp.sacked.Size()) {
 		size := qp.payloadAt(qp.nextPSN)
 		ok, at := qp.ctl.CanSend(now, qp.inflightBytes(), size)
 		if !ok {
@@ -235,44 +214,52 @@ func (qp *senderQP) emit(now units.Time, psn uint32, size int, retrans bool) *pa
 }
 
 // nextLost scans for the next retransmission candidate: unSACKed, not yet
-// retransmitted this episode, and (unless the episode began with a timeout)
-// below some SACKed PSN.
+// retransmitted this episode, and (unless the episode began with a
+// timeout) below the highest SACKed PSN — a hole the receiver has proven.
 func (qp *senderQP) nextLost() (uint32, bool) {
 	limit := qp.highSack
 	if qp.timeoutMode {
 		limit = qp.nextPSN
 	}
-	for psn := max32(qp.scan, qp.una); base.SeqLess(psn, limit) && base.SeqLess(psn, qp.nextPSN); psn++ {
-		if !qp.sacked.get(psn) && !qp.retransmitted.get(psn) {
+	psn := qp.scan
+	if base.SeqLess(psn, qp.una) {
+		psn = qp.una
+	}
+	for ; base.SeqLess(psn, limit) && base.SeqLess(psn, qp.nextPSN); psn++ {
+		if !qp.sacked.Get(psn) && !qp.retransmitted.Get(psn) {
 			return psn, true
 		}
 	}
 	return 0, false
 }
 
-func max32(a, b uint32) uint32 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
+// onAck consumes one receiver report: the cumulative point and the SACK
+// ranges both arrive in the 24-bit wire blob and are expanded against una.
 func (qp *senderQP) onAck(p *packet.Packet) {
 	if qp.done {
 		return
 	}
+	wireEPSN, wireRanges, err := DecodeSack(p.SackBlob)
+	if err != nil {
+		// A malformed blob cannot happen on the simulated wire; drop it
+		// rather than guessing.
+		return
+	}
 	now := qp.h.Eng.Now()
 	progressed := false
-	if base.SeqLess(qp.una, p.EPSN) {
+	epsn := Expand(qp.una, wireEPSN)
+	if base.SeqLess(qp.una, epsn) && base.SeqGEQ(qp.totalPkts, epsn) {
 		var acked int
-		for psn := qp.una; base.SeqLess(psn, p.EPSN); psn++ {
-			if qp.sacked.get(psn) {
-				qp.sackedOut-- // SACKed packets already left the window
+		for psn := qp.una; base.SeqLess(psn, epsn); psn++ {
+			if qp.sacked.Get(psn) {
+				qp.sackedOut-- // already credited when SACKed
 			} else {
 				acked += qp.payloadAt(psn)
 			}
 		}
-		qp.una = p.EPSN
+		qp.sacked.SlideTo(epsn)
+		qp.retransmitted.SlideTo(epsn)
+		qp.una = epsn
 		if qp.sackedOut < 0 {
 			qp.sackedOut = 0
 		}
@@ -283,19 +270,23 @@ func (qp *senderQP) onAck(p *packet.Packet) {
 		qp.ctl.OnAck(now, acked, rtt)
 		progressed = true
 	}
-	if p.Ack == packet.AckSelective && base.SeqLess(p.SackPSN, qp.totalPkts) {
-		if base.SeqGEQ(p.SackPSN, qp.una) && qp.sacked.set(p.SackPSN) {
-			qp.sackedOut++
-			qp.ctl.OnAck(now, qp.payloadAt(p.SackPSN), 0)
+	sawHole := false
+	for _, wr := range wireRanges {
+		lo, hi := Expand(qp.una, wr.Lo), Expand(qp.una, wr.Hi)
+		for psn := lo; base.SeqLess(psn, hi) && base.SeqLess(psn, qp.nextPSN); psn++ {
+			if base.SeqGEQ(psn, qp.una) && qp.sacked.Set(psn) {
+				qp.sackedOut++
+				qp.ctl.OnAck(now, qp.payloadAt(psn), 0)
+			}
+			if base.SeqLess(qp.highSack, psn+1) {
+				qp.highSack = psn + 1
+			}
 		}
-		if base.SeqLess(qp.highSack, p.SackPSN+1) {
-			qp.highSack = p.SackPSN + 1
-		}
-		// A SACK implies out-of-order delivery: enter loss recovery (this
-		// is precisely where reordering causes spurious retransmissions).
-		if !qp.inRecovery {
-			qp.enterRecovery(false)
-		}
+		sawHole = true
+	}
+	// A SACK range proves at least one hole below it: enter recovery.
+	if sawHole && !qp.inRecovery {
+		qp.enterRecovery(false)
 	}
 	if progressed {
 		qp.resetTimer()
@@ -317,7 +308,9 @@ func (qp *senderQP) enterRecovery(timeout bool) {
 	if qp.nextPSN > 0 {
 		qp.recoverPSN = qp.nextPSN - 1
 	}
-	qp.retransmitted = newBitset(qp.totalPkts)
+	// Reset the per-episode retransmit marks by re-basing a fresh window.
+	qp.retransmitted = NewWindow(int(qp.sacked.Size()))
+	qp.retransmitted.SlideTo(qp.una)
 	qp.scan = qp.una
 }
 
@@ -348,48 +341,45 @@ func (qp *senderQP) onTimeout() {
 }
 
 type recvQP struct {
-	ePSN     uint32
-	received *bitset
-	lastCNP  units.Time
-	cnpSet   bool
+	win     *Window
+	lastCNP units.Time
+	cnpSet  bool
 }
 
 func (h *Host) recvData(p *packet.Packet) {
 	qp := h.recv[p.FlowID]
 	if qp == nil {
-		qp = &recvQP{received: newBitset(p.MsgLen)}
+		qp = &recvQP{win: NewWindow(h.Env.SDR.WindowPkts)}
 		h.recv[p.FlowID] = qp
 		if rec := h.Env.Collector.Flow(p.FlowID); rec != nil {
-			rec.NoteRecvState(recvFixedState + int64(len(qp.received.words))*8)
+			rec.NoteRecvState(qp.win.StateBytes() + recvFixedState)
 		}
 	}
 	now := h.Eng.Now()
 	if p.ECN {
 		h.maybeCNP(qp, p, now)
 	}
-	if base.SeqLess(p.PSN, qp.ePSN) || !qp.received.set(p.PSN) {
-		// Duplicate (a spurious retransmission): cumulative ACK refreshes
-		// the sender.
-		h.ack(p, qp, packet.AckCumulative, 0)
-		return
+	// Duplicates and (never under a compliant sender) beyond-window
+	// arrivals change no state; the ACK below still refreshes the sender.
+	if qp.win.Set(p.PSN) && p.PSN == qp.win.Base() {
+		qp.win.Advance()
 	}
-	if p.PSN == qp.ePSN {
-		for base.SeqLess(qp.ePSN, uint32(len(qp.received.words)*64)) && qp.received.get(qp.ePSN) {
-			qp.ePSN++
-		}
-		h.ack(p, qp, packet.AckCumulative, 0)
-		return
-	}
-	// Out-of-order arrival: SACK with both the cumulative ack and the OOO
-	// PSN (§2.2 issue #1).
-	h.ack(p, qp, packet.AckSelective, p.PSN)
+	h.ack(p, qp)
 }
 
-func (h *Host) ack(data *packet.Packet, qp *recvQP, flavor packet.AckFlavor, sack uint32) {
-	a := packet.AckPacket(data.FlowID, data.Dst, data.Src, qp.ePSN)
+// ack is the receiver-driven report: every data arrival is answered with
+// the cumulative point plus the current SACK ranges, encoded in the wire
+// blob (the packet grows by the blob size beyond the base ACK header).
+func (h *Host) ack(data *packet.Packet, qp *recvQP) {
+	epsn := qp.win.Base()
+	ranges := qp.win.Ranges(h.Env.SDR.MaxRanges)
+	a := packet.AckPacket(data.FlowID, data.Dst, data.Src, epsn)
 	a.Tag = packet.TagNonDCP
-	a.Ack = flavor
-	a.SackPSN = sack
+	if len(ranges) > 0 {
+		a.Ack = packet.AckSelective
+	}
+	a.SackBlob = EncodeSack(epsn, ranges)
+	a.Size += len(a.SackBlob)
 	a.SentAt = data.SentAt
 	h.QueueCtrl(a)
 }
